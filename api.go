@@ -1,0 +1,339 @@
+// Package fluxquery is an optimizing XQuery processor for streaming XML
+// data — a from-scratch reproduction of the FluXQuery engine (Koch,
+// Scherzinger, Schweikardt, Stegmaier; VLDB 2004).
+//
+// The engine evaluates a practical XQuery fragment (nested for-loops,
+// where-joins, conditionals, element constructors; no aggregation) over
+// XML streams. A DTD is mandatory: FluXQuery's contribution is that it
+// exploits schema constraints — cardinality, order and co-occurrence
+// constraints derived from the DTD's content models — to rewrite the
+// query into the event-based FluX language and thereby minimize main
+// memory buffering.
+//
+// Basic use:
+//
+//	d, _ := fluxquery.ParseDTD(`<!ELEMENT bib (book)*> ...`)
+//	q, _ := fluxquery.ParseQuery(`<results>{ for $b in $ROOT/bib/book
+//	    return <result>{ $b/title }{ $b/author }</result> }</results>`)
+//	plan, _ := fluxquery.Compile(q, d, fluxquery.Options{})
+//	stats, _ := plan.Execute(inputStream, outputStream)
+//	fmt.Println(stats.PeakBufferBytes) // bytes buffered at the high-water mark
+//
+// Three engines share the same front-end and produce byte-identical
+// results: EngineFlux (the paper's streaming engine), EngineProjection
+// (document projection à la Marian & Siméon, VLDB 2003) and EngineNaive
+// (a conventional main-memory processor). The latter two reproduce the
+// comparison systems of the paper's evaluation.
+package fluxquery
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fluxquery/internal/baseline"
+	"fluxquery/internal/core"
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/opt"
+	"fluxquery/internal/runtime"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+	"fluxquery/internal/xsax"
+)
+
+// Engine selects the execution strategy.
+type Engine int
+
+// Available engines.
+const (
+	// EngineFlux is the paper's engine: schema-based scheduling into FluX
+	// and streamed evaluation with minimal buffers.
+	EngineFlux Engine = iota
+	// EngineProjection builds an in-memory tree pruned to the query's
+	// paths (Marian & Siméon-style document projection), then evaluates.
+	EngineProjection
+	// EngineNaive builds the full document tree, then evaluates.
+	EngineNaive
+)
+
+// String returns the engine's name.
+func (e Engine) String() string {
+	switch e {
+	case EngineFlux:
+		return "flux"
+	case EngineProjection:
+		return "projection"
+	case EngineNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts an engine name ("flux", "projection", "naive").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "flux":
+		return EngineFlux, nil
+	case "projection":
+		return EngineProjection, nil
+	case "naive":
+		return EngineNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want flux, projection or naive)", s)
+	}
+}
+
+// Options configures compilation.
+type Options struct {
+	// Engine selects the execution strategy (default EngineFlux).
+	Engine Engine
+	// DisableOptimizer skips the algebraic optimization step entirely.
+	DisableOptimizer bool
+	// NoLoopMerging disables the cardinality-constraint loop-merging rule
+	// (ablation).
+	NoLoopMerging bool
+	// NoConditionalElimination disables the language-constraint
+	// unsatisfiable-conditional rule (ablation).
+	NoConditionalElimination bool
+	// NoBufferProjection disables the BDF's sub-path projection inside
+	// buffers: buffered children are kept whole, as pure document
+	// projection would keep them (ablation for the paper's improvement
+	// over [10]).
+	NoBufferProjection bool
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	d *dtd.DTD
+}
+
+// ParseDTD parses DTD declaration text (<!ELEMENT ...> <!ATTLIST ...>).
+func ParseDTD(src string) (*DTD, error) {
+	d, err := dtd.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &DTD{d: d}, nil
+}
+
+// DTDFromDocument extracts and parses the DOCTYPE internal subset from a
+// document's prolog (everything before the root element). It fails if
+// the document carries no DOCTYPE with an internal subset.
+func DTDFromDocument(doc io.Reader) (*DTD, error) {
+	sc := xmltok.NewScanner(doc)
+	for {
+		tok, err := sc.Next()
+		if err != nil {
+			return nil, fmt.Errorf("no DOCTYPE declaration found: %w", err)
+		}
+		switch tok.Kind {
+		case xmltok.Directive:
+			d, err := dtd.ParseDoctype(tok.Data)
+			if err != nil {
+				return nil, err
+			}
+			return &DTD{d: d}, nil
+		case xmltok.StartElement:
+			return nil, fmt.Errorf("document has no DOCTYPE before the root element")
+		}
+	}
+}
+
+// Root returns the expected document element name.
+func (d *DTD) Root() string { return d.d.Root }
+
+// String renders the DTD in declaration syntax.
+func (d *DTD) String() string { return d.d.String() }
+
+// ConstraintSummary renders the schema constraints derived for one
+// element: cardinalities, order constraints and co-occurrence conflicts.
+func (d *DTD) ConstraintSummary(element string) string {
+	return d.d.ConstraintSummary(element)
+}
+
+// Validate checks a document stream against the DTD.
+func (d *DTD) Validate(r io.Reader) error {
+	return xsax.Validate(r, d.d)
+}
+
+// Query is a parsed query.
+type Query struct {
+	src  string
+	expr xquery.Expr
+}
+
+// ParseQuery parses a query in the supported XQuery fragment. The
+// document root is addressed as $ROOT (or a leading /).
+func ParseQuery(src string) (*Query, error) {
+	e, err := xquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{src: src, expr: e}, nil
+}
+
+// String returns the parsed query rendered back to XQuery.
+func (q *Query) String() string { return q.expr.String() }
+
+// Stats reports one execution.
+type Stats struct {
+	// Engine that produced the result.
+	Engine Engine
+	// Events is the number of XML tokens consumed.
+	Events int64
+	// PeakBufferBytes is the high-water mark of live buffered data — the
+	// paper's main memory metric (deterministic byte accounting, not heap
+	// size).
+	PeakBufferBytes int64
+	// BufferedBytesTotal is cumulative buffer fill traffic.
+	BufferedBytesTotal int64
+	// BufferedNodes counts buffered subtree roots.
+	BufferedNodes int64
+	// OutputBytes is the size of the result stream.
+	OutputBytes int64
+	// SkippedSubtrees counts input subtrees consumed without processing.
+	SkippedSubtrees int64
+	// HandlerFirings counts handler/loop-body executions (flux engine).
+	HandlerFirings int64
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+}
+
+// Plan is a compiled, executable query.
+type Plan struct {
+	opts       Options
+	d          *dtd.DTD
+	normalized xquery.Expr
+	optimized  xquery.Expr
+	optTrace   opt.Trace
+	flux       *core.Query
+	phys       *runtime.Plan
+}
+
+// Compile runs the full pipeline of the paper's architecture (Figure 2):
+// normalization, algebraic optimization against the DTD, translation into
+// FluX, and physical plan generation. For the baseline engines the
+// pipeline stops after optimization.
+func Compile(q *Query, d *DTD, o Options) (*Plan, error) {
+	n, err := nf.Normalize(q.expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{opts: o, d: d.d, normalized: n, optimized: n}
+	if !o.DisableOptimizer {
+		optimized, trace, err := opt.Optimize(n, d.d, opt.Options{
+			NoLoopMerging:     o.NoLoopMerging,
+			NoCondElimination: o.NoConditionalElimination,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.optimized = optimized
+		p.optTrace = trace
+	}
+	if o.Engine == EngineFlux {
+		flux, err := core.Schedule(p.optimized, d.d)
+		if err != nil {
+			return nil, err
+		}
+		phys, err := runtime.CompileOptions(flux, runtime.Options{FullBuffers: o.NoBufferProjection})
+		if err != nil {
+			return nil, err
+		}
+		p.flux = flux
+		p.phys = phys
+	}
+	return p, nil
+}
+
+// MustCompile panics on error; for tests and examples with fixed inputs.
+func MustCompile(query, dtdSrc string, o Options) *Plan {
+	q, err := ParseQuery(query)
+	if err != nil {
+		panic(err)
+	}
+	d, err := ParseDTD(dtdSrc)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Compile(q, d, o)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Execute runs the plan over an input document stream and writes the
+// result stream to w.
+func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
+	start := time.Now()
+	var rst *runtime.Stats
+	var err error
+	switch p.opts.Engine {
+	case EngineFlux:
+		rst, err = p.phys.Run(r, w)
+	case EngineProjection:
+		rst, err = baseline.RunProjection(p.optimized, p.d, r, w)
+	case EngineNaive:
+		rst, err = baseline.RunNaive(p.optimized, p.d, r, w)
+	default:
+		return Stats{}, fmt.Errorf("unknown engine %v", p.opts.Engine)
+	}
+	st := Stats{Engine: p.opts.Engine, Duration: time.Since(start)}
+	if rst != nil {
+		st.Events = rst.Events
+		st.PeakBufferBytes = rst.PeakBufferBytes
+		st.BufferedBytesTotal = rst.BufferedBytesTotal
+		st.BufferedNodes = rst.BufferedNodes
+		st.OutputBytes = rst.OutputBytes
+		st.SkippedSubtrees = rst.SkippedSubtrees
+		st.HandlerFirings = rst.HandlerFirings
+	}
+	return st, err
+}
+
+// ExecuteString is a convenience wrapper for string input and output.
+func (p *Plan) ExecuteString(doc string) (string, Stats, error) {
+	var out strings.Builder
+	st, err := p.Execute(strings.NewReader(doc), &out)
+	return out.String(), st, err
+}
+
+// FluxString renders the scheduled FluX query (flux engine only).
+func (p *Plan) FluxString() string {
+	if p.flux == nil {
+		return ""
+	}
+	return p.flux.String()
+}
+
+// Explain describes every stage of the compilation pipeline.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	b.WriteString("== normal form ==\n")
+	b.WriteString(p.normalized.String())
+	b.WriteString("\n\n== algebraic optimization ==\n")
+	if len(p.optTrace) == 0 {
+		b.WriteString("(no rewrites)\n")
+	} else {
+		for _, s := range p.optTrace {
+			b.WriteString("  " + s.String() + "\n")
+		}
+		b.WriteString(p.optimized.String())
+		b.WriteString("\n")
+	}
+	if p.flux != nil {
+		b.WriteString("\n== flux query ==\n")
+		b.WriteString(p.flux.String())
+		b.WriteString("\n== scheduling decisions ==\n")
+		for _, s := range p.flux.Trace {
+			b.WriteString("  " + s + "\n")
+		}
+		b.WriteString("\n== buffer description forest ==\n")
+		b.WriteString(p.phys.BDF.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package fluxquery
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/xmlgen"
+)
+
+const paperQuery = `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`
+
+const paperDoc = `<bib><book year="1994"><title>T1</title><author>A1</author><author>A2</author></book><book year="2000"><author>B1</author><title>T2</title></book></bib>`
+
+func TestCompileAndExecute(t *testing.T) {
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	out, st, err := p.ExecuteString(paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<results><result><title>T1</title><author>A1</author><author>A2</author></result><result><title>T2</title><author>B1</author></result></results>`
+	if out != want {
+		t.Errorf("out = %s", out)
+	}
+	if st.Engine != EngineFlux {
+		t.Errorf("engine = %v", st.Engine)
+	}
+	if st.PeakBufferBytes <= 0 {
+		t.Error("weak DTD must buffer authors")
+	}
+	if st.OutputBytes != int64(len(want)) {
+		t.Errorf("output bytes = %d, want %d", st.OutputBytes, len(want))
+	}
+	if st.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+}
+
+func TestEnginesProduceSameOutput(t *testing.T) {
+	for _, engine := range []Engine{EngineFlux, EngineProjection, EngineNaive} {
+		p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{Engine: engine})
+		out, _, err := p.ExecuteString(paperDoc)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		ref, _, _ := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{}).ExecuteString(paperDoc)
+		if out != ref {
+			t.Errorf("%v output differs:\n%s\nvs\n%s", engine, out, ref)
+		}
+	}
+}
+
+func TestExplainMentionsAllStages(t *testing.T) {
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	ex := p.Explain()
+	for _, want := range []string{"normal form", "flux query", "process-stream", "buffer description forest", "on-first past"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("explain missing %q:\n%s", want, ex)
+		}
+	}
+}
+
+func TestFluxString(t *testing.T) {
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	if !strings.Contains(p.FluxString(), "process-stream") {
+		t.Error("FluxString missing process-stream")
+	}
+	pn := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{Engine: EngineNaive})
+	if pn.FluxString() != "" {
+		t.Error("naive plans have no FluX form")
+	}
+}
+
+func TestEngineParsing(t *testing.T) {
+	for _, name := range []string{"flux", "projection", "naive"} {
+		e, err := ParseEngine(name)
+		if err != nil || e.String() != name {
+			t.Errorf("round trip %q failed: %v %v", name, e, err)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+}
+
+func TestDTDAccessors(t *testing.T) {
+	d, err := ParseDTD(xmlgen.StrongBibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != "bib" {
+		t.Errorf("root = %s", d.Root())
+	}
+	if !strings.Contains(d.ConstraintSummary("book"), "order: all title before all author") {
+		t.Error("constraint summary missing order constraint")
+	}
+	if err := d.Validate(strings.NewReader(`<bib></bib>`)); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	if err := d.Validate(strings.NewReader(`<bib><x/></bib>`)); err == nil {
+		t.Error("invalid doc accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := ParseQuery("not a query"); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := ParseDTD("not a dtd"); err == nil {
+		t.Error("bad dtd accepted")
+	}
+	// Unknown variable: scheduling fails.
+	q, err := ParseQuery(`<r>{ for $b in $nowhere/bib/book return { $b } }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := ParseDTD(xmlgen.WeakBibDTD)
+	if _, err := Compile(q, d, Options{}); err == nil {
+		t.Error("query with unbound root accepted")
+	}
+}
+
+func TestInvalidInputReportedByFlux(t *testing.T) {
+	p := MustCompile(paperQuery, xmlgen.StrongBibDTD, Options{})
+	_, _, err := p.ExecuteString(`<bib><book year="1"><author>A</author></book></bib>`)
+	if err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestOptimizerAblationOptions(t *testing.T) {
+	loopQuery := `<results>{ for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return <p1/> }{ for $x in $b/publisher return <p2/> }</r> }</results>`
+	on := MustCompile(loopQuery, xmlgen.StrongBibDTD, Options{})
+	off := MustCompile(loopQuery, xmlgen.StrongBibDTD, Options{NoLoopMerging: true})
+	if strings.Count(on.optimized.String(), "in $b/publisher") != 1 {
+		t.Errorf("loop merging did not fire:\n%s", on.optimized)
+	}
+	if strings.Count(off.optimized.String(), "in $b/publisher") != 2 {
+		t.Errorf("NoLoopMerging ignored:\n%s", off.optimized)
+	}
+	disabled := MustCompile(loopQuery, xmlgen.StrongBibDTD, Options{DisableOptimizer: true})
+	if len(disabled.optTrace) != 0 {
+		t.Error("DisableOptimizer still traced rewrites")
+	}
+}

@@ -1,0 +1,245 @@
+package fluxquery
+
+// The benchmark harness regenerates every experiment of the evaluation
+// (EXPERIMENTS.md): the demo paper cites the evaluation of its companion
+// paper [8] — memory consumption and runtime of FluXQuery vs. two other
+// engines over use-case queries and growing documents — and its §2/§3.1
+// worked examples define the ablations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics: peakB = buffer high-water mark in bytes (the
+// paper's memory metric); docB = input document size.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"fluxquery/internal/workload"
+	"fluxquery/internal/xmlgen"
+)
+
+var engines = []Engine{EngineFlux, EngineProjection, EngineNaive}
+
+// genDoc builds a deterministic document of roughly size bytes.
+func genDoc(b *testing.B, c *workload.Case, size int64) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := c.Gen(&buf, size, 42); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// benchRun executes a compiled plan repeatedly over doc and reports the
+// paper's metrics.
+func benchRun(b *testing.B, p *Plan, doc []byte) {
+	b.Helper()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(doc)))
+	var st Stats
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err = p.Execute(bytes.NewReader(doc), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.PeakBufferBytes), "peakB")
+	b.ReportMetric(float64(len(doc)), "docB")
+}
+
+func benchCase(b *testing.B, caseName string, engine Engine, size int64, opts Options) {
+	c := workload.ByName(caseName)
+	if c == nil {
+		b.Fatalf("unknown case %s", caseName)
+	}
+	doc := genDoc(b, c, size)
+	opts.Engine = engine
+	p := MustCompile(c.Query, c.DTD, opts)
+	benchRun(b, p, doc)
+}
+
+var sweepSizes = []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// BenchmarkE1MemoryVsSize — [8]'s memory-vs-document-size experiment:
+// XMP Q3 on weak-DTD bibliographies. Read the peakB metric: flux stays
+// flat (one book's authors) while projection/naive grow linearly.
+func BenchmarkE1MemoryVsSize(b *testing.B) {
+	for _, size := range sweepSizes {
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("size=%dKB/engine=%s", size>>10, e), func(b *testing.B) {
+				benchCase(b, "xmp-q3-weak", e, size, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkE2RuntimeVsSize — [8]'s runtime-vs-document-size experiment:
+// same workload, focus on ns/op, MB/s and allocations. Flux avoids tree
+// construction entirely.
+func BenchmarkE2RuntimeVsSize(b *testing.B) {
+	for _, size := range sweepSizes {
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("size=%dKB/engine=%s", size>>10, e), func(b *testing.B) {
+				benchCase(b, "xmp-q3-weak", e, size, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkE3QuerySuite — [8]'s all-queries table at a fixed document
+// size (1 MB): the XMP use cases and paper micro-queries on all engines.
+// Join workloads run at 256 KB: their nested-loop cost is quadratic on
+// every engine, and the comparison shape is identical at any size.
+func BenchmarkE3QuerySuite(b *testing.B) {
+	for _, c := range workload.Cases {
+		size := int64(1 << 20)
+		if c.Join {
+			size = 256 << 10
+		}
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("case=%s/engine=%s", c.Name, e), func(b *testing.B) {
+				benchCase(b, c.Name, e, size, Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkE4DTDStrength — the paper's §2 worked example: the same query
+// (XMP Q3) under the weak, mixed and strong DTD dialects. peakB drops
+// from one book's authors (weak/mixed) to zero (strong).
+func BenchmarkE4DTDStrength(b *testing.B) {
+	const size = 1 << 20
+	for _, name := range []string{"xmp-q3-weak", "xmp-q3-strong"} {
+		b.Run("case="+name, func(b *testing.B) {
+			benchCase(b, name, EngineFlux, size, Options{})
+		})
+	}
+	// The mixed dialect is not a catalogue case for the baselines; build
+	// it directly.
+	b.Run("case=xmp-q3-mixed", func(b *testing.B) {
+		cfg := xmlgen.BibConfig{Dialect: xmlgen.MixedBib, Seed: 42}
+		cfg.Books = xmlgen.SizedBibBooks(cfg, size)
+		var buf bytes.Buffer
+		if err := xmlgen.WriteBib(&buf, cfg); err != nil {
+			b.Fatal(err)
+		}
+		p := MustCompile(workload.Q3, xmlgen.MixedBibDTD, Options{})
+		benchRun(b, p, buf.Bytes())
+	})
+}
+
+// BenchmarkE5LoopMerging — §3.1's cardinality-constraint ablation: two
+// consecutive loops over $book/publisher with and without the
+// loop-merging rule.
+func BenchmarkE5LoopMerging(b *testing.B) {
+	const size = 1 << 20
+	b.Run("optimized", func(b *testing.B) {
+		benchCase(b, "paper-loop-merge", EngineFlux, size, Options{})
+	})
+	b.Run("no-loop-merging", func(b *testing.B) {
+		benchCase(b, "paper-loop-merge", EngineFlux, size, Options{NoLoopMerging: true})
+	})
+}
+
+// BenchmarkE6CondElim — §3.1's language-constraint ablation: the
+// unsatisfiable author+editor conditional with and without elimination.
+func BenchmarkE6CondElim(b *testing.B) {
+	const size = 1 << 20
+	b.Run("optimized", func(b *testing.B) {
+		benchCase(b, "paper-conflict", EngineFlux, size, Options{})
+	})
+	b.Run("no-cond-elimination", func(b *testing.B) {
+		benchCase(b, "paper-conflict", EngineFlux, size, Options{NoConditionalElimination: true})
+	})
+}
+
+// BenchmarkE7XMark — [8]'s XMark experiment: auction-site queries
+// (lookup, join, listing) across engines and sizes.
+func BenchmarkE7XMark(b *testing.B) {
+	for _, name := range []string{"xmark-q1", "xmark-q8-join", "xmark-q13", "xmark-q2-bidders"} {
+		for _, size := range []int64{128 << 10, 512 << 10} {
+			for _, e := range engines {
+				b.Run(fmt.Sprintf("case=%s/size=%dKB/engine=%s", name, size>>10, e), func(b *testing.B) {
+					benchCase(b, name, e, size, Options{})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE8BufferScaling — the paper's §2 claim in isolation: peak
+// buffer as a function of book count at fixed book size. flux's peakB is
+// constant; the baselines grow with the count.
+func BenchmarkE8BufferScaling(b *testing.B) {
+	for _, books := range []int{100, 1000, 10000} {
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("books=%d/engine=%s", books, e), func(b *testing.B) {
+				var buf bytes.Buffer
+				if err := xmlgen.WriteBib(&buf, xmlgen.BibConfig{Dialect: xmlgen.WeakBib, Books: books, Seed: 42}); err != nil {
+					b.Fatal(err)
+				}
+				p := MustCompile(workload.Q3, xmlgen.WeakBibDTD, Options{Engine: e})
+				benchRun(b, p, buf.Bytes())
+			})
+		}
+	}
+}
+
+// BenchmarkE9BufferProjection — §3.2's design-choice ablation: the BDF
+// projects buffered subtrees to the paths the handlers use ("improves on
+// [10]"). With projection, only the isbn of each buffered info record is
+// held; without it, the large blurbs enter the buffer too.
+func BenchmarkE9BufferProjection(b *testing.B) {
+	const size = 1 << 20
+	b.Run("projected", func(b *testing.B) {
+		benchCase(b, "bdf-projection", EngineFlux, size, Options{})
+	})
+	b.Run("full-buffers", func(b *testing.B) {
+		benchCase(b, "bdf-projection", EngineFlux, size, Options{NoBufferProjection: true})
+	})
+}
+
+// BenchmarkTokenizer measures the raw scanner throughput that bounds all
+// engines.
+func BenchmarkTokenizer(b *testing.B) {
+	c := workload.ByName("xmp-q3-weak")
+	doc := genDoc(b, c, 1<<20)
+	d, err := ParseDTD(c.DTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Validate(bytes.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures full pipeline compilation cost (parse,
+// normalize, optimize, schedule, plan).
+func BenchmarkCompile(b *testing.B) {
+	c := workload.ByName("xmp-q3-weak")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, err := ParseQuery(c.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := ParseDTD(c.DTD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Compile(q, d, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

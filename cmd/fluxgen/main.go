@@ -1,0 +1,113 @@
+// Command fluxgen generates the synthetic experiment workloads:
+// bibliography documents (in the paper's weak/strong/mixed DTD dialects),
+// XMark-style auction sites, two-branch store documents and random
+// documents valid for an arbitrary DTD.
+//
+// Usage:
+//
+//	fluxgen -kind bib -dialect weak -size 1048576 > bib.xml
+//	fluxgen -kind bib -dialect strong -books 500 -out bib.xml -dtd-out bib.dtd
+//	fluxgen -kind auction -size 4194304 > site.xml
+//	fluxgen -kind store -size 200000 > store.xml
+//	fluxgen -kind random -dtdfile my.dtd -seed 7 > doc.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmlgen"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "bib", "bib, auction, store or random")
+		dialect = flag.String("dialect", "weak", "bib dialect: weak, strong or mixed")
+		size    = flag.Int64("size", 1<<20, "approximate document size in bytes")
+		books   = flag.Int("books", 0, "bib: exact book count (overrides -size)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		outPath = flag.String("out", "", "output file (default stdout)")
+		dtdOut  = flag.String("dtd-out", "", "also write the matching DTD to this file")
+		dtdFile = flag.String("dtdfile", "", "random: DTD to generate against")
+	)
+	flag.Parse()
+	if err := run(*kind, *dialect, *size, *books, *seed, *outPath, *dtdOut, *dtdFile); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, dialect string, size int64, books int, seed int64, outPath, dtdOut, dtdFile string) error {
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var dtdSrc string
+	var gen func() error
+	switch kind {
+	case "bib":
+		var dia xmlgen.BibDialect
+		switch dialect {
+		case "weak":
+			dia = xmlgen.WeakBib
+		case "strong":
+			dia = xmlgen.StrongBib
+		case "mixed":
+			dia = xmlgen.MixedBib
+		default:
+			return fmt.Errorf("unknown dialect %q", dialect)
+		}
+		cfg := xmlgen.BibConfig{Dialect: dia, Seed: seed, Books: books}
+		if books == 0 {
+			cfg.Books = xmlgen.SizedBibBooks(cfg, size)
+		}
+		dtdSrc = dia.DTD()
+		gen = func() error { return xmlgen.WriteBib(out, cfg) }
+	case "auction":
+		dtdSrc = xmlgen.AuctionDTD
+		gen = func() error {
+			return xmlgen.WriteAuction(out, xmlgen.AuctionConfig{Factor: float64(size) / 40000, Seed: seed})
+		}
+	case "store":
+		dtdSrc = xmlgen.StoreDTD
+		n := int(size / 110)
+		if n < 2 {
+			n = 2
+		}
+		gen = func() error {
+			return xmlgen.WriteStore(out, xmlgen.StoreConfig{Books: n / 2, Entries: n / 2, Seed: seed})
+		}
+	case "random":
+		if dtdFile == "" {
+			return fmt.Errorf("-kind random requires -dtdfile")
+		}
+		b, err := os.ReadFile(dtdFile)
+		if err != nil {
+			return err
+		}
+		d, err := dtd.Parse(string(b))
+		if err != nil {
+			return err
+		}
+		dtdSrc = string(b)
+		gen = func() error { return xmlgen.WriteRandom(out, d, xmlgen.RandomConfig{Seed: seed}) }
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+
+	if dtdOut != "" {
+		if err := os.WriteFile(dtdOut, []byte(dtdSrc), 0o644); err != nil {
+			return err
+		}
+	}
+	return gen()
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xsax"
+)
+
+func generate(t *testing.T, kind, dialect string, size int64, books int) (doc, dtdSrc string) {
+	t.Helper()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "doc.xml")
+	dtdOut := filepath.Join(dir, "doc.dtd")
+	if err := run(kind, dialect, size, books, 1, out, dtdOut, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := os.ReadFile(dtdOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), string(d)
+}
+
+func TestGenerateKindsAreValid(t *testing.T) {
+	cases := []struct {
+		kind, dialect string
+	}{
+		{"bib", "weak"},
+		{"bib", "strong"},
+		{"bib", "mixed"},
+		{"auction", ""},
+		{"store", ""},
+	}
+	for _, c := range cases {
+		doc, dtdSrc := generate(t, c.kind, c.dialect, 50_000, 0)
+		d, err := dtd.Parse(dtdSrc)
+		if err != nil {
+			t.Fatalf("%s/%s: emitted DTD invalid: %v", c.kind, c.dialect, err)
+		}
+		if err := xsax.Validate(strings.NewReader(doc), d); err != nil {
+			t.Errorf("%s/%s: generated document invalid: %v", c.kind, c.dialect, err)
+		}
+		if len(doc) < 20_000 || len(doc) > 150_000 {
+			t.Errorf("%s/%s: size %d far from 50_000 target", c.kind, c.dialect, len(doc))
+		}
+	}
+}
+
+func TestGenerateExactBookCount(t *testing.T) {
+	doc, _ := generate(t, "bib", "weak", 0, 7)
+	if got := strings.Count(doc, "<book"); got != 7 {
+		t.Errorf("book count = %d, want 7", got)
+	}
+}
+
+func TestGenerateRandomAgainstDTDFile(t *testing.T) {
+	dir := t.TempDir()
+	dtdFile := filepath.Join(dir, "my.dtd")
+	src := "<!ELEMENT r (a|b)*><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>"
+	if err := os.WriteFile(dtdFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "doc.xml")
+	if err := run("random", "", 0, 0, 3, out, "", dtdFile); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := os.ReadFile(out)
+	d := dtd.MustParse(src)
+	if err := xsax.Validate(strings.NewReader(string(doc)), d); err != nil {
+		t.Errorf("random doc invalid: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("warp", "", 0, 0, 1, "", "", ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("bib", "sideways", 0, 0, 1, "", "", ""); err == nil {
+		t.Error("unknown dialect accepted")
+	}
+	if err := run("random", "", 0, 0, 1, "", "", ""); err == nil {
+		t.Error("random without dtdfile accepted")
+	}
+}

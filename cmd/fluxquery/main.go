@@ -1,0 +1,140 @@
+// Command fluxquery runs an XQuery over an XML document stream using the
+// FluXQuery engine (or one of the baseline engines), optionally explaining
+// the compilation pipeline.
+//
+// Usage:
+//
+//	fluxquery -dtd bib.dtd -query 'query text' [-in doc.xml] [-out result.xml]
+//	fluxquery -dtd bib.dtd -queryfile q.xq -engine naive -stats
+//	fluxquery -dtd bib.dtd -queryfile q.xq -explain
+//	fluxquery -dtd bib.dtd -validate -in doc.xml
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fluxquery"
+)
+
+func main() {
+	var (
+		dtdPath    = flag.String("dtd", "", "path to the DTD file (default: DOCTYPE internal subset of the input)")
+		queryText  = flag.String("query", "", "query text")
+		queryFile  = flag.String("queryfile", "", "path to a query file")
+		inPath     = flag.String("in", "", "input document (default stdin)")
+		outPath    = flag.String("out", "", "output stream (default stdout)")
+		engineName = flag.String("engine", "flux", "engine: flux, projection or naive")
+		explain    = flag.Bool("explain", false, "print the compilation pipeline instead of executing")
+		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
+		validate   = flag.Bool("validate", false, "only validate the input against the DTD")
+		noOpt      = flag.Bool("no-optimizer", false, "disable the algebraic optimizer")
+	)
+	flag.Parse()
+	if err := run(*dtdPath, *queryText, *queryFile, *inPath, *outPath, *engineName, *explain, *stats, *validate, *noOpt); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dtdPath, queryText, queryFile, inPath, outPath, engineName string, explain, stats, validate, noOpt bool) error {
+	var in io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var d *fluxquery.DTD
+	if dtdPath != "" {
+		dtdSrc, err := os.ReadFile(dtdPath)
+		if err != nil {
+			return err
+		}
+		d, err = fluxquery.ParseDTD(string(dtdSrc))
+		if err != nil {
+			return err
+		}
+	} else {
+		// Without -dtd, read the schema from the document's DOCTYPE
+		// internal subset. The whole input is buffered so it can be
+		// replayed for execution.
+		buf, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
+		d, err = fluxquery.DTDFromDocument(bytes.NewReader(buf))
+		if err != nil {
+			return fmt.Errorf("no -dtd given and %v", err)
+		}
+		in = bytes.NewReader(buf)
+	}
+
+	if validate {
+		if err := d.Validate(in); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "valid")
+		return nil
+	}
+
+	if queryText == "" && queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryText = string(b)
+	}
+	if queryText == "" {
+		return fmt.Errorf("provide -query or -queryfile")
+	}
+	q, err := fluxquery.ParseQuery(queryText)
+	if err != nil {
+		return err
+	}
+	engine, err := fluxquery.ParseEngine(engineName)
+	if err != nil {
+		return err
+	}
+	plan, err := fluxquery.Compile(q, d, fluxquery.Options{
+		Engine:           engine,
+		DisableOptimizer: noOpt,
+	})
+	if err != nil {
+		return err
+	}
+
+	if explain {
+		fmt.Println(plan.Explain())
+		return nil
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	start := time.Now()
+	st, err := plan.Execute(in, out)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "engine=%s time=%v events=%d peak-buffer=%dB buffered-total=%dB output=%dB skipped=%d firings=%d\n",
+			st.Engine, time.Since(start).Round(time.Microsecond), st.Events,
+			st.PeakBufferBytes, st.BufferedBytesTotal, st.OutputBytes,
+			st.SkippedSubtrees, st.HandlerFirings)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testdata = "../../testdata"
+
+func TestRunExecutesQuery(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.xml")
+	err := run(
+		filepath.Join(testdata, "bib-weak.dtd"),
+		"", filepath.Join(testdata, "q3.xq"),
+		filepath.Join(testdata, "sample-bib.xml"),
+		out, "flux", false, true, false, false,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	want := `<results><result><title>TCP/IP Illustrated</title><author>Stevens</author></result><result><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author></result></results>`
+	if got != want {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestRunAllEngines(t *testing.T) {
+	var outputs []string
+	for _, engine := range []string{"flux", "projection", "naive"} {
+		out := filepath.Join(t.TempDir(), "out.xml")
+		err := run(
+			filepath.Join(testdata, "bib-weak.dtd"),
+			"", filepath.Join(testdata, "q3.xq"),
+			filepath.Join(testdata, "sample-bib.xml"),
+			out, engine, false, false, false, false,
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		b, _ := os.ReadFile(out)
+		outputs = append(outputs, string(b))
+	}
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Error("engines disagree via CLI")
+	}
+}
+
+func TestRunValidateMode(t *testing.T) {
+	err := run(
+		filepath.Join(testdata, "bib-weak.dtd"),
+		"", "", filepath.Join(testdata, "sample-bib.xml"),
+		"", "flux", false, false, true, false,
+	)
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	// The strong DTD rejects the sample (no publisher/price).
+	err = run(
+		filepath.Join(testdata, "bib-strong.dtd"),
+		"", "", filepath.Join(testdata, "sample-bib.xml"),
+		"", "flux", false, false, true, false,
+	)
+	if err == nil {
+		t.Fatal("invalid document accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no dtd and no doctype", func() error {
+			return run("", "<a/>", "", filepath.Join(testdata, "sample-bib.xml"), "", "flux", false, false, false, false)
+		}},
+		{"missing query", func() error {
+			return run(filepath.Join(testdata, "bib-weak.dtd"), "", "", "", "", "flux", false, false, false, false)
+		}},
+		{"bad engine", func() error {
+			return run(filepath.Join(testdata, "bib-weak.dtd"), "<a/>", "", "", "", "warp", false, false, false, false)
+		}},
+		{"nonexistent dtd", func() error {
+			return run("no/such.dtd", "<a/>", "", "", "", "flux", false, false, false, false)
+		}},
+		{"bad query text", func() error {
+			return run(filepath.Join(testdata, "bib-weak.dtd"), "for for for", "", "", "", "flux", false, false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunDTDFromDoctype(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	content := `<!DOCTYPE bib [
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+]>
+<bib><book><title>T</title><author>A</author></book></bib>`
+	if err := os.WriteFile(doc, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.xml")
+	err := run("", `<r>{ for $b in $ROOT/bib/book return { $b/title } }</r>`, "", doc, out, "flux", false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(out)
+	if got := string(b); got != "<r><title>T</title></r>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	// Explain prints to stdout; capture it.
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	err := run(
+		filepath.Join(testdata, "bib-weak.dtd"),
+		"", filepath.Join(testdata, "q3.xq"),
+		filepath.Join(testdata, "sample-bib.xml"),
+		"", "flux", true, false, false, false,
+	)
+	w.Close()
+	os.Stdout = old
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	for _, want := range []string{"process-stream", "on-first past(author,title)", "buffer description forest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package fluxquery
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"fluxquery/internal/workload"
+	"fluxquery/internal/xmlgen"
+)
+
+// TestConcurrentExecutions: a compiled Plan is immutable and may be
+// executed from many goroutines simultaneously.
+func TestConcurrentExecutions(t *testing.T) {
+	c := workload.ByName("xmp-q3-weak")
+	var doc bytes.Buffer
+	if err := c.Gen(&doc, 50_000, 9); err != nil {
+		t.Fatal(err)
+	}
+	input := doc.String()
+	for _, e := range []Engine{EngineFlux, EngineProjection, EngineNaive} {
+		p := MustCompile(c.Query, c.DTD, Options{Engine: e})
+		ref, _, err := p.ExecuteString(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, _, err := p.ExecuteString(input)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out != ref {
+					errs <- errDiffer
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%v: concurrent execution failed: %v", e, err)
+		}
+	}
+}
+
+var errDiffer = &differError{}
+
+type differError struct{}
+
+func (*differError) Error() string { return "concurrent result differs" }
+
+// TestBOMDocumentsAccepted: documents starting with a UTF-8 byte order
+// mark parse and validate normally.
+func TestBOMDocumentsAccepted(t *testing.T) {
+	p := MustCompile(workload.Q3, xmlgen.WeakBibDTD, Options{})
+	doc := "\xEF\xBB\xBF" + `<bib><book year="1"><title>T</title></book></bib>`
+	out, _, err := p.ExecuteString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<results><result><title>T</title></result></results>` {
+		t.Errorf("got %s", out)
+	}
+}

@@ -1,0 +1,245 @@
+package fluxquery
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/workload"
+	"fluxquery/internal/xmlgen"
+)
+
+// runEngines executes the same (query, dtd, document) on all three
+// engines and returns their outputs and stats.
+func runEngines(t *testing.T, query, dtdSrc, doc string) (map[Engine]string, map[Engine]Stats) {
+	t.Helper()
+	outs := map[Engine]string{}
+	stats := map[Engine]Stats{}
+	for _, engine := range []Engine{EngineFlux, EngineProjection, EngineNaive} {
+		p := MustCompile(query, dtdSrc, Options{Engine: engine})
+		out, st, err := p.ExecuteString(doc)
+		if err != nil {
+			t.Fatalf("%v failed: %v\nquery: %s", engine, err, query)
+		}
+		outs[engine] = out
+		stats[engine] = st
+	}
+	return outs, stats
+}
+
+// TestDifferentialWorkloadSuite: all engines agree byte-for-byte on every
+// workload case, across several seeds.
+func TestDifferentialWorkloadSuite(t *testing.T) {
+	for _, c := range workload.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				var doc bytes.Buffer
+				if err := c.Gen(&doc, 20_000, seed); err != nil {
+					t.Fatalf("gen: %v", err)
+				}
+				outs, stats := runEngines(t, c.Query, c.DTD, doc.String())
+				if outs[EngineFlux] != outs[EngineNaive] {
+					t.Fatalf("seed %d: flux and naive disagree:\nflux:  %s\nnaive: %s",
+						seed, head(outs[EngineFlux]), head(outs[EngineNaive]))
+				}
+				if outs[EngineProjection] != outs[EngineNaive] {
+					t.Fatalf("seed %d: projection and naive disagree", seed)
+				}
+				// Sanity: flux peak buffer never exceeds the naive
+				// engine's whole-document peak.
+				if stats[EngineFlux].PeakBufferBytes > stats[EngineNaive].PeakBufferBytes {
+					t.Errorf("seed %d: flux buffered more than the whole document: %d > %d",
+						seed, stats[EngineFlux].PeakBufferBytes, stats[EngineNaive].PeakBufferBytes)
+				}
+				// And projection never exceeds naive either.
+				if stats[EngineProjection].PeakBufferBytes > stats[EngineNaive].PeakBufferBytes {
+					t.Errorf("seed %d: projection bigger than naive", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialOptimizerVariants: optimized and unoptimized plans are
+// semantically equivalent on every workload.
+func TestDifferentialOptimizerVariants(t *testing.T) {
+	for _, c := range workload.Cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var doc bytes.Buffer
+			if err := c.Gen(&doc, 10_000, 7); err != nil {
+				t.Fatal(err)
+			}
+			variants := []Options{
+				{},
+				{DisableOptimizer: true},
+				{NoLoopMerging: true},
+				{NoConditionalElimination: true},
+				{NoBufferProjection: true},
+			}
+			var ref string
+			for i, o := range variants {
+				p := MustCompile(c.Query, c.DTD, o)
+				out, _, err := p.ExecuteString(doc.String())
+				if err != nil {
+					t.Fatalf("variant %d: %v", i, err)
+				}
+				if i == 0 {
+					ref = out
+					continue
+				}
+				if out != ref {
+					t.Errorf("variant %+v changed the result", o)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomDocuments: property-based differential testing —
+// random schema-valid documents across all bib dialects must produce
+// identical results on all engines.
+func TestDifferentialRandomDocuments(t *testing.T) {
+	queries := []string{
+		workload.Q3,
+		`<r>{ for $b in $ROOT/bib/book return <x>{ $b/@year }{ $b/title/text() }</x> }</r>`,
+		`<r>{ for $b in $ROOT/bib/book return { if ($b/title = "data") then <hit/> else <miss/> } }</r>`,
+		`<r>{ for $b in $ROOT/bib/book, $t in $b/title return <p>{ $t/text() }{ $b/author }</p> }</r>`,
+	}
+	for _, dialect := range []xmlgen.BibDialect{xmlgen.WeakBib, xmlgen.StrongBib, xmlgen.MixedBib} {
+		d := dtd.MustParse(dialect.DTD())
+		for seed := int64(0); seed < 12; seed++ {
+			var doc bytes.Buffer
+			if err := xmlgen.WriteRandom(&doc, d, xmlgen.RandomConfig{Seed: seed, MaxDepth: 4, MaxChildren: 6}); err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				name := fmt.Sprintf("dialect%d/seed%d/q%d", dialect, seed, qi)
+				outs, _ := runEngines(t, q, dialect.DTD(), doc.String())
+				if outs[EngineFlux] != outs[EngineNaive] || outs[EngineProjection] != outs[EngineNaive] {
+					t.Fatalf("%s: engines disagree on\n%s\nflux:  %s\nproj:  %s\nnaive: %s",
+						name, head(doc.String()), head(outs[EngineFlux]), head(outs[EngineProjection]), head(outs[EngineNaive]))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomAuction: random auction documents, join and
+// non-join queries.
+func TestDifferentialRandomAuction(t *testing.T) {
+	d := dtd.MustParse(xmlgen.AuctionDTD)
+	queries := []string{
+		workload.ByName("xmark-q1").Query,
+		workload.ByName("xmark-q8-join").Query,
+		workload.ByName("xmark-q2-bidders").Query,
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		var doc bytes.Buffer
+		if err := xmlgen.WriteRandom(&doc, d, xmlgen.RandomConfig{Seed: seed, MaxDepth: 5, MaxChildren: 5}); err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			outs, _ := runEngines(t, q, xmlgen.AuctionDTD, doc.String())
+			if outs[EngineFlux] != outs[EngineNaive] || outs[EngineProjection] != outs[EngineNaive] {
+				t.Fatalf("seed %d q%d: engines disagree", seed, qi)
+			}
+		}
+	}
+}
+
+// TestFluxBufferAdvantageOnQ3 checks the paper's quantitative shape: on
+// XMP Q3 over the weak DTD, flux buffers less than projection, which
+// buffers less than naive.
+func TestFluxBufferAdvantageOnQ3(t *testing.T) {
+	var doc bytes.Buffer
+	c := workload.ByName("xmp-q3-weak")
+	if err := c.Gen(&doc, 200_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, stats := runEngines(t, c.Query, c.DTD, doc.String())
+	flux := stats[EngineFlux].PeakBufferBytes
+	proj := stats[EngineProjection].PeakBufferBytes
+	naive := stats[EngineNaive].PeakBufferBytes
+	// The weak-bib document consists almost entirely of titles and
+	// authors, all of which Q3 touches — projection cannot prune much, so
+	// it sits at the naive engine's level while flux stays at one book's
+	// authors.
+	if !(flux < proj && proj <= naive) {
+		t.Errorf("expected flux < projection <= naive, got %d / %d / %d", flux, proj, naive)
+	}
+	// The flux peak is bounded by one book's authors, i.e. orders of
+	// magnitude below the projected document.
+	if flux*10 > proj {
+		t.Errorf("flux buffer should be far below projection: %d vs %d", flux, proj)
+	}
+}
+
+// TestProjectionAdvantageOnSelectiveQuery: on a document with much
+// content the query never touches (auction sites, person lookup),
+// projection prunes most of the tree while naive keeps all of it.
+func TestProjectionAdvantageOnSelectiveQuery(t *testing.T) {
+	var doc bytes.Buffer
+	c := workload.ByName("xmark-q1")
+	if err := c.Gen(&doc, 200_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, stats := runEngines(t, c.Query, c.DTD, doc.String())
+	proj := stats[EngineProjection].PeakBufferBytes
+	naive := stats[EngineNaive].PeakBufferBytes
+	flux := stats[EngineFlux].PeakBufferBytes
+	if proj*4 > naive {
+		t.Errorf("projection should prune most of the auction site: %d vs %d", proj, naive)
+	}
+	if flux > proj {
+		t.Errorf("flux should not exceed projection: %d vs %d", flux, proj)
+	}
+}
+
+func head(s string) string {
+	if len(s) > 300 {
+		return s[:300] + "…"
+	}
+	return s
+}
+
+// TestWorkloadCatalogueConsistency: every case compiles on every engine
+// and its generator emits schema-valid documents.
+func TestWorkloadCatalogueConsistency(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range workload.Cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %s", c.Name)
+		}
+		seen[c.Name] = true
+		d, err := ParseDTD(c.DTD)
+		if err != nil {
+			t.Fatalf("%s: bad DTD: %v", c.Name, err)
+		}
+		var doc bytes.Buffer
+		if err := c.Gen(&doc, 5000, 1); err != nil {
+			t.Fatalf("%s: gen: %v", c.Name, err)
+		}
+		if err := d.Validate(strings.NewReader(doc.String())); err != nil {
+			t.Errorf("%s: generated document invalid: %v", c.Name, err)
+		}
+		for _, e := range []Engine{EngineFlux, EngineProjection, EngineNaive} {
+			q, err := ParseQuery(c.Query)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if _, err := Compile(q, d, Options{Engine: e}); err != nil {
+				t.Fatalf("%s on %v: compile: %v", c.Name, e, err)
+			}
+		}
+	}
+	if workload.ByName("xmp-q3-weak") == nil {
+		t.Error("ByName lookup failed")
+	}
+	if workload.ByName("zzz") != nil {
+		t.Error("ByName returned a ghost")
+	}
+}

@@ -1,0 +1,76 @@
+package fluxquery_test
+
+import (
+	"fmt"
+	"strings"
+
+	"fluxquery"
+)
+
+// The paper's §2 scenario: under a DTD that lets titles and authors
+// interleave, the engine streams the titles and buffers only the authors
+// of one book at a time.
+func Example() {
+	dtd, _ := fluxquery.ParseDTD(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>`)
+	query, _ := fluxquery.ParseQuery(`<results>{
+  for $b in $ROOT/bib/book return
+    <result>{ $b/title }{ $b/author }</result>
+}</results>`)
+	plan, _ := fluxquery.Compile(query, dtd, fluxquery.Options{})
+
+	doc := `<bib><book><author>Knuth</author><title>TAOCP</title></book></bib>`
+	out, stats, _ := plan.ExecuteString(doc)
+	fmt.Println(out)
+	fmt.Println("buffered at peak:", stats.PeakBufferBytes > 0)
+	// Output:
+	// <results><result><title>TAOCP</title><author>Knuth</author></result></results>
+	// buffered at peak: true
+}
+
+// With the paper's Figure 1 DTD all titles precede all authors, so the
+// same query runs with zero buffering.
+func ExampleCompile_streaming() {
+	dtd, _ := fluxquery.ParseDTD(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>`)
+	query, _ := fluxquery.ParseQuery(`<results>{
+  for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result>
+}</results>`)
+	plan, _ := fluxquery.Compile(query, dtd, fluxquery.Options{})
+
+	doc := `<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>1</price></book></bib>`
+	_, stats, _ := plan.ExecuteString(doc)
+	fmt.Println("peak buffer bytes:", stats.PeakBufferBytes)
+	// Output:
+	// peak buffer bytes: 0
+}
+
+// ConstraintSummary shows the schema facts the optimizer derives from a
+// content model.
+func ExampleDTD_constraintSummary() {
+	dtd, _ := fluxquery.ParseDTD(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>`)
+	summary := dtd.ConstraintSummary("book")
+	fmt.Println(strings.Contains(summary, "card(publisher) = 1"))
+	fmt.Println(strings.Contains(summary, "order: all title before all author"))
+	fmt.Println(strings.Contains(summary, "conflict: never both author and editor"))
+	// Output:
+	// true
+	// true
+	// true
+}

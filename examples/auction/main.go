@@ -1,0 +1,114 @@
+// Auction: an XMark-style streaming scenario with a join.
+//
+// The example generates a small auction site document, then runs two
+// queries on the flux engine:
+//
+//  1. a per-auction extraction that streams with zero buffering thanks to
+//     the strict element order of the auction schema, and
+//  2. a buyer/person join, which is inherently buffering — the engine
+//     buffers only the projected person and closed_auction paths the join
+//     touches (BDF projection), not the whole document.
+//
+// Run with: go run ./examples/auction
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fluxquery"
+)
+
+const auctionDTD = `
+<!ELEMENT site (people,closed_auctions)>
+<!ELEMENT people (person)*>
+<!ELEMENT person (name,emailaddress)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction)*>
+<!ELEMENT closed_auction (buyer,itemref,price)>
+<!ELEMENT buyer (#PCDATA)>
+<!ELEMENT itemref (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const extraction = `<sales>{
+  for $c in $ROOT/site/closed_auctions/closed_auction
+  return <sale>{ $c/itemref/text() }: { $c/price/text() }</sale>
+}</sales>`
+
+const join = `<purchases>{
+  for $p in $ROOT/site/people/person, $c in $ROOT/site/closed_auctions/closed_auction
+  where $c/buyer = $p/@id
+  return <purchase><who>{ $p/name/text() }</who><price>{ $c/price/text() }</price></purchase>
+}</purchases>`
+
+func writeSite(w *bytes.Buffer, persons, auctions int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	w.WriteString("<site><people>")
+	for i := 0; i < persons; i++ {
+		fmt.Fprintf(w, `<person id="p%d"><name>Person %d</name><emailaddress>p%d@example.org</emailaddress></person>`, i, i, i)
+	}
+	w.WriteString("</people><closed_auctions>")
+	for i := 0; i < auctions; i++ {
+		fmt.Fprintf(w, `<closed_auction><buyer>p%d</buyer><itemref>item%d</itemref><price>%d.00</price></closed_auction>`,
+			r.Intn(persons), i, 10+r.Intn(490))
+	}
+	w.WriteString("</closed_auctions></site>")
+}
+
+func main() {
+	var doc bytes.Buffer
+	writeSite(&doc, 50, 200, 3)
+
+	dtd, err := fluxquery.ParseDTD(auctionDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, q string) {
+		plan, err := fluxquery.Compile(mustQuery(q), dtd, fluxquery.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, st, err := plan.ExecuteString(doc.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", title)
+		fmt.Printf("peak buffer %dB of a %dB document; %d subtrees skipped\n",
+			st.PeakBufferBytes, doc.Len(), st.SkippedSubtrees)
+		fmt.Printf("first 200 bytes of output: %.200s…\n\n", out)
+	}
+
+	run("per-auction extraction (streams, zero buffer)", extraction)
+	run("buyer/person join (buffers only projected paths)", join)
+
+	// Show where the join's buffers come from.
+	plan, _ := fluxquery.Compile(mustQuery(join), dtd, fluxquery.Options{})
+	fmt.Println("== join explain (excerpt: buffer description forest) ==")
+	explain := plan.Explain()
+	if i := indexOf(explain, "== buffer description forest =="); i >= 0 {
+		fmt.Println(explain[i:])
+	}
+}
+
+func mustQuery(s string) *fluxquery.Query {
+	q, err := fluxquery.ParseQuery(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

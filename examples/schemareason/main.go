@@ -1,0 +1,89 @@
+// Schemareason: the schema analyses behind FluXQuery's optimizer.
+//
+// The example prints, for the paper's two bibliography DTDs, the
+// constraints the engine derives from the content models — cardinality
+// constraints (loop merging), order constraints (streaming vs buffering)
+// and co-occurrence conflicts (unsatisfiable conditionals) — and then
+// shows the full compilation pipeline (normal form, rewrites, FluX query,
+// buffer description forest) for the paper's running query under both
+// DTDs.
+//
+// Run with: go run ./examples/schemareason
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxquery"
+)
+
+// The paper's §2 DTD (weak) and Figure 1 DTD (strong).
+const weakDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const strongDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const query = `<results>{
+  for $b in $ROOT/bib/book return
+    <result>{ $b/title }{ $b/author }</result>
+}</results>`
+
+// goedel is the paper's unsatisfiable conditional: under Figure 1, no
+// book has both author and editor children.
+const goedel = `<results>{
+  for $b in $ROOT/bib/book return
+    { if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit/> else () }
+}</results>`
+
+func main() {
+	for _, c := range []struct{ name, dtdSrc string }{
+		{"weak DTD (paper §2)", weakDTD},
+		{"strong DTD (paper Figure 1)", strongDTD},
+	} {
+		d, err := fluxquery.ParseDTD(c.dtdSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s ====\n", c.name)
+		fmt.Println(d.ConstraintSummary("book"))
+
+		q, err := fluxquery.ParseQuery(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := fluxquery.Compile(q, d, fluxquery.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("-- compilation pipeline for XMP Q3 --")
+		fmt.Println(plan.Explain())
+		fmt.Println()
+	}
+
+	// The optimizer proves the Goedel conditional unsatisfiable under the
+	// strong DTD and removes it.
+	d, _ := fluxquery.ParseDTD(strongDTD)
+	q, err := fluxquery.ParseQuery(goedel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := fluxquery.Compile(q, d, fluxquery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("==== unsatisfiable conditional (paper §3.1) ====")
+	fmt.Println(plan.Explain())
+}

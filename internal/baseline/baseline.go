@@ -1,0 +1,133 @@
+// Package baseline implements the two comparison engines of the paper's
+// evaluation (§4 cites benchmarks against two other XQuery engines):
+//
+//   - Naive: a conventional main-memory XQuery processor — it materializes
+//     the entire document as a tree and evaluates the query over it. Its
+//     buffer high-water mark is the whole document.
+//   - Projection: the strongest published buffer-reduction technique of
+//     the time, document projection à la Marian & Siméon [10] — it
+//     stream-prunes the document to the paths the query touches before
+//     building the in-memory tree. Its high-water mark is the projected
+//     document, which still grows linearly with input size.
+//
+// Both engines consume the same validating XSAX token stream and share
+// the eval interpreter with the FluX runtime, so all three engines
+// produce byte-identical output — the differential test suite depends on
+// that.
+package baseline
+
+import (
+	"io"
+
+	"fluxquery/internal/bdf"
+	"fluxquery/internal/dom"
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/eval"
+	"fluxquery/internal/runtime"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+	"fluxquery/internal/xsax"
+)
+
+// RunNaive evaluates the query by materializing the whole document.
+func RunNaive(q xquery.Expr, d *dtd.DTD, in io.Reader, out io.Writer) (*runtime.Stats, error) {
+	st := &runtime.Stats{}
+	doc, err := buildDoc(in, d, nil, st)
+	if err != nil {
+		return st, err
+	}
+	sz := doc.Size()
+	st.PeakBufferBytes = sz
+	st.BufferedBytesTotal = sz
+	st.BufferedNodes = int64(doc.Count())
+	return st, evalOver(q, doc, out, st)
+}
+
+// RunProjection evaluates the query over a stream-projected document.
+func RunProjection(q xquery.Expr, d *dtd.DTD, in io.Reader, out io.Writer) (*runtime.Stats, error) {
+	st := &runtime.Stats{}
+	trie, err := bdf.PathsTrie(q, xquery.RootVar)
+	if err != nil {
+		return st, err
+	}
+	doc, err := buildDoc(in, d, trie, st)
+	if err != nil {
+		return st, err
+	}
+	sz := doc.Size()
+	st.PeakBufferBytes = sz
+	st.BufferedBytesTotal = sz
+	st.BufferedNodes = int64(doc.Count())
+	return st, evalOver(q, doc, out, st)
+}
+
+func evalOver(q xquery.Expr, doc *dom.Node, out io.Writer, st *runtime.Stats) error {
+	w := xmltok.NewWriter(out)
+	env := eval.NewEnv(xquery.RootVar, eval.Item(doc))
+	if err := eval.Eval(q, env, w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st.OutputBytes = w.Written()
+	return nil
+}
+
+// buildDoc reads the validated token stream into a document tree,
+// applying the projection trie when non-nil. The projection root
+// describes the document node: its children constrain the root element
+// and below.
+func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom.Node, error) {
+	xr := xsax.NewReader(in, d)
+	doc := dom.NewDocument()
+	type frame struct {
+		node *dom.Node
+		proj *bdf.Node // nil = keep everything below
+	}
+	stack := []frame{{node: doc, proj: proj}}
+	for {
+		tok, err := xr.Next()
+		if err == io.EOF {
+			return doc, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.Events++
+		top := &stack[len(stack)-1]
+		switch tok.Kind {
+		case xmltok.StartElement:
+			if top.node == nil {
+				stack = append(stack, frame{})
+				st.SkippedSubtrees++
+				continue
+			}
+			var childProj *bdf.Node
+			keep := true
+			if top.proj != nil {
+				childProj, keep = top.proj.Keep(tok.Name)
+			}
+			if !keep {
+				stack = append(stack, frame{})
+				st.SkippedSubtrees++
+				continue
+			}
+			e := dom.NewElement(tok.Name)
+			if len(tok.Attrs) > 0 {
+				e.Attrs = append([]xmltok.Attr(nil), tok.Attrs...)
+			}
+			top.node.AppendChild(e)
+			stack = append(stack, frame{node: e, proj: childProj})
+		case xmltok.EndElement:
+			stack = stack[:len(stack)-1]
+		case xmltok.Text:
+			if top.node == nil || top.node.Kind == dom.DocumentNode {
+				continue
+			}
+			if top.proj == nil || top.proj.CopyAll || top.proj.Text {
+				top.node.AppendChild(dom.NewText(tok.Data))
+			}
+		}
+	}
+}

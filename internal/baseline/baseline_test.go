@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+const bibDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author|extra)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT extra (#PCDATA)>
+`
+
+const doc = `<bib><book><title>T1</title><extra>never read, quite long content here</extra><author>A1</author></book></bib>`
+
+func compile(t *testing.T, src string) (xquery.Expr, *dtd.DTD) {
+	t.Helper()
+	d := dtd.MustParse(bibDTD)
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, d
+}
+
+const q = `<r>{ for $b in $ROOT/bib/book return <x>{ $b/title }{ $b/author }</x> }</r>`
+
+func TestNaiveProducesResult(t *testing.T) {
+	n, d := compile(t, q)
+	var out strings.Builder
+	st, err := RunNaive(n, d, strings.NewReader(doc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<r><x><title>T1</title><author>A1</author></x></r>`
+	if out.String() != want {
+		t.Errorf("got %s", out.String())
+	}
+	if st.PeakBufferBytes <= 0 || st.OutputBytes != int64(len(want)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProjectionPrunesUnusedContent(t *testing.T) {
+	n, d := compile(t, q)
+	var out1, out2 strings.Builder
+	stNaive, err := RunNaive(n, d, strings.NewReader(doc), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stProj, err := RunProjection(n, d, strings.NewReader(doc), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("projection changed the result: %s vs %s", out1.String(), out2.String())
+	}
+	// The extra element is pruned, so projection holds strictly less.
+	if stProj.PeakBufferBytes >= stNaive.PeakBufferBytes {
+		t.Errorf("projection %d >= naive %d", stProj.PeakBufferBytes, stNaive.PeakBufferBytes)
+	}
+	if stProj.SkippedSubtrees == 0 {
+		t.Error("projection should report skipped subtrees")
+	}
+}
+
+func TestBaselinesRejectInvalid(t *testing.T) {
+	n, d := compile(t, q)
+	var out strings.Builder
+	if _, err := RunNaive(n, d, strings.NewReader(`<bib><junk/></bib>`), &out); err == nil {
+		t.Error("naive accepted invalid document")
+	}
+	if _, err := RunProjection(n, d, strings.NewReader(`<wrong/>`), &out); err == nil {
+		t.Error("projection accepted invalid document")
+	}
+}

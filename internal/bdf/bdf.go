@@ -1,0 +1,393 @@
+// Package bdf computes the Buffer Description Forest of a FluX query
+// (paper §3.2): for every process-stream scope, exactly which child paths
+// of the scope element must be materialized in memory buffers so that the
+// scope's on-first and on-end handlers can be evaluated — and nothing
+// more. This is the step that improves on document projection [10]: data
+// handled on the fly by streaming handlers is never buffered, and buffered
+// subtrees are themselves projected to the paths the handlers use.
+package bdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxquery/internal/core"
+	"fluxquery/internal/xquery"
+)
+
+// Node is one node of the buffer description forest: the projection of a
+// buffered subtree.
+type Node struct {
+	// Children maps child labels to their projections. The key "*"
+	// subsumes every label.
+	Children map[string]*Node
+	// CopyAll marks that the entire subtree is needed (node copies and
+	// string-value reads).
+	CopyAll bool
+	// Text marks that direct text children are needed (text() steps).
+	Text bool
+}
+
+func newNode() *Node { return &Node{Children: map[string]*Node{}} }
+
+func (n *Node) child(label string) *Node {
+	c, ok := n.Children[label]
+	if !ok {
+		c = newNode()
+		n.Children[label] = c
+	}
+	return c
+}
+
+// Keep reports whether a child with the given label must be retained
+// under this projection node.
+func (n *Node) Keep(label string) (*Node, bool) {
+	if n.CopyAll {
+		return nil, true // nil projection = keep everything below
+	}
+	if c, ok := n.Children[label]; ok {
+		return c, true
+	}
+	if c, ok := n.Children["*"]; ok {
+		return c, true
+	}
+	return nil, false
+}
+
+// Scope describes the buffering requirements of one process-stream.
+type Scope struct {
+	// Var and Elem identify the scope.
+	Var  string
+	Elem string
+	// Buffered maps child labels of the scope element to their
+	// projections; only these children are materialized.
+	Buffered map[string]*Node
+	// Text reports whether direct text children of the scope element are
+	// buffered.
+	Text bool
+	// LastRef maps a buffered label to the index (in the handler list) of
+	// the last handler that reads it; after that handler fires the
+	// label's buffers are freed.
+	LastRef map[string]int
+}
+
+// Forest is the buffer description forest of a whole query: one Scope per
+// process-stream, in depth-first order.
+type Forest struct {
+	Scopes []*Scope
+}
+
+// Compute derives the forest from a scheduled query.
+func Compute(q *core.Query) (*Forest, error) {
+	f := &Forest{}
+	if err := walkExpr(q.Root, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ComputeScope derives the buffering requirements of a single
+// process-stream; the runtime compiler calls this per scope.
+func ComputeScope(ps core.ProcessStream) (*Scope, error) {
+	s := &Scope{
+		Var:      ps.Var,
+		Elem:     ps.ElemName,
+		Buffered: map[string]*Node{},
+		LastRef:  map[string]int{},
+	}
+	for i, h := range ps.Handlers {
+		switch h.Kind {
+		case core.OnElement:
+			// Streaming handlers buffer nothing at this scope.
+			continue
+		case core.OnFirst, core.OnEnd:
+			if err := s.addBody(h.Body, ps.Var, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func walkExpr(e core.Expr, f *Forest) error {
+	switch t := e.(type) {
+	case core.ProcessStream:
+		s, err := ComputeScope(t)
+		if err != nil {
+			return err
+		}
+		f.Scopes = append(f.Scopes, s)
+		for _, h := range t.Handlers {
+			if err := walkExpr(h.Body, f); err != nil {
+				return err
+			}
+		}
+	case core.Element:
+		for _, c := range t.Children {
+			if err := walkExpr(c, f); err != nil {
+				return err
+			}
+		}
+	case core.SeqF:
+		for _, c := range t.Items {
+			if err := walkExpr(c, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addBody folds one handler body's requirements into the scope.
+func (s *Scope) addBody(body core.Expr, scopeVar string, handlerIdx int) error {
+	switch t := body.(type) {
+	case core.XQ:
+		root := newNode()
+		if err := collectPaths(t.E, scopeVar, map[string]*Node{scopeVar: root}); err != nil {
+			return err
+		}
+		s.merge(root, handlerIdx)
+		return nil
+	case core.Element:
+		for _, c := range t.Children {
+			if err := s.addBody(c, scopeVar, handlerIdx); err != nil {
+				return err
+			}
+		}
+		return nil
+	case core.SeqF:
+		for _, c := range t.Items {
+			if err := s.addBody(c, scopeVar, handlerIdx); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		// OpenTag, CloseTag, TextLit, CopyVar, AtomicVar of deeper scopes,
+		// nested ProcessStream: no buffering at this scope.
+		return nil
+	}
+}
+
+// merge folds a requirement trie rooted at the scope element into the
+// scope's per-label map.
+func (s *Scope) merge(root *Node, handlerIdx int) {
+	if root.Text || root.CopyAll {
+		s.Text = true
+	}
+	for label, proj := range root.Children {
+		cur, ok := s.Buffered[label]
+		if !ok {
+			cur = newNode()
+			s.Buffered[label] = cur
+		}
+		mergeNode(cur, proj)
+		s.LastRef[label] = handlerIdx
+	}
+	if root.CopyAll {
+		// Whole-element reads buffer every child completely.
+		cur, ok := s.Buffered["*"]
+		if !ok {
+			cur = newNode()
+			s.Buffered["*"] = cur
+		}
+		cur.CopyAll = true
+		s.LastRef["*"] = handlerIdx
+	}
+}
+
+func mergeNode(dst, src *Node) {
+	dst.CopyAll = dst.CopyAll || src.CopyAll
+	dst.Text = dst.Text || src.Text
+	for l, c := range src.Children {
+		d, ok := dst.Children[l]
+		if !ok {
+			d = newNode()
+			dst.Children[l] = d
+		}
+		mergeNode(d, c)
+	}
+}
+
+// PathsTrie computes the projection trie of all paths reachable from
+// rootVar in e — the document-projection analysis of Marian & Siméon [10]
+// that the baseline projection engine uses.
+func PathsTrie(e xquery.Expr, rootVar string) (*Node, error) {
+	root := newNode()
+	if err := collectPaths(e, rootVar, map[string]*Node{rootVar: root}); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// collectPaths walks a normalized XQuery expression, extending the
+// variable-to-trie binding map, and marks every read.
+//
+// Reads are classified as:
+//   - node copy (bare $v in output position)        -> CopyAll
+//   - atomization ($v/text(), comparisons, data())  -> CopyAll at the
+//     endpoint (string value needs the whole subtree) or Text for text()
+//   - structural navigation (for bindings, steps)   -> child tries
+func collectPaths(e xquery.Expr, scopeVar string, env map[string]*Node) error {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case xquery.Text, xquery.Str, xquery.Num, xquery.EmptySeq:
+		return nil
+	case xquery.Path:
+		n := walkSteps(env, t)
+		if n != nil {
+			// Endpoint read: value or copy — keep the whole subtree.
+			n.CopyAll = true
+		}
+		return nil
+	case xquery.Seq:
+		for _, c := range t.Items {
+			if err := collectPaths(c, scopeVar, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xquery.Elem:
+		for _, c := range t.Children {
+			if err := collectPaths(c, scopeVar, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xquery.For:
+		inner := env
+		for _, b := range t.Bindings {
+			n := walkSteps(inner, b.In)
+			inner = copyEnv(inner)
+			inner[b.Var] = n // nil when rooted elsewhere
+		}
+		for _, b := range t.Lets {
+			n := walkSteps(inner, b.In)
+			inner = copyEnv(inner)
+			inner[b.Var] = n
+		}
+		if err := collectPaths(t.Where, scopeVar, inner); err != nil {
+			return err
+		}
+		return collectPaths(t.Return, scopeVar, inner)
+	case xquery.Let:
+		inner := env
+		for _, b := range t.Bindings {
+			n := walkSteps(inner, b.In)
+			inner = copyEnv(inner)
+			inner[b.Var] = n
+		}
+		return collectPaths(t.Body, scopeVar, inner)
+	case xquery.If:
+		if err := collectPaths(t.Cond, scopeVar, env); err != nil {
+			return err
+		}
+		if err := collectPaths(t.Then, scopeVar, env); err != nil {
+			return err
+		}
+		return collectPaths(t.Else, scopeVar, env)
+	case xquery.And:
+		if err := collectPaths(t.L, scopeVar, env); err != nil {
+			return err
+		}
+		return collectPaths(t.R, scopeVar, env)
+	case xquery.Or:
+		if err := collectPaths(t.L, scopeVar, env); err != nil {
+			return err
+		}
+		return collectPaths(t.R, scopeVar, env)
+	case xquery.Cmp:
+		if err := collectPaths(t.L, scopeVar, env); err != nil {
+			return err
+		}
+		return collectPaths(t.R, scopeVar, env)
+	case xquery.Call:
+		for _, a := range t.Args {
+			if err := collectPaths(a, scopeVar, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bdf: unsupported expression %T", e)
+	}
+}
+
+// walkSteps resolves a path against the trie environment, returning the
+// endpoint node (creating trie nodes along the way), or nil if the path
+// is rooted at a variable outside the scope.
+func walkSteps(env map[string]*Node, p xquery.Path) *Node {
+	n, ok := env[p.Var]
+	if !ok || n == nil {
+		return nil
+	}
+	for _, s := range p.Steps {
+		switch s.Axis {
+		case xquery.Child:
+			n = n.child(s.Name)
+		case xquery.TextAxis:
+			n.Text = true
+			return nil // text endpoints need no subtree
+		case xquery.Attribute:
+			return nil // attributes ride along with the element
+		}
+	}
+	return n
+}
+
+func copyEnv(env map[string]*Node) map[string]*Node {
+	c := make(map[string]*Node, len(env)+1)
+	for k, v := range env {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the forest for explain output.
+func (f *Forest) String() string {
+	var b strings.Builder
+	for _, s := range f.Scopes {
+		fmt.Fprintf(&b, "scope $%s (%s):", s.Var, s.Elem)
+		if len(s.Buffered) == 0 && !s.Text {
+			b.WriteString(" no buffers\n")
+			continue
+		}
+		b.WriteString("\n")
+		labels := make([]string, 0, len(s.Buffered))
+		for l := range s.Buffered {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(&b, "  buffer %s/%s%s\n", s.Elem, l, projString(s.Buffered[l]))
+		}
+		if s.Text {
+			fmt.Fprintf(&b, "  buffer %s text content\n", s.Elem)
+		}
+	}
+	return b.String()
+}
+
+func projString(n *Node) string {
+	if n.CopyAll {
+		return " (full subtree)"
+	}
+	var parts []string
+	labels := make([]string, 0, len(n.Children))
+	for l := range n.Children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		parts = append(parts, l+projString(n.Children[l]))
+	}
+	if n.Text {
+		parts = append(parts, "text()")
+	}
+	if len(parts) == 0 {
+		return " (structure only)"
+	}
+	return " -> {" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,192 @@
+package bdf
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/core"
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+const weakBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+func forest(t *testing.T, src, dtdSrc string) *Forest {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.Schedule(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Compute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func scopeOf(f *Forest, v string) *Scope {
+	for _, s := range f.Scopes {
+		if s.Var == v {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestQ3WeakDTDBuffersOnlyAuthors: the paper's headline claim — only the
+// author children of one book are buffered, not the titles.
+func TestQ3WeakDTDBuffersOnlyAuthors(t *testing.T) {
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`, weakBib)
+	book := scopeOf(f, "b")
+	if book == nil {
+		t.Fatalf("no scope for $b: %s", f)
+	}
+	if _, ok := book.Buffered["author"]; !ok {
+		t.Errorf("author must be buffered: %s", f)
+	}
+	if _, ok := book.Buffered["title"]; ok {
+		t.Errorf("title must NOT be buffered (it streams): %s", f)
+	}
+	if !book.Buffered["author"].CopyAll {
+		t.Errorf("author copies need the full subtree: %s", f)
+	}
+}
+
+// TestStrongDTDBuffersNothing: with Figure 1's DTD everything streams.
+func TestStrongDTDBuffersNothing(t *testing.T) {
+	const strongBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`, strongBib)
+	for _, s := range f.Scopes {
+		if len(s.Buffered) != 0 || s.Text {
+			t.Errorf("scope $%s should buffer nothing: %s", s.Var, f)
+		}
+	}
+}
+
+// TestProjectionInsideBuffers: only the paths the handler uses are kept
+// inside buffered subtrees.
+func TestProjectionInsideBuffers(t *testing.T) {
+	const d = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (info|title)*>
+<!ELEMENT info (isbn,blurb)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT blurb (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+`
+	// The query reads only info/isbn; blurb must not be part of the
+	// projection.
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return <r>{ $b/title }{ for $i in $b/info return { $i/isbn } }</r> }</results>`, d)
+	book := scopeOf(f, "b")
+	if book == nil {
+		t.Fatalf("no book scope: %s", f)
+	}
+	info, ok := book.Buffered["info"]
+	if !ok {
+		t.Fatalf("info must be buffered: %s", f)
+	}
+	if info.CopyAll {
+		t.Errorf("info must be projected, not fully copied: %s", f)
+	}
+	if _, ok := info.Children["isbn"]; !ok {
+		t.Errorf("isbn projection missing: %s", f)
+	}
+	if _, ok := info.Children["blurb"]; ok {
+		t.Errorf("blurb wrongly buffered: %s", f)
+	}
+	if !info.Children["isbn"].CopyAll {
+		t.Errorf("isbn is copied to output, needs full subtree: %s", f)
+	}
+}
+
+// TestConditionValueReads: comparisons buffer the compared node's value.
+func TestConditionValueReads(t *testing.T) {
+	const d = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (price|title)*>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+`
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return { if ($b/price = "9") then <cheap/> else () } }</results>`, d)
+	book := scopeOf(f, "b")
+	if book == nil {
+		t.Fatalf("no book scope: %s", f)
+	}
+	price, ok := book.Buffered["price"]
+	if !ok {
+		t.Fatalf("price must be buffered for the comparison: %s", f)
+	}
+	if !price.CopyAll {
+		t.Errorf("price value read needs the subtree: %s", f)
+	}
+}
+
+// TestLastRefEnablesEarlyFree: the author buffer is freed right after the
+// on-first handler that reads it.
+func TestLastRefEnablesEarlyFree(t *testing.T) {
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`, weakBib)
+	book := scopeOf(f, "b")
+	idx, ok := book.LastRef["author"]
+	if !ok {
+		t.Fatalf("no LastRef for author")
+	}
+	if idx <= 0 {
+		t.Errorf("author's last reference should be a later handler, got %d", idx)
+	}
+}
+
+func TestKeepSemantics(t *testing.T) {
+	n := newNode()
+	isbn := n.child("isbn")
+	isbn.CopyAll = true
+	if _, keep := n.Keep("isbn"); !keep {
+		t.Error("isbn should be kept")
+	}
+	if _, keep := n.Keep("blurb"); keep {
+		t.Error("blurb should be dropped")
+	}
+	sub, keep := n.Keep("isbn")
+	if !keep || sub == nil || !sub.CopyAll {
+		t.Error("isbn projection should be CopyAll")
+	}
+	all := newNode()
+	all.CopyAll = true
+	if proj, keep := all.Keep("anything"); !keep || proj != nil {
+		t.Error("CopyAll keeps everything with nil projection")
+	}
+	star := newNode()
+	star.child("*").Text = true
+	if proj, keep := star.Keep("whatever"); !keep || proj == nil {
+		t.Error("wildcard child should match any label")
+	}
+}
+
+func TestForestString(t *testing.T) {
+	f := forest(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`, weakBib)
+	s := f.String()
+	if !strings.Contains(s, "buffer book/author (full subtree)") {
+		t.Errorf("explain output missing author buffer:\n%s", s)
+	}
+	if !strings.Contains(s, "no buffers") {
+		t.Errorf("streaming scopes should say 'no buffers':\n%s", s)
+	}
+}

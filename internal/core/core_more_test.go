@@ -1,0 +1,170 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+// TestScheduleRejectsForeignVariables: expressions referencing unbound
+// variables cannot be scheduled.
+func TestScheduleRejectsForeignVariables(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	n := nf.MustNormalize(xquery.MustParse(`<r>{ for $b in $elsewhere/bib/book return { $b } }</r>`))
+	if _, err := Schedule(n, d); err == nil {
+		t.Fatal("foreign root variable accepted")
+	}
+}
+
+// TestConstExprConversion: constant queries become pure FluX constants,
+// with residual calls falling back to XQ.
+func TestConstExprConversion(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the printed FluX
+	}{
+		{`<a x="1">text<b/></a>`, `<a x="1">`},
+		{`"just a string"`, "just a string"},
+		{`42`, "42"},
+		{`(<a/>, <b/>)`, "<a/>"},
+		{`concat("x", "y")`, `concat("x", "y")`},
+	}
+	d := dtd.MustParse(weakBib)
+	for _, c := range cases {
+		n := nf.MustNormalize(xquery.MustParse(c.src))
+		q, err := Schedule(n, d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if !strings.Contains(q.String(), c.want) {
+			t.Errorf("%s: printed flux missing %q:\n%s", c.src, c.want, q)
+		}
+		if strings.Contains(q.String(), "process-stream") {
+			t.Errorf("%s: constant query needs no stream:\n%s", c.src, q)
+		}
+	}
+}
+
+// TestHandlerDepsThroughStructures: deps are found through Element, SeqF
+// and CopyVar/AtomicVar bodies.
+func TestHandlerDepsThroughStructures(t *testing.T) {
+	xq := XQ{E: xquery.MustParse(`for $a in $b/author return { $a }`)}
+	body := Element{Name: "wrap", Children: []Expr{SeqF{Items: []Expr{xq}}}}
+	deps := handlerDeps(body, "b")
+	if !deps.labels["author"] {
+		t.Errorf("author dep lost: %+v", deps)
+	}
+	cv := handlerDeps(CopyVar{Var: "b"}, "b")
+	if !cv.all {
+		t.Error("whole-element copy must set all")
+	}
+	av := handlerDeps(AtomicVar{Var: "b", Step: xquery.Step{Axis: xquery.TextAxis}}, "b")
+	if !av.text {
+		t.Error("text() atomic must set text")
+	}
+	other := handlerDeps(CopyVar{Var: "z"}, "b")
+	if !other.empty() {
+		t.Error("foreign var copy is not a scope dep")
+	}
+}
+
+// TestSafetyChecksNestedStructures: unsafe handlers nested below elements
+// and sequences are still found.
+func TestSafetyChecksNestedStructures(t *testing.T) {
+	d := dtd.MustParse(mixedOrderBib)
+	unsafe := Handler{
+		Kind: OnFirst,
+		Past: []string{"author", "title"},
+		Body: XQ{E: xquery.MustParse(`for $p in $b/price return { $p }`)},
+	}
+	q := &Query{DTD: d, Root: SeqF{Items: []Expr{
+		Element{Name: "wrap", Children: []Expr{
+			ProcessStream{Var: "b", ElemName: "book", Handlers: []Handler{unsafe}},
+		}},
+	}}}
+	if err := CheckSafety(q); err == nil {
+		t.Fatal("nested unsafe handler accepted")
+	}
+	// on-end with the same body is fine.
+	q2 := &Query{DTD: d, Root: ProcessStream{Var: "b", ElemName: "book", Handlers: []Handler{
+		{Kind: OnEnd, Body: unsafe.Body},
+	}}}
+	if err := CheckSafety(q2); err != nil {
+		t.Fatalf("on-end wrongly rejected: %v", err)
+	}
+}
+
+// TestSafetyRejectsWholeCopiesInOnFirst: bare {$x} inside on-first cannot
+// be proven complete before the end tag.
+func TestSafetyRejectsWholeCopiesInOnFirst(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	q := &Query{DTD: d, Root: ProcessStream{Var: "b", ElemName: "book", Handlers: []Handler{
+		{Kind: OnFirst, Past: []string{"author", "title"}, Body: CopyVar{Var: "b"}},
+	}}}
+	if err := CheckSafety(q); err == nil {
+		t.Fatal("whole-element copy in on-first accepted")
+	}
+}
+
+// TestSafetyUnknownElementType: a PS over an undeclared element fails.
+func TestSafetyUnknownElementType(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	q := &Query{DTD: d, Root: ProcessStream{Var: "x", ElemName: "ghost"}}
+	if err := CheckSafety(q); err == nil {
+		t.Fatal("ghost element accepted")
+	}
+}
+
+// TestPrintingBranches: printer covers atomic vars, empty elements and
+// handler punctuation.
+func TestPrintingBranches(t *testing.T) {
+	ps := ProcessStream{Var: "b", ElemName: "book", Handlers: []Handler{
+		{Kind: OnElement, Label: "title", Bind: "t", Body: AtomicVar{Var: "t", Step: xquery.Step{Axis: xquery.TextAxis}}},
+		{Kind: OnFirst, Past: []string{"author"}, Body: TextLit{Data: "sep"}},
+		{Kind: OnEnd, Body: Element{Name: "empty"}},
+	}}
+	s := (&Query{Root: ps}).String()
+	for _, want := range []string{"{$t/text()}", "on-first past(author)", "on-end return", "<empty/>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed flux missing %q:\n%s", want, s)
+		}
+	}
+	// One-line form exercises Handler.String and Element.String.
+	flat := ps.String()
+	if !strings.Contains(flat, "on title as $t") {
+		t.Errorf("flat form: %s", flat)
+	}
+	el := Element{Name: "r", Attrs: []xquery.Attr{{Name: "k", Value: "v"}}, Children: []Expr{TextLit{Data: "x"}}}
+	if !strings.Contains(el.String(), `k="v"`) {
+		t.Errorf("element attrs lost: %s", el)
+	}
+}
+
+// TestOpenCloseTagStrings: the emit markers render recognizably.
+func TestOpenCloseTagStrings(t *testing.T) {
+	if (OpenTag{Name: "s"}).String() == "" || (CloseTag{Name: "s"}).String() == "" {
+		t.Error("empty marker strings")
+	}
+}
+
+// TestMultiConstructorSiblingsSchedule: two dependent sibling
+// constructors within one scope force open/close emission handlers but
+// still schedule and check safely.
+func TestMultiConstructorSiblingsSchedule(t *testing.T) {
+	src := `<out>{ for $b in $ROOT/bib/book return <r><first>{ $b/title }</first><second>{ $b/author }</second></r> }</out>`
+	q := schedule(t, src, weakBib)
+	s := q.String()
+	if !strings.Contains(s, "…") { // emit markers present
+		t.Logf("note: no emit markers; scheduler may have nested structurally:\n%s", s)
+	}
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no PS over $b:\n%s", q)
+	}
+	if len(book.Handlers) < 4 {
+		t.Errorf("expected open/stream/close handler mix, got %d handlers:\n%s", len(book.Handlers), q)
+	}
+}

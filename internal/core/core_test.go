@@ -1,0 +1,406 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+const weakBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const strongBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const mixedOrderBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book ((title|author)*,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+// The paper's running query (XMP Q3).
+const q3 = `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`
+
+func schedule(t *testing.T, src, dtdSrc string) *Query {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	q, err := Schedule(n, d)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := CheckSafety(q); err != nil {
+		t.Fatalf("scheduler produced unsafe query: %v\n%s", err, q)
+	}
+	return q
+}
+
+// findPS locates the process-stream over the given variable.
+func findPS(e Expr, v string) *ProcessStream {
+	switch t := e.(type) {
+	case ProcessStream:
+		if t.Var == v {
+			cp := t
+			return &cp
+		}
+		for _, h := range t.Handlers {
+			if ps := findPS(h.Body, v); ps != nil {
+				return ps
+			}
+		}
+	case Element:
+		for _, c := range t.Children {
+			if ps := findPS(c, v); ps != nil {
+				return ps
+			}
+		}
+	case SeqF:
+		for _, c := range t.Items {
+			if ps := findPS(c, v); ps != nil {
+				return ps
+			}
+		}
+	}
+	return nil
+}
+
+// TestQ3WeakDTD reproduces the paper's §2 scheduling: under the weak DTD,
+// titles stream and authors are buffered behind on-first past(title,author).
+func TestQ3WeakDTD(t *testing.T) {
+	q := schedule(t, q3, weakBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no process-stream over $b:\n%s", q)
+	}
+	var onTitle, onFirstAuthor bool
+	for _, h := range book.Handlers {
+		if h.Kind == OnElement && h.Label == "title" {
+			onTitle = true
+			if _, ok := h.Body.(CopyVar); !ok {
+				t.Errorf("title handler should stream-copy, got %s", h.Body)
+			}
+		}
+		if h.Kind == OnFirst && len(h.Past) == 2 && h.Past[0] == "author" && h.Past[1] == "title" {
+			onFirstAuthor = true
+			if _, ok := h.Body.(XQ); !ok {
+				t.Errorf("author handler should be buffered XQuery, got %T", h.Body)
+			}
+		}
+		if h.Kind == OnElement && h.Label == "author" {
+			t.Error("author must NOT stream under the weak DTD")
+		}
+	}
+	if !onTitle {
+		t.Errorf("missing streaming title handler:\n%s", q)
+	}
+	if !onFirstAuthor {
+		t.Errorf("missing on-first past(author,title) handler:\n%s", q)
+	}
+}
+
+// TestQ3StrongDTD reproduces the paper's second FluX query: with the
+// Figure 1 DTD both titles and authors stream; no buffering handler
+// remains (except constant emissions).
+func TestQ3StrongDTD(t *testing.T) {
+	q := schedule(t, q3, strongBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no process-stream over $b:\n%s", q)
+	}
+	var onTitle, onAuthor bool
+	for _, h := range book.Handlers {
+		if h.Kind == OnElement && h.Label == "title" {
+			onTitle = true
+		}
+		if h.Kind == OnElement && h.Label == "author" {
+			onAuthor = true
+		}
+		if h.Kind == OnFirst {
+			if _, isXQ := h.Body.(XQ); isXQ {
+				t.Errorf("no buffered XQuery expected under strong DTD, got %s", h)
+			}
+		}
+		if h.Kind == OnEnd {
+			t.Errorf("no on-end expected under strong DTD, got %s", h)
+		}
+	}
+	if !onTitle || !onAuthor {
+		t.Errorf("both title and author must stream:\n%s", q)
+	}
+}
+
+// TestSchedulerOrderWithinStrongDTD: swapping output order (authors before
+// titles) must force buffering of authors... no — authors come later in
+// the stream, so outputting authors first forces buffering of TITLES? No:
+// authors-first output under title-before-author stream order means the
+// author part can stream only if nothing precedes it; titles output after
+// authors requires titles buffered. But titles arrive BEFORE authors, so
+// titles must be buffered while authors stream... which order constraints
+// cannot allow either: streaming authors (first expr) is fine; titles
+// buffered with past(author,title).
+func TestSchedulerSwappedOutput(t *testing.T) {
+	src := `<results>{ for $b in $ROOT/bib/book return <result>{ $b/author }{ $b/title }</result> }</results>`
+	q := schedule(t, src, strongBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no process-stream over $b:\n%s", q)
+	}
+	var streamAuthor, bufferedTitle bool
+	for _, h := range book.Handlers {
+		if h.Kind == OnElement && h.Label == "author" {
+			streamAuthor = true
+		}
+		if h.Kind != OnElement {
+			if deps := handlerDeps(h.Body, "b"); deps.labels["title"] {
+				bufferedTitle = true
+			}
+		}
+		if h.Kind == OnElement && h.Label == "title" {
+			t.Errorf("title cannot stream when its output follows authors")
+		}
+	}
+	if !streamAuthor {
+		t.Errorf("author should stream (first in output order):\n%s", q)
+	}
+	if !bufferedTitle {
+		t.Errorf("title should be buffered:\n%s", q)
+	}
+}
+
+// TestPaperUnsafeExample: hand-built FluX with $book/price inside
+// on-first past(title,author) under ((title|author)*,price) must be
+// rejected by the safety checker (paper §2).
+func TestPaperUnsafeExample(t *testing.T) {
+	d := dtd.MustParse(mixedOrderBib)
+	priceLoop := xquery.MustParse(`for $p in $b/price return { $p }`)
+	q := &Query{
+		DTD: d,
+		Root: Element{Name: "results", Children: []Expr{
+			ProcessStream{Var: "ROOT", ElemName: dtd.DocElem, Handlers: []Handler{
+				{Kind: OnElement, Label: "bib", Bind: "bib", Body: ProcessStream{
+					Var: "bib", ElemName: "bib", Handlers: []Handler{
+						{Kind: OnElement, Label: "book", Bind: "b", Body: ProcessStream{
+							Var: "b", ElemName: "book", Handlers: []Handler{
+								{Kind: OnElement, Label: "title", Bind: "t", Body: CopyVar{Var: "t"}},
+								{Kind: OnFirst, Past: []string{"author", "title"}, Body: XQ{E: priceLoop}},
+							},
+						}},
+					},
+				}},
+			}},
+		}},
+	}
+	err := CheckSafety(q)
+	if err == nil {
+		t.Fatal("paper's unsafe example accepted")
+	}
+	if !strings.Contains(err.Error(), "price") {
+		t.Errorf("error should name the unsafe path: %v", err)
+	}
+	// The safe variant (authors instead of price) must pass.
+	authorLoop := xquery.MustParse(`for $a in $b/author return { $a }`)
+	q2 := *q
+	q2.Root = replaceOnFirstBody(q.Root, XQ{E: authorLoop})
+	if err := CheckSafety(&q2); err != nil {
+		t.Errorf("safe variant rejected: %v", err)
+	}
+}
+
+func replaceOnFirstBody(e Expr, body Expr) Expr {
+	switch t := e.(type) {
+	case Element:
+		out := t
+		out.Children = make([]Expr, len(t.Children))
+		for i, c := range t.Children {
+			out.Children[i] = replaceOnFirstBody(c, body)
+		}
+		return out
+	case ProcessStream:
+		out := t
+		out.Handlers = make([]Handler, len(t.Handlers))
+		for i, h := range t.Handlers {
+			if h.Kind == OnFirst {
+				h.Body = body
+			} else {
+				h.Body = replaceOnFirstBody(h.Body, body)
+			}
+			out.Handlers[i] = h
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// TestMixedOrderDTDPriceStreams: under ((title|author)*,price), the order
+// constraints title < price and author < price let a price copy stream
+// even though titles/authors interleave.
+func TestMixedOrderDTDPriceStreams(t *testing.T) {
+	src := `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/price }</result> }</results>`
+	q := schedule(t, src, mixedOrderBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no PS over $b:\n%s", q)
+	}
+	foundStream := false
+	for _, h := range book.Handlers {
+		if h.Kind == OnElement && h.Label == "price" {
+			foundStream = true
+		}
+	}
+	if !foundStream {
+		t.Errorf("price should stream (ordered after everything):\n%s", q)
+	}
+}
+
+// TestMixedOrderDTDPriceCondDefersToEnd: a conditional over $b/price
+// cannot use on-first — past(title,price) first holds at the price start
+// tag, where the price buffer is still incomplete (the paper's unsafety) —
+// so the scheduler defers it to on-end.
+func TestMixedOrderDTDPriceCondDefersToEnd(t *testing.T) {
+	src := `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ if ($b/price = "9") then <cheap/> else () }</result> }</results>`
+	q := schedule(t, src, mixedOrderBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no PS over $b:\n%s", q)
+	}
+	foundEnd := false
+	for _, h := range book.Handlers {
+		if deps := handlerDeps(h.Body, "b"); deps.labels["price"] {
+			if h.Kind != OnEnd {
+				t.Errorf("price expression must be on-end, got %s", h)
+			}
+			foundEnd = true
+		}
+	}
+	if !foundEnd {
+		t.Errorf("no handler for price:\n%s", q)
+	}
+}
+
+// TestJoinBuffersAtCommonScope: a join between two top-level branches
+// buffers at the scope owning both paths.
+func TestJoinBuffersAtCommonScope(t *testing.T) {
+	d := `
+<!ELEMENT store (bib,reviews)>
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title)>
+<!ELEMENT reviews (entry)*>
+<!ELEMENT entry (title,rating)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT rating (#PCDATA)>
+`
+	src := `<out>{ for $b in $ROOT/store/bib/book, $e in $ROOT/store/reviews/entry where $b/title = $e/title return <hit>{ $e/rating }</hit> }</out>`
+	q := schedule(t, src, d)
+	// The for over $ROOT/store cannot stream into book scope because its
+	// body references $ROOT/store/reviews; the store-level expression is
+	// buffered.
+	store := findPS(q.Root, "v1") // fresh var over store — naming internal
+	_ = store
+	s := q.String()
+	if !strings.Contains(s, "on-first") && !strings.Contains(s, "on-end") {
+		t.Errorf("join must introduce a buffered handler:\n%s", s)
+	}
+}
+
+// TestUnsatisfiableOnElementRejected: a handler on a label that cannot
+// occur is flagged by the safety checker.
+func TestUnsatisfiableOnElementRejected(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	q := &Query{DTD: d, Root: ProcessStream{Var: "ROOT", ElemName: dtd.DocElem, Handlers: []Handler{
+		{Kind: OnElement, Label: "magazine", Bind: "m", Body: CopyVar{Var: "m"}},
+	}}}
+	if err := CheckSafety(q); err == nil {
+		t.Error("handler on impossible label accepted")
+	}
+}
+
+// TestFluxPrinting: the paper-style rendering mentions the constructs.
+func TestFluxPrinting(t *testing.T) {
+	q := schedule(t, q3, weakBib)
+	s := q.String()
+	for _, want := range []string{"process-stream $b", "on title as $t", "on-first past(author,title)", "<results>", "<result>"} {
+		if !strings.Contains(s, want) && !strings.Contains(s, strings.ReplaceAll(want, "$t", "$v")) {
+			// variable names for title loops are user-defined or fresh;
+			// accept any name by relaxing the title check below.
+			if want == "on title as $t" {
+				if !strings.Contains(s, "on title as $") {
+					t.Errorf("printed FluX missing %q:\n%s", want, s)
+				}
+				continue
+			}
+			t.Errorf("printed FluX missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestScheduleTraceExplainsDecisions: the trace records why authors could
+// not stream under the weak DTD.
+func TestScheduleTraceExplainsDecisions(t *testing.T) {
+	q := schedule(t, q3, weakBib)
+	joined := strings.Join(q.Trace, "\n")
+	if !strings.Contains(joined, "cannot stream") {
+		t.Errorf("trace does not explain buffering decision:\n%s", joined)
+	}
+	if !strings.Contains(joined, "streaming handler") {
+		t.Errorf("trace does not record streaming decisions:\n%s", joined)
+	}
+}
+
+// TestAtomicEmissions: text() bodies become AtomicVar streams.
+func TestAtomicEmissions(t *testing.T) {
+	src := `<results>{ for $b in $ROOT/bib/book return <r>{ $b/title/text() }</r> }</results>`
+	q := schedule(t, src, strongBib)
+	s := q.String()
+	if !strings.Contains(s, "/text()}") {
+		t.Errorf("atomic text emission missing:\n%s", s)
+	}
+}
+
+// TestConstantsScheduledAtRightPosition: a constant between two dependent
+// expressions becomes an on-first handler with the predecessors' past set.
+func TestConstantsScheduledAtRightPosition(t *testing.T) {
+	src := `<results>{ for $b in $ROOT/bib/book return <r>{ $b/title }<sep/>{ $b/author }</r> }</results>`
+	q := schedule(t, src, strongBib)
+	book := findPS(q.Root, "b")
+	if book == nil {
+		t.Fatalf("no PS over $b:\n%s", q)
+	}
+	// Expect: open r, on title, on-first past(title) <sep/>, on author, close r.
+	var sepIdx, titleIdx, authorIdx int = -1, -1, -1
+	for i, h := range book.Handlers {
+		switch {
+		case h.Kind == OnElement && h.Label == "title":
+			titleIdx = i
+		case h.Kind == OnElement && h.Label == "author":
+			authorIdx = i
+		case h.Kind == OnFirst && strings.Contains(h.Body.String(), "sep"):
+			sepIdx = i
+			if len(h.Past) != 1 || h.Past[0] != "title" {
+				t.Errorf("separator past set = %v, want [title]", h.Past)
+			}
+		}
+	}
+	if !(titleIdx < sepIdx && sepIdx < authorIdx) {
+		t.Errorf("handler order wrong: title=%d sep=%d author=%d\n%s", titleIdx, sepIdx, authorIdx, q)
+	}
+}

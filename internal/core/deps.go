@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fluxquery/internal/xquery"
+)
+
+// depSet describes which parts of a scope element an expression reads:
+// the set of child labels, whether it needs text content, and whether it
+// needs everything (wildcard steps or whole-element copies inside
+// buffered contexts).
+type depSet struct {
+	labels map[string]bool
+	text   bool
+	all    bool
+}
+
+func newDepSet() *depSet { return &depSet{labels: map[string]bool{}} }
+
+func (d *depSet) addLabel(l string) {
+	if l == "*" {
+		d.all = true
+		return
+	}
+	d.labels[l] = true
+}
+
+// sorted returns the label set as a sorted slice.
+func (d *depSet) sorted() []string {
+	out := make([]string, 0, len(d.labels))
+	for l := range d.labels {
+		out = append(out, l)
+	}
+	return sortedSet(out)
+}
+
+func (d *depSet) empty() bool { return len(d.labels) == 0 && !d.text && !d.all }
+
+// scopeDeps computes the dependencies of e on children of the variable
+// scopeVar. Paths rooted at variables bound inside e are not
+// dependencies of the scope (they are resolved within buffered subtrees).
+// A bare $scopeVar reference (whole-element copy inside a buffered body)
+// sets all.
+func scopeDeps(e xquery.Expr, scopeVar string) *depSet {
+	d := newDepSet()
+	collectDeps(e, scopeVar, map[string]bool{}, d)
+	return d
+}
+
+func collectDeps(e xquery.Expr, scopeVar string, bound map[string]bool, d *depSet) {
+	switch t := e.(type) {
+	case nil:
+		return
+	case xquery.Path:
+		if t.Var != scopeVar || bound[scopeVar] {
+			return
+		}
+		if len(t.Steps) == 0 {
+			d.all = true
+			return
+		}
+		switch t.Steps[0].Axis {
+		case xquery.Child:
+			d.addLabel(t.Steps[0].Name)
+		case xquery.TextAxis:
+			d.text = true
+		case xquery.Attribute:
+			// Attributes arrive with the start tag; no child dependency.
+		}
+	case xquery.For:
+		inner := bound
+		for _, b := range t.Bindings {
+			collectDeps(b.In, scopeVar, inner, d)
+			if b.Var == scopeVar {
+				inner = copySet(inner)
+				inner[scopeVar] = true
+			}
+		}
+		collectDeps(t.Where, scopeVar, inner, d)
+		collectDeps(t.Return, scopeVar, inner, d)
+	case xquery.Let:
+		inner := bound
+		for _, b := range t.Bindings {
+			collectDeps(b.In, scopeVar, inner, d)
+			if b.Var == scopeVar {
+				inner = copySet(inner)
+				inner[scopeVar] = true
+			}
+		}
+		collectDeps(t.Body, scopeVar, inner, d)
+	case xquery.Seq:
+		for _, c := range t.Items {
+			collectDeps(c, scopeVar, bound, d)
+		}
+	case xquery.Elem:
+		for _, c := range t.Children {
+			collectDeps(c, scopeVar, bound, d)
+		}
+	case xquery.If:
+		collectDeps(t.Cond, scopeVar, bound, d)
+		collectDeps(t.Then, scopeVar, bound, d)
+		collectDeps(t.Else, scopeVar, bound, d)
+	case xquery.And:
+		collectDeps(t.L, scopeVar, bound, d)
+		collectDeps(t.R, scopeVar, bound, d)
+	case xquery.Or:
+		collectDeps(t.L, scopeVar, bound, d)
+		collectDeps(t.R, scopeVar, bound, d)
+	case xquery.Cmp:
+		collectDeps(t.L, scopeVar, bound, d)
+		collectDeps(t.R, scopeVar, bound, d)
+	case xquery.Call:
+		for _, a := range t.Args {
+			collectDeps(a, scopeVar, bound, d)
+		}
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// hasScopeDeps reports whether e reads anything from scopeVar.
+func hasScopeDeps(e xquery.Expr, scopeVar string) bool {
+	// Attribute-only references also count as scope-dependent output even
+	// though they impose no child-order constraints; detect them
+	// separately.
+	if !scopeDeps(e, scopeVar).empty() {
+		return true
+	}
+	found := false
+	var walk func(e xquery.Expr, bound map[string]bool)
+	walk = func(e xquery.Expr, bound map[string]bool) {
+		if found || e == nil {
+			return
+		}
+		switch t := e.(type) {
+		case xquery.Path:
+			if t.Var == scopeVar && !bound[scopeVar] {
+				found = true
+			}
+		case xquery.For:
+			inner := bound
+			for _, b := range t.Bindings {
+				walk(b.In, inner)
+				if b.Var == scopeVar {
+					inner = copySet(inner)
+					inner[scopeVar] = true
+				}
+			}
+			walk(t.Where, inner)
+			walk(t.Return, inner)
+		case xquery.Let:
+			inner := bound
+			for _, b := range t.Bindings {
+				walk(b.In, inner)
+				if b.Var == scopeVar {
+					inner = copySet(inner)
+					inner[scopeVar] = true
+				}
+			}
+			walk(t.Body, inner)
+		case xquery.Seq:
+			for _, c := range t.Items {
+				walk(c, bound)
+			}
+		case xquery.Elem:
+			for _, c := range t.Children {
+				walk(c, bound)
+			}
+		case xquery.If:
+			walk(t.Cond, bound)
+			walk(t.Then, bound)
+			walk(t.Else, bound)
+		case xquery.And:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case xquery.Or:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case xquery.Cmp:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case xquery.Call:
+			for _, a := range t.Args {
+				walk(a, bound)
+			}
+		}
+	}
+	walk(e, map[string]bool{})
+	return found
+}
+
+// refsOnly reports whether every free variable of e is v.
+func refsOnly(e xquery.Expr, v string) bool {
+	for fv := range xquery.FreeVars(e) {
+		if fv != v {
+			return false
+		}
+	}
+	return true
+}

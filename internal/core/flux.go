@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: the FluX
+// query language (paper §2) and the schema-based scheduling algorithm
+// that rewrites normalized, optimized XQuery into FluX (paper §3.1, third
+// step), together with the safety checker for FluX queries under a DTD.
+//
+// FluX extends XQuery with the process-stream construct:
+//
+//	process-stream $x:
+//	    on a as $y return e;            -- fires per a-child, streaming
+//	    on-first past(S) return e;      -- fires once, when no child
+//	                                    --   labeled in S can occur anymore
+//	    on-end return e                 -- fires at the closing tag
+//
+// on-end is the engine's explicit spelling of the deferred case: an
+// on-first handler whose firing position under the paper's XSAX semantics
+// would coincide with the start of a child the handler itself references
+// (and which would therefore be unsafe) is scheduled at the closing tag
+// instead, where every buffer is complete.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xquery"
+)
+
+// Expr is a FluX expression.
+type Expr interface {
+	fluxNode()
+	String() string
+}
+
+// XQ embeds a normalized XQuery expression that is evaluated over memory
+// buffers when its enclosing handler fires.
+type XQ struct{ E xquery.Expr }
+
+// Element is an output element constructor whose children are FluX
+// expressions.
+type Element struct {
+	Name     string
+	Attrs    []xquery.Attr
+	Children []Expr
+}
+
+// TextLit is constant character data output.
+type TextLit struct{ Data string }
+
+// CopyVar streams a verbatim copy of the element currently bound to Var
+// to the output (the FluX body {$t}).
+type CopyVar struct{ Var string }
+
+// AtomicVar streams the atomized value of the current element: its text
+// content ({$t/text()}) or an attribute ({$t/@a}).
+type AtomicVar struct {
+	Var  string
+	Step xquery.Step
+}
+
+// SeqF concatenates FluX expressions.
+type SeqF struct{ Items []Expr }
+
+// ProcessStream traverses the children of the element bound to Var from
+// left to right, firing handlers (paper §2).
+type ProcessStream struct {
+	Var      string
+	ElemName string // the DTD element type of Var
+	Handlers []Handler
+}
+
+// HandlerKind discriminates process-stream handlers.
+type HandlerKind uint8
+
+// Handler kinds.
+const (
+	// OnElement fires on each child with the given label.
+	OnElement HandlerKind = iota
+	// OnFirst fires once, as soon as the DTD implies that no child
+	// labeled in Past can occur anymore.
+	OnFirst
+	// OnEnd fires once at the element's closing tag.
+	OnEnd
+)
+
+// Handler is one process-stream handler.
+type Handler struct {
+	Kind  HandlerKind
+	Label string   // OnElement: the child label
+	Bind  string   // OnElement: the variable bound to the child
+	Past  []string // OnFirst: the past set, sorted
+	Body  Expr
+}
+
+func (XQ) fluxNode()            {}
+func (Element) fluxNode()       {}
+func (TextLit) fluxNode()       {}
+func (CopyVar) fluxNode()       {}
+func (AtomicVar) fluxNode()     {}
+func (SeqF) fluxNode()          {}
+func (ProcessStream) fluxNode() {}
+
+func (e XQ) String() string      { return e.E.String() }
+func (e TextLit) String() string { return fmt.Sprintf("text { %q }", e.Data) }
+func (e CopyVar) String() string { return "{$" + e.Var + "}" }
+
+func (e AtomicVar) String() string {
+	return "{$" + e.Var + "/" + e.Step.String() + "}"
+}
+
+func (e SeqF) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (e Element) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&b, " %s=%q", a.Name, a.Value)
+	}
+	if len(e.Children) == 0 {
+		b.WriteString("/>")
+		return b.String()
+	}
+	b.WriteByte('>')
+	for _, c := range e.Children {
+		b.WriteString(" { ")
+		b.WriteString(c.String())
+		b.WriteString(" }")
+	}
+	b.WriteString(" </")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+	return b.String()
+}
+
+func (e ProcessStream) String() string {
+	var b strings.Builder
+	b.WriteString("process-stream $")
+	b.WriteString(e.Var)
+	b.WriteString(":")
+	for i, h := range e.Handlers {
+		if i > 0 {
+			b.WriteString(";")
+		}
+		b.WriteString(" ")
+		b.WriteString(h.String())
+	}
+	return b.String()
+}
+
+func (h Handler) String() string {
+	switch h.Kind {
+	case OnElement:
+		return fmt.Sprintf("on %s as $%s return { %s }", h.Label, h.Bind, h.Body)
+	case OnFirst:
+		return fmt.Sprintf("on-first past(%s) return { %s }", strings.Join(h.Past, ","), h.Body)
+	default:
+		return fmt.Sprintf("on-end return { %s }", h.Body)
+	}
+}
+
+// Query is a complete FluX query scheduled for a specific DTD.
+type Query struct {
+	Root Expr
+	DTD  *dtd.DTD
+	// Trace describes the scheduling decisions, for explain output.
+	Trace []string
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	writeIndented(&b, q.Root, 0)
+	return b.String()
+}
+
+// writeIndented pretty-prints FluX with indentation for readability.
+func writeIndented(b *strings.Builder, e Expr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch t := e.(type) {
+	case ProcessStream:
+		fmt.Fprintf(b, "%sprocess-stream $%s:\n", ind, t.Var)
+		for i, h := range t.Handlers {
+			term := ";"
+			if i == len(t.Handlers)-1 {
+				term = ""
+			}
+			switch h.Kind {
+			case OnElement:
+				fmt.Fprintf(b, "%s  on %s as $%s return {\n", ind, h.Label, h.Bind)
+			case OnFirst:
+				fmt.Fprintf(b, "%s  on-first past(%s) return {\n", ind, strings.Join(h.Past, ","))
+			default:
+				fmt.Fprintf(b, "%s  on-end return {\n", ind)
+			}
+			writeIndented(b, h.Body, depth+2)
+			fmt.Fprintf(b, "%s  }%s\n", ind, term)
+		}
+	case Element:
+		fmt.Fprintf(b, "%s<%s", ind, t.Name)
+		for _, a := range t.Attrs {
+			fmt.Fprintf(b, " %s=%q", a.Name, a.Value)
+		}
+		if len(t.Children) == 0 {
+			b.WriteString("/>\n")
+			return
+		}
+		b.WriteString(">\n")
+		for _, c := range t.Children {
+			writeIndented(b, c, depth+1)
+		}
+		fmt.Fprintf(b, "%s</%s>\n", ind, t.Name)
+	case SeqF:
+		for _, c := range t.Items {
+			writeIndented(b, c, depth)
+		}
+	default:
+		fmt.Fprintf(b, "%s%s\n", ind, e.String())
+	}
+}
+
+// sortedSet returns a sorted, deduplicated copy of labels.
+func sortedSet(labels []string) []string {
+	m := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		m[l] = true
+	}
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

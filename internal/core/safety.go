@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xquery"
+)
+
+// SafetyError reports a FluX query that is unsafe for a DTD (paper §2): a
+// handler body dereferences a path that may still be encountered on the
+// stream — or whose final item may still be incomplete — when the handler
+// fires.
+type SafetyError struct {
+	Scope string // stream variable
+	Msg   string
+}
+
+func (e *SafetyError) Error() string {
+	return fmt.Sprintf("flux query unsafe in scope $%s: %s", e.Scope, e.Msg)
+}
+
+// CheckSafety verifies that q is safe for its DTD. The scheduler produces
+// safe queries by construction; this checker validates hand-written FluX
+// and serves as an executable definition of the paper's safety notion.
+func CheckSafety(q *Query) error {
+	return checkExpr(q.Root, q.DTD)
+}
+
+func checkExpr(e Expr, d *dtd.DTD) error {
+	switch t := e.(type) {
+	case ProcessStream:
+		return checkPS(t, d)
+	case Element:
+		for _, c := range t.Children {
+			if err := checkExpr(c, d); err != nil {
+				return err
+			}
+		}
+	case SeqF:
+		for _, c := range t.Items {
+			if err := checkExpr(c, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkPS(ps ProcessStream, d *dtd.DTD) error {
+	elem := d.Element(ps.ElemName)
+	if elem == nil {
+		return &SafetyError{Scope: ps.Var, Msg: fmt.Sprintf("unknown element type %q", ps.ElemName)}
+	}
+	for _, h := range ps.Handlers {
+		switch h.Kind {
+		case OnElement:
+			// The child label must be possible at all, and the body is
+			// checked in the child's scope.
+			if d.Cardinality(ps.ElemName, h.Label) == dtd.CardNone && !elem.IsAny() {
+				return &SafetyError{Scope: ps.Var, Msg: fmt.Sprintf("handler 'on %s' can never fire: no %s child under %s", h.Label, h.Label, ps.ElemName)}
+			}
+			if err := checkExpr(h.Body, d); err != nil {
+				return err
+			}
+		case OnFirst:
+			// Every scope-level label dereferenced by the body must be
+			// past-safe for the handler's firing condition.
+			deps := handlerDeps(h.Body, ps.Var)
+			if deps.all || deps.text {
+				return &SafetyError{Scope: ps.Var, Msg: fmt.Sprintf("on-first past(%v) body reads text or whole-element content, whose completion the DTD cannot witness before the end tag", h.Past)}
+			}
+			for _, l := range deps.sorted() {
+				if !d.PastImplies(ps.ElemName, h.Past, l) {
+					return &SafetyError{Scope: ps.Var, Msg: fmt.Sprintf("on-first past(%v) body dereferences $%s/%s, but %s children may still arrive (or be incomplete) when the handler fires", h.Past, ps.Var, l, l)}
+				}
+			}
+			if err := checkExpr(h.Body, d); err != nil {
+				return err
+			}
+		case OnEnd:
+			// Fires at the closing tag: all buffers complete, trivially
+			// safe. Nested structures are still checked.
+			if err := checkExpr(h.Body, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handlerDeps extracts the scope dependencies of a handler body,
+// descending through FluX structure into embedded XQuery.
+func handlerDeps(e Expr, scopeVar string) *depSet {
+	d := newDepSet()
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case XQ:
+			sub := scopeDeps(t.E, scopeVar)
+			for l := range sub.labels {
+				d.addLabel(l)
+			}
+			d.text = d.text || sub.text
+			d.all = d.all || sub.all
+		case Element:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case SeqF:
+			for _, c := range t.Items {
+				walk(c)
+			}
+		case CopyVar:
+			if t.Var == scopeVar {
+				d.all = true
+			}
+		case AtomicVar:
+			if t.Var == scopeVar {
+				switch t.Step.Axis {
+				case xquery.TextAxis:
+					d.text = true
+				}
+			}
+		case ProcessStream:
+			// A nested stream over a different variable cannot read this
+			// scope (scheduler invariant); nothing to collect.
+		}
+	}
+	walk(e)
+	return d
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xquery"
+)
+
+// ScheduleError reports a query that cannot be scheduled.
+type ScheduleError struct{ Msg string }
+
+func (e *ScheduleError) Error() string { return "schedule: " + e.Msg }
+
+// Schedule rewrites a normalized (and typically pre-optimized) XQuery
+// expression into a FluX query for the given DTD (paper §3.1, third
+// step). The algorithm walks the query top-down, maintaining for every
+// stream scope the set of child labels consumed so far; a subexpression
+// becomes
+//
+//   - an "on a" handler (pure streaming) when it is a loop over $x/a whose
+//     body only reads the bound child, and the DTD's order constraints
+//     guarantee that everything scheduled before it arrives before any a;
+//   - an "on-first past(S)" handler otherwise, with S the union of its own
+//     dependencies and those of all earlier handlers — it evaluates over
+//     memory buffers when the DTD implies no S-child can arrive anymore;
+//   - an "on-end" handler when the on-first firing position would be
+//     unsafe (paper §2's safety notion) — e.g. dependencies on text
+//     content, wildcards, or a past set whose condition can first hold at
+//     the start tag of a referenced child.
+func Schedule(e xquery.Expr, d *dtd.DTD) (*Query, error) {
+	s := &scheduler{d: d}
+	root, err := s.scheduleBody(e, xquery.RootVar, dtd.DocElem)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Root: root, DTD: d, Trace: s.trace}, nil
+}
+
+type scheduler struct {
+	d     *dtd.DTD
+	trace []string
+}
+
+func (s *scheduler) logf(format string, args ...any) {
+	s.trace = append(s.trace, fmt.Sprintf(format, args...))
+}
+
+// scheduleBody schedules an expression whose free variable is scopeVar,
+// bound to an element of type scopeElem.
+func (s *scheduler) scheduleBody(e xquery.Expr, scopeVar, scopeElem string) (Expr, error) {
+	if !refsOnly(e, scopeVar) {
+		return nil, &ScheduleError{Msg: fmt.Sprintf("expression references variables other than $%s: %s", scopeVar, e)}
+	}
+	if !hasScopeDeps(e, scopeVar) {
+		return constExpr(e), nil
+	}
+	switch t := e.(type) {
+	case xquery.Path:
+		// A bare copy or atomic emission of the scope element itself.
+		if t.Var == scopeVar {
+			switch {
+			case len(t.Steps) == 0:
+				return CopyVar{Var: scopeVar}, nil
+			case len(t.Steps) == 1 && t.Steps[0].Axis != xquery.Child:
+				return AtomicVar{Var: scopeVar, Step: t.Steps[0]}, nil
+			}
+		}
+	case xquery.Elem:
+		// A constructor wrapping the scope consumption keeps its shape.
+		inner, err := s.scheduleBody(seqOf(t.Children), scopeVar, scopeElem)
+		if err != nil {
+			return nil, err
+		}
+		return Element{Name: t.Name, Attrs: t.Attrs, Children: []Expr{inner}}, nil
+	}
+	// General case: one process-stream over the scope variable.
+	units, err := s.flatten(e, scopeVar)
+	if err != nil {
+		return nil, err
+	}
+	handlers, err := s.scheduleUnits(units, scopeVar, scopeElem)
+	if err != nil {
+		return nil, err
+	}
+	return ProcessStream{Var: scopeVar, ElemName: scopeElem, Handlers: handlers}, nil
+}
+
+func seqOf(items []xquery.Expr) xquery.Expr {
+	switch len(items) {
+	case 0:
+		return xquery.EmptySeq{}
+	case 1:
+		return items[0]
+	default:
+		return xquery.Seq{Items: items}
+	}
+}
+
+// unit is one schedulable piece of a scope body, in output order.
+type unit struct {
+	// Exactly one of const_/dep is set; open/close mark constructor
+	// fragments around dependent content.
+	openName  string
+	openAttrs []xquery.Attr
+	close_    string
+	const_    Expr
+	dep       xquery.Expr
+}
+
+// flatten decomposes a scope body into schedulable units. Constructors
+// containing scope-dependent expressions are split into open-tag,
+// content, close-tag units so that one stream pass can interleave their
+// output correctly.
+func (s *scheduler) flatten(e xquery.Expr, scopeVar string) ([]unit, error) {
+	switch t := e.(type) {
+	case nil:
+		return nil, nil
+	case xquery.EmptySeq:
+		return nil, nil
+	case xquery.Seq:
+		var units []unit
+		for _, c := range t.Items {
+			u, err := s.flatten(c, scopeVar)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u...)
+		}
+		return units, nil
+	case xquery.Elem:
+		if !hasScopeDeps(t, scopeVar) {
+			return []unit{{const_: constExpr(t)}}, nil
+		}
+		units := []unit{{openName: t.Name, openAttrs: t.Attrs}}
+		for _, c := range t.Children {
+			u, err := s.flatten(c, scopeVar)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u...)
+		}
+		return append(units, unit{close_: t.Name}), nil
+	default:
+		if !hasScopeDeps(e, scopeVar) {
+			return []unit{{const_: constExpr(e)}}, nil
+		}
+		return []unit{{dep: e}}, nil
+	}
+}
+
+// scheduleUnits is the heart of the algorithm: it assigns each unit to a
+// handler, maintaining the invariant that handler firing order equals
+// output order.
+func (s *scheduler) scheduleUnits(units []unit, scopeVar, scopeElem string) ([]Handler, error) {
+	var handlers []Handler
+	var pastSoFar []string
+	streamed := map[string]bool{} // labels consumed by on-element handlers
+	deferred := false             // once true, everything goes to on-end
+
+	constHandler := func(body Expr) {
+		if deferred {
+			handlers = append(handlers, Handler{Kind: OnEnd, Body: body})
+			return
+		}
+		handlers = append(handlers, Handler{Kind: OnFirst, Past: sortedSet(pastSoFar), Body: body})
+	}
+
+	for _, u := range units {
+		switch {
+		case u.openName != "":
+			constHandler(OpenTag{Name: u.openName, Attrs: u.openAttrs})
+		case u.close_ != "":
+			constHandler(CloseTag{Name: u.close_})
+		case u.const_ != nil:
+			constHandler(u.const_)
+		default:
+			e := u.dep
+			d := scopeDeps(e, scopeVar)
+
+			// Streaming candidate: for $y in $x/a where the body reads
+			// only $y.
+			if f, ok := e.(xquery.For); ok && !deferred && !d.text && !d.all {
+				b := f.Bindings[0]
+				label := b.In.Steps[0].Name
+				if b.In.Var == scopeVar && label != "*" && refsOnly(f.Return, b.Var) && !streamed[label] {
+					ok := true
+					for _, prev := range pastSoFar {
+						if !s.d.OrderBefore(scopeElem, prev, label) {
+							s.logf("scope $%s: cannot stream 'on %s' — no order constraint %s < %s", scopeVar, label, prev, label)
+							ok = false
+							break
+						}
+					}
+					if ok {
+						body, err := s.scheduleBody(f.Return, b.Var, label)
+						if err != nil {
+							return nil, err
+						}
+						s.logf("scope $%s: streaming handler 'on %s as $%s'", scopeVar, label, b.Var)
+						handlers = append(handlers, Handler{Kind: OnElement, Label: label, Bind: b.Var, Body: body})
+						streamed[label] = true
+						pastSoFar = append(pastSoFar, label)
+						continue
+					}
+				}
+			}
+
+			// Buffered: on-first past(pastSoFar ∪ deps), or on-end if that
+			// firing position is unsafe.
+			set := sortedSet(append(append([]string{}, pastSoFar...), d.sorted()...))
+			unsafe := deferred || d.text || d.all
+			if !unsafe {
+				for _, l := range d.sorted() {
+					if !s.d.PastImplies(scopeElem, set, l) {
+						s.logf("scope $%s: past(%v) unsafe for referenced label %s — deferring to on-end", scopeVar, set, l)
+						unsafe = true
+						break
+					}
+				}
+			}
+			if unsafe {
+				handlers = append(handlers, Handler{Kind: OnEnd, Body: XQ{E: e}})
+				deferred = true
+			} else {
+				s.logf("scope $%s: buffered handler 'on-first past(%v)'", scopeVar, set)
+				handlers = append(handlers, Handler{Kind: OnFirst, Past: set, Body: XQ{E: e}})
+			}
+			pastSoFar = append(pastSoFar, d.sorted()...)
+		}
+	}
+	return handlers, nil
+}
+
+// openTag and closeTag are internal handler bodies emitting constructor
+// fragments when a constructor spans multiple handlers.
+type OpenTag struct {
+	Name  string
+	Attrs []xquery.Attr
+}
+
+type CloseTag struct{ Name string }
+
+func (OpenTag) fluxNode()  {}
+func (CloseTag) fluxNode() {}
+
+func (t OpenTag) String() string  { return "<" + t.Name + ">…" }
+func (t CloseTag) String() string { return "…</" + t.Name + ">" }
+
+// constExpr converts a scope-independent XQuery expression to FluX.
+func constExpr(e xquery.Expr) Expr {
+	switch t := e.(type) {
+	case xquery.Text:
+		return TextLit{Data: t.Data}
+	case xquery.Str:
+		return TextLit{Data: t.Value}
+	case xquery.Num:
+		return TextLit{Data: t.Lit}
+	case xquery.EmptySeq:
+		return SeqF{}
+	case xquery.Seq:
+		items := make([]Expr, len(t.Items))
+		for i, c := range t.Items {
+			items[i] = constExpr(c)
+		}
+		return SeqF{Items: items}
+	case xquery.Elem:
+		out := Element{Name: t.Name, Attrs: t.Attrs}
+		for _, c := range t.Children {
+			out.Children = append(out.Children, constExpr(c))
+		}
+		return out
+	default:
+		// Residual constant expressions (e.g. concat of literals) are
+		// evaluated by the buffer evaluator with an empty environment.
+		return XQ{E: e}
+	}
+}

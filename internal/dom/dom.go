@@ -1,0 +1,273 @@
+// Package dom implements a lightweight in-memory XML tree.
+//
+// The tree serves three roles in the engine: it is the storage format of
+// runtime buffers (holding only the projected paths the query needs), the
+// document representation of the baseline engines, and the workhorse of the
+// differential test suite. Every node is byte-accounted (Size) so that
+// "main memory consumption" — the quantity the paper's optimizations
+// minimize — can be measured deterministically and machine-independently.
+package dom
+
+import (
+	"io"
+	"strings"
+
+	"fluxquery/internal/xmltok"
+)
+
+// NodeKind discriminates tree node types.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// DocumentNode is the synthetic root owning the document element.
+	DocumentNode NodeKind = iota
+	// ElementNode is an XML element.
+	ElementNode
+	// TextNode is character data.
+	TextNode
+)
+
+// Node is an XML tree node. Fields are exported for cheap traversal by the
+// evaluator; use the constructors and AppendChild to keep Parent links
+// consistent.
+type Node struct {
+	Kind     NodeKind
+	Name     string // element name; empty for text and document nodes
+	Text     string // character data; only for TextNode
+	Attrs    []xmltok.Attr
+	Children []*Node
+	Parent   *Node
+}
+
+// NewDocument returns an empty document node.
+func NewDocument() *Node { return &Node{Kind: DocumentNode} }
+
+// NewElement returns an element node with the given name.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText returns a text node.
+func NewText(data string) *Node { return &Node{Kind: TextNode, Text: data} }
+
+// AppendChild appends c to n and sets c's parent link.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ChildElements returns the element children with the given name; name "*"
+// matches every element child.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "*" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first element child with the given name, or
+// nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "*" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Root returns the document element of a document node (or n itself for
+// any other node kind).
+func (n *Node) Root() *Node {
+	if n.Kind != DocumentNode {
+		return n
+	}
+	return n.FirstChildElement("*")
+}
+
+// StringValue returns the concatenated text content of the subtree, the
+// XPath string value of the node.
+func (n *Node) StringValue() string {
+	if n.Kind == TextNode {
+		return n.Text
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Kind == TextNode {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// nodeOverhead approximates the bookkeeping cost of one buffered node
+// (pointers, kind, slice headers) in bytes. The constant keeps the memory
+// metric deterministic across architectures; it is close to the true
+// 64-bit footprint of Node.
+const nodeOverhead = 48
+
+// Size returns the accounted memory footprint of the subtree in bytes:
+// per-node overhead plus the length of all names, attribute strings and
+// character data. This is the engine's buffer-size metric.
+func (n *Node) Size() int64 {
+	s := int64(nodeOverhead + len(n.Name) + len(n.Text))
+	for _, a := range n.Attrs {
+		s += int64(len(a.Name) + len(a.Value) + 8)
+	}
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Count returns the number of nodes in the subtree, including n.
+func (n *Node) Count() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.Count()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the subtree with a nil parent.
+func (n *Node) Clone() *Node {
+	cp := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = append([]xmltok.Attr(nil), n.Attrs...)
+	}
+	for _, c := range n.Children {
+		cc := c.Clone()
+		cc.Parent = cp
+		cp.Children = append(cp.Children, cc)
+	}
+	return cp
+}
+
+// WriteXML serializes the subtree to w. Document nodes emit their
+// children; element and text nodes emit themselves.
+func (n *Node) WriteXML(w *xmltok.Writer) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			c.WriteXML(w)
+		}
+	case ElementNode:
+		w.StartElement(n.Name, n.Attrs)
+		for _, c := range n.Children {
+			c.WriteXML(w)
+		}
+		w.EndElement(n.Name)
+	case TextNode:
+		w.Text(n.Text)
+	}
+}
+
+// String returns the XML serialization of the subtree.
+func (n *Node) String() string {
+	var b strings.Builder
+	w := xmltok.NewWriter(&b)
+	n.WriteXML(w)
+	w.Flush()
+	return b.String()
+}
+
+// Parse builds a document tree from an XML byte stream. Comments,
+// processing instructions and directives are skipped: the query language
+// fragment has no constructs that observe them.
+func Parse(r io.Reader) (*Node, error) {
+	sc := xmltok.NewScanner(r)
+	doc := NewDocument()
+	cur := doc
+	for {
+		tok, err := sc.Next()
+		if err == io.EOF {
+			return doc, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			e := NewElement(tok.Name)
+			if len(tok.Attrs) > 0 {
+				e.Attrs = append([]xmltok.Attr(nil), tok.Attrs...)
+			}
+			cur.AppendChild(e)
+			cur = e
+		case xmltok.EndElement:
+			cur = cur.Parent
+		case xmltok.Text:
+			if tok.Data != "" {
+				cur.AppendChild(NewText(tok.Data))
+			}
+		}
+	}
+}
+
+// ParseString builds a document tree from a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Builder incrementally constructs a subtree from a token stream; it is
+// used by the runtime to materialize buffered elements. The zero value is
+// not usable; call NewBuilder.
+type Builder struct {
+	root *Node
+	cur  *Node
+}
+
+// NewBuilder returns a Builder whose tree is rooted at an element with the
+// given name and attributes.
+func NewBuilder(name string, attrs []xmltok.Attr) *Builder {
+	root := NewElement(name)
+	if len(attrs) > 0 {
+		root.Attrs = append([]xmltok.Attr(nil), attrs...)
+	}
+	return &Builder{root: root, cur: root}
+}
+
+// Start opens a child element.
+func (b *Builder) Start(name string, attrs []xmltok.Attr) {
+	e := NewElement(name)
+	if len(attrs) > 0 {
+		e.Attrs = append([]xmltok.Attr(nil), attrs...)
+	}
+	b.cur.AppendChild(e)
+	b.cur = e
+}
+
+// End closes the current element.
+func (b *Builder) End() {
+	if b.cur.Parent != nil {
+		b.cur = b.cur.Parent
+	}
+}
+
+// Text appends character data to the current element.
+func (b *Builder) Text(data string) {
+	if data != "" {
+		b.cur.AppendChild(NewText(data))
+	}
+}
+
+// Root returns the built subtree.
+func (b *Builder) Root() *Node { return b.root }

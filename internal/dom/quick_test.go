@@ -1,0 +1,113 @@
+package dom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fluxquery/internal/xmltok"
+)
+
+// genTree builds a random tree for property tests.
+func genTree(r *rand.Rand, depth int) *Node {
+	n := NewElement(names[r.Intn(len(names))])
+	if r.Intn(2) == 0 {
+		n.Attrs = append(n.Attrs, xmltok.Attr{Name: "a", Value: texts[r.Intn(len(texts))]})
+	}
+	kids := r.Intn(4)
+	for i := 0; i < kids; i++ {
+		if depth <= 0 || r.Intn(3) == 0 {
+			n.AppendChild(NewText(texts[r.Intn(len(texts))]))
+		} else {
+			n.AppendChild(genTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+var names = []string{"a", "b", "c", "deep", "x1"}
+var texts = []string{"hello", "x < y & z", "", "  spaced  ", "Gödel"}
+
+// treeValue wraps *Node so testing/quick can generate it.
+type treeValue struct{ n *Node }
+
+// Generate implements quick.Generator.
+func (treeValue) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(treeValue{n: genTree(r, 3)})
+}
+
+// TestQuickCloneIsDeepAndEqual: Clone produces an equal, independent tree.
+func TestQuickCloneIsDeepAndEqual(t *testing.T) {
+	f := func(tv treeValue) bool {
+		orig := tv.n
+		cp := orig.Clone()
+		if cp.String() != orig.String() || cp.Size() != orig.Size() || cp.Count() != orig.Count() {
+			return false
+		}
+		// Mutating the clone leaves the original untouched.
+		before := orig.String()
+		cp.Name = "mutated"
+		cp.Children = nil
+		return orig.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSizeBounds: Size is at least the per-node overhead times the
+// node count, and grows when a child is added.
+func TestQuickSizeBounds(t *testing.T) {
+	f := func(tv treeValue) bool {
+		n := tv.n
+		if n.Size() < int64(nodeOverhead*n.Count()) {
+			return false
+		}
+		before := n.Size()
+		n.AppendChild(NewText("extra"))
+		return n.Size() > before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSerializationRoundTrip: Parse(String(t)) has the same string
+// value and serialization (modulo empty text nodes, which Parse drops).
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	f := func(tv treeValue) bool {
+		s := tv.n.String()
+		doc, err := ParseString(s)
+		if err != nil {
+			return false
+		}
+		return doc.Root().String() == s && doc.Root().StringValue() == tv.n.StringValue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParentLinks: AppendChild-built trees always have consistent
+// parent links.
+func TestQuickParentLinks(t *testing.T) {
+	f := func(tv treeValue) bool {
+		ok := true
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					ok = false
+					return
+				}
+				walk(c)
+			}
+		}
+		walk(tv.n)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

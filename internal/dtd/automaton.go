@@ -1,0 +1,435 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Automaton is the deterministic finite automaton of one element's content
+// model over the alphabet of child-element labels. It is produced by the
+// Glushkov construction followed by a subset construction (DTD content
+// models are required to be 1-unambiguous by XML, in which case the subset
+// step is the identity, but the engine does not depend on that).
+//
+// All of the paper's schema analyses are decided on this automaton:
+// validation, cardinality/order/co-occurrence constraints, and the past(S)
+// test behind XSAX on-first events.
+type Automaton struct {
+	labels   []string       // alphabet, sorted
+	labelIdx map[string]int // label -> index in labels
+	start    int
+	accept   []bool
+	// trans[q][l] is the successor of state q on label index l, or -1.
+	trans [][]int
+	// canSee[q][l] reports whether, starting in state q, a child labeled
+	// labels[l] can still occur on some path to an accepting state.
+	canSee [][]bool
+	// reach[q] reports whether q is reachable from the start state.
+	reach []bool
+	// isAny marks the universal automaton of the ANY content model; its
+	// transition table is empty and every label self-loops implicitly.
+	isAny bool
+}
+
+// compileElement builds the automaton for an element declaration.
+func compileElement(e *Element) error {
+	if e.Model == nil {
+		return &ParseError{Msg: fmt.Sprintf("element %s has an ATTLIST but no ELEMENT declaration", e.Name)}
+	}
+	switch m := e.Model.(type) {
+	case Empty:
+		e.auto = emptyAutomaton()
+	case PCData:
+		e.auto = emptyAutomaton()
+		e.hasPCData = true
+	case Any:
+		e.auto = &Automaton{
+			labelIdx: map[string]int{},
+			start:    0,
+			accept:   []bool{true},
+			trans:    [][]int{{}},
+			canSee:   [][]bool{{}},
+			reach:    []bool{true},
+			isAny:    true,
+		}
+		e.hasPCData = true
+		e.isAny = true
+	case Mixed:
+		items := make([]Model, len(m.Labels))
+		for i, l := range m.Labels {
+			items[i] = Name{Label: l}
+		}
+		var err error
+		e.auto, err = buildAutomaton(Rep{Item: Choice{Items: items}, Op: ZeroOrMore})
+		if err != nil {
+			return err
+		}
+		e.hasPCData = true
+	default:
+		var err error
+		e.auto, err = buildAutomaton(e.Model)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emptyAutomaton accepts exactly the empty child sequence.
+func emptyAutomaton() *Automaton {
+	return &Automaton{
+		labelIdx: map[string]int{},
+		start:    0,
+		accept:   []bool{true},
+		trans:    [][]int{{}},
+		canSee:   [][]bool{{}},
+		reach:    []bool{true},
+	}
+}
+
+// position is one occurrence of a Name in the model (Glushkov position).
+type position struct {
+	label int // label index
+}
+
+// glushkov holds the intermediate construction state.
+type glushkov struct {
+	labels   []string
+	labelIdx map[string]int
+	pos      []position
+	follow   []map[int]bool
+}
+
+// nfaFacts describes a sub-expression during the Glushkov recursion.
+type nfaFacts struct {
+	nullable bool
+	first    map[int]bool
+	last     map[int]bool
+}
+
+func (g *glushkov) labelOf(name string) int {
+	if i, ok := g.labelIdx[name]; ok {
+		return i
+	}
+	i := len(g.labels)
+	g.labels = append(g.labels, name)
+	g.labelIdx[name] = i
+	return i
+}
+
+func buildAutomaton(m Model) (*Automaton, error) {
+	g := &glushkov{labelIdx: map[string]int{}}
+	facts := g.walkCached(m)
+
+	// NFA: state 0 is the start; state i+1 is position i.
+	nStates := len(g.pos) + 1
+	type nfaEdge struct{ from, label, to int }
+	var edges []nfaEdge
+	for p := range facts.first {
+		edges = append(edges, nfaEdge{0, g.pos[p].label, p + 1})
+	}
+	for p, fset := range g.follow {
+		for q := range fset {
+			edges = append(edges, nfaEdge{p + 1, g.pos[q].label, q + 1})
+		}
+	}
+	nfaAccept := make([]bool, nStates)
+	nfaAccept[0] = facts.nullable
+	for p := range facts.last {
+		nfaAccept[p+1] = true
+	}
+
+	// Subset construction.
+	nfaTrans := make([]map[int][]int, nStates) // state -> label -> []state
+	for i := range nfaTrans {
+		nfaTrans[i] = map[int][]int{}
+	}
+	for _, e := range edges {
+		nfaTrans[e.from][e.label] = append(nfaTrans[e.from][e.label], e.to)
+	}
+	key := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = fmt.Sprint(s)
+		}
+		return strings.Join(parts, ",")
+	}
+	a := &Automaton{labels: g.labels, labelIdx: g.labelIdx, start: 0}
+	stateOf := map[string]int{}
+	var sets [][]int
+	addState := func(set []int) int {
+		k := key(set)
+		if id, ok := stateOf[k]; ok {
+			return id
+		}
+		id := len(sets)
+		stateOf[k] = id
+		sets = append(sets, set)
+		a.trans = append(a.trans, make([]int, len(g.labels)))
+		for i := range a.trans[id] {
+			a.trans[id][i] = -1
+		}
+		acc := false
+		for _, s := range set {
+			if nfaAccept[s] {
+				acc = true
+			}
+		}
+		a.accept = append(a.accept, acc)
+		return id
+	}
+	start := addState([]int{0})
+	a.start = start
+	for work := []int{start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		set := sets[id]
+		for l := range g.labels {
+			targets := map[int]bool{}
+			for _, s := range set {
+				for _, t := range nfaTrans[s][l] {
+					targets[t] = true
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			tset := make([]int, 0, len(targets))
+			for t := range targets {
+				tset = append(tset, t)
+			}
+			sort.Ints(tset)
+			before := len(sets)
+			tid := addState(tset)
+			a.trans[id][l] = tid
+			if tid == before {
+				work = append(work, tid)
+			}
+		}
+	}
+	a.computeAnalyses()
+	return a, nil
+}
+
+// walkCached is walk but records facts per sub-model for Seq's suffix-last
+// recomputation.
+func (g *glushkov) walkCached(m Model) nfaFacts {
+	switch t := m.(type) {
+	case Seq:
+		// Walk items in order, caching their facts first.
+		f := nfaFacts{nullable: true, first: map[int]bool{}, last: map[int]bool{}}
+		var itemFacts []nfaFacts
+		var prevLasts []map[int]bool
+		for _, item := range t.Items {
+			fi := g.walkCached(item)
+			itemFacts = append(itemFacts, fi)
+			// follow links: all lasts of every nullable-connected prefix
+			// item reach this item's firsts.
+			for i := len(prevLasts) - 1; i >= 0; i-- {
+				for p := range prevLasts[i] {
+					for q := range fi.first {
+						g.follow[p][q] = true
+					}
+				}
+				if !itemFacts[i].nullable {
+					break
+				}
+			}
+			if f.nullable {
+				for p := range fi.first {
+					f.first[p] = true
+				}
+			}
+			f.nullable = f.nullable && fi.nullable
+			prevLasts = append(prevLasts, fi.last)
+		}
+		for i := len(itemFacts) - 1; i >= 0; i-- {
+			for p := range itemFacts[i].last {
+				f.last[p] = true
+			}
+			if !itemFacts[i].nullable {
+				break
+			}
+		}
+		return f
+	case Choice:
+		f := nfaFacts{first: map[int]bool{}, last: map[int]bool{}}
+		for _, item := range t.Items {
+			fi := g.walkCached(item)
+			f.nullable = f.nullable || fi.nullable
+			for p := range fi.first {
+				f.first[p] = true
+			}
+			for p := range fi.last {
+				f.last[p] = true
+			}
+		}
+		return f
+	case Rep:
+		fi := g.walkCached(t.Item)
+		f := nfaFacts{first: fi.first, last: fi.last}
+		switch t.Op {
+		case ZeroOrOne:
+			f.nullable = true
+		case ZeroOrMore:
+			f.nullable = true
+			for p := range fi.last {
+				for q := range fi.first {
+					g.follow[p][q] = true
+				}
+			}
+		case OneOrMore:
+			f.nullable = fi.nullable
+			for p := range fi.last {
+				for q := range fi.first {
+					g.follow[p][q] = true
+				}
+			}
+		}
+		return f
+	case Name:
+		p := len(g.pos)
+		g.pos = append(g.pos, position{label: g.labelOf(t.Label)})
+		g.follow = append(g.follow, map[int]bool{})
+		return nfaFacts{first: map[int]bool{p: true}, last: map[int]bool{p: true}}
+	default:
+		return nfaFacts{nullable: true, first: map[int]bool{}, last: map[int]bool{}}
+	}
+}
+
+// computeAnalyses fills reach and canSee.
+func (a *Automaton) computeAnalyses() {
+	n := len(a.trans)
+	a.reach = make([]bool, n)
+	a.reach[a.start] = true
+	for stack := []int{a.start}; len(stack) > 0; {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.trans[q] {
+			if t >= 0 && !a.reach[t] {
+				a.reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	// canSee[q][l]: an l-edge occurs on some path from q. (All states of a
+	// Glushkov automaton can reach acceptance, so no usefulness filter is
+	// required; subset states are unions of those.)
+	a.canSee = make([][]bool, n)
+	for q := range a.canSee {
+		a.canSee[q] = make([]bool, len(a.labels))
+	}
+	changed := true
+	for changed {
+		changed = false
+		for q := 0; q < n; q++ {
+			for l, t := range a.trans[q] {
+				if t < 0 {
+					continue
+				}
+				if !a.canSee[q][l] {
+					a.canSee[q][l] = true
+					changed = true
+				}
+				for l2 := range a.labels {
+					if a.canSee[t][l2] && !a.canSee[q][l2] {
+						a.canSee[q][l2] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Alphabet returns the labels occurring in the content model, sorted.
+func (a *Automaton) Alphabet() []string {
+	out := append([]string(nil), a.labels...)
+	sort.Strings(out)
+	return out
+}
+
+// Start returns the initial state.
+func (a *Automaton) Start() int { return a.start }
+
+// NumStates returns the number of DFA states.
+func (a *Automaton) NumStates() int { return len(a.trans) }
+
+// Accepting reports whether state q is accepting (a valid end of the child
+// sequence).
+func (a *Automaton) Accepting(q int) bool {
+	if a.isAny {
+		return true
+	}
+	return q >= 0 && q < len(a.accept) && a.accept[q]
+}
+
+// Step returns the successor of state q on a child labeled label, or -1 if
+// the child is not permitted there.
+func (a *Automaton) Step(q int, label string) int {
+	if a.isAny {
+		return 0
+	}
+	l, ok := a.labelIdx[label]
+	if !ok || q < 0 || q >= len(a.trans) {
+		return -1
+	}
+	return a.trans[q][l]
+}
+
+// CanSee reports whether, from state q, a child labeled label can still
+// occur later in the element. For ANY content every declared label can
+// always occur.
+func (a *Automaton) CanSee(q int, label string) bool {
+	if a.isAny {
+		return true
+	}
+	l, ok := a.labelIdx[label]
+	if !ok || q < 0 || q >= len(a.canSee) {
+		return false
+	}
+	return a.canSee[q][l]
+}
+
+// Past reports whether, from state q, no child labeled in set can occur
+// anymore — the firing condition of an on-first past(set) handler.
+func (a *Automaton) Past(q int, set []string) bool {
+	for _, s := range set {
+		if a.CanSee(q, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transitions returns the outgoing transitions of q as (label, next) pairs
+// in sorted label order; used by the random document generator.
+func (a *Automaton) Transitions(q int) (labels []string, next []int) {
+	if a.isAny || q < 0 || q >= len(a.trans) {
+		return nil, nil
+	}
+	idx := make([]int, 0, len(a.labels))
+	for l, t := range a.trans[q] {
+		if t >= 0 {
+			idx = append(idx, l)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return a.labels[idx[i]] < a.labels[idx[j]] })
+	for _, l := range idx {
+		labels = append(labels, a.labels[l])
+		next = append(next, a.trans[q][l])
+	}
+	return labels, next
+}
+
+// states iterates over reachable states.
+func (a *Automaton) reachableStates() []int {
+	var out []int
+	for q := range a.trans {
+		if a.reach[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Card is the cardinality bound of a child label within a parent element.
+type Card uint8
+
+// Cardinality classes for a child label under a parent, as derivable from
+// the parent's content model.
+const (
+	// CardNone: the child can never occur.
+	CardNone Card = iota
+	// CardOptional: at most one occurrence (the paper's "a ∈ ||≤1 r").
+	CardOptional
+	// CardOne: exactly one occurrence in every valid parent.
+	CardOne
+	// CardMany: more than one occurrence is possible.
+	CardMany
+)
+
+func (c Card) String() string {
+	switch c {
+	case CardNone:
+		return "0"
+	case CardOptional:
+		return "?"
+	case CardOne:
+		return "1"
+	default:
+		return "*"
+	}
+}
+
+// AtMostOne reports whether the cardinality is bounded by one (the
+// precondition of the paper's loop-merging rule).
+func (c Card) AtMostOne() bool { return c == CardNone || c == CardOptional || c == CardOne }
+
+// Cardinality returns the cardinality class of child under parent. An
+// undeclared parent yields CardNone.
+func (d *DTD) Cardinality(parent, child string) Card {
+	e := d.Elements[parent]
+	if e == nil {
+		return CardNone
+	}
+	a := e.auto
+	if a.isAny {
+		if _, declared := d.Elements[child]; declared {
+			return CardMany
+		}
+		return CardNone
+	}
+	l, ok := a.labelIdx[child]
+	if !ok {
+		return CardNone
+	}
+	// Max: can two child-edges occur on one path? True iff some reachable
+	// child-edge leads to a state from which another child-edge is
+	// reachable.
+	many := false
+	occurs := false
+	for q := range a.trans {
+		if !a.reach[q] {
+			continue
+		}
+		t := a.trans[q][l]
+		if t < 0 {
+			continue
+		}
+		occurs = true
+		if a.canSee[t][l] {
+			many = true
+			break
+		}
+	}
+	if !occurs {
+		return CardNone
+	}
+	if many {
+		return CardMany
+	}
+	// Min: is an accepting state reachable without any child-edge?
+	if a.acceptingWithout(l) {
+		return CardOptional
+	}
+	return CardOne
+}
+
+// acceptingWithout reports whether an accepting state is reachable from
+// the start without using any edge labeled l.
+func (a *Automaton) acceptingWithout(l int) bool {
+	seen := make([]bool, len(a.trans))
+	stack := []int{a.start}
+	seen[a.start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.accept[q] {
+			return true
+		}
+		for li, t := range a.trans[q] {
+			if li == l || t < 0 || seen[t] {
+				continue
+			}
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	return false
+}
+
+// OrderBefore reports the order constraint "within parent, all a-children
+// occur before all b-children" — i.e. once a b-child has been read, no
+// a-child may follow in any valid document. With a == b this degenerates
+// to "at most one a", matching the scheduling requirement for successive
+// handlers on the same label.
+func (d *DTD) OrderBefore(parent, a, b string) bool {
+	e := d.Elements[parent]
+	if e == nil {
+		return true // vacuous: parent cannot occur
+	}
+	au := e.auto
+	if au.isAny {
+		return false
+	}
+	li, oka := au.labelIdx[a]
+	lj, okb := au.labelIdx[b]
+	if !oka || !okb {
+		// A label that cannot occur imposes no ordering violation.
+		return true
+	}
+	for q := range au.trans {
+		if !au.reach[q] {
+			continue
+		}
+		t := au.trans[q][lj] // take a b-edge...
+		if t < 0 {
+			continue
+		}
+		if au.canSee[t][li] { // ...an a may still follow
+			return false
+		}
+	}
+	return true
+}
+
+// Conflict reports the language constraint "no valid parent has both an
+// a-child and a b-child" (the paper's author/editor example).
+func (d *DTD) Conflict(parent, a, b string) bool {
+	e := d.Elements[parent]
+	if e == nil {
+		return true
+	}
+	au := e.auto
+	if au.isAny {
+		return false
+	}
+	li, oka := au.labelIdx[a]
+	lj, okb := au.labelIdx[b]
+	if !oka || !okb {
+		return true // one of them can never occur at all
+	}
+	if a == b {
+		// "Both an a and an a" means two a's.
+		return d.Cardinality(parent, a).AtMostOne()
+	}
+	for q := range au.trans {
+		if !au.reach[q] {
+			continue
+		}
+		if t := au.trans[q][li]; t >= 0 && au.canSee[t][lj] {
+			return false
+		}
+		if t := au.trans[q][lj]; t >= 0 && au.canSee[t][li] {
+			return false
+		}
+	}
+	return true
+}
+
+// Guaranteed reports whether every valid parent element has at least one
+// child labeled child (used to simplify exists() conditions).
+func (d *DTD) Guaranteed(parent, child string) bool {
+	c := d.Cardinality(parent, child)
+	return c == CardOne || (c == CardMany && !d.Elements[parent].auto.optionalMany(child))
+}
+
+// optionalMany reports whether, for a CardMany label, zero occurrences are
+// also possible.
+func (a *Automaton) optionalMany(child string) bool {
+	l, ok := a.labelIdx[child]
+	if !ok {
+		return true
+	}
+	return a.acceptingWithout(l)
+}
+
+// PastImplies reports whether it is safe to dereference $x/label inside an
+// on-first past(set) handler of an x-element (paper §2). XSAX inserts the
+// on-first event at the earliest position of the SAX stream where the
+// condition holds, which is the start tag of the child whose arrival makes
+// it true. Safety therefore needs two facts about the parent's automaton:
+//
+//  1. in every reachable state where past(set) holds, no further
+//     label-child can occur (the buffer will never grow again), and
+//  2. past(set) never first becomes true on the start tag of a label-child
+//     itself — otherwise the handler fires while that child is still
+//     incomplete and its buffer is missing the final item. This is exactly
+//     the paper's $book/price counterexample under ((title|author)*,price).
+func (d *DTD) PastImplies(parent string, set []string, label string) bool {
+	e := d.Elements[parent]
+	if e == nil {
+		return true
+	}
+	a := e.auto
+	if a.isAny {
+		return false
+	}
+	l, hasLabel := a.labelIdx[label]
+	for q := range a.trans {
+		if !a.reach[q] {
+			continue
+		}
+		if a.Past(q, set) && a.CanSee(q, label) {
+			return false
+		}
+		if hasLabel {
+			if t := a.trans[q][l]; t >= 0 && a.Past(t, set) {
+				// The condition holds immediately after a label-child's
+				// start tag: firing would precede the child's content.
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ValidationError reports a document that does not conform to the DTD.
+type ValidationError struct {
+	Element string // the element whose content is invalid
+	Msg     string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Element == "" {
+		return "validation error: " + e.Msg
+	}
+	return fmt.Sprintf("validation error in <%s>: %s", e.Element, e.Msg)
+}
+
+// ValidateChildren checks a full child-label sequence against parent's
+// content model.
+func (d *DTD) ValidateChildren(parent string, children []string) error {
+	e := d.Elements[parent]
+	if e == nil {
+		return &ValidationError{Element: parent, Msg: "undeclared element"}
+	}
+	q := e.auto.Start()
+	for _, c := range children {
+		if e.isAny {
+			if _, ok := d.Elements[c]; !ok {
+				return &ValidationError{Element: parent, Msg: "undeclared child <" + c + ">"}
+			}
+			continue
+		}
+		q = e.auto.Step(q, c)
+		if q < 0 {
+			return &ValidationError{Element: parent, Msg: fmt.Sprintf("child <%s> not allowed here (content model %s)", c, e.Model)}
+		}
+	}
+	if !e.auto.Accepting(q) {
+		return &ValidationError{Element: parent, Msg: fmt.Sprintf("content ended prematurely (content model %s)", e.Model)}
+	}
+	return nil
+}
+
+// ValidateAttrs checks an element's attributes against its ATTLIST.
+func (d *DTD) ValidateAttrs(elem string, attrs map[string]string) error {
+	e := d.Elements[elem]
+	if e == nil {
+		return &ValidationError{Element: elem, Msg: "undeclared element"}
+	}
+	for name, val := range attrs {
+		def := e.AttDef(name)
+		if def == nil {
+			return &ValidationError{Element: elem, Msg: "undeclared attribute " + name}
+		}
+		switch def.Type {
+		case AttEnum:
+			ok := false
+			for _, v := range def.Enum {
+				if v == val {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return &ValidationError{Element: elem, Msg: fmt.Sprintf("attribute %s value %q not in (%s)", name, val, strings.Join(def.Enum, "|"))}
+			}
+		case AttID, AttIDRef, AttNMToken:
+			if strings.TrimSpace(val) == "" {
+				return &ValidationError{Element: elem, Msg: "attribute " + name + " must be a token"}
+			}
+		}
+		if def.Default == AttFixed && val != def.Value {
+			return &ValidationError{Element: elem, Msg: fmt.Sprintf("attribute %s must have fixed value %q", name, def.Value)}
+		}
+	}
+	for _, def := range e.Atts {
+		if def.Default == AttRequired {
+			if _, ok := attrs[def.Name]; !ok {
+				return &ValidationError{Element: elem, Msg: "missing required attribute " + def.Name}
+			}
+		}
+	}
+	return nil
+}
+
+// ConstraintSummary renders all derived constraints of one parent element;
+// it backs the schemareason example and the -explain CLI mode.
+func (d *DTD) ConstraintSummary(parent string) string {
+	e := d.Elements[parent]
+	if e == nil {
+		return ""
+	}
+	labels := e.auto.Alphabet()
+	var b strings.Builder
+	fmt.Fprintf(&b, "element %s, content model %s\n", parent, e.Model)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  card(%s) = %s\n", l, d.Cardinality(parent, l))
+	}
+	for _, x := range labels {
+		for _, y := range labels {
+			if x != y && d.OrderBefore(parent, x, y) {
+				fmt.Fprintf(&b, "  order: all %s before all %s\n", x, y)
+			}
+		}
+	}
+	for i, x := range labels {
+		for _, y := range labels[i+1:] {
+			if d.Conflict(parent, x, y) {
+				fmt.Fprintf(&b, "  conflict: never both %s and %s\n", x, y)
+			}
+		}
+	}
+	return b.String()
+}
+
+// sortedLabels returns the union of two label sets, sorted and deduplicated.
+func sortedLabels(a, b []string) []string {
+	m := make(map[string]bool, len(a)+len(b))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		m[x] = true
+	}
+	out := make([]string, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}

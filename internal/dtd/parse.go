@@ -1,0 +1,491 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a malformed DTD.
+type ParseError struct {
+	Pos int // byte offset into the source
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses DTD declaration text: a sequence of <!ELEMENT>, <!ATTLIST>,
+// comments and processing instructions. <!ENTITY> and <!NOTATION>
+// declarations are skipped. The root element defaults to the first
+// declared element.
+func Parse(src string) (*DTD, error) {
+	p := &parser{src: src}
+	d := &DTD{Elements: make(map[string]*Element)}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		if !p.consume("<!") {
+			if p.consume("<?") {
+				p.skipUntil("?>")
+				continue
+			}
+			return nil, p.errf("expected declaration, found %q", p.rest(12))
+		}
+		switch {
+		case p.consume("--"):
+			p.skipUntil("-->")
+		case p.consumeWord("ELEMENT"):
+			if err := p.parseElement(d); err != nil {
+				return nil, err
+			}
+		case p.consumeWord("ATTLIST"):
+			if err := p.parseAttlist(d); err != nil {
+				return nil, err
+			}
+		case p.consumeWord("ENTITY"), p.consumeWord("NOTATION"):
+			p.skipDecl()
+		default:
+			return nil, p.errf("unknown declaration <!%s", p.rest(12))
+		}
+	}
+	if len(d.Order) == 0 {
+		return nil, &ParseError{Msg: "no element declarations"}
+	}
+	if d.Root == "" {
+		d.Root = d.Order[0]
+	}
+	// Compile automata and check that referenced children are declared.
+	for _, name := range d.Order {
+		e := d.Elements[name]
+		if err := compileElement(e); err != nil {
+			return nil, err
+		}
+		for _, l := range e.auto.Alphabet() {
+			if _, ok := d.Elements[l]; !ok {
+				return nil, &ParseError{Msg: fmt.Sprintf("element %s references undeclared child %s", name, l)}
+			}
+		}
+	}
+	// The hidden document pseudo-element types the $ROOT variable: its
+	// content model is exactly one occurrence of the root element. It is
+	// not part of Order, so printing and Labels are unaffected.
+	doc := &Element{Name: DocElem, Model: Name{Label: d.Root}}
+	if err := compileElement(doc); err != nil {
+		return nil, err
+	}
+	d.Elements[DocElem] = doc
+	return d, nil
+}
+
+// DocElem is the name of the hidden pseudo-element describing the document
+// node: it has exactly one child, the DTD's root element. It types the
+// $ROOT variable in the optimizer and the FluX scheduler.
+const DocElem = "#document"
+
+// MustParse is Parse that panics on error; for tests and fixed schemas.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseDoctype extracts and parses the internal subset of a DOCTYPE
+// directive body (the text between <! and >, as produced by the xmltok
+// scanner for a Directive token). The declared document element becomes
+// the DTD root.
+func ParseDoctype(directive string) (*DTD, error) {
+	s := strings.TrimSpace(directive)
+	if !strings.HasPrefix(s, "DOCTYPE") {
+		return nil, &ParseError{Msg: "not a DOCTYPE directive"}
+	}
+	s = strings.TrimSpace(s[len("DOCTYPE"):])
+	i := strings.IndexAny(s, " \t\r\n[")
+	if i < 0 {
+		return nil, &ParseError{Msg: "DOCTYPE without internal subset"}
+	}
+	root := s[:i]
+	open := strings.IndexByte(s, '[')
+	close := strings.LastIndexByte(s, ']')
+	if open < 0 || close < open {
+		return nil, &ParseError{Msg: "DOCTYPE without internal subset"}
+	}
+	d, err := Parse(s[open+1 : close])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := d.Elements[root]; !ok {
+		return nil, &ParseError{Msg: fmt.Sprintf("DOCTYPE root %s not declared", root)}
+	}
+	d.Root = root
+	// Rebuild the document pseudo-element for the declared root.
+	doc := &Element{Name: DocElem, Model: Name{Label: root}}
+	if err := compileElement(doc); err != nil {
+		return nil, err
+	}
+	d.Elements[DocElem] = doc
+	return d, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) rest(n int) string {
+	r := p.src[p.pos:]
+	if len(r) > n {
+		r = r[:n]
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// consumeWord consumes s only if followed by a non-name character.
+func (p *parser) consumeWord(s string) bool {
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, s) {
+		return false
+	}
+	if len(rest) > len(s) && isNameChar(rest[len(s)]) {
+		return false
+	}
+	p.pos += len(s)
+	return true
+}
+
+func (p *parser) skipUntil(s string) {
+	if i := strings.Index(p.src[p.pos:], s); i >= 0 {
+		p.pos += i + len(s)
+	} else {
+		p.pos = len(p.src)
+	}
+}
+
+// skipDecl skips the remainder of a declaration up to '>', honoring quotes.
+func (p *parser) skipDecl() {
+	var quote byte
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		p.pos++
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '>':
+			return
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(p.src[p.pos]) {
+		return "", p.errf("expected name, found %q", p.rest(8))
+	}
+	p.pos++
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseElement(d *DTD) error {
+	p.skipSpace()
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if prev, dup := d.Elements[name]; dup && prev.Model != nil {
+		return p.errf("duplicate declaration of element %s", name)
+	}
+	p.skipSpace()
+	model, err := p.contentSpec()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return p.errf("expected '>' after ELEMENT %s", name)
+	}
+	if prev, ok := d.Elements[name]; ok {
+		// Fill in a placeholder created by a preceding ATTLIST.
+		prev.Model = model
+		return nil
+	}
+	d.Elements[name] = &Element{Name: name, Model: model}
+	d.Order = append(d.Order, name)
+	return nil
+}
+
+func (p *parser) contentSpec() (Model, error) {
+	switch {
+	case p.consumeWord("EMPTY"):
+		return Empty{}, nil
+	case p.consumeWord("ANY"):
+		return Any{}, nil
+	case p.consume("("):
+		p.skipSpace()
+		if p.consume("#PCDATA") {
+			return p.mixedTail()
+		}
+		return p.groupTail()
+	default:
+		return nil, p.errf("expected content specification, found %q", p.rest(12))
+	}
+}
+
+// mixedTail parses the remainder of (#PCDATA ... after the keyword.
+func (p *parser) mixedTail() (Model, error) {
+	var labels []string
+	for {
+		p.skipSpace()
+		if p.consume(")") {
+			if len(labels) > 0 {
+				// (#PCDATA|a|b) must be followed by *.
+				if !p.consume("*") {
+					return nil, p.errf("mixed content with names requires ')*'")
+				}
+				return Mixed{Labels: labels}, nil
+			}
+			p.consume("*") // (#PCDATA)* is also legal
+			return PCData{}, nil
+		}
+		if !p.consume("|") {
+			return nil, p.errf("expected '|' or ')' in mixed content")
+		}
+		p.skipSpace()
+		n, err := p.name()
+		if err != nil {
+			return err2(err)
+		}
+		for _, l := range labels {
+			if l == n {
+				return nil, p.errf("duplicate name %s in mixed content", n)
+			}
+		}
+		labels = append(labels, n)
+	}
+}
+
+func err2(err error) (Model, error) { return nil, err }
+
+// groupTail parses a children group after the opening '('.
+func (p *parser) groupTail() (Model, error) {
+	first, err := p.cp()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	var sep byte
+	items := []Model{first}
+	for {
+		switch {
+		case p.consume(")"):
+			var m Model
+			if len(items) == 1 {
+				m = items[0]
+			} else if sep == '|' {
+				m = Choice{Items: items}
+			} else {
+				m = Seq{Items: items}
+			}
+			return p.repSuffix(m), nil
+		case p.consume("|"):
+			if sep == ',' {
+				return nil, p.errf("cannot mix ',' and '|' in one group")
+			}
+			sep = '|'
+		case p.consume(","):
+			if sep == '|' {
+				return nil, p.errf("cannot mix ',' and '|' in one group")
+			}
+			sep = ','
+		default:
+			return nil, p.errf("expected ',', '|' or ')' in content model, found %q", p.rest(8))
+		}
+		p.skipSpace()
+		item, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		p.skipSpace()
+	}
+}
+
+// cp parses one content particle: a name or a parenthesized group, with an
+// optional repetition suffix.
+func (p *parser) cp() (Model, error) {
+	p.skipSpace()
+	if p.consume("(") {
+		p.skipSpace()
+		if p.consume("#PCDATA") {
+			return nil, p.errf("#PCDATA only allowed at top level of a content model")
+		}
+		return p.groupTail()
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	return p.repSuffix(Name{Label: n}), nil
+}
+
+func (p *parser) repSuffix(m Model) Model {
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '?', '*', '+':
+			op := RepOp(p.src[p.pos])
+			p.pos++
+			return Rep{Item: m, Op: op}
+		}
+	}
+	return m
+}
+
+func (p *parser) parseAttlist(d *DTD) error {
+	p.skipSpace()
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	e := d.Elements[name]
+	if e == nil {
+		// Forward ATTLIST: create a placeholder; the element must still be
+		// declared later (checked in Parse when compiling).
+		e = &Element{Name: name}
+		d.Elements[name] = e
+		d.Order = append(d.Order, name)
+	}
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return nil
+		}
+		aname, err := p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		def := &AttDef{Name: aname}
+		switch {
+		case p.consumeWord("CDATA"):
+			def.Type = AttCDATA
+		case p.consumeWord("IDREFS"), p.consumeWord("IDREF"):
+			def.Type = AttIDRef
+		case p.consumeWord("ID"):
+			def.Type = AttID
+		case p.consumeWord("ENTITIES"), p.consumeWord("ENTITY"):
+			def.Type = AttCDATA
+		case p.consumeWord("NMTOKENS"), p.consumeWord("NMTOKEN"):
+			def.Type = AttNMToken
+		case p.consumeWord("NOTATION"):
+			return p.errf("NOTATION attribute types are not supported")
+		case p.consume("("):
+			def.Type = AttEnum
+			for {
+				p.skipSpace()
+				v, err := p.name()
+				if err != nil {
+					return err
+				}
+				def.Enum = append(def.Enum, v)
+				p.skipSpace()
+				if p.consume(")") {
+					break
+				}
+				if !p.consume("|") {
+					return p.errf("expected '|' or ')' in enumeration")
+				}
+			}
+		default:
+			return p.errf("expected attribute type for %s", aname)
+		}
+		p.skipSpace()
+		switch {
+		case p.consumeWord("#REQUIRED"):
+			def.Default = AttRequired
+		case p.consumeWord("#IMPLIED"):
+			def.Default = AttImplied
+		case p.consumeWord("#FIXED"):
+			def.Default = AttFixed
+			p.skipSpace()
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			def.Value = v
+		default:
+			def.Default = AttDefaulted
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			def.Value = v
+		}
+		if e.AttDef(aname) != nil {
+			return p.errf("duplicate attribute %s on element %s", aname, name)
+		}
+		e.Atts = append(e.Atts, def)
+	}
+}
+
+func (p *parser) quoted() (string, error) {
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected quoted value")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated quoted value")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}

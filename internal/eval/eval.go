@@ -1,0 +1,451 @@
+// Package eval implements the XQuery-over-tree interpreter shared by the
+// FluX runtime (for handler bodies evaluated over memory buffers) and the
+// baseline engines (which evaluate whole documents in memory).
+//
+// Sequence semantics follow the paper's fragment: general comparisons are
+// existential; atomization takes the string value of a node; adjacent
+// atomic values in constructor content are concatenated without separator
+// (a deliberate, engine-wide simplification of the W3C space-joining rule
+// so that all engines in this repository produce byte-identical output).
+package eval
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fluxquery/internal/dom"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+)
+
+// Item is one value of a sequence: a *dom.Node or an atomic string.
+type Item interface{}
+
+// Env maps variables to item sequences; environments nest lexically.
+type Env struct {
+	parent *Env
+	name   string
+	items  []Item
+}
+
+// NewEnv returns an environment with a single binding.
+func NewEnv(name string, items ...Item) *Env {
+	return &Env{name: name, items: items}
+}
+
+// Bind returns a child environment with an additional binding.
+func (e *Env) Bind(name string, items ...Item) *Env {
+	return &Env{parent: e, name: name, items: items}
+}
+
+// Lookup resolves a variable.
+func (e *Env) Lookup(name string) ([]Item, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur.items, true
+		}
+	}
+	return nil, false
+}
+
+// Error reports an evaluation failure (unbound variable, iteration over
+// atomics, …).
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "eval: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates e under env and writes its result to w.
+func Eval(e xquery.Expr, env *Env, w *xmltok.Writer) error {
+	switch t := e.(type) {
+	case nil, xquery.EmptySeq:
+		return nil
+	case xquery.Text:
+		w.Text(t.Data)
+		return nil
+	case xquery.Str:
+		w.Text(t.Value)
+		return nil
+	case xquery.Num:
+		w.Text(t.Lit)
+		return nil
+	case xquery.Seq:
+		for _, c := range t.Items {
+			if err := Eval(c, env, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xquery.Elem:
+		attrs := make([]xmltok.Attr, len(t.Attrs))
+		for i, a := range t.Attrs {
+			attrs[i] = xmltok.Attr{Name: a.Name, Value: a.Value}
+		}
+		w.StartElement(t.Name, attrs)
+		for _, c := range t.Children {
+			if err := Eval(c, env, w); err != nil {
+				return err
+			}
+		}
+		w.EndElement(t.Name)
+		return nil
+	case xquery.Path:
+		items, err := Items(t, env)
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			EmitItem(w, it)
+		}
+		return nil
+	case xquery.For:
+		return evalFor(t, env, w)
+	case xquery.Let:
+		inner := env
+		for _, b := range t.Bindings {
+			items, err := Items(b.In, inner)
+			if err != nil {
+				return err
+			}
+			inner = inner.Bind(b.Var, items...)
+		}
+		return Eval(t.Body, inner, w)
+	case xquery.If:
+		ok, err := Cond(t.Cond, env)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return Eval(t.Then, env, w)
+		}
+		return Eval(t.Else, env, w)
+	case xquery.Call:
+		return evalCallOutput(t, env, w)
+	case xquery.Cmp, xquery.And, xquery.Or:
+		ok, err := Cond(t, env)
+		if err != nil {
+			return err
+		}
+		if ok {
+			w.Text("true")
+		} else {
+			w.Text("false")
+		}
+		return nil
+	default:
+		return errf("cannot evaluate %T in output position", e)
+	}
+}
+
+func evalFor(f xquery.For, env *Env, w *xmltok.Writer) error {
+	return iterate(f.Bindings, 0, env, func(rowEnv *Env) error {
+		inner := rowEnv
+		for _, b := range f.Lets {
+			items, err := Items(b.In, inner)
+			if err != nil {
+				return err
+			}
+			inner = inner.Bind(b.Var, items...)
+		}
+		if f.Where != nil {
+			ok, err := Cond(f.Where, inner)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return Eval(f.Return, inner, w)
+	})
+}
+
+// iterate runs body once per combination of binding values (nested-loop
+// semantics for multi-variable for clauses).
+func iterate(bindings []xquery.Binding, i int, env *Env, body func(*Env) error) error {
+	if i == len(bindings) {
+		return body(env)
+	}
+	items, err := Items(bindings[i].In, env)
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		if _, ok := it.(*dom.Node); !ok {
+			return errf("for $%s iterates over atomic values", bindings[i].Var)
+		}
+		if err := iterate(bindings, i+1, env.Bind(bindings[i].Var, it), body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitItem writes one item to the output.
+func EmitItem(w *xmltok.Writer, it Item) {
+	switch v := it.(type) {
+	case *dom.Node:
+		v.WriteXML(w)
+	case string:
+		w.Text(v)
+	}
+}
+
+// Items evaluates an expression in operand position to an item sequence.
+func Items(e xquery.Expr, env *Env) ([]Item, error) {
+	switch t := e.(type) {
+	case xquery.Path:
+		base, ok := env.Lookup(t.Var)
+		if !ok {
+			return nil, errf("unbound variable $%s", t.Var)
+		}
+		return resolveSteps(base, t.Steps)
+	case xquery.Str:
+		return []Item{t.Value}, nil
+	case xquery.Num:
+		return []Item{t.Lit}, nil
+	case xquery.EmptySeq:
+		return nil, nil
+	case xquery.Seq:
+		var out []Item
+		for _, c := range t.Items {
+			items, err := Items(c, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, items...)
+		}
+		return out, nil
+	case xquery.Call:
+		return callItems(t, env)
+	default:
+		return nil, errf("unsupported operand %T", e)
+	}
+}
+
+func resolveSteps(items []Item, steps []xquery.Step) ([]Item, error) {
+	cur := items
+	for _, s := range steps {
+		var next []Item
+		for _, it := range cur {
+			n, ok := it.(*dom.Node)
+			if !ok {
+				return nil, errf("cannot apply step /%s to atomic value", s)
+			}
+			switch s.Axis {
+			case xquery.Child:
+				for _, c := range n.ChildElements(s.Name) {
+					next = append(next, c)
+				}
+			case xquery.Attribute:
+				if v, ok := n.Attr(s.Name); ok {
+					next = append(next, v)
+				}
+			case xquery.TextAxis:
+				// The concatenated character data directly under n.
+				var b strings.Builder
+				for _, c := range n.Children {
+					if c.Kind == dom.TextNode {
+						b.WriteString(c.Text)
+					}
+				}
+				if b.Len() > 0 {
+					next = append(next, b.String())
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Atomize returns the string value of an item.
+func Atomize(it Item) string {
+	switch v := it.(type) {
+	case *dom.Node:
+		return v.StringValue()
+	case string:
+		return v
+	default:
+		return ""
+	}
+}
+
+// Cond evaluates a condition to a boolean.
+func Cond(e xquery.Expr, env *Env) (bool, error) {
+	switch t := e.(type) {
+	case xquery.And:
+		l, err := Cond(t.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return Cond(t.R, env)
+	case xquery.Or:
+		l, err := Cond(t.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return Cond(t.R, env)
+	case xquery.Cmp:
+		return evalCmp(t, env)
+	case xquery.Call:
+		switch t.Name {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "not":
+			inner, err := Cond(t.Args[0], env)
+			return !inner, err
+		case "exists", "empty":
+			items, err := Items(t.Args[0], env)
+			if err != nil {
+				return false, err
+			}
+			if t.Name == "exists" {
+				return len(items) > 0, nil
+			}
+			return len(items) == 0, nil
+		default:
+			return false, errf("function %s() is not a condition", t.Name)
+		}
+	case xquery.Path:
+		items, err := Items(t, env)
+		return len(items) > 0, err
+	default:
+		return false, errf("unsupported condition %T", e)
+	}
+}
+
+// evalCmp implements general comparisons with existential semantics. The
+// comparison is numeric when either operand is a numeric literal and both
+// atomized values parse as numbers; otherwise it is a string comparison.
+func evalCmp(c xquery.Cmp, env *Env) (bool, error) {
+	l, err := Items(c.L, env)
+	if err != nil {
+		return false, err
+	}
+	r, err := Items(c.R, env)
+	if err != nil {
+		return false, err
+	}
+	_, lNum := c.L.(xquery.Num)
+	_, rNum := c.R.(xquery.Num)
+	numeric := lNum || rNum
+	for _, li := range l {
+		ls := Atomize(li)
+		for _, ri := range r {
+			rs := Atomize(ri)
+			if numeric {
+				lf, errL := strconv.ParseFloat(strings.TrimSpace(ls), 64)
+				rf, errR := strconv.ParseFloat(strings.TrimSpace(rs), 64)
+				if errL != nil || errR != nil {
+					continue
+				}
+				if cmpNum(c.Op, lf, rf) {
+					return true, nil
+				}
+				continue
+			}
+			if cmpStr(c.Op, ls, rs) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func cmpNum(op xquery.CmpOp, a, b float64) bool {
+	switch op {
+	case xquery.Eq:
+		return a == b
+	case xquery.Ne:
+		return a != b
+	case xquery.Lt:
+		return a < b
+	case xquery.Le:
+		return a <= b
+	case xquery.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpStr(op xquery.CmpOp, a, b string) bool {
+	switch op {
+	case xquery.Eq:
+		return a == b
+	case xquery.Ne:
+		return a != b
+	case xquery.Lt:
+		return a < b
+	case xquery.Le:
+		return a <= b
+	case xquery.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// callItems evaluates value-returning builtins.
+func callItems(c xquery.Call, env *Env) ([]Item, error) {
+	switch c.Name {
+	case "data", "string":
+		items, err := Items(c.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Item, len(items))
+		for i, it := range items {
+			out[i] = Atomize(it)
+		}
+		return out, nil
+	case "concat":
+		var b strings.Builder
+		for _, a := range c.Args {
+			items, err := Items(a, env)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				b.WriteString(Atomize(it))
+			}
+		}
+		return []Item{b.String()}, nil
+	case "distinct-values":
+		items, err := Items(c.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, len(items))
+		var out []Item
+		for _, it := range items {
+			s := Atomize(it)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	default:
+		return nil, errf("unsupported function %s() in operand position", c.Name)
+	}
+}
+
+// evalCallOutput writes a value-returning call's result to the output.
+func evalCallOutput(c xquery.Call, env *Env, w *xmltok.Writer) error {
+	items, err := callItems(c, env)
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		EmitItem(w, it)
+	}
+	return nil
+}

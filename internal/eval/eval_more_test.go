@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dom"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+)
+
+func runExpr(t *testing.T, query, doc string) (string, error) {
+	t.Helper()
+	tree, err := dom.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(xquery.RootVar, Item(tree))
+	var sb strings.Builder
+	w := xmltok.NewWriter(&sb)
+	if err := Eval(xquery.MustParse(query), env, w); err != nil {
+		return "", err
+	}
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func mustRun(t *testing.T, query, doc string) string {
+	t.Helper()
+	out, err := runExpr(t, query, doc)
+	if err != nil {
+		t.Fatalf("eval %q: %v", query, err)
+	}
+	return out
+}
+
+func TestAllComparisonOperators(t *testing.T) {
+	doc := `<d><v>5</v><w>abc</w></d>`
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`{ if ($ROOT/d/v != 5) then <t/> else <f/> }`, "<f/>"},
+		{`{ if ($ROOT/d/v <= 5) then <t/> else <f/> }`, "<t/>"},
+		{`{ if ($ROOT/d/v >= 6) then <t/> else <f/> }`, "<f/>"},
+		{`{ if ($ROOT/d/v lt 10) then <t/> else <f/> }`, "<t/>"},
+		{`{ if ($ROOT/d/w = "abc") then <t/> else <f/> }`, "<t/>"},
+		{`{ if ($ROOT/d/w < "abd") then <t/> else <f/> }`, "<t/>"},
+		{`{ if ($ROOT/d/w ge "abd") then <t/> else <f/> }`, "<f/>"},
+		{`{ if ($ROOT/d/w ne "abc") then <t/> else <f/> }`, "<f/>"},
+	}
+	for _, c := range cases {
+		if got := mustRun(t, c.q, doc); got != c.want {
+			t.Errorf("%s = %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestNumericComparisonSkipsUnparseable(t *testing.T) {
+	doc := `<d><v>not-a-number</v><v>7</v></d>`
+	// Existential: one v parses and satisfies > 5.
+	got := mustRun(t, `{ if ($ROOT/d/v > 5) then <t/> else <f/> }`, doc)
+	if got != "<t/>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEmptyAndNot(t *testing.T) {
+	doc := `<d><a>x</a></d>`
+	if got := mustRun(t, `{ if (empty($ROOT/d/b)) then <t/> else <f/> }`, doc); got != "<t/>" {
+		t.Errorf("empty: %s", got)
+	}
+	if got := mustRun(t, `{ if (not(empty($ROOT/d/a))) then <t/> else <f/> }`, doc); got != "<t/>" {
+		t.Errorf("not-empty: %s", got)
+	}
+	if got := mustRun(t, `{ if (true()) then <t/> else <f/> }`, doc); got != "<t/>" {
+		t.Errorf("true(): %s", got)
+	}
+	if got := mustRun(t, `{ if (false()) then <t/> else <f/> }`, doc); got != "<f/>" {
+		t.Errorf("false(): %s", got)
+	}
+}
+
+func TestBarePathAsCondition(t *testing.T) {
+	doc := `<d><a>x</a></d>`
+	if got := mustRun(t, `{ if ($ROOT/d/a) then <t/> else <f/> }`, doc); got != "<t/>" {
+		t.Errorf("got %s", got)
+	}
+	if got := mustRun(t, `{ if ($ROOT/d/zz) then <t/> else <f/> }`, doc); got != "<f/>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestStringFunction(t *testing.T) {
+	doc := `<d><a>hello</a></d>`
+	if got := mustRun(t, `{ string($ROOT/d/a) }`, doc); got != "hello" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBooleanOutputPosition(t *testing.T) {
+	doc := `<d><a>1</a></d>`
+	if got := mustRun(t, `<r>{ $ROOT/d/a = "1" }</r>`, doc); got != "<r>true</r>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSeqAndEmptyInOperands(t *testing.T) {
+	doc := `<d><a>x</a><b>y</b></d>`
+	got := mustRun(t, `{ if (($ROOT/d/a, $ROOT/d/b) = "y") then <t/> else <f/> }`, doc)
+	if got != "<t/>" {
+		t.Errorf("sequence operand: %s", got)
+	}
+	got = mustRun(t, `{ if (() = "y") then <t/> else <f/> }`, doc)
+	if got != "<f/>" {
+		t.Errorf("empty operand: %s", got)
+	}
+}
+
+func TestForLetWhereCombined(t *testing.T) {
+	doc := `<d><p><n>1</n></p><p><n>2</n></p></d>`
+	got := mustRun(t, `for $p in $ROOT/d/p let $n := $p/n where $n = "2" return <hit>{ $n/text() }</hit>`, doc)
+	if got != "<hit>2</hit>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEvalMoreErrors(t *testing.T) {
+	doc := `<d><a>x</a></d>`
+	cases := []string{
+		`{ if (concat("a","b")) then <t/> else <f/> }`, // call as condition
+		`for $x in $ROOT/d/a/text() return <r/>`,       // iterate text atomics
+	}
+	for _, src := range cases {
+		if _, err := runExpr(t, src, doc); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestAtomizeKinds(t *testing.T) {
+	n, _ := dom.ParseString(`<a>x<b>y</b></a>`)
+	if got := Atomize(n.Root()); got != "xy" {
+		t.Errorf("node atomize = %q", got)
+	}
+	if got := Atomize("plain"); got != "plain" {
+		t.Errorf("string atomize = %q", got)
+	}
+	if got := Atomize(42); got != "" {
+		t.Errorf("unknown atomize = %q", got)
+	}
+}
+
+func TestDistinctValuesInOperand(t *testing.T) {
+	doc := `<d><v>a</v><v>a</v><v>b</v></d>`
+	got := mustRun(t, `{ if (distinct-values($ROOT/d/v) = "b") then <t/> else <f/> }`, doc)
+	if got != "<t/>" {
+		t.Errorf("got %s", got)
+	}
+}

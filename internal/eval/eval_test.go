@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dom"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+)
+
+const bibDoc = `<bib><book year="1994"><title>TCP/IP</title><author>Stevens</author><publisher>AW</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><publisher>MK</publisher><price>39.95</price></book></bib>`
+
+func run(t *testing.T, query, doc string) string {
+	t.Helper()
+	tree, err := dom.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(xquery.RootVar, Item(tree))
+	var sb strings.Builder
+	w := xmltok.NewWriter(&sb)
+	if err := Eval(xquery.MustParse(query), env, w); err != nil {
+		t.Fatalf("eval %q: %v", query, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestEvalQ3(t *testing.T) {
+	got := run(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`, bibDoc)
+	want := `<results><result><title>TCP/IP</title><author>Stevens</author></result><result><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author></result></results>`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEvalWhere(t *testing.T) {
+	got := run(t, `for $b in $ROOT/bib/book where $b/publisher = "AW" return { $b/title/text() }`, bibDoc)
+	if got != "TCP/IP" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalNumericComparison(t *testing.T) {
+	got := run(t, `for $b in $ROOT/bib/book where $b/price < 50 return { $b/title/text() }`, bibDoc)
+	if got != "Data on the Web" {
+		t.Errorf("got %q", got)
+	}
+	got = run(t, `for $b in $ROOT/bib/book where $b/@year >= 2000 return { $b/title/text() }`, bibDoc)
+	if got != "Data on the Web" {
+		t.Errorf("attr compare got %q", got)
+	}
+}
+
+func TestEvalExistentialComparison(t *testing.T) {
+	// Any author equal matches (existential over the author sequence).
+	got := run(t, `for $b in $ROOT/bib/book where $b/author = "Buneman" return { $b/title/text() }`, bibDoc)
+	if got != "Data on the Web" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	doc := `<db><l><i k="1">x</i><i k="2">y</i></l><r><j k="2">Y</j><j k="3">Z</j></r></db>`
+	got := run(t, `for $a in $ROOT/db/l/i, $b in $ROOT/db/r/j where $a/@k = $b/@k return <m>{ $a/text() }{ $b/text() }</m>`, doc)
+	if got != "<m>yY</m>" {
+		t.Errorf("join got %q", got)
+	}
+}
+
+func TestEvalIfElse(t *testing.T) {
+	got := run(t, `for $b in $ROOT/bib/book return { if (exists($b/author)) then <a/> else <e/> }`, bibDoc)
+	if got != "<a/><a/>" {
+		t.Errorf("got %q", got)
+	}
+	got = run(t, `for $b in $ROOT/bib/book return { if ($b/price > 100) then <x/> else <cheap/> }`, bibDoc)
+	if got != "<cheap/><cheap/>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalLet(t *testing.T) {
+	got := run(t, `for $b in $ROOT/bib/book let $t := $b/title where $b/publisher = "AW" return <r>{ $t/text() }</r>`, bibDoc)
+	if got != "<r>TCP/IP</r>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalConcatAndData(t *testing.T) {
+	got := run(t, `for $b in $ROOT/bib/book where $b/publisher = "AW" return { concat("t=", data($b/title)) }`, bibDoc)
+	if got != "t=TCP/IP" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalDistinctValues(t *testing.T) {
+	doc := `<d><v>a</v><v>b</v><v>a</v><v>c</v></d>`
+	got := run(t, `{ distinct-values($ROOT/d/v) }`, doc)
+	if got != "abc" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	got := run(t, `for $x in $ROOT/bib/book/* where $x/text() = "Stevens" return <hit/>`, bibDoc)
+	if got != "<hit/>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalEscaping(t *testing.T) {
+	doc := `<d><v>a &amp; b &lt; c</v></d>`
+	got := run(t, `{ $ROOT/d/v }`, doc)
+	if got != "<v>a &amp; b &lt; c</v>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	tree, _ := dom.ParseString(bibDoc)
+	env := NewEnv(xquery.RootVar, Item(tree))
+	var sb strings.Builder
+	w := xmltok.NewWriter(&sb)
+	cases := []string{
+		`{ $nope/x }`, // unbound variable
+		`for $x in $ROOT/bib/book/@year return { $x }`, // iterate atomics
+	}
+	for _, src := range cases {
+		if err := Eval(xquery.MustParse(src), env, w); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEnvShadowing(t *testing.T) {
+	base := NewEnv("x", "outer")
+	inner := base.Bind("x", "inner")
+	if v, _ := inner.Lookup("x"); v[0] != "inner" {
+		t.Errorf("shadow lookup = %v", v)
+	}
+	if v, _ := base.Lookup("x"); v[0] != "outer" {
+		t.Errorf("outer lookup = %v", v)
+	}
+	if _, ok := base.Lookup("y"); ok {
+		t.Error("unbound lookup should fail")
+	}
+}
+
+func TestEvalTextStepConcatenatesDirectText(t *testing.T) {
+	doc := `<d><v>a<b>skip</b>c</v></d>`
+	got := run(t, `{ $ROOT/d/v/text() }`, doc)
+	if got != "ac" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,575 @@
+// Package nf rewrites queries of the supported XQuery fragment into the
+// normal form on which the FluXQuery optimizer and scheduler operate
+// (paper §3.1, first step).
+//
+// Normal-form invariants:
+//
+//  1. every for-expression binds exactly one variable, has no let clause
+//     and no where clause (where C return R becomes return if (C) then R);
+//  2. every for-in path has exactly one child step, so loops mirror the
+//     parent/child structure that process-stream handlers traverse;
+//  3. let-bound variables are inlined (they bind paths, which the fragment
+//     treats as pure);
+//  4. in output position, a bare path is expanded into an explicit loop
+//     over its element steps: { $b/title } becomes
+//     for $v in $b/title return $v, making node copies explicit. Paths
+//     ending in text() or an attribute step remain as atomic (string)
+//     emissions over a single variable;
+//  5. conditions keep their paths intact — they are evaluated over
+//     buffered data and never drive stream traversal directly.
+package nf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fluxquery/internal/xquery"
+)
+
+// Error reports a query outside the normalizable fragment.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "normalize: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Normalize rewrites e into normal form.
+func Normalize(e xquery.Expr) (xquery.Expr, error) {
+	n := &normalizer{used: map[string]bool{}}
+	xquery.Walk(e, func(x xquery.Expr) bool {
+		switch t := x.(type) {
+		case xquery.For:
+			for _, b := range t.Bindings {
+				n.used[b.Var] = true
+			}
+			for _, b := range t.Lets {
+				n.used[b.Var] = true
+			}
+		case xquery.Let:
+			for _, b := range t.Bindings {
+				n.used[b.Var] = true
+			}
+		case xquery.Path:
+			n.used[t.Var] = true
+		}
+		return true
+	})
+	return n.output(e)
+}
+
+// MustNormalize panics on error; for tests and fixed queries.
+func MustNormalize(e xquery.Expr) xquery.Expr {
+	out, err := Normalize(e)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+type normalizer struct {
+	used map[string]bool
+	next int
+}
+
+// fresh returns a variable name unused in the query.
+func (n *normalizer) fresh() string {
+	for {
+		n.next++
+		v := "v" + strconv.Itoa(n.next)
+		if !n.used[v] {
+			n.used[v] = true
+			return v
+		}
+	}
+}
+
+// output normalizes an expression in output position.
+func (n *normalizer) output(e xquery.Expr) (xquery.Expr, error) {
+	switch t := e.(type) {
+	case nil:
+		return nil, nil
+	case xquery.Text, xquery.Str, xquery.Num, xquery.EmptySeq:
+		return t, nil
+	case xquery.Seq:
+		items := make([]xquery.Expr, 0, len(t.Items))
+		for _, it := range t.Items {
+			o, err := n.output(it)
+			if err != nil {
+				return nil, err
+			}
+			if _, empty := o.(xquery.EmptySeq); empty {
+				continue
+			}
+			if s, ok := o.(xquery.Seq); ok {
+				items = append(items, s.Items...)
+				continue
+			}
+			items = append(items, o)
+		}
+		switch len(items) {
+		case 0:
+			return xquery.EmptySeq{}, nil
+		case 1:
+			return items[0], nil
+		default:
+			return xquery.Seq{Items: items}, nil
+		}
+	case xquery.Elem:
+		out := xquery.Elem{Name: t.Name, Attrs: t.Attrs}
+		for _, c := range t.Children {
+			o, err := n.output(c)
+			if err != nil {
+				return nil, err
+			}
+			if _, empty := o.(xquery.EmptySeq); empty {
+				continue
+			}
+			if s, ok := o.(xquery.Seq); ok {
+				out.Children = append(out.Children, s.Items...)
+				continue
+			}
+			out.Children = append(out.Children, o)
+		}
+		return out, nil
+	case xquery.Path:
+		return n.outputPath(t)
+	case xquery.Let:
+		body := t.Body
+		for i := len(t.Bindings) - 1; i >= 0; i-- {
+			b := t.Bindings[i]
+			var err error
+			body, err = substitute(body, b.Var, b.In)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n.output(body)
+	case xquery.If:
+		cond, err := n.cond(t.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := n.output(t.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := n.output(t.Else)
+		if err != nil {
+			return nil, err
+		}
+		if _, empty := els.(xquery.EmptySeq); empty {
+			els = nil
+		}
+		return xquery.If{Cond: cond, Then: then, Else: els}, nil
+	case xquery.For:
+		return n.forExpr(t)
+	case xquery.Call:
+		return n.call(t)
+	case xquery.Cmp, xquery.And, xquery.Or:
+		// A boolean in output position: emit its effective boolean value
+		// as text, expressed as a conditional.
+		cond, err := n.cond(t)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.If{Cond: cond, Then: xquery.Text{Data: "true"}, Else: xquery.Text{Data: "false"}}, nil
+	default:
+		return nil, errf("unsupported expression %T in output position", e)
+	}
+}
+
+// outputPath expands a path in output position per invariant 4.
+func (n *normalizer) outputPath(p xquery.Path) (xquery.Expr, error) {
+	// Split leading child steps from a trailing atomic step.
+	atomicAt := -1
+	for i, s := range p.Steps {
+		if s.Axis != xquery.Child {
+			if i != len(p.Steps)-1 {
+				return nil, errf("step %s may only appear last in path %s", s, p)
+			}
+			atomicAt = i
+		}
+	}
+	childSteps := p.Steps
+	var atomic *xquery.Step
+	if atomicAt >= 0 {
+		st := p.Steps[atomicAt]
+		atomic = &st
+		childSteps = p.Steps[:atomicAt]
+	}
+	// Innermost expression: a node copy ($v) or an atomic emission
+	// ($v/text(), $v/@a).
+	v := p.Var
+	var wrap func(inner xquery.Expr) xquery.Expr = func(inner xquery.Expr) xquery.Expr { return inner }
+	for _, s := range childSteps {
+		fv := n.fresh()
+		outerV, step := v, s
+		prev := wrap
+		wrap = func(inner xquery.Expr) xquery.Expr {
+			return prev(xquery.For{
+				Bindings: []xquery.Binding{{Var: fv, In: xquery.Path{Var: outerV, Steps: []xquery.Step{step}}}},
+				Return:   inner,
+			})
+		}
+		v = fv
+	}
+	var innermost xquery.Expr
+	if atomic != nil {
+		innermost = xquery.Path{Var: v, Steps: []xquery.Step{*atomic}}
+	} else {
+		innermost = xquery.Path{Var: v}
+	}
+	return wrap(innermost), nil
+}
+
+// forExpr normalizes a FLWOR per invariants 1-3.
+func (n *normalizer) forExpr(f xquery.For) (xquery.Expr, error) {
+	body := f.Return
+	// where C return R  =>  return if (C) then R.
+	if f.Where != nil {
+		body = xquery.If{Cond: f.Where, Then: body}
+	}
+	// Inline lets, innermost first.
+	for i := len(f.Lets) - 1; i >= 0; i-- {
+		b := f.Lets[i]
+		var err error
+		body, err = substitute(body, b.Var, b.In)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Nested bindings, innermost first.
+	expr := body
+	for i := len(f.Bindings) - 1; i >= 0; i-- {
+		b := f.Bindings[i]
+		steps := b.In.Steps
+		if len(steps) == 0 {
+			// for $x in $y: a pure alias.
+			var err error
+			expr, err = substitute(expr, b.Var, b.In)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, s := range steps {
+			if s.Axis != xquery.Child {
+				return nil, errf("cannot iterate %s in for $%s", s, b.Var)
+			}
+		}
+		// Decompose multi-step paths: iterate outer steps via fresh vars.
+		v := b.In.Var
+		var chain []xquery.Binding
+		for _, s := range steps[:len(steps)-1] {
+			fv := n.fresh()
+			chain = append(chain, xquery.Binding{Var: fv, In: xquery.Path{Var: v, Steps: []xquery.Step{s}}})
+			v = fv
+		}
+		chain = append(chain, xquery.Binding{Var: b.Var, In: xquery.Path{Var: v, Steps: []xquery.Step{steps[len(steps)-1]}}})
+		for i := len(chain) - 1; i >= 0; i-- {
+			expr = xquery.For{Bindings: []xquery.Binding{chain[i]}, Return: expr}
+		}
+	}
+	// The outer shell is already a For; normalize its body now. expr is
+	// For{...For{body}}; normalize bodies bottom-up by re-walking.
+	return n.normalizeForChain(expr)
+}
+
+// normalizeForChain normalizes the bodies of the nested single-binding
+// loops produced by forExpr.
+func (n *normalizer) normalizeForChain(e xquery.Expr) (xquery.Expr, error) {
+	f, ok := e.(xquery.For)
+	if !ok {
+		return n.output(e)
+	}
+	inner, err := n.normalizeForChain(f.Return)
+	if err != nil {
+		return nil, err
+	}
+	return xquery.For{Bindings: f.Bindings, Return: inner}, nil
+}
+
+// call normalizes a function call in output position.
+func (n *normalizer) call(c xquery.Call) (xquery.Expr, error) {
+	switch c.Name {
+	case "data", "string", "concat", "distinct-values":
+		// Evaluated over buffers; keep argument paths intact.
+		return c, nil
+	case "true":
+		return xquery.Text{Data: "true"}, nil
+	case "false":
+		return xquery.Text{Data: "false"}, nil
+	default:
+		return nil, errf("function %s() not allowed in output position", c.Name)
+	}
+}
+
+// cond normalizes a condition: boolean structure is preserved, path
+// operands are untouched.
+func (n *normalizer) cond(e xquery.Expr) (xquery.Expr, error) {
+	switch t := e.(type) {
+	case xquery.And:
+		l, err := n.cond(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.cond(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.And{L: l, R: r}, nil
+	case xquery.Or:
+		l, err := n.cond(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.cond(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.Or{L: l, R: r}, nil
+	case xquery.Cmp:
+		if err := checkOperand(t.L); err != nil {
+			return nil, err
+		}
+		if err := checkOperand(t.R); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case xquery.Call:
+		switch t.Name {
+		case "exists", "empty", "not", "true", "false":
+			if t.Name == "not" {
+				inner, err := n.cond(t.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				return xquery.Call{Name: "not", Args: []xquery.Expr{inner}}, nil
+			}
+			return t, nil
+		default:
+			return nil, errf("function %s() is not a condition", t.Name)
+		}
+	case xquery.Path:
+		// Existential test: a bare path is true iff non-empty.
+		return xquery.Call{Name: "exists", Args: []xquery.Expr{t}}, nil
+	default:
+		return nil, errf("unsupported condition %T", e)
+	}
+}
+
+func checkOperand(e xquery.Expr) error {
+	switch t := e.(type) {
+	case xquery.Path, xquery.Str, xquery.Num:
+		return nil
+	case xquery.Call:
+		if t.Name == "data" || t.Name == "string" {
+			return nil
+		}
+		return errf("call %s() not allowed as comparison operand", t.Name)
+	default:
+		return errf("unsupported comparison operand %T", e)
+	}
+}
+
+// Substitute replaces free occurrences of $v with the path p (appending
+// any further steps of the occurrence). It is used here for let-inlining
+// and by the optimizer for capture-safe variable renaming.
+func Substitute(e xquery.Expr, v string, p xquery.Path) (xquery.Expr, error) {
+	return substitute(e, v, p)
+}
+
+// substitute replaces free occurrences of $v with the path p (appending
+// any further steps of the occurrence).
+func substitute(e xquery.Expr, v string, p xquery.Path) (xquery.Expr, error) {
+	switch t := e.(type) {
+	case nil:
+		return nil, nil
+	case xquery.Path:
+		if t.Var != v {
+			return t, nil
+		}
+		if len(t.Steps) > 0 && len(p.Steps) > 0 && p.Steps[len(p.Steps)-1].Axis != xquery.Child {
+			return nil, errf("cannot extend atomic path $%s%s with /%s", p.Var, stepsString(p.Steps), t.Steps[0])
+		}
+		return xquery.Path{Var: p.Var, Steps: append(append([]xquery.Step(nil), p.Steps...), t.Steps...)}, nil
+	case xquery.Seq:
+		items := make([]xquery.Expr, len(t.Items))
+		for i, c := range t.Items {
+			o, err := substitute(c, v, p)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = o
+		}
+		return xquery.Seq{Items: items}, nil
+	case xquery.Elem:
+		out := xquery.Elem{Name: t.Name, Attrs: t.Attrs, Children: make([]xquery.Expr, len(t.Children))}
+		for i, c := range t.Children {
+			o, err := substitute(c, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Children[i] = o
+		}
+		return out, nil
+	case xquery.For:
+		out := t
+		out.Bindings = append([]xquery.Binding(nil), t.Bindings...)
+		shadowed := false
+		for i, b := range out.Bindings {
+			in, err := substitute(b.In, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Bindings[i].In = in.(xquery.Path)
+			if b.Var == v {
+				shadowed = true
+			}
+		}
+		out.Lets = append([]xquery.Binding(nil), t.Lets...)
+		for i, b := range out.Lets {
+			if shadowed {
+				break
+			}
+			in, err := substitute(b.In, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Lets[i].In = in.(xquery.Path)
+			if b.Var == v {
+				shadowed = true
+			}
+		}
+		if shadowed {
+			return out, nil
+		}
+		if t.Where != nil {
+			w, err := substitute(t.Where, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Where = w
+		}
+		r, err := substitute(t.Return, v, p)
+		if err != nil {
+			return nil, err
+		}
+		out.Return = r
+		return out, nil
+	case xquery.Let:
+		out := t
+		out.Bindings = append([]xquery.Binding(nil), t.Bindings...)
+		shadowed := false
+		for i, b := range out.Bindings {
+			if shadowed {
+				break
+			}
+			in, err := substitute(b.In, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Bindings[i].In = in.(xquery.Path)
+			if b.Var == v {
+				shadowed = true
+			}
+		}
+		if shadowed {
+			return out, nil
+		}
+		b, err := substitute(t.Body, v, p)
+		if err != nil {
+			return nil, err
+		}
+		out.Body = b
+		return out, nil
+	case xquery.If:
+		c, err := substitute(t.Cond, v, p)
+		if err != nil {
+			return nil, err
+		}
+		th, err := substitute(t.Then, v, p)
+		if err != nil {
+			return nil, err
+		}
+		el, err := substitute(t.Else, v, p)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.If{Cond: c, Then: th, Else: el}, nil
+	case xquery.And:
+		l, err := substitute(t.L, v, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substitute(t.R, v, p)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.And{L: l, R: r}, nil
+	case xquery.Or:
+		l, err := substitute(t.L, v, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substitute(t.R, v, p)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.Or{L: l, R: r}, nil
+	case xquery.Cmp:
+		l, err := substitute(t.L, v, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substitute(t.R, v, p)
+		if err != nil {
+			return nil, err
+		}
+		return xquery.Cmp{Op: t.Op, L: l, R: r}, nil
+	case xquery.Call:
+		out := xquery.Call{Name: t.Name, Args: make([]xquery.Expr, len(t.Args))}
+		for i, a := range t.Args {
+			o, err := substitute(a, v, p)
+			if err != nil {
+				return nil, err
+			}
+			out.Args[i] = o
+		}
+		return out, nil
+	default:
+		return t, nil
+	}
+}
+
+func stepsString(steps []xquery.Step) string {
+	var b strings.Builder
+	for _, s := range steps {
+		b.WriteByte('/')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// IsNormal reports whether e satisfies the normal-form invariants; it
+// backs tests and internal assertions.
+func IsNormal(e xquery.Expr) bool {
+	ok := true
+	xquery.Walk(e, func(x xquery.Expr) bool {
+		switch t := x.(type) {
+		case xquery.For:
+			if len(t.Bindings) != 1 || len(t.Lets) != 0 || t.Where != nil {
+				ok = false
+			} else if len(t.Bindings[0].In.Steps) != 1 || t.Bindings[0].In.Steps[0].Axis != xquery.Child {
+				ok = false
+			}
+		case xquery.Let:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}

@@ -1,0 +1,220 @@
+package nf
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/xquery"
+)
+
+func norm(t *testing.T, src string) xquery.Expr {
+	t.Helper()
+	e, err := Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatalf("normalize %q: %v", src, err)
+	}
+	if !IsNormal(e) {
+		t.Fatalf("result not in normal form: %s", e)
+	}
+	return e
+}
+
+func TestNormalizeQ3(t *testing.T) {
+	e := norm(t, `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`)
+	s := e.String()
+	// The multi-step binding becomes two nested loops, and the bare paths
+	// become explicit copy loops.
+	for _, want := range []string{
+		"in $ROOT/bib", "/book", "in $b/title", "in $b/author",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("normalized Q3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWhereBecomesIf(t *testing.T) {
+	e := norm(t, `for $b in $d/book where $b/publisher = "AW" return { $b/title }`)
+	f := e.(xquery.For)
+	ife, ok := f.Return.(xquery.If)
+	if !ok {
+		t.Fatalf("body = %s", f.Return)
+	}
+	if _, ok := ife.Cond.(xquery.Cmp); !ok {
+		t.Fatalf("cond = %s", ife.Cond)
+	}
+	if ife.Else != nil {
+		t.Error("where-if must have empty else")
+	}
+}
+
+func TestMultiVarFor(t *testing.T) {
+	e := norm(t, `for $a in $d/x, $b in $a/y return <p>{ $b }</p>`)
+	outer := e.(xquery.For)
+	if outer.Bindings[0].Var != "a" {
+		t.Fatalf("outer = %+v", outer.Bindings)
+	}
+	inner, ok := outer.Return.(xquery.For)
+	if !ok || inner.Bindings[0].Var != "b" {
+		t.Fatalf("inner = %s", outer.Return)
+	}
+}
+
+func TestMultiStepPathDecomposed(t *testing.T) {
+	e := norm(t, `for $x in $ROOT/a/b/c return { $x }`)
+	// Expect three nested loops: fresh over a, fresh over b, x over c.
+	depth := 0
+	cur := e
+	for {
+		f, ok := cur.(xquery.For)
+		if !ok {
+			break
+		}
+		if len(f.Bindings[0].In.Steps) != 1 {
+			t.Fatalf("binding not single-step: %s", f.Bindings[0].In)
+		}
+		depth++
+		cur = f.Return
+	}
+	if depth != 3 {
+		t.Errorf("depth = %d, want 3:\n%s", depth, e)
+	}
+}
+
+func TestLetInlined(t *testing.T) {
+	e := norm(t, `for $b in $d/book let $t := $b/title return <r>{ $t }</r>`)
+	s := e.String()
+	if strings.Contains(s, "let") {
+		t.Errorf("let not inlined: %s", s)
+	}
+	if !strings.Contains(s, "$b/title") {
+		t.Errorf("substitution lost path: %s", s)
+	}
+}
+
+func TestStandaloneLet(t *testing.T) {
+	e := norm(t, `let $t := $b/title return <r>{ $t/text() }</r>`)
+	s := e.String()
+	if strings.Contains(s, "let") {
+		t.Errorf("let survived: %s", s)
+	}
+	if !strings.Contains(s, "$b/title") {
+		t.Errorf("missing inlined path: %s", s)
+	}
+}
+
+func TestLetShadowedByFor(t *testing.T) {
+	// The inner for rebinds $t; the let must not substitute inside.
+	e := norm(t, `let $t := $b/title return for $t in $d/other return { $t }`)
+	f := e.(xquery.For)
+	if f.Bindings[0].In.String() != "$d/other" {
+		t.Fatalf("binding = %s", f.Bindings[0].In)
+	}
+	inner := f.Return.(xquery.Path)
+	if inner.Var != "t" || len(inner.Steps) != 0 {
+		t.Fatalf("inner = %s", inner)
+	}
+}
+
+func TestBarePathBecomesCopyLoop(t *testing.T) {
+	e := norm(t, `<r>{ $b/author }</r>`)
+	f := e.(xquery.Elem).Children[0].(xquery.For)
+	if f.Bindings[0].In.String() != "$b/author" {
+		t.Fatalf("binding = %s", f.Bindings[0].In)
+	}
+	p := f.Return.(xquery.Path)
+	if len(p.Steps) != 0 {
+		t.Fatalf("copy body = %s", p)
+	}
+}
+
+func TestAtomicPathsStayAtomic(t *testing.T) {
+	e := norm(t, `<r>{ $b/title/text() }{ $b/@year }</r>`)
+	kids := e.(xquery.Elem).Children
+	f := kids[0].(xquery.For) // loop over title
+	p := f.Return.(xquery.Path)
+	if len(p.Steps) != 1 || p.Steps[0].Axis != xquery.TextAxis {
+		t.Fatalf("text emission = %s", p)
+	}
+	attr := kids[1].(xquery.Path)
+	if len(attr.Steps) != 1 || attr.Steps[0].Axis != xquery.Attribute {
+		t.Fatalf("attr emission = %s", attr)
+	}
+}
+
+func TestConditionPathsKeptIntact(t *testing.T) {
+	e := norm(t, `for $b in $d/book where $b/a/deep = "x" return { $b/title }`)
+	s := e.String()
+	if !strings.Contains(s, "$b/a/deep = ") {
+		t.Errorf("condition path decomposed: %s", s)
+	}
+}
+
+func TestBarePathConditionBecomesExists(t *testing.T) {
+	e := norm(t, `for $b in $d/book where $b/author return { $b/title }`)
+	ife := e.(xquery.For).Return.(xquery.If)
+	c, ok := ife.Cond.(xquery.Call)
+	if !ok || c.Name != "exists" {
+		t.Fatalf("cond = %s", ife.Cond)
+	}
+}
+
+func TestSeqFlattening(t *testing.T) {
+	e := norm(t, `<r>{ ($a/x, ($a/y, $a/z)) }</r>`)
+	kids := e.(xquery.Elem).Children
+	if len(kids) != 3 {
+		t.Fatalf("children = %d: %s", len(kids), e)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		`<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`,
+		`for $b in $d/book where $b/p = "x" return <r>{ $b/t/text() }</r>`,
+		`if (exists($b/a)) then { $b/a } else <none/>`,
+	}
+	for _, src := range srcs {
+		once := norm(t, src)
+		twice, err := Normalize(once)
+		if err != nil {
+			t.Fatalf("re-normalize: %v", err)
+		}
+		if !xquery.Equal(once, twice) {
+			t.Errorf("not idempotent:\n1: %s\n2: %s", once, twice)
+		}
+	}
+}
+
+func TestFreshVarsAvoidCollision(t *testing.T) {
+	// User already uses v1; fresh vars must not collide.
+	e := norm(t, `for $v1 in $ROOT/a/b return { $v1 }`)
+	f := e.(xquery.For)
+	if f.Bindings[0].Var == "v1" && f.Return.(xquery.For).Bindings[0].Var == "v1" {
+		t.Fatalf("collision: %s", e)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"iterate attribute", `for $x in $b/@year return { $x }`},
+		{"iterate text", `for $x in $b/title/text() return { $x }`},
+		{"atomic mid-path", `{ $b/@year/x }`},
+		{"let atomic extended", `let $t := $b/title/text() return { $t/x }`},
+	}
+	for _, c := range cases {
+		if _, err := Normalize(xquery.MustParse(c.src)); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestBooleanInOutputPosition(t *testing.T) {
+	e := norm(t, `<r>{ $a/x = "1" }</r>`)
+	ife, ok := e.(xquery.Elem).Children[0].(xquery.If)
+	if !ok {
+		t.Fatalf("got %s", e)
+	}
+	if ife.Then.(xquery.Text).Data != "true" {
+		t.Fatalf("then = %s", ife.Then)
+	}
+}

@@ -1,0 +1,132 @@
+package nf
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/xquery"
+)
+
+func sub(t *testing.T, src, v, path string) string {
+	t.Helper()
+	p := xquery.MustParse(path).(xquery.Path)
+	out, err := Substitute(xquery.MustParse(src), v, p)
+	if err != nil {
+		t.Fatalf("substitute: %v", err)
+	}
+	return out.String()
+}
+
+func TestSubstituteIntoConditions(t *testing.T) {
+	got := sub(t, `if ($x/a = "1" and exists($x/b) or not($x/c = "2")) then { $x/d } else { $x/e }`, "x", "$b/t")
+	for _, want := range []string{"$b/t/a", "$b/t/b", "$b/t/c", "$b/t/d", "$b/t/e"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %s in %s", want, got)
+		}
+	}
+	if strings.Contains(got, "$x") {
+		t.Errorf("unsubstituted occurrence in %s", got)
+	}
+}
+
+func TestSubstituteIntoCallsAndSeq(t *testing.T) {
+	got := sub(t, `<r>{ concat("a", data($x/p)), $x/q }</r>`, "x", "$y")
+	if !strings.Contains(got, "$y/p") || !strings.Contains(got, "$y/q") {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSubstituteRespectsForShadowing(t *testing.T) {
+	// The outer $x in the binding path is substituted; the body's $x is
+	// the loop variable and must stay.
+	got := sub(t, `for $x in $x/items return { $x/name }`, "x", "$root")
+	if !strings.Contains(got, "in $root/items") {
+		t.Errorf("binding path not substituted: %s", got)
+	}
+	if !strings.Contains(got, "{ $x/name }") && !strings.Contains(got, "$x/name") {
+		t.Errorf("shadowed body wrongly substituted: %s", got)
+	}
+}
+
+func TestSubstituteRespectsLetShadowing(t *testing.T) {
+	got := sub(t, `let $x := $x/sub return { $x/leaf }`, "x", "$r")
+	if !strings.Contains(got, ":= $r/sub") {
+		t.Errorf("let binding not substituted: %s", got)
+	}
+	if strings.Contains(got, "$r/leaf") {
+		t.Errorf("shadowed body wrongly substituted: %s", got)
+	}
+}
+
+func TestSubstituteExtendsAtomicPathFails(t *testing.T) {
+	p := xquery.Path{Var: "b", Steps: []xquery.Step{{Axis: xquery.Attribute, Name: "year"}}}
+	_, err := Substitute(xquery.MustParse(`{ $x/more }`), "x", p)
+	if err == nil {
+		t.Error("extending an attribute path must fail")
+	}
+}
+
+func TestNormalizeNestedConstructors(t *testing.T) {
+	e := norm(t, `<a><b>{ for $x in $d/p return <c>{ $x/q/text() }</c> }</b><e>static</e></a>`)
+	s := e.String()
+	if !strings.Contains(s, "<e>static</e>") {
+		t.Errorf("static constructor lost: %s", s)
+	}
+	if !nfIsNormalString(s) {
+		t.Errorf("not reparsable-normal: %s", s)
+	}
+}
+
+func nfIsNormalString(s string) bool {
+	e, err := xquery.Parse(s)
+	if err != nil {
+		return false
+	}
+	return IsNormal(e)
+}
+
+func TestNormalizeEmptyThenBranch(t *testing.T) {
+	e := norm(t, `for $b in $d/book return { if ($b/x = "1") then () else <e/> }`)
+	ife := e.(xquery.For).Return.(xquery.If)
+	if _, ok := ife.Then.(xquery.EmptySeq); !ok {
+		t.Errorf("then = %#v", ife.Then)
+	}
+	if ife.Else == nil {
+		t.Error("else lost")
+	}
+}
+
+func TestNormalizeDistinctValuesKept(t *testing.T) {
+	e := norm(t, `<a>{ distinct-values($d/book/author) }</a>`)
+	if !strings.Contains(e.String(), "distinct-values($d/book/author)") {
+		t.Errorf("got %s", e)
+	}
+}
+
+func TestNormalizeConditionErrors(t *testing.T) {
+	cases := []string{
+		`for $b in $d/x where concat("a","b") return <r/>`, // call operand
+		`for $b in $d/x where 1 return <r/>`,               // numeric condition
+		`for $b in $d/x where <a/> = "1" return <r/>`,      // constructor operand
+	}
+	for _, src := range cases {
+		if _, err := Normalize(xquery.MustParse(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestIsNormalRejectsRawForms(t *testing.T) {
+	raw := []string{
+		`for $a in $d/x, $b in $d/y return <r/>`,
+		`for $a in $d/x let $t := $a/b return <r/>`,
+		`for $a in $d/x where $a/y = "1" return <r/>`,
+		`for $a in $d/x/y return <r/>`,
+		`let $a := $d/x return <r/>`,
+	}
+	for _, src := range raw {
+		if IsNormal(xquery.MustParse(src)) {
+			t.Errorf("IsNormal accepted %q", src)
+		}
+	}
+}

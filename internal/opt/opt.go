@@ -1,0 +1,580 @@
+// Package opt implements FluXQuery's algebraic, schema-driven query
+// optimizer (paper §3.1, second step). It rewrites normalized queries
+// using constraints derived from the DTD:
+//
+//   - loop merging under cardinality constraints: two consecutive loops
+//     over the same path $r/a are fused when the DTD guarantees at most
+//     one a-child per r ("a ∈ ||≤1 r"), saving an iteration and — after
+//     scheduling — a buffered re-read of the stream;
+//   - elimination of unsatisfiable conditionals under language
+//     (co-occurrence) constraints: a condition requiring both an author
+//     and an editor child is statically false under the paper's Figure 1
+//     DTD, so its branch is removed;
+//   - guaranteed-existence simplification: exists($x/a) is true when the
+//     DTD guarantees an a-child, so the conditional collapses;
+//   - empty-path elimination: loops and existence tests over paths the
+//     DTD rules out entirely reduce to the empty sequence / false;
+//   - boolean and comparison constant folding.
+//
+// Every rewrite is recorded in a Trace so that tools can explain the
+// optimization, and each rule can be disabled individually for the
+// ablation experiments.
+package opt
+
+import (
+	"fmt"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+// Options switches individual rules off (for ablation benchmarks).
+type Options struct {
+	NoLoopMerging     bool
+	NoCondElimination bool // unsatisfiable-conditional elimination
+	NoExistsFolding   bool // guaranteed-existence simplification
+	NoEmptyPathRules  bool
+	NoConstantFolding bool
+}
+
+// Step records one applied rewrite.
+type Step struct {
+	Rule   string
+	Detail string
+}
+
+func (s Step) String() string { return s.Rule + ": " + s.Detail }
+
+// Trace is the sequence of rewrites applied during optimization.
+type Trace []Step
+
+// Optimize rewrites the normalized query e under DTD d until no more
+// rules apply. It returns the rewritten query and the rewrite trace.
+func Optimize(e xquery.Expr, d *dtd.DTD, opts Options) (xquery.Expr, Trace, error) {
+	o := &optimizer{d: d, opts: opts}
+	cur := e
+	for i := 0; i < 32; i++ {
+		o.changed = false
+		next := o.rewrite(cur, map[string]string{xquery.RootVar: dtd.DocElem})
+		if !o.changed {
+			return next, o.trace, nil
+		}
+		cur = next
+	}
+	return cur, o.trace, fmt.Errorf("opt: rewriting did not reach a fixpoint")
+}
+
+type optimizer struct {
+	d       *dtd.DTD
+	opts    Options
+	trace   Trace
+	changed bool
+}
+
+func (o *optimizer) log(rule, format string, args ...any) {
+	o.changed = true
+	o.trace = append(o.trace, Step{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// typeOf resolves the element type a variable is bound to; "" if unknown.
+func typeOf(env map[string]string, v string) string { return env[v] }
+
+// bind returns env extended with v bound to the element type reached by
+// one child step named label from parent type pt.
+func bind(env map[string]string, v, pt, label string) map[string]string {
+	out := make(map[string]string, len(env)+1)
+	for k, val := range env {
+		out[k] = val
+	}
+	if pt != "" && label != "*" {
+		out[v] = label
+	} else {
+		out[v] = ""
+	}
+	return out
+}
+
+// rewrite applies one bottom-up rewriting pass.
+func (o *optimizer) rewrite(e xquery.Expr, env map[string]string) xquery.Expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case xquery.Seq:
+		items := make([]xquery.Expr, 0, len(t.Items))
+		for _, c := range t.Items {
+			rc := o.rewrite(c, env)
+			if _, empty := rc.(xquery.EmptySeq); empty {
+				o.log("seq-cleanup", "dropped empty item")
+				continue
+			}
+			if s, ok := rc.(xquery.Seq); ok {
+				items = append(items, s.Items...)
+				continue
+			}
+			items = append(items, rc)
+		}
+		items = o.mergeAdjacentLoops(items, env)
+		switch len(items) {
+		case 0:
+			return xquery.EmptySeq{}
+		case 1:
+			return items[0]
+		default:
+			return xquery.Seq{Items: items}
+		}
+	case xquery.Elem:
+		out := xquery.Elem{Name: t.Name, Attrs: t.Attrs}
+		kids := make([]xquery.Expr, 0, len(t.Children))
+		for _, c := range t.Children {
+			rc := o.rewrite(c, env)
+			if _, empty := rc.(xquery.EmptySeq); empty {
+				continue
+			}
+			if s, ok := rc.(xquery.Seq); ok {
+				kids = append(kids, s.Items...)
+				continue
+			}
+			kids = append(kids, rc)
+		}
+		out.Children = o.mergeAdjacentLoops(kids, env)
+		return out
+	case xquery.For:
+		b := t.Bindings[0]
+		step := b.In.Steps[0]
+		pt := typeOf(env, b.In.Var)
+		if !o.opts.NoEmptyPathRules && pt != "" && step.Name != "*" && o.d.Cardinality(pt, step.Name) == dtd.CardNone {
+			o.log("empty-path", "loop over %s eliminated: no %s child under %s", b.In, step.Name, pt)
+			return xquery.EmptySeq{}
+		}
+		inner := bind(env, b.Var, pt, step.Name)
+		ret := o.rewrite(t.Return, inner)
+		if _, empty := ret.(xquery.EmptySeq); empty {
+			o.log("empty-body", "loop over %s eliminated: empty body", b.In)
+			return xquery.EmptySeq{}
+		}
+		return xquery.For{Bindings: t.Bindings, Return: ret}
+	case xquery.If:
+		cond := o.rewriteCond(t.Cond, env)
+		then := o.rewrite(t.Then, env)
+		els := o.rewrite(t.Else, env)
+		if _, empty := then.(xquery.EmptySeq); empty {
+			then = xquery.EmptySeq{}
+		}
+		if els != nil {
+			if _, empty := els.(xquery.EmptySeq); empty {
+				els = nil
+			}
+		}
+		switch truth(cond) {
+		case condTrue:
+			if !o.opts.NoConstantFolding {
+				o.log("if-true", "conditional replaced by then-branch")
+				return then
+			}
+		case condFalse:
+			if !o.opts.NoCondElimination {
+				o.log("if-false", "conditional replaced by else-branch")
+				if els == nil {
+					return xquery.EmptySeq{}
+				}
+				return els
+			}
+		}
+		if _, e1 := then.(xquery.EmptySeq); e1 && els == nil {
+			o.log("if-empty", "conditional with empty branches eliminated")
+			return xquery.EmptySeq{}
+		}
+		return xquery.If{Cond: cond, Then: then, Else: els}
+	case xquery.Call:
+		// Output-position calls: rewrite arguments (paths untouched).
+		return t
+	default:
+		return t
+	}
+}
+
+// condTruth classifies a rewritten condition.
+type condTruth uint8
+
+const (
+	condUnknown condTruth = iota
+	condTrue
+	condFalse
+)
+
+func truth(c xquery.Expr) condTruth {
+	if call, ok := c.(xquery.Call); ok {
+		switch call.Name {
+		case "true":
+			return condTrue
+		case "false":
+			return condFalse
+		}
+	}
+	return condUnknown
+}
+
+func boolCall(b bool) xquery.Expr {
+	if b {
+		return xquery.Call{Name: "true"}
+	}
+	return xquery.Call{Name: "false"}
+}
+
+// rewriteCond simplifies a condition.
+func (o *optimizer) rewriteCond(c xquery.Expr, env map[string]string) xquery.Expr {
+	switch t := c.(type) {
+	case xquery.And:
+		l := o.rewriteCond(t.L, env)
+		r := o.rewriteCond(t.R, env)
+		if !o.opts.NoConstantFolding {
+			switch {
+			case truth(l) == condFalse || truth(r) == condFalse:
+				o.log("and-false", "conjunction is false")
+				return boolCall(false)
+			case truth(l) == condTrue:
+				o.log("and-true", "dropped true conjunct")
+				return r
+			case truth(r) == condTrue:
+				o.log("and-true", "dropped true conjunct")
+				return l
+			}
+		}
+		out := xquery.And{L: l, R: r}
+		if !o.opts.NoCondElimination {
+			if a, b, v, ok := o.findConflict(out, env); ok {
+				o.log("conflict", "condition requires both %s and %s under %s — unsatisfiable (language constraint)", a, b, v)
+				return boolCall(false)
+			}
+		}
+		return out
+	case xquery.Or:
+		l := o.rewriteCond(t.L, env)
+		r := o.rewriteCond(t.R, env)
+		if !o.opts.NoConstantFolding {
+			switch {
+			case truth(l) == condTrue || truth(r) == condTrue:
+				o.log("or-true", "disjunction is true")
+				return boolCall(true)
+			case truth(l) == condFalse:
+				o.log("or-false", "dropped false disjunct")
+				return r
+			case truth(r) == condFalse:
+				o.log("or-false", "dropped false disjunct")
+				return l
+			}
+		}
+		return xquery.Or{L: l, R: r}
+	case xquery.Call:
+		switch t.Name {
+		case "not":
+			inner := o.rewriteCond(t.Args[0], env)
+			if !o.opts.NoConstantFolding {
+				switch truth(inner) {
+				case condTrue:
+					o.log("not-fold", "not(true) = false")
+					return boolCall(false)
+				case condFalse:
+					o.log("not-fold", "not(false) = true")
+					return boolCall(true)
+				}
+			}
+			return xquery.Call{Name: "not", Args: []xquery.Expr{inner}}
+		case "exists", "empty":
+			p, ok := t.Args[0].(xquery.Path)
+			if !ok {
+				return t
+			}
+			known, val := o.existsStatic(p, env)
+			if !known {
+				return t
+			}
+			if t.Name == "empty" {
+				val = !val
+			}
+			o.log("exists-fold", "%s(%s) decided statically: %v", t.Name, p, val)
+			return boolCall(val)
+		default:
+			return t
+		}
+	case xquery.Cmp:
+		if !o.opts.NoConstantFolding {
+			if v, ok := constCompare(t); ok {
+				o.log("cmp-fold", "constant comparison %s = %v", t, v)
+				return boolCall(v)
+			}
+		}
+		// A comparison over an impossible path is false (existential
+		// semantics over the empty sequence).
+		if !o.opts.NoEmptyPathRules {
+			for _, side := range []xquery.Expr{t.L, t.R} {
+				if p, ok := side.(xquery.Path); ok && o.pathImpossible(p, env) {
+					o.log("empty-path", "comparison %s is false: %s selects nothing", t, p)
+					return boolCall(false)
+				}
+			}
+		}
+		return t
+	default:
+		return c
+	}
+}
+
+// existsStatic decides exists(p) from the schema if possible: statically
+// false when the schema rules the path out entirely, statically true when
+// every step is guaranteed.
+func (o *optimizer) existsStatic(p xquery.Path, env map[string]string) (known, val bool) {
+	pt := typeOf(env, p.Var)
+	if pt == "" || len(p.Steps) == 0 {
+		return false, false
+	}
+	if !o.opts.NoEmptyPathRules && o.pathImpossible(p, env) {
+		return true, false
+	}
+	if o.opts.NoExistsFolding {
+		return false, false
+	}
+	cur := pt
+	for _, s := range p.Steps {
+		switch s.Axis {
+		case xquery.TextAxis:
+			return false, false // text presence is data-dependent
+		case xquery.Attribute:
+			e := o.d.Element(cur)
+			if e == nil {
+				return false, false
+			}
+			def := e.AttDef(s.Name)
+			if def == nil || def.Default == dtd.AttImplied {
+				return false, false
+			}
+			// #REQUIRED, #FIXED and defaulted attributes are always
+			// present.
+		default:
+			if s.Name == "*" || !o.d.Guaranteed(cur, s.Name) {
+				return false, false
+			}
+			cur = s.Name
+		}
+	}
+	return true, true
+}
+
+// pathImpossible reports whether the schema rules out any match for p.
+func (o *optimizer) pathImpossible(p xquery.Path, env map[string]string) bool {
+	pt := typeOf(env, p.Var)
+	if pt == "" {
+		return false
+	}
+	cur := pt
+	for _, s := range p.Steps {
+		switch s.Axis {
+		case xquery.TextAxis:
+			e := o.d.Element(cur)
+			return e != nil && !e.HasPCData()
+		case xquery.Attribute:
+			e := o.d.Element(cur)
+			return e != nil && e.AttDef(s.Name) == nil
+		default:
+			if s.Name == "*" {
+				return false
+			}
+			if o.d.Cardinality(cur, s.Name) == dtd.CardNone {
+				return true
+			}
+			cur = s.Name
+		}
+	}
+	return false
+}
+
+// findConflict looks for two conjuncts whose required child labels can
+// never co-occur (the paper's author/editor example).
+func (o *optimizer) findConflict(c xquery.Expr, env map[string]string) (a, b, parent string, found bool) {
+	// Collect required (var, label) pairs from the conjunction.
+	type req struct{ v, label string }
+	var reqs []req
+	var collect func(e xquery.Expr)
+	collect = func(e xquery.Expr) {
+		switch t := e.(type) {
+		case xquery.And:
+			collect(t.L)
+			collect(t.R)
+		case xquery.Cmp:
+			// An (in)equality over a path holds only if the path is
+			// non-empty (general comparisons are existential).
+			for _, side := range []xquery.Expr{t.L, t.R} {
+				if p, ok := side.(xquery.Path); ok && len(p.Steps) > 0 && p.Steps[0].Axis == xquery.Child && p.Steps[0].Name != "*" {
+					reqs = append(reqs, req{p.Var, p.Steps[0].Name})
+				}
+			}
+		case xquery.Call:
+			if t.Name == "exists" {
+				if p, ok := t.Args[0].(xquery.Path); ok && len(p.Steps) > 0 && p.Steps[0].Axis == xquery.Child && p.Steps[0].Name != "*" {
+					reqs = append(reqs, req{p.Var, p.Steps[0].Name})
+				}
+			}
+		}
+	}
+	collect(c)
+	for i := 0; i < len(reqs); i++ {
+		for j := i + 1; j < len(reqs); j++ {
+			if reqs[i].v != reqs[j].v || reqs[i].label == reqs[j].label {
+				continue
+			}
+			pt := typeOf(env, reqs[i].v)
+			if pt == "" {
+				continue
+			}
+			if o.d.Conflict(pt, reqs[i].label, reqs[j].label) {
+				return reqs[i].label, reqs[j].label, pt, true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// constCompare folds comparisons between literals.
+func constCompare(c xquery.Cmp) (bool, bool) {
+	ls, lok := literalString(c.L)
+	rs, rok := literalString(c.R)
+	if !lok || !rok {
+		return false, false
+	}
+	ln, lnum := literalNum(c.L)
+	rn, rnum := literalNum(c.R)
+	if lnum && rnum {
+		return cmpNum(c.Op, ln, rn), true
+	}
+	return cmpStr(c.Op, ls, rs), true
+}
+
+func literalString(e xquery.Expr) (string, bool) {
+	switch t := e.(type) {
+	case xquery.Str:
+		return t.Value, true
+	case xquery.Num:
+		return t.Lit, true
+	default:
+		return "", false
+	}
+}
+
+func literalNum(e xquery.Expr) (float64, bool) {
+	if n, ok := e.(xquery.Num); ok {
+		return n.Value, true
+	}
+	return 0, false
+}
+
+func cmpNum(op xquery.CmpOp, a, b float64) bool {
+	switch op {
+	case xquery.Eq:
+		return a == b
+	case xquery.Ne:
+		return a != b
+	case xquery.Lt:
+		return a < b
+	case xquery.Le:
+		return a <= b
+	case xquery.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpStr(op xquery.CmpOp, a, b string) bool {
+	switch op {
+	case xquery.Eq:
+		return a == b
+	case xquery.Ne:
+		return a != b
+	case xquery.Lt:
+		return a < b
+	case xquery.Le:
+		return a <= b
+	case xquery.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// mergeAdjacentLoops applies the paper's loop-merging rule to a sequence:
+//
+//	{ for $x in $r/a return α } { for $y in $r/a return β }
+//	  ==>  { for $x in $r/a return α β[y:=x] }      (a ∈ ||≤1 r)
+func (o *optimizer) mergeAdjacentLoops(items []xquery.Expr, env map[string]string) []xquery.Expr {
+	if o.opts.NoLoopMerging {
+		return items
+	}
+	out := make([]xquery.Expr, 0, len(items))
+	for _, it := range items {
+		cur, ok := it.(xquery.For)
+		if !ok || len(out) == 0 {
+			out = append(out, it)
+			continue
+		}
+		prev, ok := out[len(out)-1].(xquery.For)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		pb, cb := prev.Bindings[0], cur.Bindings[0]
+		if pb.In.String() != cb.In.String() {
+			out = append(out, it)
+			continue
+		}
+		pt := typeOf(env, pb.In.Var)
+		label := pb.In.Steps[0].Name
+		if pt == "" || label == "*" || pb.In.Steps[0].Axis != xquery.Child {
+			out = append(out, it)
+			continue
+		}
+		if !o.d.Cardinality(pt, label).AtMostOne() {
+			out = append(out, it)
+			continue
+		}
+		// Rename the second loop's variable to the first's.
+		body := cur.Return
+		if cb.Var != pb.Var {
+			body = rename(body, cb.Var, pb.Var)
+		}
+		merged := xquery.For{
+			Bindings: prev.Bindings,
+			Return:   flatSeq(prev.Return, body),
+		}
+		o.log("loop-merge", "merged consecutive loops over %s (%s ∈ ||<=1 %s)", pb.In, label, pt)
+		out[len(out)-1] = merged
+	}
+	return out
+}
+
+func flatSeq(a, b xquery.Expr) xquery.Expr {
+	var items []xquery.Expr
+	if s, ok := a.(xquery.Seq); ok {
+		items = append(items, s.Items...)
+	} else {
+		items = append(items, a)
+	}
+	if s, ok := b.(xquery.Seq); ok {
+		items = append(items, s.Items...)
+	} else {
+		items = append(items, b)
+	}
+	return xquery.Seq{Items: items}
+}
+
+// rename substitutes variable occurrences; renaming is capture-safe
+// because normal-form fresh variables are globally unique. It delegates to
+// the normalizer's substitution: renaming $from to $to is substituting the
+// zero-step path $to.
+func rename(e xquery.Expr, from, to string) xquery.Expr {
+	out, err := nf.Substitute(e, from, xquery.Path{Var: to})
+	if err != nil {
+		return e
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+func TestConstantFoldingCanBeDisabled(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (1 < 2) then <a/> else <b/> }`
+	_, tr := optimize(t, src, strongBib, Options{NoConstantFolding: true})
+	if hasRule(tr, "cmp-fold") || hasRule(tr, "if-true") {
+		t.Fatalf("folding applied despite NoConstantFolding: %v", tr)
+	}
+}
+
+func TestEmptyPathRulesCanBeDisabled(t *testing.T) {
+	d := dtd.MustParse(strongBib + "<!ELEMENT chapter (#PCDATA)>")
+	src := `for $b in $ROOT/bib/book return <r>{ for $c in $b/chapter return { $c } }</r>`
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, tr, err := Optimize(n, d, Options{NoEmptyPathRules: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasRule(tr, "empty-path") {
+		t.Fatalf("empty-path applied despite option: %v", tr)
+	}
+	if !strings.Contains(out.String(), "chapter") {
+		t.Errorf("loop should survive: %s", out)
+	}
+}
+
+func TestImpossibleComparisonFolds(t *testing.T) {
+	d := dtd.MustParse(strongBib + "<!ELEMENT chapter (#PCDATA)>")
+	src := `for $b in $ROOT/bib/book return { if ($b/chapter = "x") then <hit/> else <miss/> }`
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, tr, err := Optimize(n, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRule(tr, "empty-path") {
+		t.Fatalf("empty-path fold missing: %v", tr)
+	}
+	s := out.String()
+	if strings.Contains(s, "hit") || !strings.Contains(s, "miss") {
+		t.Errorf("impossible comparison not folded to else: %s", s)
+	}
+}
+
+func TestUndeclaredAttributeExistsFolds(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (exists($b/@isbn)) then <h/> else <m/> }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "exists-fold") && !hasRule(tr, "empty-path") {
+		t.Fatalf("undeclared attribute not folded: %v", tr)
+	}
+	if strings.Contains(out.String(), "<h/>") {
+		t.Errorf("then branch should be gone: %s", out)
+	}
+}
+
+func TestImpossibleTextFolds(t *testing.T) {
+	// bib has element content only — $f/text() can never match.
+	src := `for $f in $ROOT/bib return { if ($f/text() = "x") then <h/> else <m/> }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "empty-path") {
+		t.Fatalf("text() on element-content not folded: %v\n%s", tr, out)
+	}
+}
+
+func TestNotFoldingThroughConflict(t *testing.T) {
+	// not(author-and-editor-conflict) folds to true, then if-true fires.
+	src := `for $b in $ROOT/bib/book return { if (not($b/author = "X" and $b/editor = "Y")) then <always/> else <never/> }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "not-fold") {
+		t.Fatalf("not-fold missing: %v", tr)
+	}
+	s := out.String()
+	if strings.Contains(s, "never") || !strings.Contains(s, "always") {
+		t.Errorf("got %s", s)
+	}
+}
+
+func TestWhereConflictEliminatesLoopBody(t *testing.T) {
+	// A where-clause version of the paper's example: after normalization
+	// the condition sits in an if; elimination leaves an empty loop body,
+	// which the optimizer then removes entirely.
+	src := `for $b in $ROOT/bib/book where $b/author = "G" and $b/editor = "G" return <hit/>`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "conflict") || !hasRule(tr, "empty-body") {
+		t.Fatalf("rules missing: %v", tr)
+	}
+	if !strings.Contains(out.String(), "()") && strings.Contains(out.String(), "for") {
+		t.Errorf("dead loop survived: %s", out)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	srcs := []string{
+		`for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return { $x } }{ for $x in $b/publisher return { $x } }</r>`,
+		`for $b in $ROOT/bib/book return { if (exists($b/title)) then <h/> else <m/> }`,
+	}
+	d := dtd.MustParse(strongBib)
+	for _, src := range srcs {
+		n, err := nf.Normalize(xquery.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		once, _, err := Optimize(n, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, tr, err := Optimize(once, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != 0 {
+			t.Errorf("second pass rewrote again: %v", tr)
+		}
+		if !xquery.Equal(once, twice) {
+			t.Errorf("not idempotent:\n%s\nvs\n%s", once, twice)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/nf"
+	"fluxquery/internal/xquery"
+)
+
+// Figure 1 DTD of the paper.
+const strongBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+func optimize(t *testing.T, src, dtdSrc string, opts Options) (xquery.Expr, Trace) {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	out, tr, err := Optimize(n, d, opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return out, tr
+}
+
+func hasRule(tr Trace, rule string) bool {
+	for _, s := range tr {
+		if s.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLoopMergingPaperExample reproduces §3.1: two consecutive loops over
+// $book/publisher merge because publisher ∈ ||<=1 book.
+func TestLoopMergingPaperExample(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return <p1>{ $x/text() }</p1> }{ for $x in $b/publisher return <p2>{ $x/text() }</p2> }</r>`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "loop-merge") {
+		t.Fatalf("loop-merge not applied; trace = %v", tr)
+	}
+	// After merging there must be exactly one loop over $b/publisher.
+	count := strings.Count(out.String(), "in $b/publisher")
+	if count != 1 {
+		t.Errorf("want 1 publisher loop after merge, got %d:\n%s", count, out)
+	}
+}
+
+// TestLoopMergingBlockedByCardinality: loops over author (author+ allows
+// many) must NOT be merged — iterating twice is not the same as one loop.
+func TestLoopMergingBlockedByCardinality(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return <r>{ for $x in $b/author return <a1>{ $x/text() }</a1> }{ for $y in $b/author return <a2>{ $y/text() }</a2> }</r>`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if hasRule(tr, "loop-merge") {
+		t.Fatalf("loop-merge wrongly applied to author (card *); trace = %v", tr)
+	}
+	if strings.Count(out.String(), "in $b/author") != 2 {
+		t.Errorf("author loops must survive:\n%s", out)
+	}
+}
+
+func TestLoopMergingDisabled(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return <p1/> }{ for $x in $b/publisher return <p2/> }</r>`
+	_, tr := optimize(t, src, strongBib, Options{NoLoopMerging: true})
+	if hasRule(tr, "loop-merge") {
+		t.Fatal("loop-merge applied despite NoLoopMerging")
+	}
+}
+
+// TestConflictEliminationPaperExample reproduces §3.1: the condition
+// author = "Goedel" and editor = "Goedel" is unsatisfiable under Figure 1.
+func TestConflictEliminationPaperExample(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit>{ $b/title }</hit> else () }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "conflict") {
+		t.Fatalf("conflict rule not applied; trace = %v", tr)
+	}
+	s := out.String()
+	if strings.Contains(s, "hit") || strings.Contains(s, "Goedel") {
+		t.Errorf("unsatisfiable branch survived:\n%s", s)
+	}
+}
+
+func TestConflictEliminationKeepsElse(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if ($b/author = "G" and $b/editor = "G") then <hit/> else <miss/> }`
+	out, _ := optimize(t, src, strongBib, Options{})
+	s := out.String()
+	if !strings.Contains(s, "miss") {
+		t.Errorf("else branch lost:\n%s", s)
+	}
+	if strings.Contains(s, "hit") {
+		t.Errorf("then branch survived:\n%s", s)
+	}
+}
+
+func TestConflictEliminationDisabled(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if ($b/author = "G" and $b/editor = "G") then <hit/> else () }`
+	out, tr := optimize(t, src, strongBib, Options{NoCondElimination: true})
+	if hasRule(tr, "conflict") {
+		t.Fatal("conflict applied despite NoCondElimination")
+	}
+	if !strings.Contains(out.String(), "hit") {
+		t.Errorf("branch must survive with rule disabled:\n%s", out)
+	}
+}
+
+// TestNoConflictNotEliminated: author+publisher can co-occur, so the
+// condition stays.
+func TestNoConflictNotEliminated(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if ($b/author = "G" and $b/publisher = "P") then <hit/> else () }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if hasRule(tr, "conflict") {
+		t.Fatalf("conflict wrongly found; trace = %v", tr)
+	}
+	if !strings.Contains(out.String(), "hit") {
+		t.Errorf("satisfiable conditional eliminated:\n%s", out)
+	}
+}
+
+func TestExistsGuaranteedFolds(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (exists($b/title)) then <has/> else <not/> }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "exists-fold") {
+		t.Fatalf("exists-fold missing; trace = %v", tr)
+	}
+	s := out.String()
+	if strings.Contains(s, "if ") || strings.Contains(s, "not/") {
+		t.Errorf("conditional should collapse to then branch:\n%s", s)
+	}
+}
+
+func TestExistsOptionalNotFolded(t *testing.T) {
+	// author is not guaranteed (editor alternative).
+	src := `for $b in $ROOT/bib/book return { if (exists($b/author)) then <has/> else () }`
+	_, tr := optimize(t, src, strongBib, Options{})
+	if hasRule(tr, "exists-fold") {
+		t.Fatalf("exists($b/author) wrongly folded; trace = %v", tr)
+	}
+}
+
+func TestEmptyPathLoopEliminated(t *testing.T) {
+	// book has no chapter children.
+	src := `for $b in $ROOT/bib/book return <r>{ for $c in $b/chapter return { $c } }</r>` // chapter undeclared under book
+	d := dtd.MustParse(strongBib + "<!ELEMENT chapter (#PCDATA)>")
+	n, err := nf.Normalize(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, tr, err := Optimize(n, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRule(tr, "empty-path") {
+		t.Fatalf("empty-path missing; trace = %v", tr)
+	}
+	if strings.Contains(out.String(), "chapter") {
+		t.Errorf("impossible loop survived:\n%s", out)
+	}
+}
+
+func TestConstantComparisonFolding(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (1 < 2) then <a/> else <b/> }`
+	out, tr := optimize(t, src, strongBib, Options{})
+	if !hasRule(tr, "cmp-fold") {
+		t.Fatalf("cmp-fold missing; trace = %v", tr)
+	}
+	if strings.Contains(out.String(), "if") {
+		t.Errorf("constant conditional survived:\n%s", out)
+	}
+}
+
+func TestBooleanFolding(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (exists($b/title) and $b/publisher = "X") then <a/> else () }`
+	out, _ := optimize(t, src, strongBib, Options{})
+	// exists(title) is guaranteed true and must disappear from the
+	// conjunction; the publisher comparison must remain.
+	s := out.String()
+	if strings.Contains(s, "exists") {
+		t.Errorf("guaranteed exists survived in conjunction:\n%s", s)
+	}
+	if !strings.Contains(s, "$b/publisher") {
+		t.Errorf("data-dependent conjunct lost:\n%s", s)
+	}
+}
+
+func TestOrFolding(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return { if (exists($b/title) or $b/publisher = "X") then <a/> else <b/> }`
+	out, _ := optimize(t, src, strongBib, Options{})
+	s := out.String()
+	if strings.Contains(s, "if ") {
+		t.Errorf("disjunction with true arm should fold:\n%s", s)
+	}
+	if !strings.Contains(s, "<a/>") {
+		t.Errorf("then branch lost:\n%s", s)
+	}
+}
+
+// TestOptimizeProducesNormalForm: rewrites must preserve normal form.
+func TestOptimizeProducesNormalForm(t *testing.T) {
+	srcs := []string{
+		`for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return { $x } }{ for $x in $b/publisher return { $x/text() } }</r>`,
+		`for $b in $ROOT/bib/book return { if ($b/author = "G" and $b/editor = "G") then <h/> else <m/> }`,
+	}
+	for _, src := range srcs {
+		out, _ := optimize(t, src, strongBib, Options{})
+		if !nf.IsNormal(out) {
+			t.Errorf("optimizer output not normal:\n%s", out)
+		}
+	}
+}
+
+// TestTraceIsMeaningful: trace entries mention the constraint used.
+func TestTraceIsMeaningful(t *testing.T) {
+	src := `for $b in $ROOT/bib/book return <r>{ for $x in $b/publisher return <p/> }{ for $x in $b/publisher return <q/> }</r>`
+	_, tr := optimize(t, src, strongBib, Options{})
+	found := false
+	for _, s := range tr {
+		if s.Rule == "loop-merge" && strings.Contains(s.Detail, "||<=1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace does not cite the cardinality constraint: %v", tr)
+	}
+}

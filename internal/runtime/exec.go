@@ -1,0 +1,611 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fluxquery/internal/bdf"
+	"fluxquery/internal/core"
+	"fluxquery/internal/dom"
+	"fluxquery/internal/eval"
+	"fluxquery/internal/xmltok"
+	"fluxquery/internal/xquery"
+	"fluxquery/internal/xsax"
+)
+
+// Stats reports a plan execution. Buffer sizes use the deterministic
+// byte accounting of the dom package, so "peak buffer" is the engine's
+// machine-independent memory-consumption metric.
+type Stats struct {
+	// Events counts XML tokens consumed from the stream.
+	Events int64
+	// PeakBufferBytes is the high-water mark of live buffered data.
+	PeakBufferBytes int64
+	// BufferedBytesTotal accumulates every byte that was ever buffered
+	// (fill traffic, not residency).
+	BufferedBytesTotal int64
+	// BufferedNodes counts buffered subtree roots.
+	BufferedNodes int64
+	// OutputBytes is the size of the produced result stream.
+	OutputBytes int64
+	// SkippedSubtrees counts children consumed without processing.
+	SkippedSubtrees int64
+	// HandlerFirings counts handler executions.
+	HandlerFirings int64
+}
+
+// Run executes the plan on an input stream, writing the result stream to
+// out.
+func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
+	ex := &exec{
+		xr: xsax.NewReader(in, p.d),
+		w:  xmltok.NewWriter(out),
+		st: &Stats{},
+	}
+	if err := ex.evalTop(p.root); err != nil {
+		return ex.st, err
+	}
+	if err := ex.w.Flush(); err != nil {
+		return ex.st, err
+	}
+	ex.st.OutputBytes = ex.w.Written()
+	return ex.st, nil
+}
+
+type exec struct {
+	xr  *xsax.Reader
+	w   *xmltok.Writer
+	st  *Stats
+	cur int64 // live buffered bytes
+}
+
+func (ex *exec) grow(n int64) {
+	ex.cur += n
+	ex.st.BufferedBytesTotal += n
+	if ex.cur > ex.st.PeakBufferBytes {
+		ex.st.PeakBufferBytes = ex.cur
+	}
+}
+
+func (ex *exec) shrink(n int64) { ex.cur -= n }
+
+// element is the evaluator's view of one element instance: either the
+// live stream positioned right after its start tag, or a materialized
+// node (replay mode).
+type element struct {
+	name     string
+	attrs    []xmltok.Attr
+	node     *dom.Node // replay mode when non-nil
+	consumed bool
+}
+
+// evalTop runs the plan root. The document scope is special: the virtual
+// $ROOT element's only child is the document element.
+func (ex *exec) evalTop(p pnode) error {
+	root := &element{name: dtdDocName}
+	if err := ex.eval(p, root, nil); err != nil {
+		return err
+	}
+	// Consume any trailing tokens (comments, whitespace) and verify the
+	// document was well-formed to the end.
+	return ex.drain()
+}
+
+const dtdDocName = "#document"
+
+func (ex *exec) drain() error {
+	for {
+		_, err := ex.xr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ex.st.Events++
+	}
+}
+
+// eval executes a physical node. el is the current element whose content
+// may be consumed (nil in buffered handler bodies); env carries the
+// buffer bindings for XQ nodes.
+func (ex *exec) eval(p pnode, el *element, env *eval.Env) error {
+	switch t := p.(type) {
+	case pText:
+		ex.w.Text(t.data)
+		return nil
+	case pOpen:
+		ex.w.StartElement(t.name, toTokAttrs(t.attrs))
+		return nil
+	case pClose:
+		ex.w.EndElement(t.name)
+		return nil
+	case pSeq:
+		for _, c := range t.items {
+			if err := ex.eval(c, el, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pElement:
+		ex.w.StartElement(t.name, toTokAttrs(t.attrs))
+		for _, c := range t.children {
+			if err := ex.eval(c, el, env); err != nil {
+				return err
+			}
+		}
+		ex.w.EndElement(t.name)
+		return nil
+	case pXQ:
+		ex.st.HandlerFirings++
+		return eval.Eval(t.expr, env, ex.w)
+	case pCopy:
+		return ex.copyElement(el)
+	case pAtomic:
+		return ex.atomicElement(el, t.step)
+	case *pPS:
+		return ex.runPS(t, el)
+	default:
+		return fmt.Errorf("runtime: cannot execute %T", p)
+	}
+}
+
+func toTokAttrs(attrs []xquery.Attr) []xmltok.Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]xmltok.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = xmltok.Attr{Name: a.Name, Value: a.Value}
+	}
+	return out
+}
+
+// copyElement streams a verbatim copy of the current element to the
+// output.
+func (ex *exec) copyElement(el *element) error {
+	if el == nil {
+		return fmt.Errorf("runtime: copy outside an element context")
+	}
+	if el.node != nil {
+		el.node.WriteXML(ex.w)
+		return nil
+	}
+	if el.consumed {
+		return fmt.Errorf("runtime: element $%s already consumed", el.name)
+	}
+	el.consumed = true
+	ex.w.StartElement(el.name, el.attrs)
+	depth := 1
+	for depth > 0 {
+		tok, err := ex.xr.Next()
+		if err != nil {
+			return err
+		}
+		ex.st.Events++
+		switch tok.Kind {
+		case xmltok.StartElement:
+			depth++
+			ex.w.StartElement(tok.Name, tok.Attrs)
+		case xmltok.EndElement:
+			depth--
+			if depth > 0 {
+				ex.w.EndElement(tok.Name)
+			}
+		case xmltok.Text:
+			ex.w.Text(tok.Data)
+		}
+	}
+	ex.w.EndElement(el.name)
+	return nil
+}
+
+// atomicElement emits the atomized step of the current element (its
+// direct text, or an attribute) and consumes the element.
+func (ex *exec) atomicElement(el *element, step xquery.Step) error {
+	if el == nil {
+		return fmt.Errorf("runtime: atomic emission outside an element context")
+	}
+	if el.node != nil {
+		switch step.Axis {
+		case xquery.Attribute:
+			if v, ok := el.node.Attr(step.Name); ok {
+				ex.w.Text(v)
+			}
+		case xquery.TextAxis:
+			var b strings.Builder
+			for _, c := range el.node.Children {
+				if c.Kind == dom.TextNode {
+					b.WriteString(c.Text)
+				}
+			}
+			ex.w.Text(b.String())
+		}
+		return nil
+	}
+	if el.consumed {
+		return fmt.Errorf("runtime: element $%s already consumed", el.name)
+	}
+	el.consumed = true
+	if step.Axis == xquery.Attribute {
+		for _, a := range el.attrs {
+			if a.Name == step.Name {
+				ex.w.Text(a.Value)
+				break
+			}
+		}
+		return ex.skipRest(1)
+	}
+	// text(): stream the direct text children to the output.
+	depth := 1
+	for depth > 0 {
+		tok, err := ex.xr.Next()
+		if err != nil {
+			return err
+		}
+		ex.st.Events++
+		switch tok.Kind {
+		case xmltok.StartElement:
+			depth++
+		case xmltok.EndElement:
+			depth--
+		case xmltok.Text:
+			if depth == 1 {
+				ex.w.Text(tok.Data)
+			}
+		}
+	}
+	return nil
+}
+
+// skipRest consumes the rest of the current element (depth open levels).
+func (ex *exec) skipRest(depth int) error {
+	for depth > 0 {
+		tok, err := ex.xr.Next()
+		if err != nil {
+			return err
+		}
+		ex.st.Events++
+		switch tok.Kind {
+		case xmltok.StartElement:
+			depth++
+		case xmltok.EndElement:
+			depth--
+		}
+	}
+	return nil
+}
+
+// runPS processes the children of the current element with the scope's
+// handlers. In replay mode (el.node != nil) the children are iterated
+// from the materialized subtree.
+func (ex *exec) runPS(ps *pPS, el *element) error {
+	if el == nil {
+		return fmt.Errorf("runtime: process-stream $%s outside an element context", ps.v)
+	}
+	f := &psFrame{
+		ps:    ps,
+		state: ps.auto.Start(),
+		buf:   dom.NewElement(ps.elem),
+	}
+	if el.node == nil {
+		f.buf.Attrs = append(f.buf.Attrs, el.attrs...)
+	} else {
+		f.buf.Attrs = append(f.buf.Attrs, el.node.Attrs...)
+	}
+
+	// Trigger check at element start.
+	if err := ex.fireEligible(f); err != nil {
+		return err
+	}
+
+	if el.node != nil {
+		return ex.runPSReplay(ps, f, el.node)
+	}
+	if el.consumed {
+		return fmt.Errorf("runtime: element $%s already consumed", el.name)
+	}
+	el.consumed = true
+
+	for {
+		tok, err := ex.xr.Next()
+		if err == io.EOF && ps.elem == dtdDocName {
+			// The virtual document element "ends" at EOF.
+			return ex.finishPS(f)
+		}
+		if err != nil {
+			return err
+		}
+		ex.st.Events++
+		switch tok.Kind {
+		case xmltok.EndElement:
+			return ex.finishPS(f)
+		case xmltok.Text:
+			if f.ps.scope.Text {
+				n := dom.NewText(tok.Data)
+				f.buf.AppendChild(n)
+				sz := n.Size()
+				f.bufBytes += sz
+				ex.grow(sz)
+			}
+		case xmltok.StartElement:
+			if err := ex.dispatchChild(f, tok); err != nil {
+				return err
+			}
+			// The completed child advanced the automaton: re-check
+			// triggers.
+			if err := ex.fireEligible(f); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// psFrame is the per-element-instance state of a process-stream.
+type psFrame struct {
+	ps       *pPS
+	state    int // content-model automaton state
+	nextOnce int // index into ps.once of the next unfired once-handler
+	buf      *dom.Node
+	bufBytes int64
+	// stopped[label] marks labels whose buffers were freed; further
+	// children with that label are no longer buffered.
+	stopped map[string]bool
+}
+
+// dispatchChild handles one child start tag in stream mode.
+func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
+	label := tok.Name
+	f.state = f.ps.auto.Step(f.state, label)
+
+	proj, buffered := f.ps.scope.Buffered[label]
+	if !buffered {
+		if star, ok := f.ps.scope.Buffered["*"]; ok {
+			proj, buffered = star, true
+		}
+	}
+	if buffered && f.stopped[label] {
+		buffered = false
+	}
+	hIdx, streamed := f.ps.onElem[label]
+
+	switch {
+	case streamed && !buffered:
+		h := f.ps.hs[hIdx]
+		ex.st.HandlerFirings++
+		child := &element{name: tok.Name, attrs: copyAttrs(tok.Attrs)}
+		if err := ex.eval(h.body, child, nil); err != nil {
+			return err
+		}
+		if !child.consumed {
+			ex.st.SkippedSubtrees++
+			return ex.skipRest(1)
+		}
+		return nil
+	case buffered && !streamed:
+		n, err := ex.materialize(tok, proj)
+		if err != nil {
+			return err
+		}
+		f.buf.AppendChild(n)
+		sz := n.Size()
+		f.bufBytes += sz
+		ex.grow(sz)
+		ex.st.BufferedNodes++
+		return nil
+	case buffered && streamed:
+		// Materialize fully (the streaming handler replays the node),
+		// then run the handler over the materialized child.
+		n, err := ex.materialize(tok, nil)
+		if err != nil {
+			return err
+		}
+		f.buf.AppendChild(n)
+		sz := n.Size()
+		f.bufBytes += sz
+		ex.grow(sz)
+		ex.st.BufferedNodes++
+		h := f.ps.hs[hIdx]
+		ex.st.HandlerFirings++
+		return ex.eval(h.body, &element{name: tok.Name, node: n}, nil)
+	default:
+		ex.st.SkippedSubtrees++
+		return ex.skipRest(1)
+	}
+}
+
+// materialize builds a dom subtree for the element whose start tag was
+// just read, applying the BDF projection (nil proj = keep everything).
+func (ex *exec) materialize(start xmltok.Token, proj *bdf.Node) (*dom.Node, error) {
+	rootNode := dom.NewElement(start.Name)
+	rootNode.Attrs = copyAttrs(start.Attrs)
+	type frame struct {
+		node *dom.Node // nil when the level is being dropped
+		proj *bdf.Node // nil = copy all below
+	}
+	stack := []frame{{node: rootNode, proj: proj}}
+	for len(stack) > 0 {
+		tok, err := ex.xr.Next()
+		if err != nil {
+			return nil, err
+		}
+		ex.st.Events++
+		top := &stack[len(stack)-1]
+		switch tok.Kind {
+		case xmltok.StartElement:
+			if top.node == nil {
+				stack = append(stack, frame{})
+				continue
+			}
+			var childProj *bdf.Node
+			keep := true
+			if top.proj != nil {
+				childProj, keep = top.proj.Keep(tok.Name)
+			}
+			if !keep {
+				stack = append(stack, frame{})
+				continue
+			}
+			child := dom.NewElement(tok.Name)
+			child.Attrs = copyAttrs(tok.Attrs)
+			top.node.AppendChild(child)
+			stack = append(stack, frame{node: child, proj: childProj})
+		case xmltok.EndElement:
+			stack = stack[:len(stack)-1]
+		case xmltok.Text:
+			if top.node == nil {
+				continue
+			}
+			if top.proj == nil || top.proj.CopyAll || top.proj.Text {
+				top.node.AppendChild(dom.NewText(tok.Data))
+			}
+		}
+	}
+	return rootNode, nil
+}
+
+func copyAttrs(attrs []xmltok.Attr) []xmltok.Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	return append([]xmltok.Attr(nil), attrs...)
+}
+
+// fireEligible fires pending once-handlers whose past condition holds in
+// the current automaton state, in handler order.
+func (ex *exec) fireEligible(f *psFrame) error {
+	for f.nextOnce < len(f.ps.once) {
+		idx := f.ps.once[f.nextOnce]
+		h := f.ps.hs[idx]
+		if h.kind == core.OnEnd {
+			return nil // only at the end tag
+		}
+		if !f.ps.auto.Past(f.state, h.past) {
+			return nil
+		}
+		if err := ex.fireOnce(f, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fireOnce executes once-handler idx and frees buffers it was the last
+// reader of.
+func (ex *exec) fireOnce(f *psFrame, idx int) error {
+	h := f.ps.hs[idx]
+	ex.st.HandlerFirings++
+	env := eval.NewEnv(f.ps.v, eval.Item(f.buf))
+	if err := ex.eval(h.body, nil, env); err != nil {
+		return err
+	}
+	f.nextOnce++
+	// Free buffered labels whose last reader has fired.
+	for label, last := range f.ps.scope.LastRef {
+		if last != idx {
+			continue
+		}
+		if f.stopped == nil {
+			f.stopped = map[string]bool{}
+		}
+		f.stopped[label] = true
+		kept := f.buf.Children[:0]
+		for _, c := range f.buf.Children {
+			match := c.Kind == dom.ElementNode && (c.Name == label || label == "*")
+			if match {
+				sz := c.Size()
+				f.bufBytes -= sz
+				ex.shrink(sz)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		f.buf.Children = kept
+	}
+	return nil
+}
+
+// finishPS fires the remaining once-handlers at the end tag and releases
+// the frame's buffers.
+func (ex *exec) finishPS(f *psFrame) error {
+	for f.nextOnce < len(f.ps.once) {
+		if err := ex.fireOnce(f, f.ps.once[f.nextOnce]); err != nil {
+			return err
+		}
+	}
+	ex.shrink(f.bufBytes)
+	f.bufBytes = 0
+	return nil
+}
+
+// runPSReplay iterates a materialized element's children.
+func (ex *exec) runPSReplay(ps *pPS, f *psFrame, node *dom.Node) error {
+	for _, c := range node.Children {
+		switch c.Kind {
+		case dom.TextNode:
+			if f.ps.scope.Text {
+				n := dom.NewText(c.Text)
+				f.buf.AppendChild(n)
+				sz := n.Size()
+				f.bufBytes += sz
+				ex.grow(sz)
+			}
+		case dom.ElementNode:
+			f.state = ps.auto.Step(f.state, c.Name)
+			proj, buffered := ps.scope.Buffered[c.Name]
+			if !buffered {
+				if star, ok := ps.scope.Buffered["*"]; ok {
+					proj, buffered = star, true
+				}
+			}
+			if buffered && f.stopped[c.Name] {
+				buffered = false
+			}
+			hIdx, streamed := ps.onElem[c.Name]
+			if buffered {
+				n := projectNode(c, proj)
+				f.buf.AppendChild(n)
+				sz := n.Size()
+				f.bufBytes += sz
+				ex.grow(sz)
+				ex.st.BufferedNodes++
+			}
+			if streamed {
+				ex.st.HandlerFirings++
+				if err := ex.eval(ps.hs[hIdx].body, &element{name: c.Name, node: c}, nil); err != nil {
+					return err
+				}
+			}
+			if !buffered && !streamed {
+				ex.st.SkippedSubtrees++
+			}
+			if err := ex.fireEligible(f); err != nil {
+				return err
+			}
+		}
+	}
+	return ex.finishPS(f)
+}
+
+// projectNode copies a materialized subtree under a BDF projection.
+func projectNode(n *dom.Node, proj *bdf.Node) *dom.Node {
+	if proj == nil || proj.CopyAll {
+		return n.Clone()
+	}
+	out := dom.NewElement(n.Name)
+	out.Attrs = copyAttrs(n.Attrs)
+	for _, c := range n.Children {
+		switch c.Kind {
+		case dom.TextNode:
+			if proj.Text {
+				out.AppendChild(dom.NewText(c.Text))
+			}
+		case dom.ElementNode:
+			if sub, keep := proj.Keep(c.Name); keep {
+				out.AppendChild(projectNode(c, sub))
+			}
+		}
+	}
+	return out
+}

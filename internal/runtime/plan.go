@@ -1,0 +1,225 @@
+// Package runtime implements FluXQuery's runtime engine (paper §3.2): the
+// query compiler that turns a FluX query into a physical query plan (with
+// its buffer description forest), and the streamed query evaluator that
+// executes the plan over the validating XSAX event stream, maintaining
+// exactly the memory buffers the BDF prescribes.
+package runtime
+
+import (
+	"fmt"
+
+	"fluxquery/internal/bdf"
+	"fluxquery/internal/core"
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xquery"
+)
+
+// Plan is a compiled physical query plan.
+type Plan struct {
+	root pnode
+	d    *dtd.DTD
+	// BDF retains the forest for explain output.
+	BDF *bdf.Forest
+}
+
+// pnode is a physical operator.
+type pnode interface{ pnode() }
+
+type pText struct{ data string }
+
+type pOpen struct {
+	name  string
+	attrs []xquery.Attr
+}
+
+type pClose struct{ name string }
+
+type pElement struct {
+	name     string
+	attrs    []xquery.Attr
+	children []pnode
+}
+
+type pSeq struct{ items []pnode }
+
+type pXQ struct {
+	expr     xquery.Expr
+	scopeVar string
+}
+
+type pCopy struct{ v string }
+
+type pAtomic struct {
+	v    string
+	step xquery.Step
+}
+
+type pPS struct {
+	v     string
+	elem  string
+	auto  *dtd.Automaton
+	hs    []pHandler
+	scope *bdf.Scope
+	// onElem maps a child label to the index of its streaming handler in
+	// hs, or -1.
+	onElem map[string]int
+	// once lists the indices of OnFirst/OnEnd handlers in firing order.
+	once []int
+}
+
+type pHandler struct {
+	kind  core.HandlerKind
+	label string
+	bind  string
+	past  []string
+	body  pnode
+}
+
+func (pText) pnode()    {}
+func (pOpen) pnode()    {}
+func (pClose) pnode()   {}
+func (pElement) pnode() {}
+func (pSeq) pnode()     {}
+func (pXQ) pnode()      {}
+func (pCopy) pnode()    {}
+func (pAtomic) pnode()  {}
+func (*pPS) pnode()     {}
+
+// Options configures plan compilation.
+type Options struct {
+	// FullBuffers disables the BDF's sub-path projection inside buffered
+	// subtrees: buffered children are materialized completely, as a pure
+	// document-projection engine (Marian & Siméon [10]) would. This is
+	// the ablation for the paper's claim that the BDF "allows us to avoid
+	// the buffering of the data which can be processed on the fly" and of
+	// data the handlers never read.
+	FullBuffers bool
+}
+
+// Compile checks the FluX query's safety, computes its buffer description
+// forest and produces a physical plan.
+func Compile(q *core.Query) (*Plan, error) {
+	return CompileOptions(q, Options{})
+}
+
+// CompileOptions is Compile with explicit options.
+func CompileOptions(q *core.Query, o Options) (*Plan, error) {
+	if err := core.CheckSafety(q); err != nil {
+		return nil, err
+	}
+	forest, err := bdf.Compute(q)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{d: q.DTD, opts: o}
+	root, err := c.compile(q.Root, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{root: root, d: q.DTD, BDF: forest}, nil
+}
+
+type compiler struct {
+	d    *dtd.DTD
+	opts Options
+}
+
+// compile translates FluX into physical operators. scopeVar is the
+// variable of the enclosing handler's scope ("" at top level); XQ bodies
+// evaluate relative to it.
+func (c *compiler) compile(e core.Expr, scopeVar string) (pnode, error) {
+	switch t := e.(type) {
+	case core.TextLit:
+		return pText{data: t.Data}, nil
+	case core.OpenTag:
+		return pOpen{name: t.Name, attrs: t.Attrs}, nil
+	case core.CloseTag:
+		return pClose{name: t.Name}, nil
+	case core.XQ:
+		return pXQ{expr: t.E, scopeVar: scopeVar}, nil
+	case core.CopyVar:
+		return pCopy{v: t.Var}, nil
+	case core.AtomicVar:
+		return pAtomic{v: t.Var, step: t.Step}, nil
+	case core.SeqF:
+		out := pSeq{}
+		for _, it := range t.Items {
+			p, err := c.compile(it, scopeVar)
+			if err != nil {
+				return nil, err
+			}
+			out.items = append(out.items, p)
+		}
+		return out, nil
+	case core.Element:
+		out := pElement{name: t.Name, attrs: t.Attrs}
+		for _, ch := range t.Children {
+			p, err := c.compile(ch, scopeVar)
+			if err != nil {
+				return nil, err
+			}
+			out.children = append(out.children, p)
+		}
+		return out, nil
+	case core.ProcessStream:
+		return c.compilePS(t)
+	default:
+		return nil, fmt.Errorf("runtime: cannot compile %T", e)
+	}
+}
+
+func (c *compiler) compilePS(ps core.ProcessStream) (*pPS, error) {
+	elem := c.d.Element(ps.ElemName)
+	if elem == nil {
+		return nil, fmt.Errorf("runtime: unknown element type %q for $%s", ps.ElemName, ps.Var)
+	}
+	scope, err := bdf.ComputeScope(ps)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.FullBuffers {
+		for label := range scope.Buffered {
+			scope.Buffered[label] = &bdf.Node{CopyAll: true}
+		}
+		if len(scope.Buffered) > 0 {
+			scope.Text = true
+		}
+	}
+	out := &pPS{
+		v:      ps.Var,
+		elem:   ps.ElemName,
+		auto:   elem.Automaton(),
+		scope:  scope,
+		onElem: map[string]int{},
+	}
+	for i, h := range ps.Handlers {
+		var body pnode
+		switch h.Kind {
+		case core.OnElement:
+			b, err := c.compile(h.Body, h.Bind)
+			if err != nil {
+				return nil, err
+			}
+			body = b
+			if _, dup := out.onElem[h.Label]; dup {
+				return nil, fmt.Errorf("runtime: two streaming handlers for label %s in scope $%s", h.Label, ps.Var)
+			}
+			out.onElem[h.Label] = i
+		default:
+			b, err := c.compile(h.Body, ps.Var)
+			if err != nil {
+				return nil, err
+			}
+			body = b
+			out.once = append(out.once, i)
+		}
+		out.hs = append(out.hs, pHandler{
+			kind:  h.Kind,
+			label: h.Label,
+			bind:  h.Bind,
+			past:  h.Past,
+			body:  body,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package workload catalogues the experiment workloads: the W3C XMP use
+// case queries of the paper's domain, XMark-style auction queries, and
+// the micro-queries of the paper's §3.1 optimization examples. The bench
+// harness (bench_test.go), the fluxbench command and the differential
+// test suite all draw from this catalogue so that every experiment runs
+// the same code.
+package workload
+
+import (
+	"io"
+
+	"fluxquery/internal/xmlgen"
+)
+
+// Case is one (query, schema, document generator) workload.
+type Case struct {
+	// Name identifies the case (e.g. "xmp-q3-weak").
+	Name string
+	// Paper ties the case to its source (use case number or paper
+	// section).
+	Paper string
+	// Query is the XQuery source.
+	Query string
+	// DTD is the schema source.
+	DTD string
+	// Gen writes a document of roughly the given size in bytes.
+	Gen func(w io.Writer, bytes int64, seed int64) error
+	// Join marks inherently buffering (join) workloads.
+	Join bool
+}
+
+func bibGen(dialect xmlgen.BibDialect) func(io.Writer, int64, int64) error {
+	return func(w io.Writer, bytes int64, seed int64) error {
+		cfg := xmlgen.BibConfig{Dialect: dialect, Seed: seed}
+		cfg.Books = xmlgen.SizedBibBooks(cfg, bytes)
+		return xmlgen.WriteBib(w, cfg)
+	}
+}
+
+func auctionGen(w io.Writer, bytes int64, seed int64) error {
+	// Factor 1 is roughly 40 KB.
+	return xmlgen.WriteAuction(w, xmlgen.AuctionConfig{Factor: float64(bytes) / 40000, Seed: seed})
+}
+
+func storeGen(w io.Writer, bytes int64, seed int64) error {
+	// A book plus an entry is roughly 110 bytes.
+	n := int(bytes / 110)
+	if n < 2 {
+		n = 2
+	}
+	return xmlgen.WriteStore(w, xmlgen.StoreConfig{Books: n / 2, Entries: n / 2, Seed: seed})
+}
+
+// Q3 is the paper's running query, W3C XMP use case Q3.
+const Q3 = `<results>{
+  for $b in $ROOT/bib/book return
+    <result>{ $b/title }{ $b/author }</result>
+}</results>`
+
+// Cases is the experiment catalogue.
+var Cases = []Case{
+	{
+		Name:  "xmp-q1-strong",
+		Paper: "XMP Q1: books by Addison-Wesley after 1991",
+		Query: `<bib>{
+  for $b in $ROOT/bib/book
+  where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+  return <book>{ $b/@year }{ $b/title }</book>
+}</bib>`,
+		DTD: xmlgen.StrongBibDTD,
+		Gen: bibGen(xmlgen.StrongBib),
+	},
+	{
+		Name:  "xmp-q2-weak",
+		Paper: "XMP Q2: flat title/author pairs",
+		Query: `<results>{
+  for $b in $ROOT/bib/book, $t in $b/title, $a in $b/author
+  return <result>{ $t }{ $a }</result>
+}</results>`,
+		DTD: xmlgen.WeakBibDTD,
+		Gen: bibGen(xmlgen.WeakBib),
+	},
+	{
+		Name:  "xmp-q3-weak",
+		Paper: "XMP Q3 (paper §2), weak DTD: authors buffered per book",
+		Query: Q3,
+		DTD:   xmlgen.WeakBibDTD,
+		Gen:   bibGen(xmlgen.WeakBib),
+	},
+	{
+		Name:  "xmp-q3-strong",
+		Paper: "XMP Q3 (paper §2), Figure 1 DTD: fully streaming",
+		Query: Q3,
+		DTD:   xmlgen.StrongBibDTD,
+		Gen:   bibGen(xmlgen.StrongBib),
+	},
+	{
+		Name:  "xmp-q5-join",
+		Paper: "XMP Q5: join of books with price-list entries",
+		Query: `<books-with-prices>{
+  for $b in $ROOT/store/bib/book, $e in $ROOT/store/prices/entry
+  where $b/title = $e/title
+  return <book-with-prices>{ $b/title }<price-bib>{ $b/price/text() }</price-bib><price-list>{ $e/price/text() }</price-list></book-with-prices>
+}</books-with-prices>`,
+		DTD:  xmlgen.StoreDTD,
+		Gen:  storeGen,
+		Join: true,
+	},
+	{
+		Name:  "xmp-q6-weak",
+		Paper: "XMP Q6-style: books with more than one listed author element (conditional output)",
+		Query: `<results>{
+  for $b in $ROOT/bib/book
+  return { if (exists($b/author)) then <book>{ $b/title }{ $b/author }</book> else () }
+}</results>`,
+		DTD: xmlgen.WeakBibDTD,
+		Gen: bibGen(xmlgen.WeakBib),
+	},
+	{
+		Name:  "xmp-q4-distinct",
+		Paper: "XMP Q4-style: the distinct author names of the bibliography",
+		Query: `<authors>{ distinct-values($ROOT/bib/book/author) }</authors>`,
+		DTD:   xmlgen.WeakBibDTD,
+		Gen:   bibGen(xmlgen.WeakBib),
+	},
+	{
+		Name:  "xmark-q1",
+		Paper: "XMark Q1: lookup of one person by id",
+		Query: `<result>{
+  for $p in $ROOT/site/people/person
+  where $p/@id = "person3"
+  return { $p/name/text() }
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "xmark-q8-join",
+		Paper: "XMark Q8-style: buyers joined with their person records",
+		Query: `<result>{
+  for $p in $ROOT/site/people/person, $c in $ROOT/site/closed_auctions/closed_auction
+  where $c/buyer = $p/@id
+  return <purchase><who>{ $p/name/text() }</who><price>{ $c/price/text() }</price></purchase>
+}</result>`,
+		DTD:  xmlgen.AuctionDTD,
+		Gen:  auctionGen,
+		Join: true,
+	},
+	{
+		Name:  "xmark-q13",
+		Paper: "XMark Q13: item listing with description copy",
+		Query: `<result>{
+  for $i in $ROOT/site/items/item
+  return <item-info>{ $i/name }{ $i/description }</item-info>
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "xmark-q2-bidders",
+		Paper: "XMark Q2-style: first/current bid extraction per open auction",
+		Query: `<result>{
+  for $a in $ROOT/site/open_auctions/open_auction
+  return <auction><start>{ $a/initial/text() }</start><now>{ $a/current/text() }</now></auction>
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "paper-loop-merge",
+		Paper: "paper §3.1: two consecutive loops over $book/publisher",
+		Query: `<results>{
+  for $b in $ROOT/bib/book return
+    <r>{ for $x in $b/publisher return <p1>{ $x/text() }</p1> }{ for $y in $b/publisher return <p2>{ $y/text() }</p2> }</r>
+}</results>`,
+		DTD: xmlgen.StrongBibDTD,
+		Gen: bibGen(xmlgen.StrongBib),
+	},
+	{
+		Name:  "bdf-projection",
+		Paper: "paper §3.2: BDF buffers only the paths the query employs (vs [10])",
+		Query: `<results>{
+  for $b in $ROOT/bib/book return
+    <r>{ $b/title }{ for $i in $b/info return <isbn>{ $i/isbn/text() }</isbn> }</r>
+}</results>`,
+		DTD: xmlgen.InfoBibDTD,
+		Gen: func(w io.Writer, bytes int64, seed int64) error {
+			cfg := xmlgen.InfoBibConfig{Seed: seed}
+			cfg.Books = xmlgen.SizedInfoBibBooks(cfg, bytes)
+			return xmlgen.WriteInfoBib(w, cfg)
+		},
+	},
+	{
+		Name:  "paper-conflict",
+		Paper: "paper §3.1: unsatisfiable author+editor conditional",
+		Query: `<results>{
+  for $b in $ROOT/bib/book return
+    { if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit>{ $b/title }</hit> else () }
+}</results>`,
+		DTD: xmlgen.StrongBibDTD,
+		Gen: bibGen(xmlgen.StrongBib),
+	},
+}
+
+// ByName returns the named case, or nil.
+func ByName(name string) *Case {
+	for i := range Cases {
+		if Cases[i].Name == name {
+			return &Cases[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fluxquery/internal/xmltok"
+)
+
+// AuctionDTD is a compact XMark-style auction-site schema: people,
+// open auctions with bid histories, closed auctions and items. The
+// element order within each record is strict (like the original XMark
+// schema), so FluX can stream most queries over it; the bidder history
+// inside open auctions is unbounded, which exercises per-record buffers.
+const AuctionDTD = `<!ELEMENT site (people,open_auctions,closed_auctions,items)>
+<!ELEMENT people (person)*>
+<!ELEMENT person (name,emailaddress,phone?,city?)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT open_auctions (open_auction)*>
+<!ELEMENT open_auction (initial,(bidder)*,current,itemref,seller)>
+<!ATTLIST open_auction id CDATA #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date,increase)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref (#PCDATA)>
+<!ELEMENT seller (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction)*>
+<!ELEMENT closed_auction (seller,buyer,itemref,price,date)>
+<!ELEMENT buyer (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT items (item)*>
+<!ELEMENT item (location,name,description,quantity)>
+<!ATTLIST item id CDATA #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+`
+
+// AuctionConfig scales the auction document. Factor 1 produces roughly
+// 100 persons, 100 open auctions, 50 closed auctions and 100 items
+// (≈40 KB); sizes scale linearly.
+type AuctionConfig struct {
+	Factor float64
+	// MaxBidders bounds the bid history per open auction.
+	MaxBidders int
+	Seed       int64
+}
+
+func (c *AuctionConfig) defaults() {
+	if c.Factor == 0 {
+		c.Factor = 1
+	}
+	if c.MaxBidders == 0 {
+		c.MaxBidders = 5
+	}
+}
+
+// WriteAuction writes an auction-site document valid for AuctionDTD.
+func WriteAuction(w io.Writer, cfg AuctionConfig) error {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	persons := scaled(100, cfg.Factor)
+	opens := scaled(100, cfg.Factor)
+	closed := scaled(50, cfg.Factor)
+	items := scaled(100, cfg.Factor)
+
+	xw := xmltok.NewWriter(w)
+	leaf := func(name, text string) {
+		xw.StartElement(name, nil)
+		xw.Text(text)
+		xw.EndElement(name)
+	}
+	xw.StartElement("site", nil)
+
+	xw.StartElement("people", nil)
+	for i := 0; i < persons; i++ {
+		xw.StartElement("person", []xmltok.Attr{{Name: "id", Value: fmt.Sprintf("person%d", i)}})
+		leaf("name", personName(r, i))
+		leaf("emailaddress", fmt.Sprintf("mailto:p%d@example.org", i))
+		if r.Intn(2) == 0 {
+			leaf("phone", fmt.Sprintf("+43 %07d", r.Intn(10000000)))
+		}
+		if r.Intn(3) == 0 {
+			leaf("city", cities[r.Intn(len(cities))])
+		}
+		xw.EndElement("person")
+	}
+	xw.EndElement("people")
+
+	xw.StartElement("open_auctions", nil)
+	for i := 0; i < opens; i++ {
+		xw.StartElement("open_auction", []xmltok.Attr{{Name: "id", Value: fmt.Sprintf("open%d", i)}})
+		initial := 1 + r.Intn(200)
+		leaf("initial", fmt.Sprintf("%d.00", initial))
+		bidders := r.Intn(cfg.MaxBidders + 1)
+		cur := float64(initial)
+		for b := 0; b < bidders; b++ {
+			xw.StartElement("bidder", nil)
+			leaf("date", fmt.Sprintf("%02d/%02d/2004", 1+r.Intn(12), 1+r.Intn(28)))
+			inc := 1 + r.Intn(20)
+			cur += float64(inc)
+			leaf("increase", fmt.Sprintf("%d.00", inc))
+			xw.EndElement("bidder")
+		}
+		leaf("current", fmt.Sprintf("%.2f", cur))
+		leaf("itemref", fmt.Sprintf("item%d", r.Intn(items)))
+		leaf("seller", fmt.Sprintf("person%d", r.Intn(persons)))
+		xw.EndElement("open_auction")
+	}
+	xw.EndElement("open_auctions")
+
+	xw.StartElement("closed_auctions", nil)
+	for i := 0; i < closed; i++ {
+		xw.StartElement("closed_auction", nil)
+		leaf("seller", fmt.Sprintf("person%d", r.Intn(persons)))
+		leaf("buyer", fmt.Sprintf("person%d", r.Intn(persons)))
+		leaf("itemref", fmt.Sprintf("item%d", r.Intn(items)))
+		leaf("price", fmt.Sprintf("%d.%02d", 1+r.Intn(500), r.Intn(100)))
+		leaf("date", fmt.Sprintf("%02d/%02d/2004", 1+r.Intn(12), 1+r.Intn(28)))
+		xw.EndElement("closed_auction")
+	}
+	xw.EndElement("closed_auctions")
+
+	xw.StartElement("items", nil)
+	for i := 0; i < items; i++ {
+		xw.StartElement("item", []xmltok.Attr{{Name: "id", Value: fmt.Sprintf("item%d", i)}})
+		leaf("location", locations[r.Intn(len(locations))])
+		leaf("name", fmt.Sprintf("Item %d %s", i, words(r, 2)))
+		leaf("description", words(r, 12))
+		leaf("quantity", fmt.Sprintf("%d", 1+r.Intn(10)))
+		xw.EndElement("item")
+	}
+	xw.EndElement("items")
+
+	xw.EndElement("site")
+	return xw.Flush()
+}
+
+func scaled(base int, factor float64) int {
+	n := int(float64(base) * factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func personName(r *rand.Rand, i int) string {
+	return fmt.Sprintf("%s %s", firstNames[r.Intn(len(firstNames))], lastNames[i%len(lastNames)])
+}
+
+var firstNames = []string{"Ada", "Alan", "Edsger", "Grace", "Kurt", "Donald", "Barbara", "John"}
+var lastNames = []string{"Lovelace", "Turing", "Dijkstra", "Hopper", "Goedel", "Knuth", "Liskov", "McCarthy"}
+var cities = []string{"Vienna", "Berlin", "Munich", "Toronto", "Cairo"}
+var locations = []string{"Austria", "Germany", "Canada", "Egypt", "Japan"}

@@ -1,0 +1,95 @@
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fluxquery/internal/xmltok"
+)
+
+// InfoBibDTD is the buffer-projection workload schema: books carry an
+// info record whose blurb is large; queries typically read only the isbn.
+// Because info and title interleave, the info records must be buffered —
+// and the BDF's projection decides whether the blurb bytes enter the
+// buffer or not.
+const InfoBibDTD = `<!ELEMENT bib (book)*>
+<!ELEMENT book (info|title)*>
+<!ELEMENT info (isbn,blurb)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT blurb (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+`
+
+// InfoBibConfig configures the info-bib generator.
+type InfoBibConfig struct {
+	Books int
+	// BlurbWords sizes the blurb text (the payload projection drops).
+	BlurbWords int
+	Seed       int64
+}
+
+func (c *InfoBibConfig) defaults() {
+	if c.Books == 0 {
+		c.Books = 100
+	}
+	if c.BlurbWords == 0 {
+		c.BlurbWords = 60
+	}
+}
+
+// WriteInfoBib writes a document valid for InfoBibDTD. Each book holds
+// one large info record and one or two titles, interleaved.
+func WriteInfoBib(w io.Writer, cfg InfoBibConfig) error {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	xw := xmltok.NewWriter(w)
+	leaf := func(name, text string) {
+		xw.StartElement(name, nil)
+		xw.Text(text)
+		xw.EndElement(name)
+	}
+	xw.StartElement("bib", nil)
+	for i := 0; i < cfg.Books; i++ {
+		xw.StartElement("book", nil)
+		writeInfo := func() {
+			xw.StartElement("info", nil)
+			leaf("isbn", fmt.Sprintf("978-%09d", i))
+			leaf("blurb", words(r, cfg.BlurbWords))
+			xw.EndElement("info")
+		}
+		writeTitle := func(j int) { leaf("title", fmt.Sprintf("Title %d.%d", i, j)) }
+		// Interleave: sometimes info first, sometimes between titles.
+		switch r.Intn(3) {
+		case 0:
+			writeInfo()
+			writeTitle(0)
+		case 1:
+			writeTitle(0)
+			writeInfo()
+			writeTitle(1)
+		default:
+			writeTitle(0)
+			writeInfo()
+		}
+		xw.EndElement("book")
+	}
+	xw.EndElement("bib")
+	return xw.Flush()
+}
+
+// SizedInfoBibBooks returns the book count for a target byte size.
+func SizedInfoBibBooks(cfg InfoBibConfig, targetBytes int64) int {
+	cfg.defaults()
+	sample := cfg
+	sample.Books = 32
+	var cw countingWriter
+	if err := WriteInfoBib(&cw, sample); err != nil {
+		return 1
+	}
+	n := int(float64(targetBytes) / (float64(cw.n) / 32))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

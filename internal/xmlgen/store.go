@@ -1,0 +1,82 @@
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fluxquery/internal/xmltok"
+)
+
+// StoreDTD describes a two-branch document (XMP use case Q5 style): a
+// bibliography followed by a price list from a second source. Joins
+// between the branches force any engine to buffer one side.
+const StoreDTD = `<!ELEMENT store (bib,prices)>
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT prices (entry)*>
+<!ELEMENT entry (title,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+// StoreConfig configures the two-branch store generator.
+type StoreConfig struct {
+	// Books and Entries size the two branches.
+	Books   int
+	Entries int
+	// Overlap is the fraction of entry titles that match some book title
+	// (join selectivity), between 0 and 1.
+	Overlap float64
+	Seed    int64
+}
+
+func (c *StoreConfig) defaults() {
+	if c.Books == 0 {
+		c.Books = 100
+	}
+	if c.Entries == 0 {
+		c.Entries = 100
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 0.3
+	}
+}
+
+// WriteStore writes a store document valid for StoreDTD.
+func WriteStore(w io.Writer, cfg StoreConfig) error {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	xw := xmltok.NewWriter(w)
+	leaf := func(name, text string) {
+		xw.StartElement(name, nil)
+		xw.Text(text)
+		xw.EndElement(name)
+	}
+	title := func(i int) string { return fmt.Sprintf("Book Title %d", i) }
+
+	xw.StartElement("store", nil)
+	xw.StartElement("bib", nil)
+	for i := 0; i < cfg.Books; i++ {
+		xw.StartElement("book", []xmltok.Attr{{Name: "year", Value: fmt.Sprintf("%d", 1985+r.Intn(20))}})
+		leaf("title", title(i))
+		leaf("price", fmt.Sprintf("%d.%02d", 10+r.Intn(90), r.Intn(100)))
+		xw.EndElement("book")
+	}
+	xw.EndElement("bib")
+	xw.StartElement("prices", nil)
+	for i := 0; i < cfg.Entries; i++ {
+		xw.StartElement("entry", nil)
+		if r.Float64() < cfg.Overlap {
+			leaf("title", title(r.Intn(cfg.Books)))
+		} else {
+			leaf("title", fmt.Sprintf("Other Title %d", i))
+		}
+		leaf("price", fmt.Sprintf("%d.%02d", 5+r.Intn(95), r.Intn(100)))
+		xw.EndElement("entry")
+	}
+	xw.EndElement("prices")
+	xw.EndElement("store")
+	return xw.Flush()
+}

@@ -1,0 +1,374 @@
+// Package xmlgen generates synthetic, schema-valid XML workloads for the
+// experiments: the bibliography documents of the paper's running example
+// (in the weak, strong and mixed-order DTD dialects), XMark-style auction
+// documents, and random documents valid with respect to an arbitrary DTD
+// (used by the property-based differential tests).
+//
+// All generators are deterministic for a given seed.
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmltok"
+)
+
+// Bib dialects: the three DTDs discussed in the paper.
+const (
+	// WeakBibDTD is the paper's §2 DTD: titles and authors interleave.
+	WeakBibDTD = `<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+	// StrongBibDTD is the paper's Figure 1 DTD: strict order, so queries
+	// can stream.
+	StrongBibDTD = `<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+	// MixedBibDTD is the paper's §2 counterexample: interleaved prefix,
+	// trailing price.
+	MixedBibDTD = `<!ELEMENT bib (book)*>
+<!ELEMENT book ((title|author)*,price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+)
+
+// BibDialect selects the content-model dialect for generated books.
+type BibDialect int
+
+// Bib dialects.
+const (
+	WeakBib BibDialect = iota
+	StrongBib
+	MixedBib
+)
+
+// DTD returns the DTD source of the dialect.
+func (d BibDialect) DTD() string {
+	switch d {
+	case StrongBib:
+		return StrongBibDTD
+	case MixedBib:
+		return MixedBibDTD
+	default:
+		return WeakBibDTD
+	}
+}
+
+// BibConfig configures the bibliography generator.
+type BibConfig struct {
+	Dialect BibDialect
+	// Books is the number of book elements.
+	Books int
+	// MaxAuthors bounds authors per book (at least one in the strong
+	// dialect's author branch).
+	MaxAuthors int
+	// MaxTitles bounds titles per book in the weak dialect (strong and
+	// mixed emit exactly one; weak emits 1..MaxTitles).
+	MaxTitles int
+	// TextWords sizes the text content of leaf elements.
+	TextWords int
+	Seed      int64
+}
+
+func (c *BibConfig) defaults() {
+	if c.Books == 0 {
+		c.Books = 100
+	}
+	if c.MaxAuthors == 0 {
+		c.MaxAuthors = 3
+	}
+	if c.MaxTitles == 0 {
+		c.MaxTitles = 2
+	}
+	if c.TextWords == 0 {
+		c.TextWords = 4
+	}
+}
+
+// WriteBib writes a bibliography document valid for the dialect's DTD.
+func WriteBib(w io.Writer, cfg BibConfig) error {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	xw := xmltok.NewWriter(w)
+	xw.StartElement("bib", nil)
+	for i := 0; i < cfg.Books; i++ {
+		writeBook(xw, r, &cfg, i)
+	}
+	xw.EndElement("bib")
+	return xw.Flush()
+}
+
+func writeBook(w *xmltok.Writer, r *rand.Rand, cfg *BibConfig, i int) {
+	year := fmt.Sprintf("%d", 1985+r.Intn(20))
+	w.StartElement("book", []xmltok.Attr{{Name: "year", Value: year}})
+	leaf := func(name, text string) {
+		w.StartElement(name, nil)
+		w.Text(text)
+		w.EndElement(name)
+	}
+	titleText := func(j int) string {
+		return fmt.Sprintf("Title %d.%d %s", i, j, words(r, cfg.TextWords))
+	}
+	authorText := func(j int) string {
+		return fmt.Sprintf("Author %d.%d %s", i, j, words(r, 2))
+	}
+	switch cfg.Dialect {
+	case StrongBib:
+		leaf("title", titleText(0))
+		if r.Intn(4) == 0 {
+			n := 1 + r.Intn(cfg.MaxAuthors)
+			for j := 0; j < n; j++ {
+				leaf("editor", fmt.Sprintf("Editor %d.%d", i, j))
+			}
+		} else {
+			n := 1 + r.Intn(cfg.MaxAuthors)
+			for j := 0; j < n; j++ {
+				leaf("author", authorText(j))
+			}
+		}
+		leaf("publisher", publishers[r.Intn(len(publishers))])
+		leaf("price", fmt.Sprintf("%d.%02d", 10+r.Intn(90), r.Intn(100)))
+	case MixedBib:
+		interleaveTitlesAuthors(w, r, cfg, titleText, authorText, leaf)
+		leaf("price", fmt.Sprintf("%d.%02d", 10+r.Intn(90), r.Intn(100)))
+	default: // WeakBib
+		interleaveTitlesAuthors(w, r, cfg, titleText, authorText, leaf)
+	}
+	w.EndElement("book")
+}
+
+// interleaveTitlesAuthors emits titles and authors in random interleaved
+// order — the workload that punishes engines unable to exploit order
+// constraints.
+func interleaveTitlesAuthors(w *xmltok.Writer, r *rand.Rand, cfg *BibConfig,
+	titleText, authorText func(int) string, leaf func(name, text string)) {
+	titles := 1 + r.Intn(cfg.MaxTitles)
+	authors := r.Intn(cfg.MaxAuthors + 1)
+	type item struct {
+		name string
+		text string
+	}
+	var items []item
+	for j := 0; j < titles; j++ {
+		items = append(items, item{"title", titleText(j)})
+	}
+	for j := 0; j < authors; j++ {
+		items = append(items, item{"author", authorText(j)})
+	}
+	r.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+	for _, it := range items {
+		leaf(it.name, it.text)
+	}
+}
+
+var publishers = []string{
+	"Addison-Wesley", "Morgan Kaufmann", "Springer", "O'Reilly", "MIT Press",
+}
+
+var wordList = []string{
+	"data", "stream", "query", "schema", "buffer", "event", "memory",
+	"process", "order", "constraint", "algebra", "engine", "automaton",
+	"projection", "optimization", "evaluation",
+}
+
+func words(r *rand.Rand, n int) string {
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, wordList[r.Intn(len(wordList))]...)
+	}
+	return string(out)
+}
+
+// SizedBibBooks returns the book count that makes a WriteBib document
+// approximately the given size in bytes (for document-size sweeps).
+func SizedBibBooks(cfg BibConfig, targetBytes int64) int {
+	cfg.defaults()
+	// Measure a 64-book sample.
+	sample := cfg
+	sample.Books = 64
+	var cw countingWriter
+	if err := WriteBib(&cw, sample); err != nil {
+		return 1
+	}
+	perBook := float64(cw.n) / 64
+	n := int(float64(targetBytes) / perBook)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// RandomConfig configures the random document generator.
+type RandomConfig struct {
+	Seed int64
+	// MaxDepth bounds element nesting.
+	MaxDepth int
+	// MaxChildren bounds the children emitted per element before the
+	// generator steers toward an accepting state.
+	MaxChildren int
+	// TextWords sizes the text of PCDATA elements.
+	TextWords int
+}
+
+func (c *RandomConfig) defaults() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 6
+	}
+	if c.MaxChildren == 0 {
+		c.MaxChildren = 8
+	}
+	if c.TextWords == 0 {
+		c.TextWords = 3
+	}
+}
+
+// WriteRandom writes a random document valid w.r.t. d. The walk chooses
+// random content-model transitions, steering toward acceptance once the
+// per-element child budget is exhausted.
+func WriteRandom(w io.Writer, d *dtd.DTD, cfg RandomConfig) error {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	xw := xmltok.NewWriter(w)
+	g := &randomGen{d: d, r: r, cfg: &cfg, w: xw}
+	g.element(d.Root, 1)
+	return xw.Flush()
+}
+
+type randomGen struct {
+	d   *dtd.DTD
+	r   *rand.Rand
+	cfg *RandomConfig
+	w   *xmltok.Writer
+	// distCache memoizes distance-to-accept per element automaton.
+	distCache map[*dtd.Automaton][]int
+}
+
+func (g *randomGen) element(name string, depth int) {
+	e := g.d.Element(name)
+	g.w.StartElement(name, g.attrs(e))
+	if e.HasPCData() && !e.IsAny() {
+		g.w.Text(words(g.r, g.cfg.TextWords))
+	}
+	if !e.IsAny() {
+		g.children(e, depth)
+	}
+	g.w.EndElement(name)
+}
+
+func (g *randomGen) attrs(e *dtd.Element) []xmltok.Attr {
+	var out []xmltok.Attr
+	for _, def := range e.Atts {
+		required := def.Default == dtd.AttRequired
+		if !required && g.r.Intn(2) == 0 {
+			continue
+		}
+		var v string
+		switch {
+		case def.Type == dtd.AttEnum:
+			v = def.Enum[g.r.Intn(len(def.Enum))]
+		case def.Default == dtd.AttFixed:
+			v = def.Value
+		default:
+			v = fmt.Sprintf("v%d", g.r.Intn(1000))
+		}
+		out = append(out, xmltok.Attr{Name: def.Name, Value: v})
+	}
+	return out
+}
+
+func (g *randomGen) children(e *dtd.Element, depth int) {
+	a := e.Automaton()
+	dist := g.distances(a)
+	q := a.Start()
+	emitted := 0
+	for {
+		labels, next := a.Transitions(q)
+		budgetLeft := emitted < g.cfg.MaxChildren && depth < g.cfg.MaxDepth
+		if a.Accepting(q) {
+			if len(labels) == 0 || !budgetLeft || g.r.Intn(3) == 0 {
+				return
+			}
+		}
+		if len(labels) == 0 {
+			return // non-accepting dead end cannot occur in trim automata
+		}
+		var pick int
+		if budgetLeft {
+			pick = g.r.Intn(len(labels))
+		} else {
+			// Steer toward acceptance: choose a transition that reduces
+			// the distance to an accepting state.
+			pick = 0
+			best := int(^uint(0) >> 1)
+			for i, t := range next {
+				if dist[t] < best {
+					best = dist[t]
+					pick = i
+				}
+			}
+		}
+		g.element(labels[pick], depth+1)
+		q = next[pick]
+		emitted++
+	}
+}
+
+// distances computes each state's shortest distance (in transitions) to
+// an accepting state.
+func (g *randomGen) distances(a *dtd.Automaton) []int {
+	if g.distCache == nil {
+		g.distCache = map[*dtd.Automaton][]int{}
+	}
+	if d, ok := g.distCache[a]; ok {
+		return d
+	}
+	n := a.NumStates()
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	for i := range dist {
+		if a.Accepting(i) {
+			dist[i] = 0
+		} else {
+			dist[i] = inf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for q := 0; q < n; q++ {
+			_, next := a.Transitions(q)
+			for _, t := range next {
+				if dist[t] != inf && dist[t]+1 < dist[q] {
+					dist[q] = dist[t] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	g.distCache[a] = dist
+	return dist
+}

@@ -1,0 +1,181 @@
+package xmlgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xsax"
+)
+
+func TestBibValidAllDialects(t *testing.T) {
+	for _, dialect := range []BibDialect{WeakBib, StrongBib, MixedBib} {
+		d := dtd.MustParse(dialect.DTD())
+		var buf bytes.Buffer
+		if err := WriteBib(&buf, BibConfig{Dialect: dialect, Books: 50, Seed: 7}); err != nil {
+			t.Fatalf("dialect %v: %v", dialect, err)
+		}
+		if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+			t.Errorf("dialect %v: generated document invalid: %v\n%s", dialect, err, firstN(buf.String(), 400))
+		}
+	}
+}
+
+func TestBibDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	cfg := BibConfig{Dialect: WeakBib, Books: 20, Seed: 42}
+	if err := WriteBib(&a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBib(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different documents")
+	}
+	var c bytes.Buffer
+	cfg.Seed = 43
+	if err := WriteBib(&c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestBibInterleavingActuallyHappens(t *testing.T) {
+	// The weak dialect must (across enough books) produce some book where
+	// an author precedes a title — otherwise the buffering experiments
+	// measure nothing.
+	var buf bytes.Buffer
+	if err := WriteBib(&buf, BibConfig{Dialect: WeakBib, Books: 200, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</author><title>") {
+		t.Error("no author-before-title interleaving in 200 books")
+	}
+}
+
+func TestSizedBibBooks(t *testing.T) {
+	cfg := BibConfig{Dialect: WeakBib, Seed: 3}
+	n := SizedBibBooks(cfg, 1<<20)
+	cfg.Books = n
+	var cw countingWriter
+	if err := WriteBib(&cw, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cw.n < 1<<19 || cw.n > 1<<21 {
+		t.Errorf("target 1MiB, got %d bytes for %d books", cw.n, n)
+	}
+}
+
+func TestAuctionValid(t *testing.T) {
+	d := dtd.MustParse(AuctionDTD)
+	var buf bytes.Buffer
+	if err := WriteAuction(&buf, AuctionConfig{Factor: 0.5, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+		t.Errorf("auction document invalid: %v\n%s", err, firstN(buf.String(), 400))
+	}
+	for _, want := range []string{"<people>", "<open_auction ", "<closed_auction>", "<item "} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("auction document missing %s", want)
+		}
+	}
+}
+
+func TestAuctionScales(t *testing.T) {
+	var small, big bytes.Buffer
+	if err := WriteAuction(&small, AuctionConfig{Factor: 0.2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAuction(&big, AuctionConfig{Factor: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() < 5*small.Len() {
+		t.Errorf("factor 10x should grow bytes ~10x: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestRandomValidManySchemas(t *testing.T) {
+	schemas := []string{
+		WeakBibDTD,
+		StrongBibDTD,
+		MixedBibDTD,
+		AuctionDTD,
+		`<!ELEMENT a (b?,(c|d)+,e*)><!ELEMENT b EMPTY><!ELEMENT c (a?)><!ELEMENT d (#PCDATA)><!ELEMENT e (d,d)>`,
+		`<!ELEMENT m (#PCDATA|x|y)*><!ELEMENT x EMPTY><!ELEMENT y (m?)>`,
+	}
+	for si, src := range schemas {
+		d := dtd.MustParse(src)
+		for seed := int64(0); seed < 20; seed++ {
+			var buf bytes.Buffer
+			if err := WriteRandom(&buf, d, RandomConfig{Seed: seed, MaxDepth: 5, MaxChildren: 6}); err != nil {
+				t.Fatalf("schema %d seed %d: %v", si, seed, err)
+			}
+			if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+				t.Errorf("schema %d seed %d: invalid: %v\n%s", si, seed, err, firstN(buf.String(), 300))
+			}
+		}
+	}
+}
+
+func TestRandomRespectsRequiredSequences(t *testing.T) {
+	// (d,d) inside e must always emit exactly two d's even when the
+	// child budget is exhausted.
+	d := dtd.MustParse(`<!ELEMENT r (e)*><!ELEMENT e (d,d)><!ELEMENT d (#PCDATA)>`)
+	for seed := int64(0); seed < 10; seed++ {
+		var buf bytes.Buffer
+		if err := WriteRandom(&buf, d, RandomConfig{Seed: seed, MaxChildren: 1, MaxDepth: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestStoreValidAndOverlapping(t *testing.T) {
+	d := dtd.MustParse(StoreDTD)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, StoreConfig{Books: 50, Entries: 50, Overlap: 0.5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+		t.Fatalf("store document invalid: %v", err)
+	}
+	// Overlap: at least one entry title equals a book title.
+	if !strings.Contains(buf.String(), "<entry><title>Book Title ") {
+		t.Error("no overlapping titles generated")
+	}
+}
+
+func TestInfoBibValidAndSized(t *testing.T) {
+	d := dtd.MustParse(InfoBibDTD)
+	var buf bytes.Buffer
+	if err := WriteInfoBib(&buf, InfoBibConfig{Books: 40, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := xsax.Validate(bytes.NewReader(buf.Bytes()), d); err != nil {
+		t.Fatalf("infobib invalid: %v", err)
+	}
+	cfg := InfoBibConfig{Seed: 4}
+	n := SizedInfoBibBooks(cfg, 200_000)
+	cfg.Books = n
+	var cw countingWriter
+	if err := WriteInfoBib(&cw, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cw.n < 100_000 || cw.n > 400_000 {
+		t.Errorf("sized generation off target: %d bytes for %d books", cw.n, n)
+	}
+}
+
+func firstN(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

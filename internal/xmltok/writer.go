@@ -1,0 +1,193 @@
+package xmltok
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Writer serializes XML tokens to an output stream and counts the bytes it
+// emits. It performs the escaping required for character data and
+// attribute values. Writer methods never return an error eagerly; the
+// first underlying write error is latched and returned by Flush (and by
+// every subsequent method), so query evaluators can emit output without
+// error plumbing on every token.
+type Writer struct {
+	w       *bufio.Writer
+	n       int64
+	err     error
+	openTag bool // a start tag is open and not yet closed with '>'
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Written returns the number of bytes written so far (pre-flush bytes
+// included).
+func (w *Writer) Written() int64 { return w.n }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.closeTag()
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+func (w *Writer) writeString(s string) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.WriteString(s)
+	w.n += int64(n)
+	if err != nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) writeByte(c byte) {
+	if w.err != nil {
+		return
+	}
+	if err := w.w.WriteByte(c); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+func (w *Writer) closeTag() {
+	if w.openTag {
+		w.openTag = false
+		w.writeByte('>')
+	}
+}
+
+// StartElement emits an opening tag with the given attributes.
+func (w *Writer) StartElement(name string, attrs []Attr) {
+	w.closeTag()
+	w.writeByte('<')
+	w.writeString(name)
+	for _, a := range attrs {
+		w.writeByte(' ')
+		w.writeString(a.Name)
+		w.writeString(`="`)
+		w.writeString(EscapeAttr(a.Value))
+		w.writeByte('"')
+	}
+	w.openTag = true
+}
+
+// EndElement emits a closing tag. If the element is still open and empty it
+// is emitted in self-closing form.
+func (w *Writer) EndElement(name string) {
+	if w.openTag {
+		w.openTag = false
+		w.writeString("/>")
+		return
+	}
+	w.writeString("</")
+	w.writeString(name)
+	w.writeByte('>')
+}
+
+// Text emits escaped character data.
+func (w *Writer) Text(data string) {
+	if data == "" {
+		return
+	}
+	w.closeTag()
+	w.writeString(EscapeText(data))
+}
+
+// Comment emits an XML comment.
+func (w *Writer) Comment(data string) {
+	w.closeTag()
+	w.writeString("<!--")
+	w.writeString(data)
+	w.writeString("-->")
+}
+
+// ProcInst emits a processing instruction.
+func (w *Writer) ProcInst(target, data string) {
+	w.closeTag()
+	w.writeString("<?")
+	w.writeString(target)
+	if data != "" {
+		w.writeByte(' ')
+		w.writeString(data)
+	}
+	w.writeString("?>")
+}
+
+// Token emits an arbitrary token.
+func (w *Writer) Token(t Token) {
+	switch t.Kind {
+	case StartElement:
+		w.StartElement(t.Name, t.Attrs)
+	case EndElement:
+		w.EndElement(t.Name)
+	case Text:
+		w.Text(t.Data)
+	case Comment:
+		w.Comment(t.Data)
+	case ProcInst:
+		w.ProcInst(t.Name, t.Data)
+	}
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes a string for use inside a double-quoted attribute
+// value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<>&"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,619 @@
+// Package xmltok provides a streaming XML tokenizer and a matching
+// serializer. It is the lowest layer of the FluXQuery engine: every byte of
+// the input stream passes through the Scanner exactly once, and every byte
+// of the result stream is produced by the Writer.
+//
+// The tokenizer is deliberately self-contained (it does not use
+// encoding/xml) so that the engine controls buffering, entity expansion and
+// byte accounting. It implements the subset of XML 1.0 required for data
+// streams: elements, attributes, character data, CDATA sections, comments,
+// processing instructions, a DOCTYPE declaration (captured, not
+// interpreted), and the predefined plus numeric character entities.
+package xmltok
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind identifies the type of a Token.
+type Kind uint8
+
+// Token kinds produced by the Scanner.
+const (
+	// None is the zero Kind; it is never returned with a nil error.
+	None Kind = iota
+	// StartElement is an opening tag. Self-closing tags (<a/>) are
+	// reported as a StartElement immediately followed by an EndElement.
+	StartElement
+	// EndElement is a closing tag.
+	EndElement
+	// Text is character data with entities expanded. Adjacent runs of
+	// character data and CDATA sections are merged into one token.
+	Text
+	// Comment is the body of an XML comment (without the delimiters).
+	Comment
+	// ProcInst is a processing instruction; Name holds the target and
+	// Data the remainder.
+	ProcInst
+	// Directive is a <!...> declaration such as DOCTYPE; Data holds the
+	// raw body including any internal subset.
+	Directive
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	case Comment:
+		return "Comment"
+	case ProcInst:
+		return "ProcInst"
+	case Directive:
+		return "Directive"
+	default:
+		return "None"
+	}
+}
+
+// Attr is a single attribute of a start-element tag.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one XML event. Which fields are meaningful depends on Kind:
+// StartElement uses Name and Attrs; EndElement uses Name; Text, Comment,
+// ProcInst and Directive use Data (ProcInst also uses Name for the target).
+type Token struct {
+	Kind  Kind
+	Name  string
+	Data  string
+	Attrs []Attr
+}
+
+// IsWhitespace reports whether a Text token consists entirely of XML
+// whitespace (space, tab, CR, LF).
+func (t Token) IsWhitespace() bool {
+	if t.Kind != Text {
+		return false
+	}
+	for i := 0; i < len(t.Data); i++ {
+		switch t.Data[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SyntaxError describes a malformed-input error with a line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml syntax error on line %d: %s", e.Line, e.Msg)
+}
+
+// Scanner reads XML tokens from an io.Reader. Create one with NewScanner
+// and call Next until it returns io.EOF.
+type Scanner struct {
+	r     *bufio.Reader
+	line  int
+	depth int
+	// names interns element and attribute names so that repeated tags in
+	// large streams do not allocate a fresh string per occurrence.
+	names map[string]string
+	// sawRoot tracks whether a root element was seen, for well-formedness.
+	sawRoot bool
+	done    bool
+	// text accumulates character data across entity boundaries and CDATA.
+	text strings.Builder
+	// attrbuf is reused across start tags; the Attrs slice handed out in a
+	// Token remains valid until the next call to Next.
+	attrbuf []Attr
+	// pendingEnd holds the name of a self-closed element whose synthetic
+	// EndElement token is delivered on the following Next call.
+	pendingEnd string
+	// One-byte pushback. bufio.Reader.UnreadByte is invalidated by Peek,
+	// so the scanner maintains its own, unconditional pushback slot.
+	unread    byte
+	hasUnread bool
+}
+
+// NewScanner returns a Scanner reading from r. A leading UTF-8 byte
+// order mark is skipped.
+func NewScanner(r io.Reader) *Scanner {
+	br := bufio.NewReaderSize(r, 64<<10)
+	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
+		br.Discard(3)
+	}
+	return &Scanner{
+		r:     br,
+		line:  1,
+		names: make(map[string]string, 64),
+	}
+}
+
+// Line returns the current 1-based line number (for error reporting).
+func (s *Scanner) Line() int { return s.line }
+
+// Depth returns the current element nesting depth after the most recently
+// returned token (0 at document level).
+func (s *Scanner) Depth() int { return s.depth }
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return &SyntaxError{Line: s.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Scanner) intern(b string) string {
+	if v, ok := s.names[b]; ok {
+		return v
+	}
+	v := strings.Clone(b)
+	s.names[v] = v
+	return v
+}
+
+func (s *Scanner) readByte() (byte, error) {
+	if s.hasUnread {
+		s.hasUnread = false
+		return s.unread, nil
+	}
+	c, err := s.r.ReadByte()
+	if err == nil && c == '\n' {
+		s.line++
+	}
+	return c, err
+}
+
+// unreadByte pushes c back so the next readByte returns it again.
+func (s *Scanner) unreadByte(c byte) {
+	s.unread = c
+	s.hasUnread = true
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}
+
+func (s *Scanner) skipSpace() (byte, error) {
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if !isSpace(c) {
+			return c, nil
+		}
+	}
+}
+
+func (s *Scanner) readName(first byte) (string, error) {
+	if !isNameStart(first) {
+		return "", s.errf("invalid name start character %q", first)
+	}
+	var b strings.Builder
+	b.WriteByte(first)
+	for {
+		c, err := s.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if !isNameByte(c) {
+			s.unreadByte(c)
+			break
+		}
+		b.WriteByte(c)
+	}
+	return s.intern(b.String()), nil
+}
+
+// Next returns the next token, or io.EOF after the document ends. Any
+// other non-nil error is a *SyntaxError or an error from the underlying
+// reader.
+func (s *Scanner) Next() (Token, error) {
+	if s.done {
+		return Token{}, io.EOF
+	}
+	if s.pendingEnd != "" {
+		name := s.pendingEnd
+		s.pendingEnd = ""
+		s.depth--
+		return Token{Kind: EndElement, Name: name}, nil
+	}
+	c, err := s.readByte()
+	if err == io.EOF {
+		if s.depth != 0 {
+			return Token{}, s.errf("unexpected EOF: %d element(s) unclosed", s.depth)
+		}
+		s.done = true
+		return Token{}, io.EOF
+	}
+	if err != nil {
+		return Token{}, err
+	}
+	if c == '<' {
+		return s.scanMarkup()
+	}
+	s.unreadByte(c)
+	return s.scanText()
+}
+
+func (s *Scanner) scanText() (Token, error) {
+	s.text.Reset()
+	for {
+		c, err := s.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Token{}, err
+		}
+		switch c {
+		case '<':
+			// Check for CDATA continuation of text.
+			if b, err := s.r.Peek(8); err == nil && string(b) == "![CDATA[" {
+				s.r.Discard(8)
+				if err := s.scanCDATA(); err != nil {
+					return Token{}, err
+				}
+				continue
+			}
+			s.unreadByte(c)
+			goto out
+		case '&':
+			r, err := s.scanEntity()
+			if err != nil {
+				return Token{}, err
+			}
+			s.text.WriteString(r)
+		default:
+			s.text.WriteByte(c)
+		}
+	}
+out:
+	data := s.text.String()
+	if s.depth == 0 {
+		// Character data at document level: only whitespace is allowed.
+		for i := 0; i < len(data); i++ {
+			if !isSpace(data[i]) {
+				return Token{}, s.errf("character data outside root element")
+			}
+		}
+		return s.Next()
+	}
+	return Token{Kind: Text, Data: data}, nil
+}
+
+func (s *Scanner) scanCDATA() error {
+	// Already consumed "<![CDATA[". Copy until "]]>".
+	var run int
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return s.errf("unterminated CDATA section")
+		}
+		switch {
+		case c == ']':
+			run++
+		case c == '>' && run >= 2:
+			// Remove the two ']' we buffered beyond the first run-2.
+			for i := 0; i < run-2; i++ {
+				s.text.WriteByte(']')
+			}
+			return nil
+		default:
+			for i := 0; i < run; i++ {
+				s.text.WriteByte(']')
+			}
+			run = 0
+			s.text.WriteByte(c)
+		}
+	}
+}
+
+func (s *Scanner) scanEntity() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return "", s.errf("unterminated entity reference")
+		}
+		if c == ';' {
+			break
+		}
+		if b.Len() > 32 {
+			return "", s.errf("entity reference too long")
+		}
+		b.WriteByte(c)
+	}
+	return expandEntity(b.String(), s)
+}
+
+func expandEntity(name string, s *Scanner) (string, error) {
+	switch name {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if len(name) > 1 && name[0] == '#' {
+		base := 10
+		digits := name[1:]
+		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+			base = 16
+			digits = digits[1:]
+		}
+		var n uint32
+		for i := 0; i < len(digits); i++ {
+			var d uint32
+			c := digits[i]
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint32(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = uint32(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = uint32(c-'A') + 10
+			default:
+				return "", s.errf("invalid character reference &%s;", name)
+			}
+			n = n*uint32(base) + d
+			if n > 0x10FFFF {
+				return "", s.errf("character reference out of range &%s;", name)
+			}
+		}
+		return string(rune(n)), nil
+	}
+	return "", s.errf("unknown entity &%s;", name)
+}
+
+func (s *Scanner) scanMarkup() (Token, error) {
+	c, err := s.readByte()
+	if err != nil {
+		return Token{}, s.errf("unexpected EOF after '<'")
+	}
+	switch c {
+	case '/':
+		return s.scanEndTag()
+	case '?':
+		return s.scanProcInst()
+	case '!':
+		return s.scanBang()
+	default:
+		return s.scanStartTag(c)
+	}
+}
+
+func (s *Scanner) scanEndTag() (Token, error) {
+	c, err := s.readByte()
+	if err != nil {
+		return Token{}, s.errf("unexpected EOF in end tag")
+	}
+	name, err := s.readName(c)
+	if err != nil {
+		return Token{}, err
+	}
+	c, err = s.skipSpace()
+	if err != nil || c != '>' {
+		return Token{}, s.errf("malformed end tag </%s", name)
+	}
+	if s.depth == 0 {
+		return Token{}, s.errf("unmatched end tag </%s>", name)
+	}
+	s.depth--
+	return Token{Kind: EndElement, Name: name}, nil
+}
+
+func (s *Scanner) scanStartTag(first byte) (Token, error) {
+	name, err := s.readName(first)
+	if err != nil {
+		return Token{}, err
+	}
+	if s.depth == 0 && s.sawRoot {
+		return Token{}, s.errf("second root element <%s>", name)
+	}
+	s.attrbuf = s.attrbuf[:0]
+	for {
+		c, err := s.skipSpace()
+		if err != nil {
+			return Token{}, s.errf("unexpected EOF in tag <%s>", name)
+		}
+		switch c {
+		case '>':
+			s.depth++
+			s.sawRoot = true
+			return Token{Kind: StartElement, Name: name, Attrs: s.attrbuf}, nil
+		case '/':
+			c, err = s.readByte()
+			if err != nil || c != '>' {
+				return Token{}, s.errf("malformed self-closing tag <%s>", name)
+			}
+			s.sawRoot = true
+			s.depth++
+			// Report start now; the matching end is synthesized on the
+			// next call via pendingEnd.
+			s.pendingEnd = name
+			return Token{Kind: StartElement, Name: name, Attrs: s.attrbuf}, nil
+		default:
+			aname, err := s.readName(c)
+			if err != nil {
+				return Token{}, err
+			}
+			c, err = s.skipSpace()
+			if err != nil || c != '=' {
+				return Token{}, s.errf("attribute %s without value in <%s>", aname, name)
+			}
+			c, err = s.skipSpace()
+			if err != nil || (c != '"' && c != '\'') {
+				return Token{}, s.errf("attribute %s value must be quoted", aname)
+			}
+			val, err := s.scanAttValue(c)
+			if err != nil {
+				return Token{}, err
+			}
+			for _, a := range s.attrbuf {
+				if a.Name == aname {
+					return Token{}, s.errf("duplicate attribute %s in <%s>", aname, name)
+				}
+			}
+			s.attrbuf = append(s.attrbuf, Attr{Name: aname, Value: val})
+		}
+	}
+}
+
+func (s *Scanner) scanAttValue(quote byte) (string, error) {
+	var b strings.Builder
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return "", s.errf("unterminated attribute value")
+		}
+		switch c {
+		case quote:
+			return b.String(), nil
+		case '&':
+			r, err := s.scanEntity()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		case '<':
+			return "", s.errf("'<' in attribute value")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (s *Scanner) scanProcInst() (Token, error) {
+	c, err := s.readByte()
+	if err != nil {
+		return Token{}, s.errf("unexpected EOF in processing instruction")
+	}
+	name, err := s.readName(c)
+	if err != nil {
+		return Token{}, err
+	}
+	var b strings.Builder
+	var prev byte
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Token{}, s.errf("unterminated processing instruction <?%s", name)
+		}
+		if prev == '?' && c == '>' {
+			data := strings.TrimSuffix(b.String(), "?")
+			data = strings.TrimLeft(data, " \t\r\n")
+			return Token{Kind: ProcInst, Name: name, Data: data}, nil
+		}
+		b.WriteByte(c)
+		prev = c
+	}
+}
+
+func (s *Scanner) scanBang() (Token, error) {
+	// <!-- comment -->, <![CDATA[...]]> (text context), or <!DOCTYPE...>.
+	b, err := s.r.Peek(2)
+	if err == nil && string(b) == "--" {
+		s.r.Discard(2)
+		return s.scanComment()
+	}
+	if b, err := s.r.Peek(7); err == nil && string(b) == "[CDATA[" {
+		s.r.Discard(7)
+		s.text.Reset()
+		if err := s.scanCDATA(); err != nil {
+			return Token{}, err
+		}
+		if s.depth == 0 {
+			return Token{}, s.errf("CDATA outside root element")
+		}
+		return Token{Kind: Text, Data: s.text.String()}, nil
+	}
+	// Directive: copy until matching '>' tracking bracket and quote nesting
+	// (the DOCTYPE internal subset may contain '>' inside [...]).
+	var body strings.Builder
+	depth := 0
+	var quote byte
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Token{}, s.errf("unterminated <! directive")
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			body.WriteByte(c)
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return Token{Kind: Directive, Data: body.String()}, nil
+			}
+		}
+		body.WriteByte(c)
+	}
+}
+
+func (s *Scanner) scanComment() (Token, error) {
+	var b strings.Builder
+	var dashes int
+	for {
+		c, err := s.readByte()
+		if err != nil {
+			return Token{}, s.errf("unterminated comment")
+		}
+		switch {
+		case c == '-':
+			dashes++
+		case c == '>' && dashes >= 2:
+			data := b.String()
+			for i := 0; i < dashes-2; i++ {
+				data += "-"
+			}
+			return Token{Kind: Comment, Data: data}, nil
+		default:
+			for i := 0; i < dashes; i++ {
+				b.WriteByte('-')
+			}
+			dashes = 0
+			b.WriteByte(c)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package xmltok
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// collect reads all tokens from the scanner, failing the test on error.
+func collect(t *testing.T, src string) []Token {
+	t.Helper()
+	s := NewScanner(strings.NewReader(src))
+	var out []Token
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("scan %q: %v", src, err)
+		}
+		// Copy attrs: the scanner reuses the attribute buffer.
+		if len(tok.Attrs) > 0 {
+			tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		}
+		out = append(out, tok)
+	}
+}
+
+func scanErr(src string) error {
+	s := NewScanner(strings.NewReader(src))
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func TestScanSimpleDocument(t *testing.T) {
+	toks := collect(t, `<a><b x="1">hi</b><c/></a>`)
+	want := []Token{
+		{Kind: StartElement, Name: "a"},
+		{Kind: StartElement, Name: "b", Attrs: []Attr{{Name: "x", Value: "1"}}},
+		{Kind: Text, Data: "hi"},
+		{Kind: EndElement, Name: "b"},
+		{Kind: StartElement, Name: "c"},
+		{Kind: EndElement, Name: "c"},
+		{Kind: EndElement, Name: "a"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, tok := range toks {
+		w := want[i]
+		if tok.Kind != w.Kind || tok.Name != w.Name || tok.Data != w.Data {
+			t.Errorf("token %d = %+v, want %+v", i, tok, w)
+		}
+		if len(tok.Attrs) != len(w.Attrs) {
+			t.Errorf("token %d attrs = %+v, want %+v", i, tok.Attrs, w.Attrs)
+			continue
+		}
+		for j := range tok.Attrs {
+			if tok.Attrs[j] != w.Attrs[j] {
+				t.Errorf("token %d attr %d = %+v, want %+v", i, j, tok.Attrs[j], w.Attrs[j])
+			}
+		}
+	}
+}
+
+func TestScanEntities(t *testing.T) {
+	toks := collect(t, `<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if got, want := toks[1].Data, `<>&'"AB`; got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+}
+
+func TestScanEntityInAttribute(t *testing.T) {
+	toks := collect(t, `<a t="x &amp; y &#x3c;"/>`)
+	if got, want := toks[0].Attrs[0].Value, "x & y <"; got != want {
+		t.Errorf("attr = %q, want %q", got, want)
+	}
+}
+
+func TestScanCDATA(t *testing.T) {
+	toks := collect(t, `<a>pre<![CDATA[<raw> & ]]stuff]]>post</a>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if got, want := toks[1].Data, "pre<raw> & ]]stuffpost"; got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+}
+
+func TestScanCommentAndPI(t *testing.T) {
+	toks := collect(t, "<?xml version=\"1.0\"?><!-- a -- b --><a><!--inner--></a>")
+	kinds := []Kind{ProcInst, Comment, StartElement, Comment, EndElement}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[1].Data != " a -- b " {
+		t.Errorf("comment = %q", toks[1].Data)
+	}
+	if toks[0].Name != "xml" {
+		t.Errorf("pi target = %q", toks[0].Name)
+	}
+}
+
+func TestScanDoctypeWithInternalSubset(t *testing.T) {
+	src := `<!DOCTYPE bib [
+	<!ELEMENT bib (book)*>
+	<!ELEMENT book (title|author)*>
+]><bib></bib>`
+	toks := collect(t, src)
+	if toks[0].Kind != Directive {
+		t.Fatalf("first token = %+v", toks[0])
+	}
+	if !strings.Contains(toks[0].Data, "<!ELEMENT book (title|author)*>") {
+		t.Errorf("directive body lost internal subset: %q", toks[0].Data)
+	}
+	if toks[1].Kind != StartElement || toks[1].Name != "bib" {
+		t.Errorf("root token = %+v", toks[1])
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unclosed element", "<a><b></b>"},
+		{"mismatch is not scanner's job but unclosed is", "<a>"},
+		{"stray end tag", "</a>"},
+		{"two roots", "<a/><b/>"},
+		{"text outside root", "<a/>oops"},
+		{"bad entity", "<a>&nope;</a>"},
+		{"bad char ref", "<a>&#xZZ;</a>"},
+		{"unterminated comment", "<a><!-- foo</a>"},
+		{"lt in attribute", `<a x="<"/>`},
+		{"duplicate attribute", `<a x="1" x="2"/>`},
+		{"attr without value", `<a x/>`},
+		{"garbage tag", "<a><1/></a>"},
+	}
+	for _, c := range cases {
+		if err := scanErr(c.src); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestScanErrorLineNumbers(t *testing.T) {
+	err := scanErr("<a>\n\n&bad;</a>")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %v", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestDepthTracking(t *testing.T) {
+	s := NewScanner(strings.NewReader("<a><b/><c>x</c></a>"))
+	depths := []int{1, 2, 1, 2, 2, 1, 0}
+	for i, want := range depths {
+		if _, err := s.Next(); err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+		if s.Depth() != want {
+			t.Errorf("after token %d depth = %d, want %d", i, s.Depth(), want)
+		}
+	}
+}
+
+func TestWhitespaceToken(t *testing.T) {
+	if !(Token{Kind: Text, Data: " \t\r\n"}).IsWhitespace() {
+		t.Error("whitespace not detected")
+	}
+	if (Token{Kind: Text, Data: " x "}).IsWhitespace() {
+		t.Error("non-whitespace misdetected")
+	}
+	if (Token{Kind: Comment, Data: " "}).IsWhitespace() {
+		t.Error("comment cannot be whitespace text")
+	}
+}
+
+func TestWriterBasics(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.StartElement("results", nil)
+	w.StartElement("result", []Attr{{Name: "id", Value: `a"<b`}})
+	w.Text("x < y & z")
+	w.EndElement("result")
+	w.StartElement("empty", nil)
+	w.EndElement("empty")
+	w.EndElement("results")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `<results><result id="a&quot;&lt;b">x &lt; y &amp; z</result><empty/></results>`
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+	if w.Written() != int64(buf.Len()) {
+		t.Errorf("Written = %d, buffer len %d", w.Written(), buf.Len())
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestWriterLatchesError(t *testing.T) {
+	w := NewWriter(&failWriter{after: 0})
+	for i := 0; i < 10000; i++ {
+		w.StartElement("verylongelementnamethatfillsbuffers", nil)
+		w.Text(strings.Repeat("x", 100))
+		w.EndElement("verylongelementnamethatfillsbuffers")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected latched write error")
+	}
+}
+
+// TestRoundTrip checks that scanning the writer's output of a scanned
+// document yields the same token stream (scan ∘ write ∘ scan = scan).
+func TestRoundTrip(t *testing.T) {
+	docs := []string{
+		`<bib><book year="1994"><title>TCP/IP</title><author><last>Stevens</last></author></book></bib>`,
+		`<a>text &amp; more<b/>tail</a>`,
+		`<x><y z="1&#x41;2">v</y><!--c--><?pi data?></x>`,
+	}
+	for _, doc := range docs {
+		first := collect(t, doc)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, tok := range first {
+			w.Token(tok)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		second := collect(t, buf.String())
+		if len(first) != len(second) {
+			t.Fatalf("token count changed: %d vs %d for %q -> %q", len(first), len(second), doc, buf.String())
+		}
+		for i := range first {
+			a, b := first[i], second[i]
+			if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data || len(a.Attrs) != len(b.Attrs) {
+				t.Errorf("token %d: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestEscapeRoundTripQuick property-tests that escaping then scanning
+// arbitrary text recovers the original string.
+func TestEscapeRoundTripQuick(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control bytes that are not legal XML chars; the writer is
+		// not responsible for sanitizing those.
+		clean := strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == '\r' || r >= 0x20 {
+				return r
+			}
+			return -1
+		}, s)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.StartElement("t", []Attr{{Name: "a", Value: clean}})
+		w.Text(clean)
+		w.EndElement("t")
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		sc := NewScanner(bytes.NewReader(buf.Bytes()))
+		start, err := sc.Next()
+		if err != nil {
+			return false
+		}
+		if len(start.Attrs) != 1 || start.Attrs[0].Value != clean {
+			return false
+		}
+		var text strings.Builder
+		for {
+			tok, err := sc.Next()
+			if err != nil {
+				return false
+			}
+			if tok.Kind == EndElement {
+				break
+			}
+			if tok.Kind != Text {
+				return false
+			}
+			text.WriteString(tok.Data)
+		}
+		return text.String() == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "None", StartElement: "StartElement", EndElement: "EndElement",
+		Text: "Text", Comment: "Comment", ProcInst: "ProcInst", Directive: "Directive",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

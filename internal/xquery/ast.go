@@ -1,0 +1,468 @@
+// Package xquery implements the front-end for the XQuery fragment
+// supported by FluXQuery (paper §4): arbitrarily nested for-loops,
+// let-bindings, where-clauses with joins, conditionals, element
+// constructors and child/attribute/text paths — but no aggregation.
+//
+// The package provides the AST, a parser, a printer whose output
+// re-parses to the same AST, and the traversal helpers used by the
+// normalizer, the optimizer and the FluX scheduler.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an XQuery expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Attr is a constant attribute of an element constructor.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Seq is a sequence of expressions: its value is the concatenation of the
+// items' values.
+type Seq struct{ Items []Expr }
+
+// Elem is a direct element constructor with constant attributes.
+type Elem struct {
+	Name     string
+	Attrs    []Attr
+	Children []Expr
+}
+
+// Text is literal character data inside an element constructor.
+type Text struct{ Data string }
+
+// Str is a string literal in expression position.
+type Str struct{ Value string }
+
+// Num is a numeric literal.
+type Num struct {
+	Lit   string
+	Value float64
+}
+
+// Axis identifies a path step axis.
+type Axis uint8
+
+// Path step axes. The fragment supports downward child steps, attribute
+// access and text().
+const (
+	Child Axis = iota
+	Attribute
+	TextAxis
+)
+
+// Step is one path step.
+type Step struct {
+	Axis Axis
+	Name string // element or attribute name; "*" matches any element
+}
+
+func (s Step) String() string {
+	switch s.Axis {
+	case Attribute:
+		return "@" + s.Name
+	case TextAxis:
+		return "text()"
+	default:
+		return s.Name
+	}
+}
+
+// Path is a variable-rooted path expression $var/step/....
+// The document root is the pseudo-variable ROOT (written $ROOT, or
+// implied by a leading '/').
+type Path struct {
+	Var   string
+	Steps []Step
+}
+
+// RootVar is the name of the document-root variable.
+const RootVar = "ROOT"
+
+// Binding binds a variable to a path in a for or let clause.
+type Binding struct {
+	Var string
+	In  Path
+}
+
+// For is a FLWOR expression (without order-by and aggregation, per the
+// paper's fragment).
+type For struct {
+	Bindings []Binding // for $x in p, $y in q, ...
+	Lets     []Binding // let $z := p, ...
+	Where    Expr      // nil if absent
+	Return   Expr
+}
+
+// Let is a standalone let expression: let $x := p return e.
+type Let struct {
+	Bindings []Binding
+	Body     Expr
+}
+
+// If is a conditional; Else may be nil (empty sequence).
+type If struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// And is boolean conjunction.
+type And struct{ L, R Expr }
+
+// Or is boolean disjunction.
+type Or struct{ L, R Expr }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators (general comparisons with existential semantics
+// over sequences).
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp is a general comparison.
+type Cmp struct {
+	Op CmpOp
+	L  Expr
+	R  Expr
+}
+
+// Call is a built-in function call. The supported builtins are exists,
+// empty, not, true, false, data, concat and distinct-values.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// EmptySeq is the empty sequence ().
+type EmptySeq struct{}
+
+func (Seq) exprNode()      {}
+func (Elem) exprNode()     {}
+func (Text) exprNode()     {}
+func (Str) exprNode()      {}
+func (Num) exprNode()      {}
+func (Path) exprNode()     {}
+func (For) exprNode()      {}
+func (Let) exprNode()      {}
+func (If) exprNode()       {}
+func (And) exprNode()      {}
+func (Or) exprNode()       {}
+func (Cmp) exprNode()      {}
+func (Call) exprNode()     {}
+func (EmptySeq) exprNode() {}
+
+func (e Seq) String() string {
+	if len(e.Items) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e Elem) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&b, " %s=%q", a.Name, a.Value)
+	}
+	if len(e.Children) == 0 {
+		b.WriteString("/>")
+		return b.String()
+	}
+	b.WriteByte('>')
+	for _, c := range e.Children {
+		if t, ok := c.(Text); ok {
+			b.WriteString(escapeConstructorText(t.Data))
+			continue
+		}
+		b.WriteString("{ ")
+		b.WriteString(c.String())
+		b.WriteString(" }")
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+	return b.String()
+}
+
+func escapeConstructorText(s string) string {
+	r := strings.NewReplacer("{", "{{", "}", "}}", "<", "&lt;", "&", "&amp;")
+	return r.Replace(s)
+}
+
+func (e Text) String() string { return fmt.Sprintf("text { %q }", e.Data) }
+
+func (e Str) String() string { return fmt.Sprintf("%q", e.Value) }
+
+func (e Num) String() string { return e.Lit }
+
+func (e Path) String() string {
+	var b strings.Builder
+	b.WriteByte('$')
+	b.WriteString(e.Var)
+	for _, s := range e.Steps {
+		b.WriteByte('/')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+func (e For) String() string {
+	var b strings.Builder
+	for i, bd := range e.Bindings {
+		if i == 0 {
+			b.WriteString("for ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "$%s in %s", bd.Var, bd.In.String())
+	}
+	for i, bd := range e.Lets {
+		if i == 0 {
+			b.WriteString(" let ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "$%s := %s", bd.Var, bd.In.String())
+	}
+	if e.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(e.Where.String())
+	}
+	b.WriteString(" return ")
+	b.WriteString(e.Return.String())
+	return b.String()
+}
+
+func (e Let) String() string {
+	var b strings.Builder
+	for i, bd := range e.Bindings {
+		if i == 0 {
+			b.WriteString("let ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "$%s := %s", bd.Var, bd.In.String())
+	}
+	b.WriteString(" return ")
+	b.WriteString(e.Body.String())
+	return b.String()
+}
+
+func (e If) String() string {
+	s := "if (" + e.Cond.String() + ") then " + e.Then.String()
+	if e.Else != nil {
+		s += " else " + e.Else.String()
+	} else {
+		s += " else ()"
+	}
+	return s
+}
+
+func (e And) String() string { return binString(e.L, "and", e.R) }
+func (e Or) String() string  { return binString(e.L, "or", e.R) }
+
+func binString(l Expr, op string, r Expr) string {
+	return "(" + l.String() + " " + op + " " + r.String() + ")"
+}
+
+func (e Cmp) String() string {
+	return e.L.String() + " " + e.Op.String() + " " + e.R.String()
+}
+
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (EmptySeq) String() string { return "()" }
+
+// Walk calls fn on e and recursively on every sub-expression. If fn
+// returns false the children of the current node are not visited.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch t := e.(type) {
+	case Seq:
+		for _, c := range t.Items {
+			Walk(c, fn)
+		}
+	case Elem:
+		for _, c := range t.Children {
+			Walk(c, fn)
+		}
+	case For:
+		Walk(t.Where, fn)
+		Walk(t.Return, fn)
+	case Let:
+		Walk(t.Body, fn)
+	case If:
+		Walk(t.Cond, fn)
+		Walk(t.Then, fn)
+		Walk(t.Else, fn)
+	case And:
+		Walk(t.L, fn)
+		Walk(t.R, fn)
+	case Or:
+		Walk(t.L, fn)
+		Walk(t.R, fn)
+	case Cmp:
+		Walk(t.L, fn)
+		Walk(t.R, fn)
+	case Call:
+		for _, a := range t.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// Paths returns every Path expression occurring in e, including binding
+// paths of for/let clauses.
+func Paths(e Expr) []Path {
+	var out []Path
+	Walk(e, func(x Expr) bool {
+		switch t := x.(type) {
+		case Path:
+			out = append(out, t)
+		case For:
+			for _, b := range t.Bindings {
+				out = append(out, b.In)
+			}
+			for _, b := range t.Lets {
+				out = append(out, b.In)
+			}
+		case Let:
+			for _, b := range t.Bindings {
+				out = append(out, b.In)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// FreeVars returns the set of variables that occur free in e (including
+// ROOT if the document root is referenced).
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	var walk func(e Expr, bound map[string]bool)
+	walk = func(e Expr, bound map[string]bool) {
+		switch t := e.(type) {
+		case nil:
+			return
+		case Path:
+			if !bound[t.Var] {
+				free[t.Var] = true
+			}
+		case For:
+			inner := copyBound(bound)
+			for _, b := range t.Bindings {
+				if !inner[b.In.Var] {
+					free[b.In.Var] = true
+				}
+				inner[b.Var] = true
+			}
+			for _, b := range t.Lets {
+				if !inner[b.In.Var] {
+					free[b.In.Var] = true
+				}
+				inner[b.Var] = true
+			}
+			walk(t.Where, inner)
+			walk(t.Return, inner)
+		case Let:
+			inner := copyBound(bound)
+			for _, b := range t.Bindings {
+				if !inner[b.In.Var] {
+					free[b.In.Var] = true
+				}
+				inner[b.Var] = true
+			}
+			walk(t.Body, inner)
+		case Seq:
+			for _, c := range t.Items {
+				walk(c, bound)
+			}
+		case Elem:
+			for _, c := range t.Children {
+				walk(c, bound)
+			}
+		case If:
+			walk(t.Cond, bound)
+			walk(t.Then, bound)
+			walk(t.Else, bound)
+		case And:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case Or:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case Cmp:
+			walk(t.L, bound)
+			walk(t.R, bound)
+		case Call:
+			for _, a := range t.Args {
+				walk(a, bound)
+			}
+		}
+	}
+	walk(e, map[string]bool{})
+	return free
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m)+2)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}

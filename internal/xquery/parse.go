@@ -1,0 +1,773 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error in a query.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a query in the supported XQuery fragment.
+//
+// Lexical notes: a '<' in expression position starts an element
+// constructor; after a complete operand it is the less-than operator (the
+// keyword forms lt/le/gt/ge/eq/ne are also accepted). XQuery comments
+// (: like this :) may appear anywhere whitespace may.
+func Parse(src string) (Expr, error) {
+	p := &qparser{src: src}
+	p.ws()
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if !p.eof() {
+		return nil, p.errf("trailing input %q", p.rest(12))
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for tests and fixed example queries.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) rest(n int) string {
+	r := p.src[p.pos:]
+	if len(r) > n {
+		r = r[:n]
+	}
+	return r
+}
+
+// ws skips whitespace and (: comments :) (which nest).
+func (p *qparser) ws() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "(:") {
+			depth := 1
+			p.pos += 2
+			for p.pos < len(p.src) && depth > 0 {
+				switch {
+				case strings.HasPrefix(p.src[p.pos:], "(:"):
+					depth++
+					p.pos += 2
+				case strings.HasPrefix(p.src[p.pos:], ":)"):
+					depth--
+					p.pos += 2
+				default:
+					p.pos++
+				}
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *qparser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// word consumes the keyword s only when followed by a non-name character.
+func (p *qparser) word(s string) bool {
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, s) {
+		return false
+	}
+	if len(rest) > len(s) && isNameChar(rest[len(s)]) {
+		return false
+	}
+	p.pos += len(s)
+	return true
+}
+
+// peekWord reports whether the keyword s is next, without consuming.
+func (p *qparser) peekWord(s string) bool {
+	save := p.pos
+	ok := p.word(s)
+	p.pos = save
+	return ok
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *qparser) name() (string, error) {
+	if p.eof() || !isNameStart(p.src[p.pos]) {
+		return "", p.errf("expected name, found %q", p.rest(8))
+	}
+	start := p.pos
+	p.pos++
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// expr parses a comma-separated sequence.
+func (p *qparser) expr() (Expr, error) {
+	first, err := p.exprSingle()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		p.ws()
+		if !p.consume(",") {
+			break
+		}
+		p.ws()
+		e, err := p.exprSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Seq{Items: items}, nil
+}
+
+func (p *qparser) exprSingle() (Expr, error) {
+	p.ws()
+	switch {
+	case p.peekWord("for"):
+		return p.flwor()
+	case p.peekWord("let"):
+		return p.letExpr()
+	case p.peekWord("if"):
+		return p.ifExpr()
+	default:
+		return p.orExpr()
+	}
+}
+
+func (p *qparser) binding(assign bool) (Binding, error) {
+	p.ws()
+	if !p.consume("$") {
+		return Binding{}, p.errf("expected variable")
+	}
+	v, err := p.name()
+	if err != nil {
+		return Binding{}, err
+	}
+	p.ws()
+	if assign {
+		if !p.consume(":=") {
+			return Binding{}, p.errf("expected ':=' after let variable $%s", v)
+		}
+	} else {
+		if !p.word("in") {
+			return Binding{}, p.errf("expected 'in' after for variable $%s", v)
+		}
+	}
+	p.ws()
+	path, err := p.pathOnly()
+	if err != nil {
+		return Binding{}, err
+	}
+	return Binding{Var: v, In: path}, nil
+}
+
+func (p *qparser) flwor() (Expr, error) {
+	p.word("for")
+	var f For
+	for {
+		b, err := p.binding(false)
+		if err != nil {
+			return nil, err
+		}
+		f.Bindings = append(f.Bindings, b)
+		p.ws()
+		if !p.consume(",") {
+			break
+		}
+	}
+	p.ws()
+	if p.word("let") {
+		for {
+			b, err := p.binding(true)
+			if err != nil {
+				return nil, err
+			}
+			f.Lets = append(f.Lets, b)
+			p.ws()
+			if !p.consume(",") {
+				break
+			}
+		}
+		p.ws()
+	}
+	if p.word("where") {
+		cond, err := p.exprSingle()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = cond
+		p.ws()
+	}
+	if !p.word("return") {
+		return nil, p.errf("expected 'return' in for expression")
+	}
+	body, err := p.exprSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = body
+	return f, nil
+}
+
+func (p *qparser) letExpr() (Expr, error) {
+	p.word("let")
+	var l Let
+	for {
+		b, err := p.binding(true)
+		if err != nil {
+			return nil, err
+		}
+		l.Bindings = append(l.Bindings, b)
+		p.ws()
+		if !p.consume(",") {
+			break
+		}
+	}
+	p.ws()
+	if !p.word("return") {
+		return nil, p.errf("expected 'return' in let expression")
+	}
+	body, err := p.exprSingle()
+	if err != nil {
+		return nil, err
+	}
+	l.Body = body
+	return l, nil
+}
+
+func (p *qparser) ifExpr() (Expr, error) {
+	p.word("if")
+	p.ws()
+	if !p.consume("(") {
+		return nil, p.errf("expected '(' after if")
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if !p.consume(")") {
+		return nil, p.errf("expected ')' after if condition")
+	}
+	p.ws()
+	if !p.word("then") {
+		return nil, p.errf("expected 'then'")
+	}
+	then, err := p.exprSingle()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	var els Expr
+	if p.word("else") {
+		els, err = p.exprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if _, empty := els.(EmptySeq); empty {
+			els = nil
+		}
+	}
+	return If{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *qparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.word("or") {
+			return l, nil
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+}
+
+func (p *qparser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.word("and") {
+			return l, nil
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+}
+
+func (p *qparser) cmpExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	var op CmpOp
+	switch {
+	case p.consume("!="), p.word("ne"):
+		op = Ne
+	case p.consume("<="), p.word("le"):
+		op = Le
+	case p.consume(">="), p.word("ge"):
+		op = Ge
+	case p.consume("="), p.word("eq"):
+		op = Eq
+	case p.consume("<"), p.word("lt"):
+		op = Lt
+	case p.consume(">"), p.word("gt"):
+		op = Gt
+	default:
+		return l, nil
+	}
+	p.ws()
+	r, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *qparser) primary() (Expr, error) {
+	p.ws()
+	if p.eof() {
+		return nil, p.errf("unexpected end of query")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '$' || c == '/':
+		return p.path()
+	case c == '"' || c == '\'':
+		return p.stringLit()
+	case c >= '0' && c <= '9':
+		return p.numberLit()
+	case c == '<':
+		return p.constructor()
+	case c == '{':
+		// The paper writes enclosed expressions around return bodies even
+		// outside constructors ("return { $b/title }"); accept that form.
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if !p.consume("}") {
+			return nil, p.errf("expected '}'")
+		}
+		return e, nil
+	case c == '(':
+		p.pos++
+		p.ws()
+		if p.consume(")") {
+			return EmptySeq{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if !p.consume(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	case isNameStart(c):
+		// Keyword-led expressions are handled by exprSingle; here a name
+		// must be a function call.
+		save := p.pos
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if !p.consume("(") {
+			p.pos = save
+			return nil, p.errf("unexpected name %q (paths must be variable-rooted, e.g. $%s)", name, name)
+		}
+		return p.callTail(name)
+	default:
+		return nil, p.errf("unexpected character %q", c)
+	}
+}
+
+// builtinArity maps supported functions to their arity (-1 = variadic,
+// at least one argument).
+var builtinArity = map[string]int{
+	"exists":          1,
+	"empty":           1,
+	"not":             1,
+	"true":            0,
+	"false":           0,
+	"data":            1,
+	"string":          1,
+	"concat":          -1,
+	"distinct-values": 1,
+}
+
+func (p *qparser) callTail(name string) (Expr, error) {
+	arity, ok := builtinArity[name]
+	if !ok {
+		return nil, p.errf("unsupported function %s()", name)
+	}
+	var args []Expr
+	p.ws()
+	if !p.consume(")") {
+		for {
+			a, err := p.exprSingle()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			p.ws()
+			if p.consume(")") {
+				break
+			}
+			if !p.consume(",") {
+				return nil, p.errf("expected ',' or ')' in %s()", name)
+			}
+		}
+	}
+	if arity >= 0 && len(args) != arity {
+		return nil, p.errf("%s() takes %d argument(s), got %d", name, arity, len(args))
+	}
+	if arity == -1 && len(args) == 0 {
+		return nil, p.errf("%s() needs at least one argument", name)
+	}
+	return Call{Name: name, Args: args}, nil
+}
+
+func (p *qparser) path() (Expr, error) {
+	var path Path
+	switch {
+	case p.consume("$"):
+		v, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		path.Var = v
+	case p.src[p.pos] == '/':
+		path.Var = RootVar
+	default:
+		return nil, p.errf("expected path")
+	}
+	for p.consume("/") {
+		if p.eof() {
+			return nil, p.errf("path ends with '/'")
+		}
+		switch {
+		case p.consume("@"):
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, Step{Axis: Attribute, Name: n})
+		case p.consume("*"):
+			path.Steps = append(path.Steps, Step{Axis: Child, Name: "*"})
+		default:
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			if n == "text" && p.consume("()") {
+				path.Steps = append(path.Steps, Step{Axis: TextAxis})
+			} else {
+				path.Steps = append(path.Steps, Step{Axis: Child, Name: n})
+			}
+		}
+	}
+	return path, nil
+}
+
+// pathOnly parses a Path and fails on any other expression; used for
+// binding clauses.
+func (p *qparser) pathOnly() (Path, error) {
+	e, err := p.path()
+	if err != nil {
+		return Path{}, err
+	}
+	return e.(Path), nil
+}
+
+func (p *qparser) stringLit() (Expr, error) {
+	q := p.src[p.pos]
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == q {
+			// Doubled quote is an escaped quote.
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == q {
+				b.WriteByte(q)
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return Str{Value: b.String()}, nil
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return nil, p.errf("unterminated string literal")
+}
+
+func (p *qparser) numberLit() (Expr, error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '.' {
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	lit := p.src[start:p.pos]
+	v, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return nil, p.errf("bad number %q", lit)
+	}
+	return Num{Lit: lit, Value: v}, nil
+}
+
+func (p *qparser) constructor() (Expr, error) {
+	if !p.consume("<") {
+		return nil, p.errf("expected '<'")
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	e := Elem{Name: name}
+	for {
+		p.ws()
+		switch {
+		case p.consume("/>"):
+			return e, nil
+		case p.consume(">"):
+			return p.constructorContent(e)
+		default:
+			aname, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if !p.consume("=") {
+				return nil, p.errf("expected '=' after attribute %s", aname)
+			}
+			p.ws()
+			if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+				return nil, p.errf("attribute %s needs a quoted value", aname)
+			}
+			q := p.src[p.pos]
+			p.pos++
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				if p.src[p.pos] == '{' {
+					return nil, p.errf("computed attribute values are not supported")
+				}
+				p.pos++
+			}
+			if p.eof() {
+				return nil, p.errf("unterminated attribute value")
+			}
+			val, err := decodeEntities(p.src[start:p.pos])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			p.pos++
+			e.Attrs = append(e.Attrs, Attr{Name: aname, Value: val})
+		}
+	}
+}
+
+func (p *qparser) constructorContent(e Elem) (Expr, error) {
+	var text strings.Builder
+	flushText := func() {
+		if text.Len() == 0 {
+			return
+		}
+		data := text.String()
+		text.Reset()
+		if strings.TrimSpace(data) == "" {
+			// Boundary whitespace is stripped (XQuery default).
+			return
+		}
+		e.Children = append(e.Children, Text{Data: data})
+	}
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated element constructor <%s>", e.Name)
+		}
+		c := p.src[p.pos]
+		switch {
+		case c == '<':
+			if strings.HasPrefix(p.src[p.pos:], "</") {
+				flushText()
+				p.pos += 2
+				n, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				if n != e.Name {
+					return nil, p.errf("end tag </%s> does not match <%s>", n, e.Name)
+				}
+				p.ws()
+				if !p.consume(">") {
+					return nil, p.errf("malformed end tag </%s", n)
+				}
+				return e, nil
+			}
+			flushText()
+			child, err := p.constructor()
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, child)
+		case c == '{':
+			if strings.HasPrefix(p.src[p.pos:], "{{") {
+				text.WriteByte('{')
+				p.pos += 2
+				continue
+			}
+			flushText()
+			p.pos++
+			inner, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if !p.consume("}") {
+				return nil, p.errf("expected '}' closing enclosed expression")
+			}
+			e.Children = append(e.Children, inner)
+		case c == '}':
+			if strings.HasPrefix(p.src[p.pos:], "}}") {
+				text.WriteByte('}')
+				p.pos += 2
+				continue
+			}
+			return nil, p.errf("unexpected '}' in constructor content")
+		case c == '&':
+			end := strings.IndexByte(p.src[p.pos:], ';')
+			if end < 0 {
+				return nil, p.errf("unterminated entity reference")
+			}
+			dec, err := decodeEntities(p.src[p.pos : p.pos+end+1])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			text.WriteString(dec)
+			p.pos += end + 1
+		default:
+			text.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+// decodeEntities expands the predefined and numeric character entities.
+func decodeEntities(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return "", fmt.Errorf("unterminated entity in %q", s)
+		}
+		name := s[i+1 : i+end]
+		switch name {
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "amp":
+			b.WriteByte('&')
+		case "apos":
+			b.WriteByte('\'')
+		case "quot":
+			b.WriteByte('"')
+		default:
+			if len(name) > 1 && name[0] == '#' {
+				base := 10
+				digits := name[1:]
+				if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+					base = 16
+					digits = digits[1:]
+				}
+				n, err := strconv.ParseUint(digits, base, 32)
+				if err != nil || n > 0x10FFFF {
+					return "", fmt.Errorf("bad character reference &%s;", name)
+				}
+				b.WriteRune(rune(n))
+			} else {
+				return "", fmt.Errorf("unknown entity &%s;", name)
+			}
+		}
+		i += end + 1
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,276 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's running example, XMP use case Q3.
+const q3 = `<results>
+{ for $b in $ROOT/bib/book return
+  <result> { $b/title } { $b/author } </result> }
+</results>`
+
+func TestParseQ3(t *testing.T) {
+	e := MustParse(q3)
+	results, ok := e.(Elem)
+	if !ok || results.Name != "results" {
+		t.Fatalf("top = %#v", e)
+	}
+	if len(results.Children) != 1 {
+		t.Fatalf("children = %d", len(results.Children))
+	}
+	f, ok := results.Children[0].(For)
+	if !ok {
+		t.Fatalf("child = %#v", results.Children[0])
+	}
+	if len(f.Bindings) != 1 || f.Bindings[0].Var != "b" {
+		t.Fatalf("bindings = %+v", f.Bindings)
+	}
+	in := f.Bindings[0].In
+	if in.Var != RootVar || len(in.Steps) != 2 || in.Steps[0].Name != "bib" || in.Steps[1].Name != "book" {
+		t.Fatalf("in = %+v", in)
+	}
+	body, ok := f.Return.(Elem)
+	if !ok || body.Name != "result" || len(body.Children) != 2 {
+		t.Fatalf("body = %#v", f.Return)
+	}
+	p1 := body.Children[0].(Path)
+	if p1.Var != "b" || p1.Steps[0].Name != "title" {
+		t.Fatalf("first path = %+v", p1)
+	}
+}
+
+func TestParseWhereAndComparisons(t *testing.T) {
+	e := MustParse(`for $b in $ROOT/bib/book where $b/publisher = "Addison-Wesley" and $b/@year > 1991 return { $b/title }`)
+	f := e.(For)
+	and, ok := f.Where.(And)
+	if !ok {
+		t.Fatalf("where = %#v", f.Where)
+	}
+	left := and.L.(Cmp)
+	if left.Op != Eq {
+		t.Errorf("left op = %v", left.Op)
+	}
+	if left.R.(Str).Value != "Addison-Wesley" {
+		t.Errorf("left rhs = %#v", left.R)
+	}
+	right := and.R.(Cmp)
+	if right.Op != Gt {
+		t.Errorf("right op = %v", right.Op)
+	}
+	pr := right.L.(Path)
+	if pr.Steps[0].Axis != Attribute || pr.Steps[0].Name != "year" {
+		t.Errorf("attr step = %+v", pr.Steps[0])
+	}
+	if right.R.(Num).Value != 1991 {
+		t.Errorf("rhs = %#v", right.R)
+	}
+}
+
+func TestParseKeywordComparisons(t *testing.T) {
+	e := MustParse(`for $x in $d/a where $x/v lt 5 return { $x }`)
+	if e.(For).Where.(Cmp).Op != Lt {
+		t.Error("lt keyword not parsed")
+	}
+}
+
+func TestParseMultiVarForDesugarsLater(t *testing.T) {
+	e := MustParse(`for $a in $ROOT/x/a, $b in $ROOT/y/b where $a = $b return <pair/>`)
+	f := e.(For)
+	if len(f.Bindings) != 2 {
+		t.Fatalf("bindings = %+v", f.Bindings)
+	}
+}
+
+func TestParseLet(t *testing.T) {
+	e := MustParse(`let $t := $b/title return <r>{ $t }</r>`)
+	l := e.(Let)
+	if l.Bindings[0].Var != "t" {
+		t.Fatalf("let = %+v", l)
+	}
+	e2 := MustParse(`for $b in $d/book let $a := $b/author return { $a }`)
+	if len(e2.(For).Lets) != 1 {
+		t.Fatal("for-let not parsed")
+	}
+}
+
+func TestParseIfAndBooleans(t *testing.T) {
+	e := MustParse(`if ($b/author = "Goedel" and $b/editor = "Goedel") then <hit/> else ()`)
+	i := e.(If)
+	if i.Else != nil {
+		t.Errorf("else () should normalize to nil, got %#v", i.Else)
+	}
+	if _, ok := i.Cond.(And); !ok {
+		t.Errorf("cond = %#v", i.Cond)
+	}
+	e2 := MustParse(`if (exists($b/author) or not(exists($b/editor))) then 1 else 2`)
+	or := e2.(If).Cond.(Or)
+	if or.L.(Call).Name != "exists" {
+		t.Errorf("or.L = %#v", or.L)
+	}
+	if or.R.(Call).Name != "not" {
+		t.Errorf("or.R = %#v", or.R)
+	}
+}
+
+func TestParseLeadingSlashIsRoot(t *testing.T) {
+	e := MustParse(`for $b in /bib/book return { $b }`)
+	if got := e.(For).Bindings[0].In.Var; got != RootVar {
+		t.Errorf("var = %q", got)
+	}
+}
+
+func TestParseTextStepAndWildcard(t *testing.T) {
+	e := MustParse(`{ $b/title/text() }`)
+	p := e.(Path)
+	if p.Steps[1].Axis != TextAxis {
+		t.Errorf("steps = %+v", p.Steps)
+	}
+	e2 := MustParse(`for $x in $b/* return { $x }`)
+	if e2.(For).Bindings[0].In.Steps[0].Name != "*" {
+		t.Error("wildcard step lost")
+	}
+}
+
+func TestParseConstructorDetails(t *testing.T) {
+	e := MustParse(`<a x="1" y="a&amp;b"><b/>hello {$v} world<c>t</c></a>`)
+	a := e.(Elem)
+	if len(a.Attrs) != 2 || a.Attrs[1].Value != "a&b" {
+		t.Fatalf("attrs = %+v", a.Attrs)
+	}
+	// children: <b/>, "hello ", $v, " world", <c>t</c>
+	if len(a.Children) != 5 {
+		t.Fatalf("children = %#v", a.Children)
+	}
+	if a.Children[1].(Text).Data != "hello " {
+		t.Errorf("text = %#v", a.Children[1])
+	}
+	if a.Children[3].(Text).Data != " world" {
+		t.Errorf("text = %#v", a.Children[3])
+	}
+	if a.Children[4].(Elem).Children[0].(Text).Data != "t" {
+		t.Errorf("nested = %#v", a.Children[4])
+	}
+}
+
+func TestParseBraceEscapes(t *testing.T) {
+	e := MustParse(`<a>left {{ right }}</a>`)
+	if got := e.(Elem).Children[0].(Text).Data; got != "left { right }" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseCommentsAnywhere(t *testing.T) {
+	e := MustParse(`(: outer (: nested :) :) for $b (: x :) in $ROOT/bib/book return { $b }`)
+	if _, ok := e.(For); !ok {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseSequences(t *testing.T) {
+	e := MustParse(`<r>{ $a/x, $a/y }</r>`)
+	seq := e.(Elem).Children[0].(Seq)
+	if len(seq.Items) != 2 {
+		t.Fatalf("seq = %#v", seq)
+	}
+}
+
+func TestParseStringEscapedQuote(t *testing.T) {
+	e := MustParse(`"say ""hi"""`)
+	if e.(Str).Value != `say "hi"` {
+		t.Errorf("got %q", e.(Str).Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"bare name", "book"},
+		{"unknown function", "frobnicate($x)"},
+		{"missing return", "for $x in $d/a"},
+		{"bad let", "let $x in $d/a return 1"},
+		{"unterminated constructor", "<a>"},
+		{"mismatched tags", "<a></b>"},
+		{"computed attribute", `<a x="{1}"/>`},
+		{"trailing input", "$a/b $c"},
+		{"unterminated string", `"abc`},
+		{"lone closing brace", "<a>}</a>"},
+		{"path after slash", "$a/"},
+		{"arity", "exists($a, $b)"},
+		{"unterminated comment", "(: hi"},
+		{"else missing paren", "if $x then 1 else 2"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: no error for %q", c.name, c.src)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip: printing any parsed query and re-parsing it
+// yields a structurally identical AST.
+func TestPrintParseRoundTrip(t *testing.T) {
+	queries := []string{
+		q3,
+		`for $b in $ROOT/bib/book where $b/publisher = "AW" and $b/@year > 1991 return <book>{ $b/title }</book>`,
+		`for $a in $ROOT/bib/book/author return <a>{ $a/last, $a/first }</a>`,
+		`let $t := $b/title return (<r>{ $t }</r>, <s/>)`,
+		`if (exists($b/editor)) then { $b/editor } else { $b/author }`,
+		`<out>plain {{ text }} &amp; stuff { $v }</out>`,
+		`for $x in $d/a, $y in $x/b let $z := $y/c where $z = "q" or $z != "r" return { $z/text() }`,
+		`concat("a", "b", "c")`,
+		`distinct-values($ROOT/bib/book/author)`,
+		`for $p in /site/people/person where $p/@id = "person0" return { $p/name }`,
+	}
+	for _, q := range queries {
+		e1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		printed := e1.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (printed from %q): %v", printed, q, err)
+		}
+		if !Equal(e1, e2) {
+			t.Errorf("round trip changed AST:\n%s\nvs\n%s", e1, e2)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	e := MustParse(`for $b in $ROOT/bib/book return <r>{ $b/title, $x/other }</r>`)
+	free := FreeVars(e)
+	if !free[RootVar] || !free["x"] || free["b"] {
+		t.Errorf("free = %v", free)
+	}
+}
+
+func TestPathsCollection(t *testing.T) {
+	e := MustParse(`for $b in $ROOT/bib/book where $b/y = "1" return { $b/title }`)
+	ps := Paths(e)
+	var strs []string
+	for _, p := range ps {
+		strs = append(strs, p.String())
+	}
+	joined := strings.Join(strs, " ")
+	for _, want := range []string{"$ROOT/bib/book", "$b/y", "$b/title"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("paths %v missing %s", strs, want)
+		}
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	e := MustParse(`<a>{ for $x in $d/p return { $x } }</a>`)
+	var n int
+	Walk(e, func(x Expr) bool {
+		n++
+		_, isFor := x.(For)
+		return !isFor // do not descend into the loop
+	})
+	if n != 2 { // Elem + For
+		t.Errorf("visited %d nodes, want 2", n)
+	}
+}

@@ -1,0 +1,173 @@
+package xquery
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr builds a random well-formed expression of the fragment.
+func genExpr(r *rand.Rand, depth int, output bool) Expr {
+	if depth <= 0 {
+		return genLeaf(r, output)
+	}
+	switch r.Intn(6) {
+	case 0:
+		return genLeaf(r, output)
+	case 1:
+		e := Elem{Name: name(r)}
+		kids := r.Intn(3)
+		for i := 0; i < kids; i++ {
+			e.Children = append(e.Children, genExpr(r, depth-1, true))
+		}
+		if r.Intn(2) == 0 {
+			e.Attrs = append(e.Attrs, Attr{Name: name(r), Value: "v"})
+		}
+		return e
+	case 2:
+		return For{
+			Bindings: []Binding{{Var: varname(r), In: genPath(r)}},
+			Return:   genExpr(r, depth-1, true),
+		}
+	case 3:
+		f := For{
+			Bindings: []Binding{{Var: varname(r), In: genPath(r)}},
+			Where:    genCond(r, depth-1),
+			Return:   genExpr(r, depth-1, true),
+		}
+		return f
+	case 4:
+		var els Expr
+		if r.Intn(2) == 0 {
+			els = genExpr(r, depth-1, true)
+		}
+		return If{Cond: genCond(r, depth-1), Then: genExpr(r, depth-1, true), Else: els}
+	default:
+		items := make([]Expr, 2+r.Intn(2))
+		for i := range items {
+			items[i] = genExpr(r, depth-1, output)
+		}
+		return Seq{Items: items}
+	}
+}
+
+func genLeaf(r *rand.Rand, output bool) Expr {
+	switch r.Intn(4) {
+	case 0:
+		return genPath(r)
+	case 1:
+		return Str{Value: "lit"}
+	case 2:
+		return Num{Lit: "42", Value: 42}
+	default:
+		if output {
+			return Elem{Name: name(r)}
+		}
+		return genPath(r)
+	}
+}
+
+func genPath(r *rand.Rand) Path {
+	p := Path{Var: varname(r)}
+	steps := 1 + r.Intn(3)
+	for i := 0; i < steps; i++ {
+		p.Steps = append(p.Steps, Step{Axis: Child, Name: name(r)})
+	}
+	switch r.Intn(4) {
+	case 0:
+		p.Steps = append(p.Steps, Step{Axis: Attribute, Name: name(r)})
+	case 1:
+		p.Steps = append(p.Steps, Step{Axis: TextAxis})
+	}
+	return p
+}
+
+func genCond(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(2) == 0 {
+		return Cmp{Op: CmpOp(r.Intn(6)), L: genPath(r), R: Str{Value: "x"}}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And{L: genCond(r, depth-1), R: genCond(r, depth-1)}
+	case 1:
+		return Or{L: genCond(r, depth-1), R: genCond(r, depth-1)}
+	default:
+		return Call{Name: "exists", Args: []Expr{genPath(r)}}
+	}
+}
+
+func name(r *rand.Rand) string {
+	return []string{"alpha", "b", "c-c", "d.d", "e1"}[r.Intn(5)]
+}
+
+func varname(r *rand.Rand) string {
+	return []string{"x", "y", "z", "ROOT"}[r.Intn(4)]
+}
+
+type exprValue struct{ e Expr }
+
+// Generate implements quick.Generator.
+func (exprValue) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(exprValue{e: genExpr(r, 4, true)})
+}
+
+// TestQuickPrintParseRoundTrip: every generated AST survives
+// print-then-parse structurally intact. This pins the printer and parser
+// against each other over the whole fragment.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(ev exprValue) bool {
+		printed := ev.e.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Logf("parse error on %q: %v", printed, err)
+			return false
+		}
+		return Equal(ev.e, back) || back.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFreeVarsStableUnderPrinting: FreeVars is invariant under a
+// print/parse round trip.
+func TestQuickFreeVarsStableUnderPrinting(t *testing.T) {
+	f := func(ev exprValue) bool {
+		back, err := Parse(ev.e.String())
+		if err != nil {
+			return false
+		}
+		a, b := FreeVars(ev.e), FreeVars(back)
+		if len(a) != len(b) {
+			return false
+		}
+		for v := range a {
+			if !b[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWalkVisitsAllPaths: Paths() finds at least every path that a
+// manual walk finds.
+func TestQuickWalkVisitsAllPaths(t *testing.T) {
+	f := func(ev exprValue) bool {
+		count := 0
+		Walk(ev.e, func(x Expr) bool {
+			if _, ok := x.(Path); ok {
+				count++
+			}
+			return true
+		})
+		return len(Paths(ev.e)) >= count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package xsax
+
+import (
+	"io"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmltok"
+)
+
+// Handler receives conventional SAX events from the push Parser.
+type Handler interface {
+	StartElement(name string, attrs []xmltok.Attr) error
+	EndElement(name string) error
+	Text(data string) error
+	// First receives an on-first event for the registered trigger id: at
+	// the current stream position, no child labeled in the trigger's Past
+	// set can occur anymore within the enclosing trigger element.
+	First(id int) error
+}
+
+// Trigger registers an on-first event: within every element named
+// Element, fire once, as soon as no further child labeled in Past can
+// occur. Unfired triggers fire at the element's end tag (where the
+// condition holds trivially).
+type Trigger struct {
+	Element string
+	Past    []string
+}
+
+// Parser is the push form of XSAX. Per the paper, the DTD and all
+// on-first handlers are registered up front; the parser then interleaves
+// First events with the ordinary SAX event stream.
+type Parser struct {
+	d        *dtd.DTD
+	h        Handler
+	triggers []Trigger
+	// byElement[name] lists trigger ids applying to elements named name.
+	byElement map[string][]int
+}
+
+// NewParser returns a Parser delivering events to h.
+func NewParser(d *dtd.DTD, h Handler, triggers []Trigger) *Parser {
+	p := &Parser{d: d, h: h, triggers: triggers, byElement: make(map[string][]int)}
+	for id, t := range triggers {
+		p.byElement[t.Element] = append(p.byElement[t.Element], id)
+	}
+	return p
+}
+
+// tframe tracks trigger state of one open element instance.
+type tframe struct {
+	ids   []int
+	fired []bool
+}
+
+// Parse reads the stream, validates it and delivers events. The trigger
+// conditions are evaluated at element start, after each complete child and
+// at element end; eligible triggers fire in registration order, once per
+// element instance.
+func (p *Parser) Parse(rd io.Reader) error {
+	r := NewReader(rd, p.d)
+	var tstack []tframe
+	check := func() error {
+		if len(tstack) == 0 {
+			return nil
+		}
+		tf := &tstack[len(tstack)-1]
+		for i, id := range tf.ids {
+			if tf.fired[i] {
+				continue
+			}
+			if r.Past(p.triggers[id].Past) {
+				tf.fired[i] = true
+				if err := p.h.First(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for {
+		tok, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			ids := p.byElement[tok.Name]
+			tstack = append(tstack, tframe{ids: ids, fired: make([]bool, len(ids))})
+			if err := p.h.StartElement(tok.Name, tok.Attrs); err != nil {
+				return err
+			}
+			// Condition check at element start (e.g. past(S) for labels
+			// that cannot occur at all).
+			if err := check(); err != nil {
+				return err
+			}
+		case xmltok.EndElement:
+			// Remaining triggers of this instance fire at the end tag.
+			tf := &tstack[len(tstack)-1]
+			for i, id := range tf.ids {
+				if !tf.fired[i] {
+					tf.fired[i] = true
+					if err := p.h.First(id); err != nil {
+						return err
+					}
+				}
+			}
+			tstack = tstack[:len(tstack)-1]
+			if err := p.h.EndElement(tok.Name); err != nil {
+				return err
+			}
+			// The completed child advanced the parent's automaton state:
+			// re-evaluate the parent's triggers.
+			if err := check(); err != nil {
+				return err
+			}
+		case xmltok.Text:
+			if err := p.h.Text(tok.Data); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package xsax implements the paper's XSAX parser (§3.2): a validating
+// streaming XML parser that runs the DTD's content-model automata while
+// scanning and can inject "on-first" events — notifications that, at the
+// current position of the stream, no further child with a label from a
+// registered set can occur inside the enclosing element.
+//
+// Two interfaces are provided. Reader is a validating pull reader used by
+// the runtime's streamed query evaluator; it exposes the automaton state
+// of every open element so the evaluator can decide past(S) questions
+// itself. Parser is the push (SAX-style) form described in the paper: the
+// DTD and the on-first triggers are registered up front, and the parser
+// inserts First events among the conventional start/end/text events.
+package xsax
+
+import (
+	"fmt"
+	"io"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmltok"
+)
+
+// frame is one open element during parsing.
+type frame struct {
+	name  string
+	elem  *dtd.Element
+	state int
+}
+
+// Reader is a validating pull reader over an XML stream.
+type Reader struct {
+	sc    *xmltok.Scanner
+	d     *dtd.DTD
+	stack []frame
+	// attrbuf is scratch space for attribute validation.
+	attrbuf map[string]string
+	sawRoot bool
+}
+
+// NewReader returns a validating reader for the stream r under DTD d.
+func NewReader(r io.Reader, d *dtd.DTD) *Reader {
+	return &Reader{
+		sc:      xmltok.NewScanner(r),
+		d:       d,
+		attrbuf: make(map[string]string, 8),
+	}
+}
+
+// Depth returns the number of currently open elements.
+func (r *Reader) Depth() int { return len(r.stack) }
+
+// Element returns the declaration of the innermost open element, or nil at
+// document level.
+func (r *Reader) Element() *dtd.Element {
+	if len(r.stack) == 0 {
+		return nil
+	}
+	return r.stack[len(r.stack)-1].elem
+}
+
+// State returns the content-model automaton state of the innermost open
+// element, or -1 at document level.
+func (r *Reader) State() int {
+	if len(r.stack) == 0 {
+		return -1
+	}
+	return r.stack[len(r.stack)-1].state
+}
+
+// Past reports whether, at the current position inside the innermost open
+// element, no further child labeled in set can occur (the on-first firing
+// condition).
+func (r *Reader) Past(set []string) bool {
+	if len(r.stack) == 0 {
+		return false
+	}
+	f := &r.stack[len(r.stack)-1]
+	return f.elem.Automaton().Past(f.state, set)
+}
+
+// Line returns the scanner's current line for error reporting.
+func (r *Reader) Line() int { return r.sc.Line() }
+
+// Next returns the next validated token. Comments, processing
+// instructions and directives are passed through unvalidated. The error
+// is io.EOF at the end of a well-formed, valid document.
+func (r *Reader) Next() (xmltok.Token, error) {
+	for {
+		tok, err := r.sc.Next()
+		if err == io.EOF && !r.sawRoot {
+			return tok, r.errf("document has no root element")
+		}
+		if err != nil {
+			return tok, err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			if err := r.startElement(tok); err != nil {
+				return tok, err
+			}
+			return tok, nil
+		case xmltok.EndElement:
+			if err := r.endElement(tok); err != nil {
+				return tok, err
+			}
+			return tok, nil
+		case xmltok.Text:
+			if len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() && !tok.IsWhitespace() {
+				return tok, r.errf("element %s may not contain character data", r.stack[len(r.stack)-1].name)
+			}
+			if tok.IsWhitespace() && len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() {
+				// Insignificant whitespace in element content: drop it so
+				// downstream operators see the pure child sequence.
+				continue
+			}
+			return tok, nil
+		default:
+			return tok, nil
+		}
+	}
+}
+
+func (r *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("xsax: line %d: %s", r.sc.Line(), fmt.Sprintf(format, args...))
+}
+
+func (r *Reader) startElement(tok xmltok.Token) error {
+	e := r.d.Element(tok.Name)
+	if e == nil {
+		return r.errf("undeclared element <%s>", tok.Name)
+	}
+	if len(r.stack) == 0 {
+		if r.sawRoot {
+			return r.errf("multiple root elements")
+		}
+		if tok.Name != r.d.Root {
+			return r.errf("root element is <%s>, DTD requires <%s>", tok.Name, r.d.Root)
+		}
+		r.sawRoot = true
+	} else {
+		parent := &r.stack[len(r.stack)-1]
+		next := parent.elem.Automaton().Step(parent.state, tok.Name)
+		if next < 0 {
+			return r.errf("child <%s> not allowed here in <%s> (content model %s)",
+				tok.Name, parent.name, parent.elem.Model)
+		}
+		parent.state = next
+	}
+	// Attribute validation.
+	clear(r.attrbuf)
+	for _, a := range tok.Attrs {
+		r.attrbuf[a.Name] = a.Value
+	}
+	if err := r.d.ValidateAttrs(tok.Name, r.attrbuf); err != nil {
+		return r.errf("%s", err)
+	}
+	r.stack = append(r.stack, frame{name: tok.Name, elem: e, state: e.Automaton().Start()})
+	return nil
+}
+
+func (r *Reader) endElement(tok xmltok.Token) error {
+	if len(r.stack) == 0 {
+		return r.errf("unmatched end tag </%s>", tok.Name)
+	}
+	f := &r.stack[len(r.stack)-1]
+	if f.name != tok.Name {
+		return r.errf("end tag </%s> does not match open element <%s>", tok.Name, f.name)
+	}
+	if !f.elem.Automaton().Accepting(f.state) {
+		return r.errf("element <%s> ended prematurely (content model %s)", f.name, f.elem.Model)
+	}
+	r.stack = r.stack[:len(r.stack)-1]
+	return nil
+}
+
+// Skip consumes and validates the remainder of the innermost open
+// element's subtree, including its end tag. It is the evaluator's "ignore
+// this child" fast path.
+func (r *Reader) Skip() error {
+	depth := len(r.stack)
+	for len(r.stack) >= depth {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				return r.errf("unexpected EOF while skipping")
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate reads the whole stream and returns the first validation error,
+// if any.
+func Validate(rd io.Reader, d *dtd.DTD) error {
+	r := NewReader(rd, d)
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package xsax
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+)
+
+// TestTriggerOrderingMultipleOnSameElement: triggers registered on the
+// same element fire in registration order even when both become true at
+// the same event.
+func TestTriggerOrderingMultipleOnSameElement(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{
+		{Element: "book", Past: []string{"title"}},
+		{Element: "book", Past: []string{"title", "author", "editor"}},
+		{Element: "book", Past: []string{"author", "editor"}},
+	})
+	doc := `<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rec.events, " ")
+	// first:0 after title; first:1 and first:2 after publisher, in
+	// registration order.
+	i0 := strings.Index(joined, "first:0")
+	i1 := strings.Index(joined, "first:1")
+	i2 := strings.Index(joined, "first:2")
+	if !(i0 >= 0 && i0 < i1 && i1 < i2) {
+		t.Errorf("trigger order wrong: %s", joined)
+	}
+}
+
+// TestTriggersOnNestedInstances: independent firing per nesting level.
+func TestTriggersOnNestedInstances(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT n (a?,n?,b?)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+`)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{{Element: "n", Past: []string{"a"}}})
+	doc := `<n><a/><n><b/></n></n>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	n := strings.Count(strings.Join(rec.events, " "), "first:0")
+	if n != 2 {
+		t.Errorf("fired %d times, want 2 (outer after <a/>, inner at <b/> or end)", n)
+	}
+}
+
+// TestAnyContentModel: ANY elements accept any declared children and
+// text; triggers over ANY never fire early.
+func TestAnyContentModel(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT box ANY>
+<!ELEMENT item (#PCDATA)>
+`)
+	if err := Validate(strings.NewReader(`<box>text<item>i</item><box><item>j</item></box></box>`), d); err != nil {
+		t.Fatalf("ANY document rejected: %v", err)
+	}
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{{Element: "box", Past: []string{"item"}}})
+	doc := `<box><item>i</item><item>j</item></box>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rec.events, " ")
+	// The trigger may only fire at the end tag (items possible forever).
+	if !strings.HasSuffix(joined, "first:0 </box>") {
+		t.Errorf("ANY trigger fired early: %s", joined)
+	}
+}
+
+// TestReaderElementAndState: accessors reflect the open element.
+func TestReaderElementAndState(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	r := NewReader(strings.NewReader(`<bib><book><title>T</title></book></bib>`), d)
+	if r.Element() != nil || r.State() != -1 {
+		t.Error("document level should have no element")
+	}
+	r.Next() // <bib>
+	if r.Element() == nil || r.Element().Name != "bib" {
+		t.Errorf("element = %+v", r.Element())
+	}
+	r.Next() // <book>
+	if r.Element().Name != "book" || r.Depth() != 2 {
+		t.Errorf("element = %v depth = %d", r.Element().Name, r.Depth())
+	}
+	if r.State() < 0 {
+		t.Error("book state missing")
+	}
+	if r.Line() <= 0 {
+		t.Error("line not tracked")
+	}
+}
+
+// TestSkipAtDocumentLevelFails gracefully (nothing to skip).
+func TestSkipValidatesWhileSkipping(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	// The skipped book is invalid (editor after author): Skip must
+	// report it.
+	doc := `<bib><book><title>T</title><author>A</author><editor>E</editor><publisher>P</publisher><price>9</price></book></bib>`
+	r := NewReader(strings.NewReader(doc), d)
+	r.Next() // bib
+	tok, err := r.Next()
+	if err != nil || tok.Name != "book" {
+		t.Fatalf("setup: %v %v", tok, err)
+	}
+	if err := r.Skip(); err == nil {
+		t.Error("Skip validated nothing: invalid content accepted")
+	}
+}

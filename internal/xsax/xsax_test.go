@@ -1,0 +1,285 @@
+package xsax
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmltok"
+)
+
+const weakBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const strongBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const strongDoc = `<bib>
+<book><title>T1</title><author>A1</author><author>A2</author><publisher>P</publisher><price>9</price></book>
+<book><title>T2</title><editor>E1</editor><publisher>P</publisher><price>8</price></book>
+</bib>`
+
+func TestValidateAcceptsValid(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	if err := Validate(strings.NewReader(strongDoc), d); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsInvalid(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	cases := []struct{ name, doc string }{
+		{"wrong root", `<book></book>`},
+		{"undeclared element", `<bib><magazine/></bib>`},
+		{"missing title", `<bib><book><author>A</author><publisher>P</publisher><price>9</price></book></bib>`},
+		{"author and editor", `<bib><book><title>T</title><author>A</author><editor>E</editor><publisher>P</publisher><price>9</price></book></bib>`},
+		{"wrong order", `<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>9</price></book></bib>`},
+		{"premature end", `<bib><book><title>T</title><author>A</author></book></bib>`},
+		{"text in element content", `<bib>stray text</bib>`},
+		{"mismatched tags", `<bib><book></bib></book>`},
+	}
+	for _, c := range cases {
+		if err := Validate(strings.NewReader(c.doc), d); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.doc)
+		}
+	}
+}
+
+func TestWhitespaceInElementContentDropped(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	r := NewReader(strings.NewReader("<bib>\n  <book>\n    <title>T</title>\n  </book>\n</bib>"), d)
+	var kinds []xmltok.Kind
+	for {
+		tok, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, tok.Kind)
+	}
+	// No Text tokens except inside title.
+	want := []xmltok.Kind{
+		xmltok.StartElement, xmltok.StartElement, xmltok.StartElement,
+		xmltok.Text, xmltok.EndElement, xmltok.EndElement, xmltok.EndElement,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestReaderPast(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	doc := `<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book></bib>`
+	r := NewReader(strings.NewReader(doc), d)
+	// Track Past(title) transitions within book.
+	next := func() xmltok.Token {
+		t.Helper()
+		tok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tok
+	}
+	next() // <bib>
+	next() // <book>
+	if r.Past([]string{"title"}) {
+		t.Error("at book start, title still possible")
+	}
+	next() // <title>
+	next() // T
+	next() // </title>
+	if !r.Past([]string{"title"}) {
+		t.Error("after title, no more titles under strong DTD")
+	}
+	if r.Past([]string{"author", "editor"}) {
+		t.Error("authors still possible after title")
+	}
+	next() // <author>
+	next() // A
+	next() // </author>
+	if r.Past([]string{"author"}) {
+		t.Error("more authors possible (author+)")
+	}
+	next() // <publisher>
+	next() // P
+	next() // </publisher>
+	if !r.Past([]string{"author", "editor"}) {
+		t.Error("after publisher, author/editor are past")
+	}
+}
+
+func TestReaderSkip(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	doc := `<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book><book><title>U</title><editor>E</editor><publisher>P</publisher><price>1</price></book></bib>`
+	r := NewReader(strings.NewReader(doc), d)
+	mustNext := func() xmltok.Token {
+		t.Helper()
+		tok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tok
+	}
+	mustNext() // <bib>
+	tok := mustNext()
+	if tok.Kind != xmltok.StartElement || tok.Name != "book" {
+		t.Fatalf("expected first book, got %+v", tok)
+	}
+	if err := r.Skip(); err != nil { // skip rest of book 1
+		t.Fatal(err)
+	}
+	tok = mustNext()
+	if tok.Kind != xmltok.StartElement || tok.Name != "book" {
+		t.Fatalf("after skip, expected second book, got %+v", tok)
+	}
+}
+
+// recorder logs events for push-parser tests.
+type recorder struct {
+	events []string
+	failOn string
+}
+
+func (rec *recorder) StartElement(name string, attrs []xmltok.Attr) error {
+	rec.events = append(rec.events, "<"+name+">")
+	if rec.failOn == "<"+name+">" {
+		return fmt.Errorf("handler failure at %s", name)
+	}
+	return nil
+}
+
+func (rec *recorder) EndElement(name string) error {
+	rec.events = append(rec.events, "</"+name+">")
+	return nil
+}
+
+func (rec *recorder) Text(data string) error {
+	rec.events = append(rec.events, "text:"+data)
+	return nil
+}
+
+func (rec *recorder) First(id int) error {
+	rec.events = append(rec.events, fmt.Sprintf("first:%d", id))
+	return nil
+}
+
+// TestParserOnFirstStrongDTD reproduces the paper's Figure 1 scenario: with
+// the strong DTD, past(title) fires right after the title child, and
+// past(author,editor) fires after the publisher starts... i.e. after the
+// last author/editor completes and the publisher child advances the state.
+func TestParserOnFirstStrongDTD(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{
+		{Element: "book", Past: []string{"title"}},
+		{Element: "book", Past: []string{"author", "editor"}},
+	})
+	doc := `<bib><book><title>T</title><author>A1</author><author>A2</author><publisher>P</publisher><price>9</price></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(rec.events, " ")
+	want := "<bib> <book> <title> text:T </title> first:0 <author> text:A1 </author> <author> text:A2 </author> <publisher> text:P </publisher> first:1 <price> text:9 </price> </book> </bib>"
+	if got != want {
+		t.Errorf("event stream:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestParserOnFirstWeakDTD: with the weak DTD, past(title,author) can only
+// fire at the closing book tag (the paper's §2 discussion).
+func TestParserOnFirstWeakDTD(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{{Element: "book", Past: []string{"title", "author"}}})
+	doc := `<bib><book><author>A</author><title>T</title></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(rec.events, " ")
+	want := "<bib> <book> <author> text:A </author> <title> text:T </title> first:0 </book> </bib>"
+	if got != want {
+		t.Errorf("event stream:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestParserOnFirstPerInstance: triggers fire once per element instance.
+func TestParserOnFirstPerInstance(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{{Element: "book", Past: []string{"title", "author"}}})
+	doc := `<bib><book><title>T</title></book><book><author>A</author></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	n := strings.Count(strings.Join(rec.events, " "), "first:0")
+	if n != 2 {
+		t.Errorf("trigger fired %d times, want 2 (once per book)", n)
+	}
+}
+
+// TestParserImpossibleLabelsFireAtStart: a trigger over labels that cannot
+// occur at all fires immediately at element start.
+func TestParserImpossibleLabelsFireAtStart(t *testing.T) {
+	d := dtd.MustParse(strongBib)
+	rec := &recorder{}
+	p := NewParser(d, rec, []Trigger{{Element: "title", Past: []string{"author"}}})
+	doc := `<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rec.events, " ")
+	if !strings.Contains(joined, "<title> first:0") {
+		t.Errorf("trigger should fire at title start: %s", joined)
+	}
+}
+
+func TestParserHandlerErrorStopsParse(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	rec := &recorder{failOn: "<title>"}
+	p := NewParser(d, rec, nil)
+	doc := `<bib><book><title>T</title></book></bib>`
+	if err := p.Parse(strings.NewReader(doc)); err == nil {
+		t.Fatal("handler error not propagated")
+	}
+}
+
+func TestValidateAttributesViaReader(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (#PCDATA)>
+<!ATTLIST book year CDATA #REQUIRED>
+`)
+	if err := Validate(strings.NewReader(`<bib><book year="1994">x</book></bib>`), d); err != nil {
+		t.Errorf("valid attrs rejected: %v", err)
+	}
+	if err := Validate(strings.NewReader(`<bib><book>x</book></bib>`), d); err == nil {
+		t.Error("missing required attribute accepted")
+	}
+}
+
+func TestEmptyDocumentRejected(t *testing.T) {
+	d := dtd.MustParse(weakBib)
+	if err := Validate(strings.NewReader("   "), d); err == nil {
+		t.Error("empty document accepted")
+	}
+}

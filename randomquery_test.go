@@ -1,0 +1,246 @@
+package fluxquery
+
+// Property-based differential testing with random QUERIES: a generator
+// produces schema-typed queries of the supported fragment over the bib
+// and auction schemas; every query must compile on all engines and yield
+// byte-identical results on randomly generated valid documents. This
+// exercises the scheduler's case analysis (stream vs on-first vs on-end),
+// the BDF and the runtime far beyond the hand-written cases.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xmlgen"
+)
+
+// schemaInfo gives the query generator the vocabulary of a DTD.
+type schemaInfo struct {
+	dtdSrc string
+	d      *dtd.DTD
+}
+
+func newSchemaInfo(src string) *schemaInfo {
+	return &schemaInfo{dtdSrc: src, d: dtd.MustParse(src)}
+}
+
+func (s *schemaInfo) children(elem string) []string {
+	e := s.d.Element(elem)
+	if e == nil {
+		return nil
+	}
+	return e.Automaton().Alphabet()
+}
+
+func (s *schemaInfo) attrs(elem string) []string {
+	e := s.d.Element(elem)
+	if e == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range e.Atts {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func (s *schemaInfo) hasText(elem string) bool {
+	e := s.d.Element(elem)
+	return e != nil && e.HasPCData()
+}
+
+// qgen generates random queries.
+type qgen struct {
+	r    *rand.Rand
+	s    *schemaInfo
+	next int
+}
+
+func (g *qgen) fresh() string {
+	g.next++
+	return fmt.Sprintf("q%d", g.next)
+}
+
+// output generates an output expression in the scope of var v bound to
+// element type elem.
+func (g *qgen) output(v, elem string, depth int) string {
+	kids := g.s.children(elem)
+	choices := []func() string{
+		func() string { return fmt.Sprintf("<c%d/>", g.r.Intn(3)) },
+		func() string { return `"lit"` },
+	}
+	if g.s.hasText(elem) {
+		choices = append(choices, func() string { return fmt.Sprintf("{ $%s/text() }", v) })
+	}
+	for _, a := range g.s.attrs(elem) {
+		a := a
+		choices = append(choices, func() string { return fmt.Sprintf("{ $%s/@%s }", v, a) })
+	}
+	if len(kids) > 0 {
+		// Path copy of a random child.
+		choices = append(choices, func() string {
+			return fmt.Sprintf("{ $%s/%s }", v, kids[g.r.Intn(len(kids))])
+		})
+	}
+	if depth > 0 && len(kids) > 0 {
+		// Loop over a child with a nested body.
+		choices = append(choices, func() string {
+			child := kids[g.r.Intn(len(kids))]
+			cv := g.fresh()
+			return fmt.Sprintf("{ for $%s in $%s/%s return <w>%s</w> }", cv, v, child, g.output(cv, child, depth-1))
+		})
+		// Conditional over scope data.
+		choices = append(choices, func() string {
+			return fmt.Sprintf("{ if (%s) then <t>%s</t> else <e/> }", g.cond(v, elem), g.output(v, elem, depth-1))
+		})
+		// Wrapped sequence.
+		choices = append(choices, func() string {
+			return fmt.Sprintf("<s>%s%s</s>", g.output(v, elem, depth-1), g.output(v, elem, depth-1))
+		})
+	}
+	return choices[g.r.Intn(len(choices))]()
+}
+
+func (g *qgen) cond(v, elem string) string {
+	kids := g.s.children(elem)
+	var atoms []string
+	for _, k := range kids {
+		atoms = append(atoms,
+			fmt.Sprintf(`$%s/%s = "data"`, v, k),
+			fmt.Sprintf("exists($%s/%s)", v, k))
+	}
+	for _, a := range g.s.attrs(elem) {
+		atoms = append(atoms, fmt.Sprintf(`$%s/@%s != "zzz"`, v, a))
+	}
+	if g.s.hasText(elem) {
+		atoms = append(atoms, fmt.Sprintf(`$%s/text() = "data"`, v))
+	}
+	if len(atoms) == 0 {
+		return "exists($" + v + "/nothing)"
+	}
+	a := atoms[g.r.Intn(len(atoms))]
+	if g.r.Intn(3) == 0 && len(atoms) > 1 {
+		b := atoms[g.r.Intn(len(atoms))]
+		op := []string{"and", "or"}[g.r.Intn(2)]
+		return fmt.Sprintf("(%s %s %s)", a, op, b)
+	}
+	return a
+}
+
+// query generates a whole query: a constructor around a loop over the
+// document root's records.
+func (g *qgen) query() string {
+	root := g.s.d.Root
+	v := g.fresh()
+	return fmt.Sprintf("<out>{ for $%s in $ROOT/%s return <rec>%s</rec> }</out>",
+		v, root, g.output(v, root, 3))
+}
+
+func testRandomQueries(t *testing.T, dtdSrc string, queries, docs int, baseSeed int64) {
+	t.Helper()
+	s := newSchemaInfo(dtdSrc)
+	d := s.d
+	// Pre-generate documents.
+	var docsBuf []string
+	for i := 0; i < docs; i++ {
+		var buf bytes.Buffer
+		if err := xmlgen.WriteRandom(&buf, d, xmlgen.RandomConfig{Seed: baseSeed + int64(i), MaxDepth: 5, MaxChildren: 5}); err != nil {
+			t.Fatal(err)
+		}
+		docsBuf = append(docsBuf, buf.String())
+	}
+	for qi := 0; qi < queries; qi++ {
+		g := &qgen{r: rand.New(rand.NewSource(baseSeed + int64(1000+qi))), s: s}
+		src := g.query()
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %v\n%s", err, src)
+		}
+		dd, _ := ParseDTD(dtdSrc)
+		plans := map[Engine]*Plan{}
+		for _, e := range []Engine{EngineFlux, EngineProjection, EngineNaive} {
+			p, err := Compile(q, dd, Options{Engine: e})
+			if err != nil {
+				t.Fatalf("query %d does not compile on %v: %v\n%s", qi, e, err, src)
+			}
+			plans[e] = p
+		}
+		for di, doc := range docsBuf {
+			var ref string
+			for _, e := range []Engine{EngineNaive, EngineFlux, EngineProjection} {
+				out, _, err := plans[e].ExecuteString(doc)
+				if err != nil {
+					t.Fatalf("query %d doc %d engine %v: %v\nquery: %s", qi, di, e, err, src)
+				}
+				if e == EngineNaive {
+					ref = out
+					continue
+				}
+				if out != ref {
+					t.Fatalf("query %d doc %d: %v differs from naive\nquery: %s\ndoc: %s\n%v: %s\nnaive: %s",
+						qi, di, e, src, clip(doc), e, clip(out), clip(ref))
+				}
+			}
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "…"
+	}
+	return s
+}
+
+func TestRandomQueriesWeakBib(t *testing.T) {
+	testRandomQueries(t, xmlgen.WeakBibDTD, 60, 4, 1)
+}
+
+func TestRandomQueriesStrongBib(t *testing.T) {
+	testRandomQueries(t, xmlgen.StrongBibDTD, 60, 4, 2)
+}
+
+func TestRandomQueriesMixedBib(t *testing.T) {
+	testRandomQueries(t, xmlgen.MixedBibDTD, 40, 4, 3)
+}
+
+func TestRandomQueriesInfoBib(t *testing.T) {
+	testRandomQueries(t, xmlgen.InfoBibDTD, 40, 4, 4)
+}
+
+func TestRandomQueriesAuction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	testRandomQueries(t, xmlgen.AuctionDTD, 30, 3, 5)
+}
+
+// TestRandomQueriesSafety: every scheduled random query passes the
+// safety checker (the scheduler must be safe by construction).
+func TestRandomQueriesSafety(t *testing.T) {
+	for _, src := range []string{xmlgen.WeakBibDTD, xmlgen.StrongBibDTD, xmlgen.MixedBibDTD} {
+		s := newSchemaInfo(src)
+		dd, _ := ParseDTD(src)
+		for qi := 0; qi < 40; qi++ {
+			g := &qgen{r: rand.New(rand.NewSource(int64(qi))), s: s}
+			qsrc := g.query()
+			q, err := ParseQuery(qsrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Compile(q, dd, Options{})
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, qsrc)
+			}
+			// Compile runs the safety checker internally; additionally the
+			// flux form must print and mention process-stream.
+			if !strings.Contains(p.FluxString(), "process-stream") {
+				t.Fatalf("no process-stream in scheduled query:\n%s", qsrc)
+			}
+		}
+	}
+}
