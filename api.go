@@ -203,6 +203,13 @@ type Stats struct {
 }
 
 // Plan is a compiled, executable query.
+//
+// A Plan is immutable after Compile: Execute and ExecuteString may be
+// called from any number of goroutines concurrently, each call carrying
+// its own execution state. The per-execution machinery (scanner window,
+// validator stack, writer buffer) is drawn from internal sync.Pools, so
+// steady-state executions allocate only the buffers the query's buffer
+// description forest actually requires.
 type Plan struct {
 	opts       Options
 	d          *dtd.DTD
@@ -267,7 +274,8 @@ func MustCompile(query, dtdSrc string, o Options) *Plan {
 }
 
 // Execute runs the plan over an input document stream and writes the
-// result stream to w.
+// result stream to w. It is safe for concurrent use: the plan is
+// read-only and all mutable state is per-call.
 func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 	start := time.Now()
 	var rst *runtime.Stats

@@ -224,6 +224,47 @@ func BenchmarkTokenizer(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteParallel exercises the pooled per-execution state: one
+// compiled Plan executed from many goroutines simultaneously. With the
+// zero-copy pipeline the steady-state allocations per run come from the
+// semantically required buffers (the BDF's dom nodes), not the I/O path.
+func BenchmarkExecuteParallel(b *testing.B) {
+	c := workload.ByName("xmp-q3-weak")
+	doc := genDoc(b, c, 256<<10)
+	p := MustCompile(c.Query, c.DTD, Options{})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Execute(bytes.NewReader(doc), io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTokenizerParallel runs the validating scanner concurrently;
+// the reader pool keeps window allocations at zero in steady state.
+func BenchmarkTokenizerParallel(b *testing.B) {
+	c := workload.ByName("xmp-q3-weak")
+	doc := genDoc(b, c, 256<<10)
+	d, err := ParseDTD(c.DTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := d.Validate(bytes.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCompile measures full pipeline compilation cost (parse,
 // normalize, optimize, schedule, plan).
 func BenchmarkCompile(b *testing.B) {

@@ -1,0 +1,3 @@
+module fluxquery
+
+go 1.22

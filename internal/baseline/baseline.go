@@ -62,7 +62,8 @@ func RunProjection(q xquery.Expr, d *dtd.DTD, in io.Reader, out io.Writer) (*run
 }
 
 func evalOver(q xquery.Expr, doc *dom.Node, out io.Writer, st *runtime.Stats) error {
-	w := xmltok.NewWriter(out)
+	w := xmltok.GetWriter(out)
+	defer xmltok.PutWriter(w)
 	env := eval.NewEnv(xquery.RootVar, eval.Item(doc))
 	if err := eval.Eval(q, env, w); err != nil {
 		return err
@@ -79,7 +80,8 @@ func evalOver(q xquery.Expr, doc *dom.Node, out io.Writer, st *runtime.Stats) er
 // describes the document node: its children constrain the root element
 // and below.
 func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom.Node, error) {
-	xr := xsax.NewReader(in, d)
+	xr := xsax.GetReader(in, d)
+	defer xsax.PutReader(xr)
 	doc := dom.NewDocument()
 	type frame struct {
 		node *dom.Node
@@ -87,7 +89,7 @@ func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom
 	}
 	stack := []frame{{node: doc, proj: proj}}
 	for {
-		tok, err := xr.Next()
+		ev, err := xr.NextEvent()
 		if err == io.EOF {
 			return doc, nil
 		}
@@ -96,7 +98,7 @@ func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom
 		}
 		st.Events++
 		top := &stack[len(stack)-1]
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
 			if top.node == nil {
 				stack = append(stack, frame{})
@@ -106,17 +108,15 @@ func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom
 			var childProj *bdf.Node
 			keep := true
 			if top.proj != nil {
-				childProj, keep = top.proj.Keep(tok.Name)
+				childProj, keep = top.proj.Keep(ev.Name)
 			}
 			if !keep {
 				stack = append(stack, frame{})
 				st.SkippedSubtrees++
 				continue
 			}
-			e := dom.NewElement(tok.Name)
-			if len(tok.Attrs) > 0 {
-				e.Attrs = append([]xmltok.Attr(nil), tok.Attrs...)
-			}
+			e := dom.NewElement(ev.Name)
+			e.Attrs = ev.OwnedAttrs()
 			top.node.AppendChild(e)
 			stack = append(stack, frame{node: e, proj: childProj})
 		case xmltok.EndElement:
@@ -126,7 +126,7 @@ func buildDoc(in io.Reader, d *dtd.DTD, proj *bdf.Node, st *runtime.Stats) (*dom
 				continue
 			}
 			if top.proj == nil || top.proj.CopyAll || top.proj.Text {
-				top.node.AppendChild(dom.NewText(tok.Data))
+				top.node.AppendChild(dom.NewText(string(ev.Data)))
 			}
 		}
 	}

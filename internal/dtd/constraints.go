@@ -277,43 +277,78 @@ func (d *DTD) ValidateChildren(parent string, children []string) error {
 	return nil
 }
 
-// ValidateAttrs checks an element's attributes against its ATTLIST.
+// ValidateAttrs checks an element's attributes against its ATTLIST. It is
+// a convenience adapter over ValidateAttrPairs, which holds the single
+// rule set.
 func (d *DTD) ValidateAttrs(elem string, attrs map[string]string) error {
 	e := d.Elements[elem]
 	if e == nil {
 		return &ValidationError{Element: elem, Msg: "undeclared element"}
 	}
+	pairs := make([]AttrPair, 0, len(attrs))
 	for name, val := range attrs {
-		def := e.AttDef(name)
+		pairs = append(pairs, AttrPair{Name: []byte(name), Value: []byte(val)})
+	}
+	return d.ValidateAttrPairs(e, pairs)
+}
+
+// AttrPair is a zero-copy attribute view used by the streaming validator;
+// both slices belong to the caller and are not retained.
+type AttrPair struct {
+	Name  []byte
+	Value []byte
+}
+
+// ValidateAttrPairs is the zero-copy form of ValidateAttrs: it checks the
+// attribute list of one start tag against e's ATTLIST without allocating
+// on the success path.
+func (d *DTD) ValidateAttrPairs(e *Element, attrs []AttrPair) error {
+	for _, p := range attrs {
+		def := e.AttDefBytes(p.Name)
 		if def == nil {
-			return &ValidationError{Element: elem, Msg: "undeclared attribute " + name}
+			return &ValidationError{Element: e.Name, Msg: "undeclared attribute " + string(p.Name)}
 		}
 		switch def.Type {
 		case AttEnum:
 			ok := false
 			for _, v := range def.Enum {
-				if v == val {
+				if v == string(p.Value) {
 					ok = true
 					break
 				}
 			}
 			if !ok {
-				return &ValidationError{Element: elem, Msg: fmt.Sprintf("attribute %s value %q not in (%s)", name, val, strings.Join(def.Enum, "|"))}
+				return &ValidationError{Element: e.Name, Msg: fmt.Sprintf("attribute %s value %q not in (%s)", def.Name, p.Value, strings.Join(def.Enum, "|"))}
 			}
 		case AttID, AttIDRef, AttNMToken:
-			if strings.TrimSpace(val) == "" {
-				return &ValidationError{Element: elem, Msg: "attribute " + name + " must be a token"}
+			tok := false
+			for _, c := range p.Value {
+				if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+					tok = true
+					break
+				}
+			}
+			if !tok {
+				return &ValidationError{Element: e.Name, Msg: "attribute " + def.Name + " must be a token"}
 			}
 		}
-		if def.Default == AttFixed && val != def.Value {
-			return &ValidationError{Element: elem, Msg: fmt.Sprintf("attribute %s must have fixed value %q", name, def.Value)}
+		if def.Default == AttFixed && string(p.Value) != def.Value {
+			return &ValidationError{Element: e.Name, Msg: fmt.Sprintf("attribute %s must have fixed value %q", def.Name, def.Value)}
 		}
 	}
 	for _, def := range e.Atts {
-		if def.Default == AttRequired {
-			if _, ok := attrs[def.Name]; !ok {
-				return &ValidationError{Element: elem, Msg: "missing required attribute " + def.Name}
+		if def.Default != AttRequired {
+			continue
+		}
+		found := false
+		for _, p := range attrs {
+			if string(p.Name) == def.Name {
+				found = true
+				break
 			}
+		}
+		if !found {
+			return &ValidationError{Element: e.Name, Msg: "missing required attribute " + def.Name}
 		}
 	}
 	return nil

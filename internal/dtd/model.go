@@ -191,6 +191,21 @@ type DTD struct {
 // Element returns the declaration for name, or nil if undeclared.
 func (d *DTD) Element(name string) *Element { return d.Elements[name] }
 
+// ElementBytes is the zero-copy form of Element: the byte-slice key is
+// looked up without allocating a string.
+func (d *DTD) ElementBytes(name []byte) *Element { return d.Elements[string(name)] }
+
+// AttDefBytes returns the declaration of the named attribute without
+// allocating, or nil.
+func (e *Element) AttDefBytes(name []byte) *AttDef {
+	for _, a := range e.Atts {
+		if string(name) == a.Name {
+			return a
+		}
+	}
+	return nil
+}
+
 // Labels returns the sorted set of all declared element names.
 func (d *DTD) Labels() []string {
 	out := append([]string(nil), d.Order...)

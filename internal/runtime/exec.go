@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"fluxquery/internal/bdf"
 	"fluxquery/internal/core"
@@ -35,14 +36,29 @@ type Stats struct {
 	HandlerFirings int64
 }
 
+// execPool recycles the per-execution machinery (validating reader with
+// its scanner window, output writer with its buffer, the evaluator frame)
+// so that a compiled Plan executes from many goroutines with near-zero
+// steady-state allocation.
+var execPool = sync.Pool{New: func() any { return &exec{} }}
+
 // Run executes the plan on an input stream, writing the result stream to
 // out.
 func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
-	ex := &exec{
-		xr: xsax.NewReader(in, p.d),
-		w:  xmltok.NewWriter(out),
-		st: &Stats{},
-	}
+	ex := execPool.Get().(*exec)
+	ex.xr = xsax.GetReader(in, p.d)
+	ex.w = xmltok.GetWriter(out)
+	ex.st = &Stats{}
+	ex.cur = 0
+	st, err := ex.run(p)
+	xsax.PutReader(ex.xr)
+	xmltok.PutWriter(ex.w)
+	ex.xr, ex.w, ex.st = nil, nil, nil
+	execPool.Put(ex)
+	return st, err
+}
+
+func (ex *exec) run(p *Plan) (*Stats, error) {
 	if err := ex.evalTop(p.root); err != nil {
 		return ex.st, err
 	}
@@ -96,7 +112,7 @@ const dtdDocName = "#document"
 
 func (ex *exec) drain() error {
 	for {
-		_, err := ex.xr.Next()
+		_, err := ex.xr.NextEvent()
 		if err == io.EOF {
 			return nil
 		}
@@ -163,7 +179,8 @@ func toTokAttrs(attrs []xquery.Attr) []xmltok.Attr {
 }
 
 // copyElement streams a verbatim copy of the current element to the
-// output.
+// output. Events pass straight from the scanner window to the writer
+// buffer without materializing strings.
 func (ex *exec) copyElement(el *element) error {
 	if el == nil {
 		return fmt.Errorf("runtime: copy outside an element context")
@@ -179,22 +196,22 @@ func (ex *exec) copyElement(el *element) error {
 	ex.w.StartElement(el.name, el.attrs)
 	depth := 1
 	for depth > 0 {
-		tok, err := ex.xr.Next()
+		ev, err := ex.xr.NextEvent()
 		if err != nil {
 			return err
 		}
 		ex.st.Events++
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
 			depth++
-			ex.w.StartElement(tok.Name, tok.Attrs)
+			ex.w.StartElementRaw(ev.Name, ev.Attrs)
 		case xmltok.EndElement:
 			depth--
 			if depth > 0 {
-				ex.w.EndElement(tok.Name)
+				ex.w.EndElement(ev.Name)
 			}
 		case xmltok.Text:
-			ex.w.Text(tok.Data)
+			ex.w.TextBytes(ev.Data)
 		}
 	}
 	ex.w.EndElement(el.name)
@@ -240,34 +257,35 @@ func (ex *exec) atomicElement(el *element, step xquery.Step) error {
 	// text(): stream the direct text children to the output.
 	depth := 1
 	for depth > 0 {
-		tok, err := ex.xr.Next()
+		ev, err := ex.xr.NextEvent()
 		if err != nil {
 			return err
 		}
 		ex.st.Events++
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
 			depth++
 		case xmltok.EndElement:
 			depth--
 		case xmltok.Text:
 			if depth == 1 {
-				ex.w.Text(tok.Data)
+				ex.w.TextBytes(ev.Data)
 			}
 		}
 	}
 	return nil
 }
 
-// skipRest consumes the rest of the current element (depth open levels).
+// skipRest consumes the rest of the current element (depth open levels)
+// without copying a byte.
 func (ex *exec) skipRest(depth int) error {
 	for depth > 0 {
-		tok, err := ex.xr.Next()
+		ev, err := ex.xr.NextEvent()
 		if err != nil {
 			return err
 		}
 		ex.st.Events++
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
 			depth++
 		case xmltok.EndElement:
@@ -309,7 +327,7 @@ func (ex *exec) runPS(ps *pPS, el *element) error {
 	el.consumed = true
 
 	for {
-		tok, err := ex.xr.Next()
+		ev, err := ex.xr.NextEvent()
 		if err == io.EOF && ps.elem == dtdDocName {
 			// The virtual document element "ends" at EOF.
 			return ex.finishPS(f)
@@ -318,19 +336,21 @@ func (ex *exec) runPS(ps *pPS, el *element) error {
 			return err
 		}
 		ex.st.Events++
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.EndElement:
 			return ex.finishPS(f)
 		case xmltok.Text:
 			if f.ps.scope.Text {
-				n := dom.NewText(tok.Data)
+				// Buffer-fill point: the BDF keeps this text, so copy it
+				// out of the scanner window.
+				n := dom.NewText(string(ev.Data))
 				f.buf.AppendChild(n)
 				sz := n.Size()
 				f.bufBytes += sz
 				ex.grow(sz)
 			}
 		case xmltok.StartElement:
-			if err := ex.dispatchChild(f, tok); err != nil {
+			if err := ex.dispatchChild(f, ev); err != nil {
 				return err
 			}
 			// The completed child advanced the automaton: re-check
@@ -354,9 +374,12 @@ type psFrame struct {
 	stopped map[string]bool
 }
 
-// dispatchChild handles one child start tag in stream mode.
-func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
-	label := tok.Name
+// dispatchChild handles one child start tag in stream mode. ev's views
+// are only valid until the next reader call, so every branch that
+// retains data copies it first (the buffering branches) or hands the
+// owned conversions to the handler (the streaming branch).
+func (ex *exec) dispatchChild(f *psFrame, ev *xsax.Event) error {
+	label := ev.Name
 	f.state = f.ps.auto.Step(f.state, label)
 
 	proj, buffered := f.ps.scope.Buffered[label]
@@ -374,7 +397,7 @@ func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
 	case streamed && !buffered:
 		h := f.ps.hs[hIdx]
 		ex.st.HandlerFirings++
-		child := &element{name: tok.Name, attrs: copyAttrs(tok.Attrs)}
+		child := &element{name: label, attrs: ev.OwnedAttrs()}
 		if err := ex.eval(h.body, child, nil); err != nil {
 			return err
 		}
@@ -384,7 +407,7 @@ func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
 		}
 		return nil
 	case buffered && !streamed:
-		n, err := ex.materialize(tok, proj)
+		n, err := ex.materialize(ev, proj)
 		if err != nil {
 			return err
 		}
@@ -397,7 +420,7 @@ func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
 	case buffered && streamed:
 		// Materialize fully (the streaming handler replays the node),
 		// then run the handler over the materialized child.
-		n, err := ex.materialize(tok, nil)
+		n, err := ex.materialize(ev, nil)
 		if err != nil {
 			return err
 		}
@@ -408,7 +431,7 @@ func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
 		ex.st.BufferedNodes++
 		h := f.ps.hs[hIdx]
 		ex.st.HandlerFirings++
-		return ex.eval(h.body, &element{name: tok.Name, node: n}, nil)
+		return ex.eval(h.body, &element{name: label, node: n}, nil)
 	default:
 		ex.st.SkippedSubtrees++
 		return ex.skipRest(1)
@@ -417,22 +440,24 @@ func (ex *exec) dispatchChild(f *psFrame, tok xmltok.Token) error {
 
 // materialize builds a dom subtree for the element whose start tag was
 // just read, applying the BDF projection (nil proj = keep everything).
-func (ex *exec) materialize(start xmltok.Token, proj *bdf.Node) (*dom.Node, error) {
+// This is the evaluator's buffer-fill point: names come interned from the
+// DTD, text and attribute values are copied into owned strings here.
+func (ex *exec) materialize(start *xsax.Event, proj *bdf.Node) (*dom.Node, error) {
 	rootNode := dom.NewElement(start.Name)
-	rootNode.Attrs = copyAttrs(start.Attrs)
+	rootNode.Attrs = start.OwnedAttrs()
 	type frame struct {
 		node *dom.Node // nil when the level is being dropped
 		proj *bdf.Node // nil = copy all below
 	}
 	stack := []frame{{node: rootNode, proj: proj}}
 	for len(stack) > 0 {
-		tok, err := ex.xr.Next()
+		ev, err := ex.xr.NextEvent()
 		if err != nil {
 			return nil, err
 		}
 		ex.st.Events++
 		top := &stack[len(stack)-1]
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
 			if top.node == nil {
 				stack = append(stack, frame{})
@@ -441,14 +466,14 @@ func (ex *exec) materialize(start xmltok.Token, proj *bdf.Node) (*dom.Node, erro
 			var childProj *bdf.Node
 			keep := true
 			if top.proj != nil {
-				childProj, keep = top.proj.Keep(tok.Name)
+				childProj, keep = top.proj.Keep(ev.Name)
 			}
 			if !keep {
 				stack = append(stack, frame{})
 				continue
 			}
-			child := dom.NewElement(tok.Name)
-			child.Attrs = copyAttrs(tok.Attrs)
+			child := dom.NewElement(ev.Name)
+			child.Attrs = ev.OwnedAttrs()
 			top.node.AppendChild(child)
 			stack = append(stack, frame{node: child, proj: childProj})
 		case xmltok.EndElement:
@@ -458,7 +483,7 @@ func (ex *exec) materialize(start xmltok.Token, proj *bdf.Node) (*dom.Node, erro
 				continue
 			}
 			if top.proj == nil || top.proj.CopyAll || top.proj.Text {
-				top.node.AppendChild(dom.NewText(tok.Data))
+				top.node.AppendChild(dom.NewText(string(ev.Data)))
 			}
 		}
 	}

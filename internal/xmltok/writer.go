@@ -1,27 +1,56 @@
 package xmltok
 
 import (
-	"bufio"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Writer serializes XML tokens to an output stream and counts the bytes it
 // emits. It performs the escaping required for character data and
-// attribute values. Writer methods never return an error eagerly; the
-// first underlying write error is latched and returned by Flush (and by
-// every subsequent method), so query evaluators can emit output without
-// error plumbing on every token.
+// attribute values, streaming escaped segments directly into its buffer so
+// that emission never allocates. Writer methods never return an error
+// eagerly; the first underlying write error is latched and returned by
+// Flush (and by every subsequent method), so query evaluators can emit
+// output without error plumbing on every token.
 type Writer struct {
-	w       *bufio.Writer
+	out     io.Writer
+	buf     []byte
 	n       int64
 	err     error
 	openTag bool // a start tag is open and not yet closed with '>'
 }
 
+const writerBufSize = 32 << 10
+
 // NewWriter returns a Writer emitting to w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+	return &Writer{out: w, buf: make([]byte, 0, writerBufSize)}
+}
+
+// Reset rebinds the writer to a new output stream, retaining its buffer.
+func (w *Writer) Reset(out io.Writer) {
+	w.out = out
+	w.buf = w.buf[:0]
+	w.n = 0
+	w.err = nil
+	w.openTag = false
+}
+
+var writerPool = sync.Pool{New: func() any { return NewWriter(nil) }}
+
+// GetWriter returns a pooled Writer bound to out. Release it with
+// PutWriter once Flush has been called.
+func GetWriter(out io.Writer) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset(out)
+	return w
+}
+
+// PutWriter returns a Writer obtained from GetWriter to the pool.
+func PutWriter(w *Writer) {
+	w.out = nil
+	writerPool.Put(w)
 }
 
 // Written returns the number of bytes written so far (pre-flush bytes
@@ -37,31 +66,75 @@ func (w *Writer) Flush() error {
 		return w.err
 	}
 	w.closeTag()
-	if err := w.w.Flush(); err != nil {
-		w.err = err
-	}
+	w.flushBuf()
 	return w.err
+}
+
+func (w *Writer) flushBuf() {
+	if len(w.buf) == 0 {
+		return
+	}
+	if w.err == nil {
+		n, err := w.out.Write(w.buf)
+		if err == nil && n < len(w.buf) {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			w.err = err
+		}
+	}
+	w.buf = w.buf[:0]
 }
 
 func (w *Writer) writeString(s string) {
 	if w.err != nil {
 		return
 	}
-	n, err := w.w.WriteString(s)
-	w.n += int64(n)
-	if err != nil {
-		w.err = err
+	if len(w.buf)+len(s) > cap(w.buf) {
+		w.flushBuf()
+		if len(s) >= cap(w.buf) {
+			// Oversized chunk: write through.
+			if w.err == nil {
+				if _, err := io.WriteString(w.out, s); err != nil {
+					w.err = err
+				}
+			}
+			w.n += int64(len(s))
+			return
+		}
 	}
+	w.buf = append(w.buf, s...)
+	w.n += int64(len(s))
+}
+
+func (w *Writer) writeBytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(w.buf)+len(b) > cap(w.buf) {
+		w.flushBuf()
+		if len(b) >= cap(w.buf) {
+			if w.err == nil {
+				if _, err := w.out.Write(b); err != nil {
+					w.err = err
+				}
+			}
+			w.n += int64(len(b))
+			return
+		}
+	}
+	w.buf = append(w.buf, b...)
+	w.n += int64(len(b))
 }
 
 func (w *Writer) writeByte(c byte) {
 	if w.err != nil {
 		return
 	}
-	if err := w.w.WriteByte(c); err != nil {
-		w.err = err
-		return
+	if len(w.buf) == cap(w.buf) {
+		w.flushBuf()
 	}
+	w.buf = append(w.buf, c)
 	w.n++
 }
 
@@ -81,7 +154,23 @@ func (w *Writer) StartElement(name string, attrs []Attr) {
 		w.writeByte(' ')
 		w.writeString(a.Name)
 		w.writeString(`="`)
-		w.writeString(EscapeAttr(a.Value))
+		w.writeAttrEscapedString(a.Value)
+		w.writeByte('"')
+	}
+	w.openTag = true
+}
+
+// StartElementRaw emits an opening tag whose attributes are zero-copy
+// views from the scanner; nothing is retained after the call returns.
+func (w *Writer) StartElementRaw(name string, attrs []AttrBytes) {
+	w.closeTag()
+	w.writeByte('<')
+	w.writeString(name)
+	for _, a := range attrs {
+		w.writeByte(' ')
+		w.writeBytes(a.Name)
+		w.writeString(`="`)
+		w.writeAttrEscaped(a.Value)
 		w.writeByte('"')
 	}
 	w.openTag = true
@@ -106,7 +195,90 @@ func (w *Writer) Text(data string) {
 		return
 	}
 	w.closeTag()
-	w.writeString(EscapeText(data))
+	start := 0
+	for i := 0; i < len(data); i++ {
+		esc := escText(data[i])
+		if esc == "" {
+			continue
+		}
+		w.writeString(data[start:i])
+		w.writeString(esc)
+		start = i + 1
+	}
+	w.writeString(data[start:])
+}
+
+// TextBytes emits escaped character data from a zero-copy view.
+func (w *Writer) TextBytes(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	w.closeTag()
+	start := 0
+	for i := 0; i < len(data); i++ {
+		esc := escText(data[i])
+		if esc == "" {
+			continue
+		}
+		w.writeBytes(data[start:i])
+		w.writeString(esc)
+		start = i + 1
+	}
+	w.writeBytes(data[start:])
+}
+
+func escText(c byte) string {
+	switch c {
+	case '<':
+		return "&lt;"
+	case '>':
+		return "&gt;"
+	case '&':
+		return "&amp;"
+	}
+	return ""
+}
+
+func escAttr(c byte) string {
+	switch c {
+	case '<':
+		return "&lt;"
+	case '>':
+		return "&gt;"
+	case '&':
+		return "&amp;"
+	case '"':
+		return "&quot;"
+	}
+	return ""
+}
+
+func (w *Writer) writeAttrEscaped(v []byte) {
+	start := 0
+	for i := 0; i < len(v); i++ {
+		esc := escAttr(v[i])
+		if esc == "" {
+			continue
+		}
+		w.writeBytes(v[start:i])
+		w.writeString(esc)
+		start = i + 1
+	}
+	w.writeBytes(v[start:])
+}
+
+func (w *Writer) writeAttrEscapedString(v string) {
+	start := 0
+	for i := 0; i < len(v); i++ {
+		esc := escAttr(v[i])
+		if esc == "" {
+			continue
+		}
+		w.writeString(v[start:i])
+		w.writeString(esc)
+		start = i + 1
+	}
+	w.writeString(v[start:])
 }
 
 // Comment emits an XML comment.
@@ -153,14 +325,9 @@ func EscapeText(s string) string {
 	var b strings.Builder
 	b.Grow(len(s) + 8)
 	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '&':
-			b.WriteString("&amp;")
-		default:
+		if esc := escText(s[i]); esc != "" {
+			b.WriteString(esc)
+		} else {
 			b.WriteByte(s[i])
 		}
 	}
@@ -176,16 +343,9 @@ func EscapeAttr(s string) string {
 	var b strings.Builder
 	b.Grow(len(s) + 8)
 	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '&':
-			b.WriteString("&amp;")
-		case '"':
-			b.WriteString("&quot;")
-		default:
+		if esc := escAttr(s[i]); esc != "" {
+			b.WriteString(esc)
+		} else {
 			b.WriteByte(s[i])
 		}
 	}

@@ -9,13 +9,22 @@
 // streams: elements, attributes, character data, CDATA sections, comments,
 // processing instructions, a DOCTYPE declaration (captured, not
 // interpreted), and the predefined plus numeric character entities.
+//
+// Two result representations are offered. NextEvent is the zero-copy form:
+// the returned Event exposes NameBytes/DataBytes/Attrs views into the
+// scanner's internal window, valid only until the following NextEvent (or
+// Next) call. Next is a convenience adapter that copies the event into an
+// owned Token, interning element and attribute names so that repeated tags
+// in large streams do not allocate per occurrence. The engine's hot paths
+// consume events and copy only at the points where data must outlive the
+// stream position (the buffering boundary of the FluX semantics).
 package xmltok
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
+	"unicode/utf8"
 )
 
 // Kind identifies the type of a Token.
@@ -69,6 +78,13 @@ type Attr struct {
 	Value string
 }
 
+// AttrBytes is the zero-copy form of Attr: both slices view scanner-owned
+// memory and are valid only until the next scanner call.
+type AttrBytes struct {
+	Name  []byte
+	Value []byte
+}
+
 // Token is one XML event. Which fields are meaningful depends on Kind:
 // StartElement uses Name and Attrs; EndElement uses Name; Text, Comment,
 // ProcInst and Directive use Data (ProcInst also uses Name for the target).
@@ -85,14 +101,61 @@ func (t Token) IsWhitespace() bool {
 	if t.Kind != Text {
 		return false
 	}
-	for i := 0; i < len(t.Data); i++ {
-		switch t.Data[i] {
+	return isAllSpace(t.Data)
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
 		case ' ', '\t', '\r', '\n':
 		default:
 			return false
 		}
 	}
 	return true
+}
+
+// IsAllWhitespace reports whether b consists entirely of XML whitespace
+// (space, tab, CR, LF). It is the single whitespace rule shared by the
+// tokenizer and the validating layers above it.
+func IsAllWhitespace(b []byte) bool {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Event is one XML event in zero-copy form. The byte slices returned by
+// NameBytes, DataBytes and Attrs view the scanner's internal buffers and
+// are valid only until the next NextEvent or Next call; consumers that
+// need the data to survive the stream position must copy it.
+type Event struct {
+	Kind  Kind
+	name  []byte
+	data  []byte
+	attrs []AttrBytes
+}
+
+// NameBytes returns the element name (StartElement, EndElement) or the
+// ProcInst target. The view is valid until the next scanner call.
+func (e *Event) NameBytes() []byte { return e.name }
+
+// DataBytes returns the character data (Text), body (Comment, Directive)
+// or remainder (ProcInst). The view is valid until the next scanner call.
+func (e *Event) DataBytes() []byte { return e.data }
+
+// Attrs returns the attributes of a StartElement. The slice and the
+// views inside it are valid until the next scanner call.
+func (e *Event) Attrs() []AttrBytes { return e.attrs }
+
+// IsWhitespace reports whether a Text event consists entirely of XML
+// whitespace.
+func (e *Event) IsWhitespace() bool {
+	return e.Kind == Text && IsAllWhitespace(e.data)
 }
 
 // SyntaxError describes a malformed-input error with a line number.
@@ -105,83 +168,194 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("xml syntax error on line %d: %s", e.Line, e.Msg)
 }
 
+// span is a byte range of the current event, relative to the scanner's
+// token mark (or into the scratch buffer when scratch is set). Spans stay
+// valid across window refills because the refill shifts mark and data
+// together.
+type span struct {
+	off, end int32
+	scratch  bool
+}
+
+type attrSpan struct {
+	name, val span
+}
+
+const defaultWindow = 64 << 10
+
 // Scanner reads XML tokens from an io.Reader. Create one with NewScanner
-// and call Next until it returns io.EOF.
+// and call Next (owned tokens) or NextEvent (zero-copy events) until it
+// returns io.EOF. A Scanner may be reused across documents with Reset;
+// its window, scratch space and interning table are retained.
 type Scanner struct {
-	r     *bufio.Reader
-	line  int
-	depth int
-	// names interns element and attribute names so that repeated tags in
-	// large streams do not allocate a fresh string per occurrence.
-	names map[string]string
-	// sawRoot tracks whether a root element was seen, for well-formedness.
-	sawRoot bool
+	rd io.Reader
+	// buf is the input window: buf[pos:] is unread, buf[mark:] (when mark
+	// >= 0) is pinned for the event under construction and survives
+	// refills.
+	buf  []byte
+	pos  int
+	mark int
+	// line counts newlines lazily: all newlines in buf[:lineScanned] are
+	// accounted in line.
+	line        int
+	lineScanned int
+	eof bool
+	// rdErr is a non-EOF read error that arrived together with data; it
+	// is surfaced once the buffered bytes are consumed.
+	rdErr   error
 	done    bool
-	// text accumulates character data across entity boundaries and CDATA.
-	text strings.Builder
-	// attrbuf is reused across start tags; the Attrs slice handed out in a
-	// Token remains valid until the next call to Next.
+	started bool
+	depth   int
+	sawRoot bool
+	// scratch receives decoded data (entities, CDATA, window-crossing
+	// text) for the current event only.
+	scratch []byte
+	aspans  []attrSpan
+	eattrs  []AttrBytes
+	// pending EndElement of a self-closed tag, as absolute window offsets
+	// (no read happens between delivery of the start and the end).
+	pendingOff, pendingEnd int
+	hasPending             bool
+	// names interns element and attribute names for the Token adapter.
+	names map[string]string
+	// attrbuf is reused across Token conversions; the Attrs slice handed
+	// out in a Token remains valid until the next call to Next.
 	attrbuf []Attr
-	// pendingEnd holds the name of a self-closed element whose synthetic
-	// EndElement token is delivered on the following Next call.
-	pendingEnd string
-	// One-byte pushback. bufio.Reader.UnreadByte is invalidated by Peek,
-	// so the scanner maintains its own, unconditional pushback slot.
-	unread    byte
-	hasUnread bool
+	// ev is the scanner-owned event returned by NextEvent; reusing it
+	// avoids copying the event struct through every return in the hot
+	// path.
+	ev Event
 }
 
 // NewScanner returns a Scanner reading from r. A leading UTF-8 byte
 // order mark is skipped.
 func NewScanner(r io.Reader) *Scanner {
-	br := bufio.NewReaderSize(r, 64<<10)
-	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
-		br.Discard(3)
+	s := &Scanner{}
+	s.Reset(r)
+	return s
+}
+
+// Reset rebinds the scanner to a new input stream, retaining its window,
+// scratch buffers and interning table for reuse (see the pools in the
+// consuming layers).
+func (s *Scanner) Reset(r io.Reader) {
+	s.rd = r
+	if s.buf == nil {
+		s.buf = make([]byte, 0, defaultWindow)
 	}
-	return &Scanner{
-		r:     br,
-		line:  1,
-		names: make(map[string]string, 64),
+	s.buf = s.buf[:0]
+	s.pos = 0
+	s.mark = -1
+	s.line = 1
+	s.lineScanned = 0
+	s.eof = false
+	s.rdErr = nil
+	s.done = false
+	s.started = false
+	s.depth = 0
+	s.sawRoot = false
+	s.scratch = s.scratch[:0]
+	s.aspans = s.aspans[:0]
+	s.eattrs = s.eattrs[:0]
+	s.hasPending = false
+	if s.names == nil {
+		s.names = make(map[string]string, 64)
 	}
 }
 
 // Line returns the current 1-based line number (for error reporting).
-func (s *Scanner) Line() int { return s.line }
+func (s *Scanner) Line() int {
+	if s.lineScanned < s.pos {
+		s.line += bytes.Count(s.buf[s.lineScanned:s.pos], []byte{'\n'})
+		s.lineScanned = s.pos
+	}
+	return s.line
+}
 
 // Depth returns the current element nesting depth after the most recently
 // returned token (0 at document level).
 func (s *Scanner) Depth() int { return s.depth }
 
 func (s *Scanner) errf(format string, args ...any) error {
-	return &SyntaxError{Line: s.line, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Line: s.Line(), Msg: fmt.Sprintf(format, args...)}
 }
 
-func (s *Scanner) intern(b string) string {
-	if v, ok := s.names[b]; ok {
-		return v
+// fill reads more input into the window. Consumed bytes before the token
+// mark are discarded (their newlines accounted first); the pinned region
+// buf[mark:] is preserved, so mark-relative spans stay valid. Returns
+// io.EOF when the underlying stream is exhausted.
+func (s *Scanner) fill() error {
+	if s.eof {
+		return io.EOF
 	}
-	v := strings.Clone(b)
-	s.names[v] = v
-	return v
+	if s.rdErr != nil {
+		return s.rdErr
+	}
+	keep := s.pos
+	if s.mark >= 0 && s.mark < keep {
+		keep = s.mark
+	}
+	if keep > 0 {
+		if s.lineScanned < keep {
+			s.line += bytes.Count(s.buf[s.lineScanned:keep], []byte{'\n'})
+			s.lineScanned = keep
+		}
+		n := copy(s.buf, s.buf[keep:])
+		s.buf = s.buf[:n]
+		s.pos -= keep
+		s.lineScanned -= keep
+		if s.mark >= 0 {
+			s.mark -= keep
+		}
+	}
+	if len(s.buf) == cap(s.buf) {
+		// The pinned token spans the whole window: grow it.
+		nb := make([]byte, len(s.buf), 2*cap(s.buf))
+		copy(nb, s.buf)
+		s.buf = nb
+	}
+	for retries := 0; ; retries++ {
+		n, err := s.rd.Read(s.buf[len(s.buf):cap(s.buf)])
+		s.buf = s.buf[:len(s.buf)+n]
+		if n > 0 {
+			if err == io.EOF {
+				s.eof = true
+			} else if err != nil {
+				s.rdErr = err
+			}
+			return nil
+		}
+		if err == io.EOF {
+			s.eof = true
+			return io.EOF
+		}
+		if err != nil {
+			return err
+		}
+		if retries >= 100 {
+			return io.ErrNoProgress
+		}
+	}
 }
 
-func (s *Scanner) readByte() (byte, error) {
-	if s.hasUnread {
-		s.hasUnread = false
-		return s.unread, nil
+// ensure makes at least n unread bytes available, or returns io.EOF.
+func (s *Scanner) ensure(n int) error {
+	for len(s.buf)-s.pos < n {
+		if err := s.fill(); err != nil {
+			return err
+		}
 	}
-	c, err := s.r.ReadByte()
-	if err == nil && c == '\n' {
-		s.line++
-	}
-	return c, err
+	return nil
 }
 
-// unreadByte pushes c back so the next readByte returns it again.
-func (s *Scanner) unreadByte(c byte) {
-	s.unread = c
-	s.hasUnread = true
+func (s *Scanner) resolve(sp span) []byte {
+	if sp.scratch {
+		return s.scratch[sp.off:sp.end]
+	}
+	return s.buf[s.mark+int(sp.off) : s.mark+int(sp.end)]
 }
+
+func (s *Scanner) str(sp span) string { return string(s.resolve(sp)) }
 
 func isNameStart(c byte) bool {
 	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
@@ -195,187 +369,192 @@ func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
 }
 
-func (s *Scanner) skipSpace() (byte, error) {
-	for {
-		c, err := s.readByte()
-		if err != nil {
-			return 0, err
-		}
-		if !isSpace(c) {
-			return c, nil
-		}
-	}
-}
-
-func (s *Scanner) readName(first byte) (string, error) {
-	if !isNameStart(first) {
-		return "", s.errf("invalid name start character %q", first)
-	}
-	var b strings.Builder
-	b.WriteByte(first)
-	for {
-		c, err := s.readByte()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return "", err
-		}
-		if !isNameByte(c) {
-			s.unreadByte(c)
-			break
-		}
-		b.WriteByte(c)
-	}
-	return s.intern(b.String()), nil
-}
-
 // Next returns the next token, or io.EOF after the document ends. Any
 // other non-nil error is a *SyntaxError or an error from the underlying
-// reader.
+// reader. The token's strings are owned copies (names interned); only the
+// Attrs slice header is reused across calls.
 func (s *Scanner) Next() (Token, error) {
-	if s.done {
-		return Token{}, io.EOF
-	}
-	if s.pendingEnd != "" {
-		name := s.pendingEnd
-		s.pendingEnd = ""
-		s.depth--
-		return Token{Kind: EndElement, Name: name}, nil
-	}
-	c, err := s.readByte()
-	if err == io.EOF {
-		if s.depth != 0 {
-			return Token{}, s.errf("unexpected EOF: %d element(s) unclosed", s.depth)
-		}
-		s.done = true
-		return Token{}, io.EOF
-	}
+	ev, err := s.NextEvent()
 	if err != nil {
 		return Token{}, err
 	}
-	if c == '<' {
-		return s.scanMarkup()
+	t := Token{Kind: ev.Kind}
+	switch ev.Kind {
+	case StartElement:
+		t.Name = s.intern(ev.name)
+		if len(ev.attrs) > 0 {
+			s.attrbuf = s.attrbuf[:0]
+			for _, a := range ev.attrs {
+				s.attrbuf = append(s.attrbuf, Attr{Name: s.intern(a.Name), Value: string(a.Value)})
+			}
+			t.Attrs = s.attrbuf
+		}
+	case EndElement:
+		t.Name = s.intern(ev.name)
+	case ProcInst:
+		t.Name = s.intern(ev.name)
+		t.Data = string(ev.data)
+	default:
+		t.Data = string(ev.data)
 	}
-	s.unreadByte(c)
-	return s.scanText()
+	return t, nil
 }
 
-func (s *Scanner) scanText() (Token, error) {
-	s.text.Reset()
+func (s *Scanner) intern(b []byte) string {
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.names[v] = v
+	return v
+}
+
+// NextEvent returns the next event in zero-copy form, or io.EOF after the
+// document ends. The event's views are valid until the following NextEvent
+// or Next call.
+func (s *Scanner) NextEvent() (*Event, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if !s.started {
+		s.started = true
+		s.ensure(3)
+		if len(s.buf)-s.pos >= 3 && s.buf[s.pos] == 0xEF && s.buf[s.pos+1] == 0xBB && s.buf[s.pos+2] == 0xBF {
+			s.pos += 3
+		}
+	}
+	if s.hasPending {
+		s.hasPending = false
+		s.depth--
+		s.ev = Event{Kind: EndElement, name: s.buf[s.pendingOff:s.pendingEnd]}
+		return &s.ev, nil
+	}
+	s.mark = -1
 	for {
-		c, err := s.readByte()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return Token{}, err
-		}
-		switch c {
-		case '<':
-			// Check for CDATA continuation of text.
-			if b, err := s.r.Peek(8); err == nil && string(b) == "![CDATA[" {
-				s.r.Discard(8)
-				if err := s.scanCDATA(); err != nil {
-					return Token{}, err
+		if s.pos == len(s.buf) {
+			if err := s.fill(); err != nil {
+				if err == io.EOF {
+					if s.depth != 0 {
+						return nil, s.errf("unexpected EOF: %d element(s) unclosed", s.depth)
+					}
+					s.done = true
+					return nil, io.EOF
 				}
-				continue
-			}
-			s.unreadByte(c)
-			goto out
-		case '&':
-			r, err := s.scanEntity()
-			if err != nil {
-				return Token{}, err
-			}
-			s.text.WriteString(r)
-		default:
-			s.text.WriteByte(c)
-		}
-	}
-out:
-	data := s.text.String()
-	if s.depth == 0 {
-		// Character data at document level: only whitespace is allowed.
-		for i := 0; i < len(data); i++ {
-			if !isSpace(data[i]) {
-				return Token{}, s.errf("character data outside root element")
+				return nil, err
 			}
 		}
-		return s.Next()
+		if s.buf[s.pos] == '<' {
+			return s.scanMarkup()
+		}
+		ev, err := s.scanTextEvent()
+		if err != nil {
+			return nil, err
+		}
+		if ev != nil {
+			return ev, nil
+		}
+		// Whitespace at document level was skipped; continue.
+		s.mark = -1
 	}
-	return Token{Kind: Text, Data: data}, nil
 }
 
-func (s *Scanner) scanCDATA() error {
-	// Already consumed "<![CDATA[". Copy until "]]>".
-	var run int
+// skipWS advances past XML whitespace and returns the first non-space
+// byte without consuming it.
+func (s *Scanner) skipWS() (byte, error) {
 	for {
-		c, err := s.readByte()
-		if err != nil {
-			return s.errf("unterminated CDATA section")
+		for s.pos < len(s.buf) {
+			c := s.buf[s.pos]
+			if !isSpace(c) {
+				return c, nil
+			}
+			s.pos++
 		}
-		switch {
-		case c == ']':
-			run++
-		case c == '>' && run >= 2:
-			// Remove the two ']' we buffered beyond the first run-2.
-			for i := 0; i < run-2; i++ {
-				s.text.WriteByte(']')
-			}
-			return nil
-		default:
-			for i := 0; i < run; i++ {
-				s.text.WriteByte(']')
-			}
-			run = 0
-			s.text.WriteByte(c)
+		if err := s.fill(); err != nil {
+			return 0, err
 		}
 	}
 }
 
-func (s *Scanner) scanEntity() (string, error) {
-	var b strings.Builder
+// scanNameSpan scans an XML name starting at the cursor and returns its
+// mark-relative span.
+func (s *Scanner) scanNameSpan() (span, error) {
+	if err := s.ensure(1); err != nil {
+		return span{}, s.errf("unexpected EOF in name")
+	}
+	if c := s.buf[s.pos]; !isNameStart(c) {
+		return span{}, s.errf("invalid name start character %q", c)
+	}
+	start := s.pos - s.mark
+	s.pos++
 	for {
-		c, err := s.readByte()
-		if err != nil {
-			return "", s.errf("unterminated entity reference")
+		for s.pos < len(s.buf) && isNameByte(s.buf[s.pos]) {
+			s.pos++
 		}
-		if c == ';' {
+		if s.pos < len(s.buf) {
 			break
 		}
-		if b.Len() > 32 {
-			return "", s.errf("entity reference too long")
+		if err := s.fill(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return span{}, err
 		}
-		b.WriteByte(c)
 	}
-	return expandEntity(b.String(), s)
+	return span{off: int32(start), end: int32(s.pos - s.mark)}, nil
 }
 
-func expandEntity(name string, s *Scanner) (string, error) {
-	switch name {
+// decodeEntity decodes the entity reference at the cursor ('&' not yet
+// consumed) and appends the expansion to scratch.
+func (s *Scanner) decodeEntity() error {
+	for {
+		if i := bytes.IndexByte(s.buf[s.pos+1:], ';'); i >= 0 {
+			name := s.buf[s.pos+1 : s.pos+1+i]
+			if len(name) > 32 {
+				return s.errf("entity reference too long")
+			}
+			if err := s.appendEntity(name); err != nil {
+				return err
+			}
+			s.pos += i + 2
+			return nil
+		}
+		if len(s.buf)-s.pos > 34 {
+			return s.errf("entity reference too long")
+		}
+		if err := s.fill(); err != nil {
+			return s.errf("unterminated entity reference")
+		}
+	}
+}
+
+func (s *Scanner) appendEntity(name []byte) error {
+	switch string(name) {
 	case "lt":
-		return "<", nil
+		s.scratch = append(s.scratch, '<')
+		return nil
 	case "gt":
-		return ">", nil
+		s.scratch = append(s.scratch, '>')
+		return nil
 	case "amp":
-		return "&", nil
+		s.scratch = append(s.scratch, '&')
+		return nil
 	case "apos":
-		return "'", nil
+		s.scratch = append(s.scratch, '\'')
+		return nil
 	case "quot":
-		return "\"", nil
+		s.scratch = append(s.scratch, '"')
+		return nil
 	}
 	if len(name) > 1 && name[0] == '#' {
-		base := 10
+		base := uint32(10)
 		digits := name[1:]
 		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
 			base = 16
 			digits = digits[1:]
 		}
 		var n uint32
-		for i := 0; i < len(digits); i++ {
+		for _, c := range digits {
 			var d uint32
-			c := digits[i]
 			switch {
 			case c >= '0' && c <= '9':
 				d = uint32(c - '0')
@@ -384,236 +563,393 @@ func expandEntity(name string, s *Scanner) (string, error) {
 			case base == 16 && c >= 'A' && c <= 'F':
 				d = uint32(c-'A') + 10
 			default:
-				return "", s.errf("invalid character reference &%s;", name)
+				return s.errf("invalid character reference &%s;", name)
 			}
-			n = n*uint32(base) + d
+			n = n*base + d
 			if n > 0x10FFFF {
-				return "", s.errf("character reference out of range &%s;", name)
+				return s.errf("character reference out of range &%s;", name)
 			}
 		}
-		return string(rune(n)), nil
+		s.scratch = utf8.AppendRune(s.scratch, rune(n))
+		return nil
 	}
-	return "", s.errf("unknown entity &%s;", name)
+	return s.errf("unknown entity &%s;", name)
 }
 
-func (s *Scanner) scanMarkup() (Token, error) {
-	c, err := s.readByte()
-	if err != nil {
-		return Token{}, s.errf("unexpected EOF after '<'")
+// indexTextStop returns the index of the first '<' or '&' in b, or -1.
+// The '&' search is bounded by the position of '<' so that a window full
+// of markup is not rescanned per text run.
+func indexTextStop(b []byte) int {
+	lt := bytes.IndexByte(b, '<')
+	if lt == 0 {
+		return 0
 	}
-	switch c {
-	case '/':
-		return s.scanEndTag()
-	case '?':
-		return s.scanProcInst()
-	case '!':
-		return s.scanBang()
-	default:
-		return s.scanStartTag(c)
+	search := b
+	if lt > 0 {
+		search = b[:lt]
 	}
+	if amp := bytes.IndexByte(search, '&'); amp >= 0 {
+		return amp
+	}
+	return lt
 }
 
-func (s *Scanner) scanEndTag() (Token, error) {
-	c, err := s.readByte()
-	if err != nil {
-		return Token{}, s.errf("unexpected EOF in end tag")
+var cdataOpen = []byte("<![CDATA[")
+
+// scanTextEvent scans a character-data run, expanding entities and merging
+// CDATA sections. The invariant is that the pending undecoded segment is
+// always buf[mark:pos]: when decoding forces a detour through scratch, the
+// segment is spilled and mark moves forward, which also lets fill discard
+// already-delivered window bytes instead of growing the window. A Kind of
+// None with a nil error means document-level whitespace was skipped.
+func (s *Scanner) scanTextEvent() (*Event, error) {
+	s.scratch = s.scratch[:0]
+	inScratch := false
+	s.mark = s.pos
+	for {
+		i := indexTextStop(s.buf[s.pos:])
+		if i < 0 {
+			// The run continues past the window: spill and refill.
+			s.pos = len(s.buf)
+			s.scratch = append(s.scratch, s.buf[s.mark:s.pos]...)
+			inScratch = true
+			s.mark = s.pos
+			if err := s.fill(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				return nil, err
+			}
+			continue
+		}
+		s.pos += i
+		if s.buf[s.pos] == '&' {
+			s.scratch = append(s.scratch, s.buf[s.mark:s.pos]...)
+			inScratch = true
+			if err := s.decodeEntity(); err != nil {
+				return nil, err
+			}
+			s.mark = s.pos
+			continue
+		}
+		// '<': a CDATA section continues the run; anything else ends it.
+		if err := s.ensure(len(cdataOpen)); err == nil && bytes.HasPrefix(s.buf[s.pos:], cdataOpen) {
+			s.scratch = append(s.scratch, s.buf[s.mark:s.pos]...)
+			inScratch = true
+			s.pos += len(cdataOpen)
+			if err := s.scanCDATAInto(); err != nil {
+				return nil, err
+			}
+			s.mark = s.pos
+			continue
+		}
+		break
 	}
-	name, err := s.readName(c)
-	if err != nil {
-		return Token{}, err
-	}
-	c, err = s.skipSpace()
-	if err != nil || c != '>' {
-		return Token{}, s.errf("malformed end tag </%s", name)
+	var data []byte
+	if inScratch {
+		data = append(s.scratch, s.buf[s.mark:s.pos]...)
+		s.scratch = data
+	} else {
+		data = s.buf[s.mark:s.pos]
 	}
 	if s.depth == 0 {
-		return Token{}, s.errf("unmatched end tag </%s>", name)
+		// Character data at document level: only whitespace is allowed.
+		for _, c := range data {
+			if !isSpace(c) {
+				return nil, s.errf("character data outside root element")
+			}
+		}
+		return nil, nil
+	}
+	s.ev = Event{Kind: Text, data: data}
+	return &s.ev, nil
+}
+
+var cdataClose = []byte("]]>")
+
+// scanCDATAInto copies the body of a CDATA section (opener already
+// consumed) into scratch.
+func (s *Scanner) scanCDATAInto() error {
+	s.mark = s.pos
+	for {
+		if i := bytes.Index(s.buf[s.pos:], cdataClose); i >= 0 {
+			s.scratch = append(s.scratch, s.buf[s.pos:s.pos+i]...)
+			s.pos += i + len(cdataClose)
+			return nil
+		}
+		keepFrom := len(s.buf) - (len(cdataClose) - 1)
+		if keepFrom < s.pos {
+			keepFrom = s.pos
+		}
+		s.scratch = append(s.scratch, s.buf[s.pos:keepFrom]...)
+		s.pos = keepFrom
+		s.mark = s.pos
+		if err := s.fill(); err != nil {
+			return s.errf("unterminated CDATA section")
+		}
+	}
+}
+
+func (s *Scanner) scanMarkup() (*Event, error) {
+	// s.buf[s.pos] == '<'
+	s.mark = s.pos
+	if err := s.ensure(2); err != nil {
+		return nil, s.errf("unexpected EOF after '<'")
+	}
+	switch s.buf[s.pos+1] {
+	case '/':
+		s.pos += 2
+		return s.scanEndTag()
+	case '?':
+		s.pos += 2
+		return s.scanProcInst()
+	case '!':
+		s.pos += 2
+		return s.scanBang()
+	default:
+		s.pos++
+		return s.scanStartTag()
+	}
+}
+
+func (s *Scanner) scanEndTag() (*Event, error) {
+	name, err := s.scanNameSpan()
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.skipWS()
+	if err != nil || c != '>' {
+		return nil, s.errf("malformed end tag </%s", s.str(name))
+	}
+	s.pos++
+	if s.depth == 0 {
+		return nil, s.errf("unmatched end tag </%s>", s.str(name))
 	}
 	s.depth--
-	return Token{Kind: EndElement, Name: name}, nil
+	s.ev = Event{Kind: EndElement, name: s.resolve(name)}
+	return &s.ev, nil
 }
 
-func (s *Scanner) scanStartTag(first byte) (Token, error) {
-	name, err := s.readName(first)
+func (s *Scanner) scanStartTag() (*Event, error) {
+	name, err := s.scanNameSpan()
 	if err != nil {
-		return Token{}, err
+		return nil, err
 	}
 	if s.depth == 0 && s.sawRoot {
-		return Token{}, s.errf("second root element <%s>", name)
+		return nil, s.errf("second root element <%s>", s.str(name))
 	}
-	s.attrbuf = s.attrbuf[:0]
+	s.aspans = s.aspans[:0]
+	s.scratch = s.scratch[:0]
+	selfClose := false
 	for {
-		c, err := s.skipSpace()
+		c, err := s.skipWS()
 		if err != nil {
-			return Token{}, s.errf("unexpected EOF in tag <%s>", name)
+			return nil, s.errf("unexpected EOF in tag <%s>", s.str(name))
 		}
-		switch c {
-		case '>':
-			s.depth++
-			s.sawRoot = true
-			return Token{Kind: StartElement, Name: name, Attrs: s.attrbuf}, nil
-		case '/':
-			c, err = s.readByte()
-			if err != nil || c != '>' {
-				return Token{}, s.errf("malformed self-closing tag <%s>", name)
-			}
-			s.sawRoot = true
-			s.depth++
-			// Report start now; the matching end is synthesized on the
-			// next call via pendingEnd.
-			s.pendingEnd = name
-			return Token{Kind: StartElement, Name: name, Attrs: s.attrbuf}, nil
-		default:
-			aname, err := s.readName(c)
-			if err != nil {
-				return Token{}, err
-			}
-			c, err = s.skipSpace()
-			if err != nil || c != '=' {
-				return Token{}, s.errf("attribute %s without value in <%s>", aname, name)
-			}
-			c, err = s.skipSpace()
-			if err != nil || (c != '"' && c != '\'') {
-				return Token{}, s.errf("attribute %s value must be quoted", aname)
-			}
-			val, err := s.scanAttValue(c)
-			if err != nil {
-				return Token{}, err
-			}
-			for _, a := range s.attrbuf {
-				if a.Name == aname {
-					return Token{}, s.errf("duplicate attribute %s in <%s>", aname, name)
-				}
-			}
-			s.attrbuf = append(s.attrbuf, Attr{Name: aname, Value: val})
+		if c == '>' {
+			s.pos++
+			break
 		}
+		if c == '/' {
+			if err := s.ensure(2); err != nil || s.buf[s.pos+1] != '>' {
+				return nil, s.errf("malformed self-closing tag <%s>", s.str(name))
+			}
+			s.pos += 2
+			selfClose = true
+			break
+		}
+		aname, err := s.scanNameSpan()
+		if err != nil {
+			return nil, err
+		}
+		c, err = s.skipWS()
+		if err != nil || c != '=' {
+			return nil, s.errf("attribute %s without value in <%s>", s.str(aname), s.str(name))
+		}
+		s.pos++
+		c, err = s.skipWS()
+		if err != nil || (c != '"' && c != '\'') {
+			return nil, s.errf("attribute %s value must be quoted", s.str(aname))
+		}
+		s.pos++
+		val, err := s.scanAttValueSpan(c)
+		if err != nil {
+			return nil, err
+		}
+		nb := s.resolve(aname)
+		for _, sp := range s.aspans {
+			if bytes.Equal(s.resolve(sp.name), nb) {
+				return nil, s.errf("duplicate attribute %s in <%s>", s.str(aname), s.str(name))
+			}
+		}
+		s.aspans = append(s.aspans, attrSpan{name: aname, val: val})
+	}
+	s.depth++
+	s.sawRoot = true
+	if selfClose {
+		// Report start now; the matching end is synthesized on the next
+		// call (no read happens in between, so absolute offsets hold).
+		s.hasPending = true
+		s.pendingOff = s.mark + int(name.off)
+		s.pendingEnd = s.mark + int(name.end)
+	}
+	s.eattrs = s.eattrs[:0]
+	for _, sp := range s.aspans {
+		s.eattrs = append(s.eattrs, AttrBytes{Name: s.resolve(sp.name), Value: s.resolve(sp.val)})
+	}
+	s.ev = Event{Kind: StartElement, name: s.resolve(name), attrs: s.eattrs}
+	return &s.ev, nil
+}
+
+// scanAttValueSpan scans a quoted attribute value (opening quote
+// consumed). Values without entities are returned as window spans; a
+// value containing entities is decoded into scratch.
+func (s *Scanner) scanAttValueSpan(quote byte) (span, error) {
+	start := int32(s.pos - s.mark)
+	segStart := start
+	inScratch := false
+	scrStart := int32(len(s.scratch))
+	for {
+		win := s.buf[s.pos:]
+		qi := bytes.IndexByte(win, quote)
+		lim := qi
+		if lim < 0 {
+			lim = len(win)
+		}
+		ai := bytes.IndexByte(win[:lim], '&')
+		li := bytes.IndexByte(win[:lim], '<')
+		if li >= 0 && (ai < 0 || li < ai) {
+			s.pos += li
+			return span{}, s.errf("'<' in attribute value")
+		}
+		if ai >= 0 {
+			s.pos += ai
+			s.scratch = append(s.scratch, s.buf[s.mark+int(segStart):s.pos]...)
+			inScratch = true
+			if err := s.decodeEntity(); err != nil {
+				return span{}, err
+			}
+			segStart = int32(s.pos - s.mark)
+			continue
+		}
+		if qi < 0 {
+			s.pos = len(s.buf)
+			if err := s.fill(); err != nil {
+				return span{}, s.errf("unterminated attribute value")
+			}
+			continue
+		}
+		end := s.pos + qi
+		s.pos = end + 1
+		if inScratch {
+			s.scratch = append(s.scratch, s.buf[s.mark+int(segStart):end]...)
+			return span{off: scrStart, end: int32(len(s.scratch)), scratch: true}, nil
+		}
+		return span{off: start, end: int32(end - s.mark)}, nil
 	}
 }
 
-func (s *Scanner) scanAttValue(quote byte) (string, error) {
-	var b strings.Builder
-	for {
-		c, err := s.readByte()
-		if err != nil {
-			return "", s.errf("unterminated attribute value")
-		}
-		switch c {
-		case quote:
-			return b.String(), nil
-		case '&':
-			r, err := s.scanEntity()
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(r)
-		case '<':
-			return "", s.errf("'<' in attribute value")
-		default:
-			b.WriteByte(c)
-		}
-	}
-}
+var piClose = []byte("?>")
 
-func (s *Scanner) scanProcInst() (Token, error) {
-	c, err := s.readByte()
+func (s *Scanner) scanProcInst() (*Event, error) {
+	name, err := s.scanNameSpan()
 	if err != nil {
-		return Token{}, s.errf("unexpected EOF in processing instruction")
+		return nil, err
 	}
-	name, err := s.readName(c)
-	if err != nil {
-		return Token{}, err
-	}
-	var b strings.Builder
-	var prev byte
+	start := s.pos - s.mark
 	for {
-		c, err := s.readByte()
-		if err != nil {
-			return Token{}, s.errf("unterminated processing instruction <?%s", name)
+		if i := bytes.Index(s.buf[s.pos:], piClose); i >= 0 {
+			data := s.buf[s.mark+start : s.pos+i]
+			s.pos += i + len(piClose)
+			for len(data) > 0 && isSpace(data[0]) {
+				data = data[1:]
+			}
+			s.ev = Event{Kind: ProcInst, name: s.resolve(name), data: data}
+			return &s.ev, nil
 		}
-		if prev == '?' && c == '>' {
-			data := strings.TrimSuffix(b.String(), "?")
-			data = strings.TrimLeft(data, " \t\r\n")
-			return Token{Kind: ProcInst, Name: name, Data: data}, nil
+		if p := len(s.buf) - 1; p > s.pos {
+			s.pos = p
 		}
-		b.WriteByte(c)
-		prev = c
+		if err := s.fill(); err != nil {
+			return nil, s.errf("unterminated processing instruction <?%s", s.str(name))
+		}
 	}
 }
 
-func (s *Scanner) scanBang() (Token, error) {
-	// <!-- comment -->, <![CDATA[...]]> (text context), or <!DOCTYPE...>.
-	b, err := s.r.Peek(2)
-	if err == nil && string(b) == "--" {
-		s.r.Discard(2)
+var commentOpen = []byte("--")
+var commentClose = []byte("-->")
+var cdataBang = []byte("[CDATA[")
+
+func (s *Scanner) scanBang() (*Event, error) {
+	// <!-- comment -->, <![CDATA[...]]> (markup context), or <!DOCTYPE...>.
+	if s.ensure(2) == nil && bytes.HasPrefix(s.buf[s.pos:], commentOpen) {
+		s.pos += 2
 		return s.scanComment()
 	}
-	if b, err := s.r.Peek(7); err == nil && string(b) == "[CDATA[" {
-		s.r.Discard(7)
-		s.text.Reset()
-		if err := s.scanCDATA(); err != nil {
-			return Token{}, err
-		}
+	if s.ensure(7) == nil && bytes.HasPrefix(s.buf[s.pos:], cdataBang) {
 		if s.depth == 0 {
-			return Token{}, s.errf("CDATA outside root element")
+			return nil, s.errf("CDATA outside root element")
 		}
-		return Token{Kind: Text, Data: s.text.String()}, nil
+		s.pos += 7
+		s.scratch = s.scratch[:0]
+		if err := s.scanCDATAInto(); err != nil {
+			return nil, err
+		}
+		s.ev = Event{Kind: Text, data: s.scratch}
+		return &s.ev, nil
 	}
 	// Directive: copy until matching '>' tracking bracket and quote nesting
 	// (the DOCTYPE internal subset may contain '>' inside [...]).
-	var body strings.Builder
+	bodyStart := s.pos - s.mark
 	depth := 0
 	var quote byte
 	for {
-		c, err := s.readByte()
-		if err != nil {
-			return Token{}, s.errf("unterminated <! directive")
-		}
-		if quote != 0 {
-			if c == quote {
-				quote = 0
+		for s.pos < len(s.buf) {
+			c := s.buf[s.pos]
+			if quote != 0 {
+				if c == quote {
+					quote = 0
+				}
+				s.pos++
+				continue
 			}
-			body.WriteByte(c)
-			continue
-		}
-		switch c {
-		case '"', '\'':
-			quote = c
-		case '[':
-			depth++
-		case ']':
-			depth--
-		case '>':
-			if depth <= 0 {
-				return Token{Kind: Directive, Data: body.String()}, nil
+			switch c {
+			case '"', '\'':
+				quote = c
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '>':
+				if depth <= 0 {
+					data := s.buf[s.mark+bodyStart : s.pos]
+					s.pos++
+					s.ev = Event{Kind: Directive, data: data}
+					return &s.ev, nil
+				}
 			}
+			s.pos++
 		}
-		body.WriteByte(c)
+		if err := s.fill(); err != nil {
+			return nil, s.errf("unterminated <! directive")
+		}
 	}
 }
 
-func (s *Scanner) scanComment() (Token, error) {
-	var b strings.Builder
-	var dashes int
+func (s *Scanner) scanComment() (*Event, error) {
+	start := s.pos - s.mark
 	for {
-		c, err := s.readByte()
-		if err != nil {
-			return Token{}, s.errf("unterminated comment")
+		if i := bytes.Index(s.buf[s.pos:], commentClose); i >= 0 {
+			data := s.buf[s.mark+start : s.pos+i]
+			s.pos += i + len(commentClose)
+			s.ev = Event{Kind: Comment, data: data}
+			return &s.ev, nil
 		}
-		switch {
-		case c == '-':
-			dashes++
-		case c == '>' && dashes >= 2:
-			data := b.String()
-			for i := 0; i < dashes-2; i++ {
-				data += "-"
-			}
-			return Token{Kind: Comment, Data: data}, nil
-		default:
-			for i := 0; i < dashes; i++ {
-				b.WriteByte('-')
-			}
-			dashes = 0
-			b.WriteByte(c)
+		if p := len(s.buf) - (len(commentClose) - 1); p > s.pos {
+			s.pos = p
+		}
+		if err := s.fill(); err != nil {
+			return nil, s.errf("unterminated comment")
 		}
 	}
 }

@@ -58,8 +58,10 @@ type tframe struct {
 // at element end; eligible triggers fire in registration order, once per
 // element instance.
 func (p *Parser) Parse(rd io.Reader) error {
-	r := NewReader(rd, p.d)
+	r := GetReader(rd, p.d)
+	defer PutReader(r)
 	var tstack []tframe
+	var attrbuf []xmltok.Attr
 	check := func() error {
 		if len(tstack) == 0 {
 			return nil
@@ -79,18 +81,21 @@ func (p *Parser) Parse(rd io.Reader) error {
 		return nil
 	}
 	for {
-		tok, err := r.Next()
+		ev, err := r.NextEvent()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
-			ids := p.byElement[tok.Name]
+			ids := p.byElement[ev.Name]
 			tstack = append(tstack, tframe{ids: ids, fired: make([]bool, len(ids))})
-			if err := p.h.StartElement(tok.Name, tok.Attrs); err != nil {
+			// Convert the zero-copy views for the handler; the slice is
+			// reused, so handlers must not retain it.
+			attrbuf = ev.AppendOwnedAttrs(attrbuf[:0])
+			if err := p.h.StartElement(ev.Name, attrbuf); err != nil {
 				return err
 			}
 			// Condition check at element start (e.g. past(S) for labels
@@ -110,7 +115,7 @@ func (p *Parser) Parse(rd io.Reader) error {
 				}
 			}
 			tstack = tstack[:len(tstack)-1]
-			if err := p.h.EndElement(tok.Name); err != nil {
+			if err := p.h.EndElement(ev.Name); err != nil {
 				return err
 			}
 			// The completed child advanced the parent's automaton state:
@@ -119,7 +124,7 @@ func (p *Parser) Parse(rd io.Reader) error {
 				return err
 			}
 		case xmltok.Text:
-			if err := p.h.Text(tok.Data); err != nil {
+			if err := p.h.Text(string(ev.Data)); err != nil {
 				return err
 			}
 		}

@@ -10,11 +10,20 @@
 // itself. Parser is the push (SAX-style) form described in the paper: the
 // DTD and the on-first triggers are registered up front, and the parser
 // inserts First events among the conventional start/end/text events.
+//
+// Reader is event-based and zero-copy: NextEvent validates the underlying
+// tokenizer event and returns it with the element name resolved to the
+// DTD's interned declaration name, so consumers dispatch on strings
+// without allocating. Event data and attribute views are only valid until
+// the next call; consumers copy exactly at the points where the buffer
+// description forest says data must survive. The Token-returning Next is
+// a copying adapter kept for convenience and tests.
 package xsax
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/xmltok"
@@ -22,29 +31,102 @@ import (
 
 // frame is one open element during parsing.
 type frame struct {
-	name  string
 	elem  *dtd.Element
 	state int
 }
 
+// Event is one validated XML event. Name is the interned element name
+// from the DTD declaration (Start/EndElement) and is always safe to
+// retain; Data and Attrs view scanner-owned memory valid only until the
+// next Reader call.
+type Event struct {
+	Kind xmltok.Kind
+	// Name is the element name (Start/EndElement) or ProcInst target.
+	Name string
+	// Elem is the DTD declaration of a Start/EndElement.
+	Elem *dtd.Element
+	// Data holds text/comment/directive content (zero-copy view).
+	Data []byte
+	// Attrs holds a StartElement's attributes (zero-copy views).
+	Attrs []xmltok.AttrBytes
+}
+
+// IsWhitespace reports whether a Text event is all XML whitespace.
+func (e *Event) IsWhitespace() bool {
+	return e.Kind == xmltok.Text && xmltok.IsAllWhitespace(e.Data)
+}
+
+// AppendOwnedAttrs appends the event's attributes to dst as owned
+// strings, interning attribute names through the element's ATTLIST
+// declarations (every validated attribute is declared, so names almost
+// never allocate).
+func (e *Event) AppendOwnedAttrs(dst []xmltok.Attr) []xmltok.Attr {
+	for _, a := range e.Attrs {
+		name := ""
+		if e.Elem != nil {
+			if def := e.Elem.AttDefBytes(a.Name); def != nil {
+				name = def.Name
+			}
+		}
+		if name == "" {
+			name = string(a.Name)
+		}
+		dst = append(dst, xmltok.Attr{Name: name, Value: string(a.Value)})
+	}
+	return dst
+}
+
+// OwnedAttrs returns the event's attributes as owned strings, interning
+// attribute names through the element's ATTLIST declarations. The result
+// is freshly allocated and safe to retain.
+func (e *Event) OwnedAttrs() []xmltok.Attr {
+	if len(e.Attrs) == 0 {
+		return nil
+	}
+	return e.AppendOwnedAttrs(make([]xmltok.Attr, 0, len(e.Attrs)))
+}
+
 // Reader is a validating pull reader over an XML stream.
 type Reader struct {
-	sc    *xmltok.Scanner
-	d     *dtd.DTD
-	stack []frame
-	// attrbuf is scratch space for attribute validation.
-	attrbuf map[string]string
+	sc      *xmltok.Scanner
+	d       *dtd.DTD
+	stack   []frame
+	apairs  []dtd.AttrPair
+	attrbuf []xmltok.Attr
 	sawRoot bool
+	// ev is the reader-owned event returned by NextEvent.
+	ev Event
 }
 
 // NewReader returns a validating reader for the stream r under DTD d.
 func NewReader(r io.Reader, d *dtd.DTD) *Reader {
-	return &Reader{
-		sc:      xmltok.NewScanner(r),
-		d:       d,
-		attrbuf: make(map[string]string, 8),
-	}
+	return &Reader{sc: xmltok.NewScanner(r), d: d}
 }
+
+// Reset rebinds the reader to a new stream and DTD, retaining its
+// scanner window and stack storage.
+func (r *Reader) Reset(rd io.Reader, d *dtd.DTD) {
+	r.sc.Reset(rd)
+	r.d = d
+	r.stack = r.stack[:0]
+	r.sawRoot = false
+}
+
+var readerPool sync.Pool
+
+// GetReader returns a pooled validating reader bound to rd and d.
+// Release it with PutReader when the stream has been consumed.
+func GetReader(rd io.Reader, d *dtd.DTD) *Reader {
+	if v := readerPool.Get(); v != nil {
+		r := v.(*Reader)
+		r.Reset(rd, d)
+		return r
+	}
+	return NewReader(rd, d)
+}
+
+// PutReader returns a Reader obtained from GetReader to the pool.
+func PutReader(r *Reader) { readerPool.Put(r) }
 
 // Depth returns the number of currently open elements.
 func (r *Reader) Depth() int { return len(r.stack) }
@@ -81,96 +163,114 @@ func (r *Reader) Past(set []string) bool {
 // Line returns the scanner's current line for error reporting.
 func (r *Reader) Line() int { return r.sc.Line() }
 
-// Next returns the next validated token. Comments, processing
-// instructions and directives are passed through unvalidated. The error
-// is io.EOF at the end of a well-formed, valid document.
-func (r *Reader) Next() (xmltok.Token, error) {
+// NextEvent returns the next validated event in zero-copy form. Comments,
+// processing instructions and directives are passed through unvalidated.
+// The error is io.EOF at the end of a well-formed, valid document.
+func (r *Reader) NextEvent() (*Event, error) {
 	for {
-		tok, err := r.sc.Next()
+		ev, err := r.sc.NextEvent()
 		if err == io.EOF && !r.sawRoot {
-			return tok, r.errf("document has no root element")
+			return nil, r.errf("document has no root element")
 		}
 		if err != nil {
-			return tok, err
+			return nil, err
 		}
-		switch tok.Kind {
+		switch ev.Kind {
 		case xmltok.StartElement:
-			if err := r.startElement(tok); err != nil {
-				return tok, err
-			}
-			return tok, nil
+			return r.startElement(ev)
 		case xmltok.EndElement:
-			if err := r.endElement(tok); err != nil {
-				return tok, err
-			}
-			return tok, nil
+			return r.endElement(ev)
 		case xmltok.Text:
-			if len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() && !tok.IsWhitespace() {
-				return tok, r.errf("element %s may not contain character data", r.stack[len(r.stack)-1].name)
-			}
-			if tok.IsWhitespace() && len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() {
+			if len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() {
+				if !ev.IsWhitespace() {
+					return nil, r.errf("element %s may not contain character data", r.stack[len(r.stack)-1].elem.Name)
+				}
 				// Insignificant whitespace in element content: drop it so
 				// downstream operators see the pure child sequence.
 				continue
 			}
-			return tok, nil
+			r.ev = Event{Kind: xmltok.Text, Data: ev.DataBytes()}
+			return &r.ev, nil
+		case xmltok.ProcInst:
+			r.ev = Event{Kind: ev.Kind, Name: string(ev.NameBytes()), Data: ev.DataBytes()}
+			return &r.ev, nil
 		default:
-			return tok, nil
+			r.ev = Event{Kind: ev.Kind, Data: ev.DataBytes()}
+			return &r.ev, nil
 		}
 	}
+}
+
+// Next returns the next validated token with owned strings. It is the
+// copying adapter over NextEvent; the Attrs slice is reused across calls.
+func (r *Reader) Next() (xmltok.Token, error) {
+	ev, err := r.NextEvent()
+	if err != nil {
+		return xmltok.Token{}, err
+	}
+	t := xmltok.Token{Kind: ev.Kind, Name: ev.Name, Data: string(ev.Data)}
+	if len(ev.Attrs) > 0 {
+		r.attrbuf = ev.AppendOwnedAttrs(r.attrbuf[:0])
+		t.Attrs = r.attrbuf
+	}
+	return t, nil
 }
 
 func (r *Reader) errf(format string, args ...any) error {
 	return fmt.Errorf("xsax: line %d: %s", r.sc.Line(), fmt.Sprintf(format, args...))
 }
 
-func (r *Reader) startElement(tok xmltok.Token) error {
-	e := r.d.Element(tok.Name)
+func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
+	name := tok.NameBytes()
+	e := r.d.ElementBytes(name)
 	if e == nil {
-		return r.errf("undeclared element <%s>", tok.Name)
+		return nil, r.errf("undeclared element <%s>", name)
 	}
 	if len(r.stack) == 0 {
 		if r.sawRoot {
-			return r.errf("multiple root elements")
+			return nil, r.errf("multiple root elements")
 		}
-		if tok.Name != r.d.Root {
-			return r.errf("root element is <%s>, DTD requires <%s>", tok.Name, r.d.Root)
+		if e.Name != r.d.Root {
+			return nil, r.errf("root element is <%s>, DTD requires <%s>", e.Name, r.d.Root)
 		}
 		r.sawRoot = true
 	} else {
 		parent := &r.stack[len(r.stack)-1]
-		next := parent.elem.Automaton().Step(parent.state, tok.Name)
+		next := parent.elem.Automaton().Step(parent.state, e.Name)
 		if next < 0 {
-			return r.errf("child <%s> not allowed here in <%s> (content model %s)",
-				tok.Name, parent.name, parent.elem.Model)
+			return nil, r.errf("child <%s> not allowed here in <%s> (content model %s)",
+				e.Name, parent.elem.Name, parent.elem.Model)
 		}
 		parent.state = next
 	}
-	// Attribute validation.
-	clear(r.attrbuf)
-	for _, a := range tok.Attrs {
-		r.attrbuf[a.Name] = a.Value
+	// Attribute validation over the zero-copy views.
+	attrs := tok.Attrs()
+	r.apairs = r.apairs[:0]
+	for _, a := range attrs {
+		r.apairs = append(r.apairs, dtd.AttrPair{Name: a.Name, Value: a.Value})
 	}
-	if err := r.d.ValidateAttrs(tok.Name, r.attrbuf); err != nil {
-		return r.errf("%s", err)
+	if err := r.d.ValidateAttrPairs(e, r.apairs); err != nil {
+		return nil, r.errf("%s", err)
 	}
-	r.stack = append(r.stack, frame{name: tok.Name, elem: e, state: e.Automaton().Start()})
-	return nil
+	r.stack = append(r.stack, frame{elem: e, state: e.Automaton().Start()})
+	r.ev = Event{Kind: xmltok.StartElement, Name: e.Name, Elem: e, Attrs: attrs}
+	return &r.ev, nil
 }
 
-func (r *Reader) endElement(tok xmltok.Token) error {
+func (r *Reader) endElement(tok *xmltok.Event) (*Event, error) {
 	if len(r.stack) == 0 {
-		return r.errf("unmatched end tag </%s>", tok.Name)
+		return nil, r.errf("unmatched end tag </%s>", tok.NameBytes())
 	}
-	f := &r.stack[len(r.stack)-1]
-	if f.name != tok.Name {
-		return r.errf("end tag </%s> does not match open element <%s>", tok.Name, f.name)
+	f := r.stack[len(r.stack)-1]
+	if string(tok.NameBytes()) != f.elem.Name {
+		return nil, r.errf("end tag </%s> does not match open element <%s>", tok.NameBytes(), f.elem.Name)
 	}
 	if !f.elem.Automaton().Accepting(f.state) {
-		return r.errf("element <%s> ended prematurely (content model %s)", f.name, f.elem.Model)
+		return nil, r.errf("element <%s> ended prematurely (content model %s)", f.elem.Name, f.elem.Model)
 	}
 	r.stack = r.stack[:len(r.stack)-1]
-	return nil
+	r.ev = Event{Kind: xmltok.EndElement, Name: f.elem.Name, Elem: f.elem}
+	return &r.ev, nil
 }
 
 // Skip consumes and validates the remainder of the innermost open
@@ -179,7 +279,7 @@ func (r *Reader) endElement(tok xmltok.Token) error {
 func (r *Reader) Skip() error {
 	depth := len(r.stack)
 	for len(r.stack) >= depth {
-		if _, err := r.Next(); err != nil {
+		if _, err := r.NextEvent(); err != nil {
 			if err == io.EOF {
 				return r.errf("unexpected EOF while skipping")
 			}
@@ -192,9 +292,10 @@ func (r *Reader) Skip() error {
 // Validate reads the whole stream and returns the first validation error,
 // if any.
 func Validate(rd io.Reader, d *dtd.DTD) error {
-	r := NewReader(rd, d)
+	r := GetReader(rd, d)
+	defer PutReader(r)
 	for {
-		_, err := r.Next()
+		_, err := r.NextEvent()
 		if err == io.EOF {
 			return nil
 		}
