@@ -35,6 +35,7 @@ import (
 	"fluxquery/internal/baseline"
 	"fluxquery/internal/core"
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/mqe"
 	"fluxquery/internal/nf"
 	"fluxquery/internal/opt"
 	"fluxquery/internal/runtime"
@@ -290,7 +291,12 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 	default:
 		return Stats{}, fmt.Errorf("unknown engine %v", p.opts.Engine)
 	}
-	st := Stats{Engine: p.opts.Engine, Duration: time.Since(start)}
+	return statsFrom(rst, p.opts.Engine, time.Since(start)), err
+}
+
+// statsFrom converts the runtime's counters into the public Stats.
+func statsFrom(rst *runtime.Stats, e Engine, d time.Duration) Stats {
+	st := Stats{Engine: e, Duration: d}
 	if rst != nil {
 		st.Events = rst.Events
 		st.PeakBufferBytes = rst.PeakBufferBytes
@@ -300,7 +306,7 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 		st.SkippedSubtrees = rst.SkippedSubtrees
 		st.HandlerFirings = rst.HandlerFirings
 	}
-	return st, err
+	return st
 }
 
 // ExecuteString is a convenience wrapper for string input and output.
@@ -308,6 +314,75 @@ func (p *Plan) ExecuteString(doc string) (string, Stats, error) {
 	var out strings.Builder
 	st, err := p.Execute(strings.NewReader(doc), &out)
 	return out.String(), st, err
+}
+
+// StreamSet evaluates any number of compiled plans over a shared input
+// stream in a single tokenize+validate pass (the multi-query engine,
+// internal/mqe). Where N independent Execute calls scan a document N
+// times, a StreamSet scans it once and fans the validated events out to
+// every registered plan; each plan's output is byte-identical to what its
+// own Execute would produce.
+//
+// Plans are registered with a per-plan output writer and can be
+// registered and unregistered concurrently with Run: registrations take
+// effect at the next Run, unregistrations detach from an in-flight Run at
+// the next event-batch boundary. A plan that fails mid-stream (bad
+// output writer, runtime error) is detached and reported through its
+// StreamQuery; the stream and the other plans continue.
+type StreamSet struct {
+	d   *DTD
+	set *mqe.Set
+}
+
+// NewStreamSet returns an empty StreamSet for streams governed by d.
+func NewStreamSet(d *DTD) *StreamSet {
+	return &StreamSet{d: d, set: mqe.NewSet(d.d)}
+}
+
+// Register adds a compiled plan to the set, streaming its result to out
+// on every subsequent Run. The plan must use EngineFlux (the baseline
+// engines materialize documents and do not ride event streams) and be
+// compiled against the set's DTD.
+func (s *StreamSet) Register(p *Plan, out io.Writer) (*StreamQuery, error) {
+	if p.opts.Engine != EngineFlux {
+		return nil, fmt.Errorf("fluxquery: StreamSet requires EngineFlux plans, got %v", p.opts.Engine)
+	}
+	sub, err := s.set.Register(p.phys, out)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamQuery{sub: sub}, nil
+}
+
+// Len returns the number of registered plans.
+func (s *StreamSet) Len() int { return s.set.Len() }
+
+// Run evaluates every registered plan over one document in a single
+// shared pass. Per-plan outcomes are reported through each StreamQuery;
+// Run's own error is the stream's (tokenizer or validation failure), nil
+// on a well-formed, valid document. Concurrent Run calls are serialized,
+// since every plan streams to the fixed writer it was registered with.
+func (s *StreamSet) Run(r io.Reader) error { return s.set.Run(r) }
+
+// RunString is a convenience wrapper over Run for string input.
+func (s *StreamSet) RunString(doc string) error { return s.Run(strings.NewReader(doc)) }
+
+// StreamQuery is one plan's registration in a StreamSet.
+type StreamQuery struct {
+	sub *mqe.Sub
+}
+
+// Unregister removes the plan from its StreamSet. If a Run is in flight
+// the plan is detached at the next batch boundary and that run's result
+// records the abort. Unregister is idempotent.
+func (q *StreamQuery) Unregister() { q.sub.Unregister() }
+
+// Stats returns the plan's outcome from the most recent Run that included
+// it: execution statistics and the error that ended the evaluation (nil
+// for a clean run). Before any Run it reports an error.
+func (q *StreamQuery) Stats() (Stats, error) {
+	rst, err := q.sub.Result()
+	return statsFrom(&rst, EngineFlux, q.sub.Duration()), err
 }
 
 // FluxString renders the scheduled FluX query (flux engine only).

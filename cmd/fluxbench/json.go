@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"fluxquery"
+	"fluxquery/internal/workload"
+)
+
+// record is one machine-readable measurement. The schema is the contract
+// for BENCH_*.json trajectory files: keep fields append-only.
+type record struct {
+	// Suite identifies the measurement family: "workload" for the
+	// single-query case suite, "shared-stream" for the multi-query engine.
+	Suite  string `json:"suite"`
+	Query  string `json:"query"`
+	Engine string `json:"engine"`
+	// Plans is the number of plans riding one pass (1 for the single-query
+	// suite).
+	Plans    int `json:"plans"`
+	DocBytes int `json:"doc_bytes"`
+	// NsPerOp is the best wall-clock time for one operation (one
+	// execution, or one shared pass of all plans).
+	NsPerOp int64 `json:"ns_per_op"`
+	// MBPerS is aggregate throughput: bytes of input evaluated per second,
+	// counting each riding plan's evaluation of the document.
+	MBPerS float64 `json:"mb_per_s"`
+	// AllocsPerOp is the heap allocation count of the measured repetition.
+	AllocsPerOp     uint64 `json:"allocs_per_op"`
+	PeakBufferBytes int64  `json:"peak_buffer_bytes"`
+	OutputBytes     int64  `json:"output_bytes"`
+}
+
+// measureAllocs runs fn reps times and returns the best wall time along
+// with the allocation count of that repetition.
+func measureAllocs(reps int, fn func() error) (best time.Duration, allocs uint64, err error) {
+	best = 1 << 62
+	var ms0, ms1 goruntime.MemStats
+	for i := 0; i < reps; i++ {
+		goruntime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		el := time.Since(start)
+		goruntime.ReadMemStats(&ms1)
+		if el < best {
+			best = el
+			allocs = ms1.Mallocs - ms0.Mallocs
+		}
+	}
+	return best, allocs, nil
+}
+
+func mbPerS(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / (1 << 20)
+}
+
+// runJSON measures the workload catalogue on every engine plus the
+// shared-stream multi-query workload and writes the records as JSON.
+func runJSON(r *runner, path string) error {
+	var records []record
+
+	// Single-query suite: every case on every engine.
+	for i := range workload.Cases {
+		c := &workload.Cases[i]
+		size := int64(1 << 20)
+		if c.Join {
+			size = 256 << 10
+		}
+		doc, err := r.gen(c, size)
+		if err != nil {
+			return err
+		}
+		for _, e := range engines {
+			p := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{Engine: e})
+			var st fluxquery.Stats
+			best, allocs, err := measureAllocs(r.reps, func() error {
+				var rerr error
+				st, rerr = p.Execute(bytes.NewReader(doc), io.Discard)
+				return rerr
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", c.Name, e, err)
+			}
+			records = append(records, record{
+				Suite:           "workload",
+				Query:           c.Name,
+				Engine:          e.String(),
+				Plans:           1,
+				DocBytes:        len(doc),
+				NsPerOp:         best.Nanoseconds(),
+				MBPerS:          mbPerS(int64(len(doc)), best),
+				AllocsPerOp:     allocs,
+				PeakBufferBytes: st.PeakBufferBytes,
+				OutputBytes:     st.OutputBytes,
+			})
+		}
+	}
+
+	// Shared-stream suite: N streaming auction queries on one pass.
+	shared, err := sharedStreamRecords(r)
+	if err != nil {
+		return err
+	}
+	records = append(records, shared...)
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// sharedStreamRecords measures the multi-query engine: 8 streaming XMark
+// queries riding one auction stream, against the same 8 run sequentially.
+func sharedStreamRecords(r *runner) ([]record, error) {
+	names := []string{"xmark-q1", "xmark-q13", "xmark-q2-bidders"}
+	base := workload.ByName(names[0])
+	doc, err := r.gen(base, 256<<10)
+	if err != nil {
+		return nil, err
+	}
+	d, err := fluxquery.ParseDTD(base.DTD)
+	if err != nil {
+		return nil, err
+	}
+	const nPlans = 8
+	plans := make([]*fluxquery.Plan, nPlans)
+	for i := range plans {
+		c := workload.ByName(names[i%len(names)])
+		plans[i] = fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{})
+	}
+	aggregate := int64(len(doc)) * nPlans
+
+	set := fluxquery.NewStreamSet(d)
+	regs := make([]*fluxquery.StreamQuery, len(plans))
+	for i, p := range plans {
+		reg, err := set.Register(p, io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = reg
+	}
+	bestShared, sharedAllocs, err := measureAllocs(r.reps, func() error {
+		return set.Run(bytes.NewReader(doc))
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Peak buffer and output of the pass: the maximum and sum over the
+	// riding plans (one record describes the whole shared pass).
+	var sharedPeak, sharedOut int64
+	for _, reg := range regs {
+		st, err := reg.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if st.PeakBufferBytes > sharedPeak {
+			sharedPeak = st.PeakBufferBytes
+		}
+		sharedOut += st.OutputBytes
+	}
+	var seqPeak, seqOut int64
+	bestSeq, seqAllocs, err := measureAllocs(r.reps, func() error {
+		seqPeak, seqOut = 0, 0
+		for _, p := range plans {
+			st, err := p.Execute(bytes.NewReader(doc), io.Discard)
+			if err != nil {
+				return err
+			}
+			if st.PeakBufferBytes > seqPeak {
+				seqPeak = st.PeakBufferBytes
+			}
+			seqOut += st.OutputBytes
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []record{
+		{
+			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-mqe",
+			Plans: nPlans, DocBytes: len(doc),
+			NsPerOp: bestShared.Nanoseconds(), MBPerS: mbPerS(aggregate, bestShared),
+			AllocsPerOp: sharedAllocs, PeakBufferBytes: sharedPeak, OutputBytes: sharedOut,
+		},
+		{
+			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-sequential",
+			Plans: nPlans, DocBytes: len(doc),
+			NsPerOp: bestSeq.Nanoseconds(), MBPerS: mbPerS(aggregate, bestSeq),
+			AllocsPerOp: seqAllocs, PeakBufferBytes: seqPeak, OutputBytes: seqOut,
+		},
+	}, nil
+}

@@ -9,6 +9,13 @@
 //	fluxbench                 # all experiments at default scale
 //	fluxbench -exp e1         # one experiment
 //	fluxbench -scale 4        # 4x larger documents
+//	fluxbench -json out.json  # machine-readable suite results ("-" = stdout)
+//
+// With -json, fluxbench skips the tables and instead runs the workload
+// catalogue (every case on every engine, plus the shared-stream
+// multi-query workload) and writes one JSON record per measurement —
+// engine, query, throughput, allocations and peak buffer — so successive
+// PRs can record BENCH_*.json trajectory files.
 package main
 
 import (
@@ -30,12 +37,20 @@ var engines = []fluxquery.Engine{fluxquery.EngineFlux, fluxquery.EngineProjectio
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: e1..e8 or all")
-		scale = flag.Int64("scale", 1, "document size multiplier")
-		reps  = flag.Int("reps", 3, "repetitions per measurement (best time reported)")
+		exp      = flag.String("exp", "all", "experiment id: e1..e8 or all")
+		scale    = flag.Int64("scale", 1, "document size multiplier")
+		reps     = flag.Int("reps", 3, "repetitions per measurement (best time reported)")
+		jsonPath = flag.String("json", "", "write machine-readable workload-suite results to this file (\"-\" for stdout) instead of the experiment tables")
 	)
 	flag.Parse()
 	r := &runner{scale: *scale, reps: *reps, w: os.Stdout}
+	if *jsonPath != "" {
+		if err := runJSON(r, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 	if *exp != "all" {
 		ids = []string{*exp}

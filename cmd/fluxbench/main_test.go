@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
+
+	"fluxquery/internal/workload"
 )
 
 // TestExperimentsProduceTables runs the cheap experiments end to end and
@@ -47,5 +52,43 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if got := sortedIDs(); !strings.Contains(got, "e1") || !strings.Contains(got, "e8") {
 		t.Errorf("sortedIDs = %s", got)
+	}
+}
+
+// TestJSONModeWritesRecords runs -json end to end (reps=1) and checks the
+// trajectory-file schema: every workload case on every engine plus the
+// shared-stream pair, each with sane measurements.
+func TestJSONModeWritesRecords(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	r := &runner{scale: 1, reps: 1, w: io.Discard}
+	if err := runJSON(r, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []record
+	if err := json.Unmarshal(b, &records); err != nil {
+		t.Fatal(err)
+	}
+	wantWorkload := len(workload.Cases) * len(engines)
+	if len(records) != wantWorkload+2 {
+		t.Fatalf("got %d records, want %d workload + 2 shared-stream", len(records), wantWorkload)
+	}
+	sharedSeen := 0
+	for _, rec := range records {
+		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.DocBytes <= 0 {
+			t.Errorf("degenerate record: %+v", rec)
+		}
+		if rec.Suite == "shared-stream" {
+			sharedSeen++
+			if rec.Plans != 8 {
+				t.Errorf("shared-stream record with %d plans: %+v", rec.Plans, rec)
+			}
+		}
+	}
+	if sharedSeen != 2 {
+		t.Errorf("shared-stream records = %d, want 2", sharedSeen)
 	}
 }

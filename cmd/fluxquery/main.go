@@ -1,11 +1,14 @@
-// Command fluxquery runs an XQuery over an XML document stream using the
+// Command fluxquery runs XQuery over an XML document stream using the
 // FluXQuery engine (or one of the baseline engines), optionally explaining
-// the compilation pipeline.
+// the compilation pipeline. Several queries may be given with repeated -q
+// flags; they are then evaluated over the input in a single shared
+// tokenize+validate pass (the multi-query engine).
 //
 // Usage:
 //
 //	fluxquery -dtd bib.dtd -query 'query text' [-in doc.xml] [-out result.xml]
 //	fluxquery -dtd bib.dtd -queryfile q.xq -engine naive -stats
+//	fluxquery -dtd bib.dtd -q q1.xq -q q2.xq -q q3.xq -in doc.xml -stats
 //	fluxquery -dtd bib.dtd -queryfile q.xq -explain
 //	fluxquery -dtd bib.dtd -validate -in doc.xml
 package main
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"fluxquery"
@@ -34,17 +38,51 @@ func main() {
 		validate   = flag.Bool("validate", false, "only validate the input against the DTD")
 		noOpt      = flag.Bool("no-optimizer", false, "disable the algebraic optimizer")
 	)
+	var queryFiles multiFlag
+	flag.Var(&queryFiles, "q", "path to a query file; repeat to evaluate several queries in one shared pass")
 	flag.Parse()
-	if err := run(*dtdPath, *queryText, *queryFile, *inPath, *outPath, *engineName, *explain, *stats, *validate, *noOpt); err != nil {
+	if err := run(options{
+		dtdPath:    *dtdPath,
+		queryText:  *queryText,
+		queryFile:  *queryFile,
+		queryFiles: queryFiles,
+		inPath:     *inPath,
+		outPath:    *outPath,
+		engineName: *engineName,
+		explain:    *explain,
+		stats:      *stats,
+		validate:   *validate,
+		noOpt:      *noOpt,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dtdPath, queryText, queryFile, inPath, outPath, engineName string, explain, stats, validate, noOpt bool) error {
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+type options struct {
+	dtdPath    string
+	queryText  string
+	queryFile  string
+	queryFiles []string
+	inPath     string
+	outPath    string
+	engineName string
+	explain    bool
+	stats      bool
+	validate   bool
+	noOpt      bool
+}
+
+func run(o options) error {
 	var in io.Reader = os.Stdin
-	if inPath != "" {
-		f, err := os.Open(inPath)
+	if o.inPath != "" {
+		f, err := os.Open(o.inPath)
 		if err != nil {
 			return err
 		}
@@ -53,8 +91,8 @@ func run(dtdPath, queryText, queryFile, inPath, outPath, engineName string, expl
 	}
 
 	var d *fluxquery.DTD
-	if dtdPath != "" {
-		dtdSrc, err := os.ReadFile(dtdPath)
+	if o.dtdPath != "" {
+		dtdSrc, err := os.ReadFile(o.dtdPath)
 		if err != nil {
 			return err
 		}
@@ -77,7 +115,7 @@ func run(dtdPath, queryText, queryFile, inPath, outPath, engineName string, expl
 		in = bytes.NewReader(buf)
 	}
 
-	if validate {
+	if o.validate {
 		if err := d.Validate(in); err != nil {
 			return err
 		}
@@ -85,56 +123,135 @@ func run(dtdPath, queryText, queryFile, inPath, outPath, engineName string, expl
 		return nil
 	}
 
-	if queryText == "" && queryFile != "" {
-		b, err := os.ReadFile(queryFile)
+	// Collect queries: -query / -queryfile define the single-query path,
+	// repeated -q flags the shared-stream path.
+	type namedQuery struct {
+		name string
+		text string
+	}
+	var queries []namedQuery
+	switch {
+	case o.queryText != "":
+		// -query wins over -queryfile, as it always has.
+		queries = append(queries, namedQuery{name: "query", text: o.queryText})
+	case o.queryFile != "":
+		b, err := os.ReadFile(o.queryFile)
 		if err != nil {
 			return err
 		}
-		queryText = string(b)
+		queries = append(queries, namedQuery{name: o.queryFile, text: string(b)})
 	}
-	if queryText == "" {
-		return fmt.Errorf("provide -query or -queryfile")
+	for _, path := range o.queryFiles {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, namedQuery{name: path, text: string(b)})
 	}
-	q, err := fluxquery.ParseQuery(queryText)
-	if err != nil {
-		return err
-	}
-	engine, err := fluxquery.ParseEngine(engineName)
-	if err != nil {
-		return err
-	}
-	plan, err := fluxquery.Compile(q, d, fluxquery.Options{
-		Engine:           engine,
-		DisableOptimizer: noOpt,
-	})
-	if err != nil {
-		return err
+	if len(queries) == 0 {
+		return fmt.Errorf("provide -query, -queryfile or -q")
 	}
 
-	if explain {
-		fmt.Println(plan.Explain())
+	engine, err := fluxquery.ParseEngine(o.engineName)
+	if err != nil {
+		return err
+	}
+	// Reject the invalid combination before compiling anything and —
+	// crucially — before -out truncates an existing file.
+	if len(queries) > 1 && engine != fluxquery.EngineFlux {
+		return fmt.Errorf("multiple queries require -engine flux (shared event streams)")
+	}
+	plans := make([]*fluxquery.Plan, len(queries))
+	for i, nq := range queries {
+		q, err := fluxquery.ParseQuery(nq.text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", nq.name, err)
+		}
+		plans[i], err = fluxquery.Compile(q, d, fluxquery.Options{
+			Engine:           engine,
+			DisableOptimizer: o.noOpt,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", nq.name, err)
+		}
+	}
+
+	if o.explain {
+		for i, p := range plans {
+			if len(plans) > 1 {
+				fmt.Printf("== query %s ==\n", queries[i].name)
+			}
+			fmt.Println(p.Explain())
+		}
 		return nil
 	}
 
 	var out io.Writer = os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		out = f
 	}
-	start := time.Now()
-	st, err := plan.Execute(in, out)
-	if err != nil {
-		return err
-	}
-	if stats {
-		fmt.Fprintf(os.Stderr, "engine=%s time=%v events=%d peak-buffer=%dB buffered-total=%dB output=%dB skipped=%d firings=%d\n",
-			st.Engine, time.Since(start).Round(time.Microsecond), st.Events,
+
+	printStats := func(name string, st fluxquery.Stats, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "query=%s engine=%s time=%v events=%d peak-buffer=%dB buffered-total=%dB output=%dB skipped=%d firings=%d\n",
+			name, st.Engine, elapsed.Round(time.Microsecond), st.Events,
 			st.PeakBufferBytes, st.BufferedBytesTotal, st.OutputBytes,
 			st.SkippedSubtrees, st.HandlerFirings)
 	}
-	return nil
+
+	if len(plans) == 1 {
+		start := time.Now()
+		st, err := plans[0].Execute(in, out)
+		if err != nil {
+			return err
+		}
+		if o.stats {
+			printStats(queries[0].name, st, time.Since(start))
+		}
+		return nil
+	}
+
+	// Several queries: one shared tokenize+validate pass over the input.
+	// Each query's result streams into its own buffer (results would
+	// interleave on a shared writer); they are emitted in query order,
+	// separated by a comment naming the query.
+	set := fluxquery.NewStreamSet(d)
+	outs := make([]*bytes.Buffer, len(plans))
+	regs := make([]*fluxquery.StreamQuery, len(plans))
+	for i, p := range plans {
+		outs[i] = &bytes.Buffer{}
+		regs[i], err = set.Register(p, outs[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", queries[i].name, err)
+		}
+	}
+	start := time.Now()
+	if err := set.Run(in); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var firstErr error
+	for i := range plans {
+		st, qerr := regs[i].Stats()
+		if qerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", queries[i].name, qerr)
+			}
+			fmt.Fprintf(os.Stderr, "fluxquery: %s: %v\n", queries[i].name, qerr)
+			continue
+		}
+		fmt.Fprintf(out, "<!-- query: %s -->\n", queries[i].name)
+		if _, err := out.Write(outs[i].Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if o.stats {
+			printStats(queries[i].name, st, elapsed)
+		}
+	}
+	return firstErr
 }

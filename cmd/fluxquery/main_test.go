@@ -11,12 +11,14 @@ const testdata = "../../testdata"
 
 func TestRunExecutesQuery(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.xml")
-	err := run(
-		filepath.Join(testdata, "bib-weak.dtd"),
-		"", filepath.Join(testdata, "q3.xq"),
-		filepath.Join(testdata, "sample-bib.xml"),
-		out, "flux", false, true, false, false,
-	)
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFile:  filepath.Join(testdata, "q3.xq"),
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		outPath:    out,
+		engineName: "flux",
+		stats:      true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,12 +37,13 @@ func TestRunAllEngines(t *testing.T) {
 	var outputs []string
 	for _, engine := range []string{"flux", "projection", "naive"} {
 		out := filepath.Join(t.TempDir(), "out.xml")
-		err := run(
-			filepath.Join(testdata, "bib-weak.dtd"),
-			"", filepath.Join(testdata, "q3.xq"),
-			filepath.Join(testdata, "sample-bib.xml"),
-			out, engine, false, false, false, false,
-		)
+		err := run(options{
+			dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+			queryFile:  filepath.Join(testdata, "q3.xq"),
+			inPath:     filepath.Join(testdata, "sample-bib.xml"),
+			outPath:    out,
+			engineName: engine,
+		})
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -52,21 +55,81 @@ func TestRunAllEngines(t *testing.T) {
 	}
 }
 
+// TestRunMultiQuerySharedPass: repeated -q files evaluate over one shared
+// stream pass, and each result section matches its single-query run.
+func TestRunMultiQuerySharedPass(t *testing.T) {
+	dir := t.TempDir()
+	q2 := filepath.Join(dir, "titles.xq")
+	if err := os.WriteFile(q2, []byte(`<titles>{ for $b in $ROOT/bib/book return <t>{ $b/title }</t> }</titles>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	single := filepath.Join(dir, "single.xml")
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFile:  filepath.Join(testdata, "q3.xq"),
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		outPath:    single,
+		engineName: "flux",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleOut, _ := os.ReadFile(single)
+
+	out := filepath.Join(dir, "multi.xml")
+	err = run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFiles: []string{filepath.Join(testdata, "q3.xq"), q2},
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		outPath:    out,
+		engineName: "flux",
+		stats:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(out)
+	got := string(b)
+	if !strings.Contains(got, "<!-- query: "+filepath.Join(testdata, "q3.xq")+" -->") {
+		t.Errorf("missing q3 section header in %s", got)
+	}
+	if !strings.Contains(got, string(singleOut)) {
+		t.Errorf("q3 section differs from single-query run:\n%s", got)
+	}
+	if !strings.Contains(got, "<titles><t><title>TCP/IP Illustrated</title></t>") {
+		t.Errorf("titles section missing or wrong:\n%s", got)
+	}
+}
+
+func TestRunMultiQueryRequiresFlux(t *testing.T) {
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFiles: []string{filepath.Join(testdata, "q3.xq"), filepath.Join(testdata, "q3.xq")},
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		engineName: "naive",
+	})
+	if err == nil {
+		t.Fatal("multiple queries on a baseline engine accepted")
+	}
+}
+
 func TestRunValidateMode(t *testing.T) {
-	err := run(
-		filepath.Join(testdata, "bib-weak.dtd"),
-		"", "", filepath.Join(testdata, "sample-bib.xml"),
-		"", "flux", false, false, true, false,
-	)
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		engineName: "flux",
+		validate:   true,
+	})
 	if err != nil {
 		t.Fatalf("valid document rejected: %v", err)
 	}
 	// The strong DTD rejects the sample (no publisher/price).
-	err = run(
-		filepath.Join(testdata, "bib-strong.dtd"),
-		"", "", filepath.Join(testdata, "sample-bib.xml"),
-		"", "flux", false, false, true, false,
-	)
+	err = run(options{
+		dtdPath:    filepath.Join(testdata, "bib-strong.dtd"),
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		engineName: "flux",
+		validate:   true,
+	})
 	if err == nil {
 		t.Fatal("invalid document accepted")
 	}
@@ -78,19 +141,22 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"no dtd and no doctype", func() error {
-			return run("", "<a/>", "", filepath.Join(testdata, "sample-bib.xml"), "", "flux", false, false, false, false)
+			return run(options{queryText: "<a/>", inPath: filepath.Join(testdata, "sample-bib.xml"), engineName: "flux"})
 		}},
 		{"missing query", func() error {
-			return run(filepath.Join(testdata, "bib-weak.dtd"), "", "", "", "", "flux", false, false, false, false)
+			return run(options{dtdPath: filepath.Join(testdata, "bib-weak.dtd"), engineName: "flux"})
 		}},
 		{"bad engine", func() error {
-			return run(filepath.Join(testdata, "bib-weak.dtd"), "<a/>", "", "", "", "warp", false, false, false, false)
+			return run(options{dtdPath: filepath.Join(testdata, "bib-weak.dtd"), queryText: "<a/>", engineName: "warp"})
 		}},
 		{"nonexistent dtd", func() error {
-			return run("no/such.dtd", "<a/>", "", "", "", "flux", false, false, false, false)
+			return run(options{dtdPath: "no/such.dtd", queryText: "<a/>", engineName: "flux"})
 		}},
 		{"bad query text", func() error {
-			return run(filepath.Join(testdata, "bib-weak.dtd"), "for for for", "", "", "", "flux", false, false, false, false)
+			return run(options{dtdPath: filepath.Join(testdata, "bib-weak.dtd"), queryText: "for for for", engineName: "flux"})
+		}},
+		{"nonexistent -q file", func() error {
+			return run(options{dtdPath: filepath.Join(testdata, "bib-weak.dtd"), queryFiles: []string{"no/such.xq"}, engineName: "flux"})
 		}},
 	}
 	for _, c := range cases {
@@ -114,7 +180,12 @@ func TestRunDTDFromDoctype(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.xml")
-	err := run("", `<r>{ for $b in $ROOT/bib/book return { $b/title } }</r>`, "", doc, out, "flux", false, false, false, false)
+	err := run(options{
+		queryText:  `<r>{ for $b in $ROOT/bib/book return { $b/title } }</r>`,
+		inPath:     doc,
+		outPath:    out,
+		engineName: "flux",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,12 +200,13 @@ func TestRunExplain(t *testing.T) {
 	old := os.Stdout
 	r, w, _ := os.Pipe()
 	os.Stdout = w
-	err := run(
-		filepath.Join(testdata, "bib-weak.dtd"),
-		"", filepath.Join(testdata, "q3.xq"),
-		filepath.Join(testdata, "sample-bib.xml"),
-		"", "flux", true, false, false, false,
-	)
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFile:  filepath.Join(testdata, "q3.xq"),
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		engineName: "flux",
+		explain:    true,
+	})
 	w.Close()
 	os.Stdout = old
 	if err != nil {
@@ -147,5 +219,29 @@ func TestRunExplain(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain output missing %q", want)
 		}
+	}
+}
+
+// TestRunMultiQueryBadEngineLeavesOutputIntact: the invalid
+// multi-query/baseline-engine combination must fail before -out is
+// truncated.
+func TestRunMultiQueryBadEngineLeavesOutputIntact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.xml")
+	if err := os.WriteFile(out, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{
+		dtdPath:    filepath.Join(testdata, "bib-weak.dtd"),
+		queryFiles: []string{filepath.Join(testdata, "q3.xq"), filepath.Join(testdata, "q3.xq")},
+		inPath:     filepath.Join(testdata, "sample-bib.xml"),
+		outPath:    out,
+		engineName: "naive",
+	})
+	if err == nil {
+		t.Fatal("invalid combination accepted")
+	}
+	b, _ := os.ReadFile(out)
+	if string(b) != "precious" {
+		t.Errorf("existing -out file destroyed by a failed invocation: %q", b)
 	}
 }

@@ -1,0 +1,97 @@
+// Command fluxserve is a continuous-query server over the shared-stream
+// multi-query engine: clients register compiled XQuery plans once, then
+// POST XML documents; every registered query is evaluated over each
+// document in a single tokenize+validate pass (fluxquery.StreamSet).
+//
+// Usage:
+//
+//	fluxserve -dtd bib.dtd [-addr :8080] [-q name=query.xq ...]
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness (also reports query count)
+//	GET    /queries              list registered queries
+//	PUT    /queries/{name}       register/replace a query (body: XQuery text)
+//	GET    /queries/{name}       show one query
+//	DELETE /queries/{name}       unregister a query
+//	POST   /eval                 evaluate all queries over the posted XML
+//	POST   /eval?q=a&q=b         evaluate a subset
+//
+// /eval responds with JSON: one result object per query carrying the
+// output document, per-query statistics from the shared pass, and any
+// per-query error (a failing query never disturbs the others or the
+// stream).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dtdPath = flag.String("dtd", "", "path to the DTD file governing all streams (required)")
+		maxBody = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+	)
+	var preload multiFlag
+	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
+	flag.Parse()
+
+	if *dtdPath == "" {
+		fmt.Fprintln(os.Stderr, "fluxserve: -dtd is required")
+		os.Exit(2)
+	}
+	dtdSrc, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(1)
+	}
+	srv, err := newServer(string(dtdSrc), *maxBody)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(1)
+	}
+	for _, spec := range preload {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fluxserve: -q wants name=path, got %q\n", spec)
+			os.Exit(2)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fluxserve:", err)
+			os.Exit(1)
+		}
+		if err := srv.register(name, string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "fluxserve: -q %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "fluxserve: serving DTD root <%s> on %s (%d queries preloaded)\n",
+		srv.root(), *addr, len(preload))
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// A long-running server must not let half-open connections pin
+		// goroutines forever (slow-loris); document bodies can be large,
+		// so only the header read is deadlined here.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

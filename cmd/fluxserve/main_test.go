@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const testDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+const testQ3 = `<results>{ for $b in $ROOT/bib/book return <result>{ $b/title }{ $b/author }</result> }</results>`
+const testQT = `<titles>{ for $b in $ROOT/bib/book return <t>{ $b/title }</t> }</titles>`
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(testDTD, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func do(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func testDoc(books int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&b, "<book><title>T%d</title><author>A%d</author></book>", i, i)
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+func TestQueryLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if code, body := do(t, "GET", ts.URL+"/healthz", ""); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := do(t, "PUT", ts.URL+"/queries/q3", testQ3); code != 200 {
+		t.Fatalf("register q3: %d %s", code, body)
+	}
+	if code, body := do(t, "PUT", ts.URL+"/queries/bad", "for $x in"); code != 422 {
+		t.Fatalf("bad query accepted: %d %s", code, body)
+	}
+	if code, body := do(t, "GET", ts.URL+"/queries/q3", ""); code != 200 || !strings.Contains(body, "for $b") {
+		t.Fatalf("get q3: %d %s", code, body)
+	}
+	code, body := do(t, "GET", ts.URL+"/queries", "")
+	if code != 200 {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var list []queryInfo
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "q3" {
+		t.Fatalf("list = %+v", list)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/queries/q3", ""); code != 200 {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/queries/q3", ""); code != 404 {
+		t.Fatalf("double delete: %d", code)
+	}
+}
+
+func TestEvalSharedPass(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register("titles", testQT); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := do(t, "POST", ts.URL+"/eval", testDoc(5))
+	if code != 200 {
+		t.Fatalf("eval: %d %s", code, body)
+	}
+	var resp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(resp.Results))
+	}
+	// Results are name-sorted: q3 then titles.
+	if resp.Results[0].Query != "q3" || !strings.Contains(resp.Results[0].Output, "<result><title>T0</title>") {
+		t.Errorf("q3 result: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Query != "titles" || !strings.Contains(resp.Results[1].Output, "<t><title>T4</title></t>") {
+		t.Errorf("titles result: %+v", resp.Results[1])
+	}
+	for _, res := range resp.Results {
+		if res.Error != "" {
+			t.Errorf("%s: unexpected error %q", res.Query, res.Error)
+		}
+		if res.Stats.Events == 0 || res.Stats.OutputBytes == 0 {
+			t.Errorf("%s: empty stats %+v", res.Query, res.Stats)
+		}
+	}
+}
+
+func TestEvalSubsetAndErrors(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register("titles", testQT); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := do(t, "POST", ts.URL+"/eval?q=titles", testDoc(2))
+	if code != 200 {
+		t.Fatalf("eval subset: %d %s", code, body)
+	}
+	var resp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Query != "titles" {
+		t.Fatalf("subset results = %+v", resp.Results)
+	}
+
+	if code, _ := do(t, "POST", ts.URL+"/eval?q=nosuch", testDoc(1)); code != 404 {
+		t.Fatalf("unknown query name: %d", code)
+	}
+	if code, _ := do(t, "POST", ts.URL+"/eval", `<bib><pamphlet/></bib>`); code != 422 {
+		t.Fatalf("invalid document: %d", code)
+	}
+	if code, _ := do(t, "POST", ts.URL+"/eval", `not xml at all`); code != 422 {
+		t.Fatalf("garbage document: %d", code)
+	}
+}
+
+func TestEvalWithNoQueriesValidatesOnly(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := do(t, "POST", ts.URL+"/eval", testDoc(1))
+	if code != 200 {
+		t.Fatalf("eval with zero queries: %d %s", code, body)
+	}
+	var resp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 0 {
+		t.Fatalf("results = %+v, want none", resp.Results)
+	}
+}
+
+// TestEvalRejectsOversizedBody: a document larger than -max-body must be
+// rejected with 413, never silently truncated into a valid prefix.
+func TestEvalRejectsOversizedBody(t *testing.T) {
+	srv, err := newServer(testDTD, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, "POST", ts.URL+"/eval", testDoc(100))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s", code, body)
+	}
+	if code, _ := do(t, "PUT", ts.URL+"/queries/huge", strings.Repeat(" ", 2000)+testQ3); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized query body: %d", code)
+	}
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fluxquery"
+)
+
+// server holds the compiled-query registry. Plans are compiled once at
+// registration; each /eval assembles a StreamSet from the selected plans
+// and evaluates the posted document in one shared pass.
+type server struct {
+	d       *fluxquery.DTD
+	maxBody int64
+
+	mu      sync.RWMutex
+	queries map[string]*entry
+}
+
+type entry struct {
+	name string
+	src  string
+	plan *fluxquery.Plan
+}
+
+func newServer(dtdSrc string, maxBody int64) (*server, error) {
+	d, err := fluxquery.ParseDTD(dtdSrc)
+	if err != nil {
+		return nil, fmt.Errorf("parsing DTD: %w", err)
+	}
+	return &server{d: d, maxBody: maxBody, queries: map[string]*entry{}}, nil
+}
+
+func (s *server) root() string { return s.d.Root() }
+
+func (s *server) register(name, src string) error {
+	if name == "" {
+		return fmt.Errorf("empty query name")
+	}
+	q, err := fluxquery.ParseQuery(src)
+	if err != nil {
+		return err
+	}
+	p, err := fluxquery.Compile(q, s.d, fluxquery.Options{})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.queries[name] = &entry{name: name, src: src, plan: p}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("PUT /queries/{name}", s.handlePut)
+	mux.HandleFunc("GET /queries/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /queries/{name}", s.handleDelete)
+	mux.HandleFunc("POST /eval", s.handleEval)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.queries)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "root": s.root(), "queries": n})
+}
+
+type queryInfo struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]queryInfo, 0, len(s.queries))
+	for _, e := range s.queries {
+		out = append(out, queryInfo{Name: e.name, Query: e.src})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "query exceeds -max-body (%d bytes)", s.maxBody)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if err := s.register(name, string(src)); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "compiling query %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"registered": name})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e, ok := s.queries[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no query %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryInfo{Name: e.name, Query: e.src})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.queries[name]
+	delete(s.queries, name)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no query %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+type evalStats struct {
+	Events             int64 `json:"events"`
+	PeakBufferBytes    int64 `json:"peak_buffer_bytes"`
+	BufferedBytesTotal int64 `json:"buffered_bytes_total"`
+	OutputBytes        int64 `json:"output_bytes"`
+	SkippedSubtrees    int64 `json:"skipped_subtrees"`
+	HandlerFirings     int64 `json:"handler_firings"`
+}
+
+type evalResult struct {
+	Query  string    `json:"query"`
+	Output string    `json:"output,omitempty"`
+	Error  string    `json:"error,omitempty"`
+	Stats  evalStats `json:"stats"`
+}
+
+type evalResponse struct {
+	DurationMicros int64        `json:"duration_us"`
+	Results        []evalResult `json:"results"`
+}
+
+// handleEval evaluates the selected queries over the posted document in a
+// single shared tokenize+validate pass.
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	names := r.URL.Query()["q"]
+	s.mu.RLock()
+	var selected []*entry
+	if len(names) == 0 {
+		for _, e := range s.queries {
+			selected = append(selected, e)
+		}
+	} else {
+		for _, name := range names {
+			e, ok := s.queries[name]
+			if !ok {
+				s.mu.RUnlock()
+				writeErr(w, http.StatusNotFound, "no query %q", name)
+				return
+			}
+			selected = append(selected, e)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(selected, func(i, j int) bool { return selected[i].name < selected[j].name })
+
+	set := fluxquery.NewStreamSet(s.d)
+	outs := make([]*bytes.Buffer, len(selected))
+	regs := make([]*fluxquery.StreamQuery, len(selected))
+	for i, e := range selected {
+		outs[i] = &bytes.Buffer{}
+		reg, err := set.Register(e.plan, outs[i])
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "registering %q: %v", e.name, err)
+			return
+		}
+		regs[i] = reg
+	}
+
+	start := time.Now()
+	if err := set.Run(http.MaxBytesReader(w, r.Body, s.maxBody)); err != nil {
+		// MaxBytesReader makes an oversized body a read error at the
+		// limit, so a too-large document cannot be silently truncated
+		// into a (possibly valid) prefix.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "document exceeds -max-body (%d bytes)", s.maxBody)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, "document rejected: %v", err)
+		return
+	}
+	resp := evalResponse{DurationMicros: time.Since(start).Microseconds()}
+	for i, e := range selected {
+		st, err := regs[i].Stats()
+		res := evalResult{
+			Query:  e.name,
+			Output: outs[i].String(),
+			Stats: evalStats{
+				Events:             st.Events,
+				PeakBufferBytes:    st.PeakBufferBytes,
+				BufferedBytesTotal: st.BufferedBytesTotal,
+				OutputBytes:        st.OutputBytes,
+				SkippedSubtrees:    st.SkippedSubtrees,
+				HandlerFirings:     st.HandlerFirings,
+			},
+		}
+		if err != nil {
+			res.Error = err.Error()
+			res.Output = ""
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -74,3 +74,36 @@ func ExampleDTD_constraintSummary() {
 	// true
 	// true
 }
+
+// Many queries, one stream: a StreamSet evaluates every registered plan
+// over a document in a single tokenize+validate pass.
+func ExampleStreamSet() {
+	dtd, _ := fluxquery.ParseDTD(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>`)
+	compile := func(src string) *fluxquery.Plan {
+		q, _ := fluxquery.ParseQuery(src)
+		p, _ := fluxquery.Compile(q, dtd, fluxquery.Options{})
+		return p
+	}
+
+	set := fluxquery.NewStreamSet(dtd)
+	var titles, authors strings.Builder
+	t, _ := set.Register(compile(`<titles>{ for $b in $ROOT/bib/book return { $b/title } }</titles>`), &titles)
+	a, _ := set.Register(compile(`<authors>{ for $b in $ROOT/bib/book return { $b/author } }</authors>`), &authors)
+
+	doc := `<bib><book><title>TAOCP</title><author>Knuth</author></book></bib>`
+	_ = set.RunString(doc) // one shared pass for both plans
+
+	fmt.Println(titles.String())
+	fmt.Println(authors.String())
+	st, _ := t.Stats()
+	st2, _ := a.Stats()
+	fmt.Println("same events for both plans:", st.Events == st2.Events)
+	// Output:
+	// <titles><title>TAOCP</title></titles>
+	// <authors><author>Knuth</author></authors>
+	// same events for both plans: true
+}

@@ -1,0 +1,141 @@
+// Package mqe is the shared-stream multi-query engine: it tokenizes and
+// validates an XML input stream exactly once and fans every event out to
+// any number of registered compiled plans, so the N-queries-one-stream
+// workload pays for one parse instead of N.
+//
+// The package has two layers. Dispatcher is the mechanism: one validated
+// pass over a stream, delivered batch-by-batch to a set of Consumers with
+// per-consumer error isolation — a failing consumer is detached, the
+// stream and the other consumers continue. Set is the policy: a registry
+// of (plan, output writer) subscriptions that can be registered and
+// unregistered concurrently, each Run evaluating the current
+// subscriptions over one document in a single shared pass.
+//
+// # Event-fanout ownership rules
+//
+// The dispatcher copies each scanner event once into an owned batch
+// (xsax.Batch) and hands the same batch to every consumer, concurrently.
+// Three rules keep that sound:
+//
+//  1. Batch memory belongs to the dispatcher. The events a consumer sees
+//     in Feed — including every Data and attribute byte view — are valid
+//     only until the consumer acknowledges the batch (EndFeed returns for
+//     it). A consumer that retains data across batches must copy it; the
+//     runtime evaluator copies exactly at its BDF buffer-fill points
+//     (dom materialization, OwnedAttrs), which is the paper's own
+//     stream/buffer boundary.
+//  2. Batches are read-only. Many consumers read the same arena
+//     concurrently; no consumer may mutate an event in place.
+//  3. Interned data is exempt. Element names and *dtd.Element
+//     declarations are interned in the DTD and safe to retain forever.
+//
+// Zero-copy views therefore never cross a plan boundary un-copied: the
+// dispatcher's single batch copy replaces the N per-plan scans, and each
+// plan's own buffering discipline is unchanged from single-query
+// execution — which is why Set output is byte-identical to running each
+// plan with Plan.Run.
+package mqe
+
+import (
+	"io"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/xsax"
+)
+
+// Consumer is one sink of the shared event stream. The dispatcher calls
+// BeginFeed on every live consumer with the same owned batch, then
+// EndFeed on each, so consumers process a batch concurrently while the
+// dispatcher itself blocks. After EndFeed reports done (or after the
+// dispatcher's pass ends) the consumer receives exactly one Close with
+// the stream's terminal status: io.EOF for a clean end, the stream error
+// otherwise.
+type Consumer interface {
+	// BeginFeed hands over a batch of owned events without waiting.
+	BeginFeed(evs []xsax.Event)
+	// EndFeed blocks until the batch from BeginFeed is consumed and
+	// reports whether the consumer terminated (with its error).
+	EndFeed() (done bool, err error)
+	// Close delivers the stream's terminal status. It must be idempotent.
+	Close(cause error)
+}
+
+// Dispatcher drives single validated passes over input streams. The zero
+// value is not usable: a Dispatcher needs the stream's DTD.
+type Dispatcher struct {
+	// DTD validates the stream; every event carries names interned here.
+	DTD *dtd.DTD
+	// BatchEvents and BatchBytes bound a batch (defaults 256 events,
+	// 32 KiB of payload).
+	BatchEvents int
+	BatchBytes  int
+}
+
+// Default batch bounds; see runtime's feed batch sizing for rationale.
+const (
+	defaultBatchEvents = 256
+	defaultBatchBytes  = 32 << 10
+)
+
+// Run tokenizes and validates r exactly once, fanning every event out to
+// consumers. A consumer that terminates early is detached and the pass
+// continues for the others; the stream is always scanned to its end (or
+// first stream error), so a Run over zero consumers is a validation pass.
+// Run returns the stream's error — nil on a well-formed, valid document —
+// regardless of consumer failures, which are reported through each
+// consumer's Close.
+func (d *Dispatcher) Run(r io.Reader, consumers []Consumer) error {
+	maxEvents := d.BatchEvents
+	if maxEvents <= 0 {
+		maxEvents = defaultBatchEvents
+	}
+	maxBytes := d.BatchBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultBatchBytes
+	}
+
+	live := make([]Consumer, len(consumers))
+	copy(live, consumers)
+
+	xr := xsax.GetReader(r, d.DTD)
+	b := xsax.GetBatch()
+	var cause error
+	for cause == nil {
+		b.Reset()
+		for b.Len() < maxEvents && b.ArenaBytes() < maxBytes {
+			ev, err := xr.NextEvent()
+			if err != nil {
+				cause = err
+				break
+			}
+			b.Append(ev)
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		// Start every consumer on the batch, then collect: the plans
+		// evaluate concurrently, the batch arena is reused only after the
+		// slowest EndFeed.
+		for _, c := range live {
+			c.BeginFeed(b.Events)
+		}
+		keep := live[:0]
+		for _, c := range live {
+			if done, _ := c.EndFeed(); done {
+				c.Close(cause)
+				continue
+			}
+			keep = append(keep, c)
+		}
+		live = keep
+	}
+	for _, c := range live {
+		c.Close(cause)
+	}
+	xsax.PutBatch(b)
+	xsax.PutReader(xr)
+	if cause == io.EOF {
+		return nil
+	}
+	return cause
+}

@@ -1,0 +1,202 @@
+package mqe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/runtime"
+	"fluxquery/internal/xsax"
+)
+
+// ErrUnregistered aborts a subscription's in-flight evaluation when it is
+// unregistered mid-stream; it is then reported as that run's result.
+var ErrUnregistered = errors.New("mqe: subscription unregistered during streaming")
+
+// ErrNotRun is reported by Sub.Result before the subscription has
+// completed any run.
+var ErrNotRun = errors.New("mqe: subscription has not completed a run")
+
+// Set is a registry of compiled plans riding a shared event stream. Plans
+// are registered with a per-plan output writer; each Run evaluates every
+// currently registered plan over one document in a single
+// tokenize+validate pass. Register and Unregister are safe to call
+// concurrently with Run: a registration takes effect at the next Run, an
+// unregistration detaches the subscription from an in-flight Run at the
+// next batch boundary (aborting it with ErrUnregistered).
+type Set struct {
+	d *dtd.DTD
+	// dstr is the set DTD's canonical serialization, computed once so
+	// Register's equivalence check on pointer-unequal DTDs does not
+	// re-serialize the set side on every call.
+	dstr string
+	disp Dispatcher
+
+	// runMu serializes Run: subscriptions write to fixed per-Sub writers,
+	// so two concurrent passes would interleave on them.
+	runMu sync.Mutex
+
+	mu   sync.Mutex
+	subs []*Sub
+}
+
+// NewSet returns a Set for streams governed by d.
+func NewSet(d *dtd.DTD) *Set {
+	return &Set{d: d, dstr: d.String(), disp: Dispatcher{DTD: d}}
+}
+
+// Sub is one registered (plan, output) subscription.
+type Sub struct {
+	set     *Set
+	plan    *runtime.Plan
+	out     io.Writer
+	removed atomic.Bool
+
+	mu  sync.Mutex
+	ran bool
+	st  runtime.Stats
+	dur time.Duration
+	err error
+}
+
+// Register adds a plan to the set, streaming its result to out on every
+// subsequent Run. The plan must be compiled against the set's DTD: events
+// carry names interned in one schema, and a plan scheduled under a
+// different schema would mis-dispatch on them.
+func (s *Set) Register(p *runtime.Plan, out io.Writer) (*Sub, error) {
+	if pd := p.DTD(); pd != s.d && pd.String() != s.dstr {
+		return nil, fmt.Errorf("mqe: plan compiled against a different DTD (root <%s>, stream root <%s>)",
+			p.DTD().Root, s.d.Root)
+	}
+	b := &Sub{set: s, plan: p, out: out}
+	s.mu.Lock()
+	s.subs = append(s.subs, b)
+	s.mu.Unlock()
+	return b, nil
+}
+
+// Unregister removes the subscription. An in-flight Run detaches it at
+// the next batch boundary, recording ErrUnregistered as its result.
+// Unregister is idempotent.
+func (b *Sub) Unregister() {
+	if b.removed.Swap(true) {
+		return
+	}
+	s := b.set
+	s.mu.Lock()
+	for i, x := range s.subs {
+		if x == b {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of registered subscriptions.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Result returns the subscription's outcome from the most recent Run that
+// included it: the execution statistics, and the error that ended it
+// (nil for a clean evaluation).
+func (b *Sub) Result() (runtime.Stats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.ran {
+		return runtime.Stats{}, ErrNotRun
+	}
+	return b.st, b.err
+}
+
+// Duration returns the wall-clock time of the subscription's most recent
+// run (the shared pass; all subscriptions of one Run ride the same
+// clock).
+func (b *Sub) Duration() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dur
+}
+
+func (b *Sub) setResult(st *runtime.Stats, dur time.Duration, err error) {
+	b.mu.Lock()
+	b.ran = true
+	if st != nil {
+		b.st = *st
+	} else {
+		b.st = runtime.Stats{}
+	}
+	b.dur = dur
+	b.err = err
+	b.mu.Unlock()
+}
+
+// Run evaluates every registered plan over one document in a single
+// shared tokenize+validate pass. Per-plan results (including per-plan
+// failures, which do not disturb the other plans or the stream) are
+// recorded on each Sub; Run's own error is the stream's: nil on a
+// well-formed, valid document. Concurrent Run calls are serialized:
+// every subscription streams to its fixed writer, so passes must not
+// overlap on it.
+func (s *Set) Run(r io.Reader) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	subs := make([]*Sub, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+
+	start := time.Now()
+	consumers := make([]Consumer, len(subs))
+	for i, b := range subs {
+		consumers[i] = &subRun{sub: b, se: b.plan.NewStepExec(b.out), start: start}
+	}
+	return s.disp.Run(r, consumers)
+}
+
+// subRun drives one subscription's StepExec through a single dispatcher
+// pass, recording the result on the Sub when the execution settles.
+type subRun struct {
+	sub   *Sub
+	se    *runtime.StepExec
+	start time.Time
+	done  bool
+}
+
+func (rr *subRun) BeginFeed(evs []xsax.Event) {
+	if rr.done {
+		return
+	}
+	if rr.sub.removed.Load() {
+		rr.finish(ErrUnregistered)
+		return
+	}
+	rr.se.BeginFeed(evs)
+}
+
+func (rr *subRun) EndFeed() (done bool, err error) {
+	if rr.done {
+		return true, nil
+	}
+	return rr.se.EndFeed()
+}
+
+func (rr *subRun) Close(cause error) {
+	if rr.done {
+		return
+	}
+	rr.finish(cause)
+}
+
+func (rr *subRun) finish(cause error) {
+	rr.done = true
+	st, err := rr.se.Close(cause)
+	rr.sub.setResult(st, time.Since(rr.start), err)
+}

@@ -36,25 +36,48 @@ type Stats struct {
 	HandlerFirings int64
 }
 
-// execPool recycles the per-execution machinery (validating reader with
-// its scanner window, output writer with its buffer, the evaluator frame)
-// so that a compiled Plan executes from many goroutines with near-zero
-// steady-state allocation.
+// execPool recycles the per-execution machinery (the evaluator frame; the
+// validating reader and output writer have pools of their own) so that a
+// compiled Plan executes from many goroutines with near-zero steady-state
+// allocation.
 var execPool = sync.Pool{New: func() any { return &exec{} }}
 
+// Batch sizing for the pull driver: enough events to amortize the
+// per-batch rendezvous to noise, small enough that the owned-copy arena
+// stays cache-resident.
+const (
+	feedBatchEvents = 256
+	feedBatchBytes  = 32 << 10
+)
+
 // Run executes the plan on an input stream, writing the result stream to
-// out.
+// out. It is the single-query wrapper over the incremental push API: a
+// pooled validating reader tokenizes and validates the stream, and
+// batches of owned events are fed to a StepExec. The shared-stream
+// dispatcher (internal/mqe) drives the same StepExec machinery with one
+// reader and many plans.
 func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
-	ex := execPool.Get().(*exec)
-	ex.xr = xsax.GetReader(in, p.d)
-	ex.w = xmltok.GetWriter(out)
-	ex.st = &Stats{}
-	ex.cur = 0
-	st, err := ex.run(p)
-	xsax.PutReader(ex.xr)
-	xmltok.PutWriter(ex.w)
-	ex.xr, ex.w, ex.st = nil, nil, nil
-	execPool.Put(ex)
+	se := p.NewStepExec(out)
+	xr := xsax.GetReader(in, p.d)
+	b := xsax.GetBatch()
+	var cause error
+	for cause == nil {
+		b.Reset()
+		for b.Len() < feedBatchEvents && b.ArenaBytes() < feedBatchBytes {
+			ev, err := xr.NextEvent()
+			if err != nil {
+				cause = err
+				break
+			}
+			b.Append(ev)
+		}
+		if done, _ := se.Feed(b.Events); done {
+			break
+		}
+	}
+	st, err := se.Close(cause)
+	xsax.PutBatch(b)
+	xsax.PutReader(xr)
 	return st, err
 }
 
@@ -70,7 +93,7 @@ func (ex *exec) run(p *Plan) (*Stats, error) {
 }
 
 type exec struct {
-	xr  *xsax.Reader
+	xr  eventSource
 	w   *xmltok.Writer
 	st  *Stats
 	cur int64 // live buffered bytes

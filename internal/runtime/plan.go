@@ -22,6 +22,11 @@ type Plan struct {
 	BDF *bdf.Forest
 }
 
+// DTD returns the schema the plan was compiled against. The shared-stream
+// dispatcher uses it to check that every plan riding a stream agrees with
+// the stream's schema.
+func (p *Plan) DTD() *dtd.DTD { return p.d }
+
 // pnode is a physical operator.
 type pnode interface{ pnode() }
 

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"unicode/utf8"
 )
 
@@ -199,7 +200,7 @@ type Scanner struct {
 	// accounted in line.
 	line        int
 	lineScanned int
-	eof bool
+	eof         bool
 	// rdErr is a non-EOF read error that arrived together with data; it
 	// is surfaced once the buffered bytes are consumed.
 	rdErr   error
@@ -235,10 +236,22 @@ func NewScanner(r io.Reader) *Scanner {
 	return s
 }
 
+// scanPasses counts scanner stream bindings (NewScanner and Reset) across
+// the process. It exists so tests can assert how many tokenize+validate
+// passes a code path really performs — in particular that the shared-stream
+// dispatcher scans a document exactly once no matter how many plans ride
+// the stream.
+var scanPasses atomic.Uint64
+
+// ScanPasses returns the number of scanner stream bindings performed so
+// far. Tests take a delta around the code under scrutiny.
+func ScanPasses() uint64 { return scanPasses.Load() }
+
 // Reset rebinds the scanner to a new input stream, retaining its window,
 // scratch buffers and interning table for reuse (see the pools in the
 // consuming layers).
 func (s *Scanner) Reset(r io.Reader) {
+	scanPasses.Add(1)
 	s.rd = r
 	if s.buf == nil {
 		s.buf = make([]byte, 0, defaultWindow)

@@ -502,7 +502,7 @@ func (p *qparser) path() (Expr, error) {
 			return nil, err
 		}
 		path.Var = v
-	case p.src[p.pos] == '/':
+	case !p.eof() && p.src[p.pos] == '/':
 		path.Var = RootVar
 	default:
 		return nil, p.errf("expected path")

@@ -274,3 +274,22 @@ func TestWalkPruning(t *testing.T) {
 		t.Errorf("visited %d nodes, want 2", n)
 	}
 }
+
+// Truncated queries must produce parse errors, not panics: the
+// continuous-query server compiles untrusted query text.
+func TestParseTruncatedInputs(t *testing.T) {
+	for _, src := range []string{
+		"for $x in",
+		"for $x in ",
+		"for",
+		"<a>{",
+		`"unterminated`,
+		"$",
+		"for $b in $ROOT/bib/book where",
+		"for $b in $ROOT/bib/book return",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
