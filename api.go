@@ -38,6 +38,7 @@ import (
 	"fluxquery/internal/mqe"
 	"fluxquery/internal/nf"
 	"fluxquery/internal/opt"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
 	"fluxquery/internal/xmltok"
 	"fluxquery/internal/xquery"
@@ -87,10 +88,72 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// Projection selects how the flux engine treats stream regions the query
+// provably cannot touch (the plan's projection path-set, derived from its
+// FluX handlers and buffer description forest — see docs/ARCHITECTURE.md).
+type Projection int
+
+// Projection modes.
+const (
+	// ProjectionFast (the default) bulk-skips irrelevant subtrees in the
+	// tokenizer: their bytes are scanned only for the matching end tag —
+	// no attribute materialization, no entity expansion, no event fanout.
+	// Skipped regions are checked for XML tag balance, but element
+	// declarations and content models inside them are not enforced; every
+	// element at or above the projection frontier is still fully DTD
+	// validated. Output is byte-identical to an unprojected run on every
+	// valid document (the differential suite asserts it); on an invalid
+	// document, an error buried inside an irrelevant subtree may go
+	// undetected.
+	ProjectionFast Projection = iota
+	// ProjectionValidate filters event delivery through the same
+	// automaton but still tokenizes and DTD-validates the whole stream:
+	// error behavior is exactly that of ProjectionOff, while evaluators
+	// and the shared-stream fanout still skip the irrelevant events.
+	ProjectionValidate
+	// ProjectionOff disables stream projection entirely.
+	ProjectionOff
+)
+
+// String returns the mode's flag spelling ("fast", "validate", "off").
+func (p Projection) String() string { return p.mode().String() }
+
+// ParseProjection converts a flag value ("fast", "validate", "off").
+func ParseProjection(s string) (Projection, error) {
+	m, ok := proj.ParseMode(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown projection mode %q (want fast, validate or off)", s)
+	}
+	switch m {
+	case proj.ModeValidate:
+		return ProjectionValidate, nil
+	case proj.ModeOff:
+		return ProjectionOff, nil
+	default:
+		return ProjectionFast, nil
+	}
+}
+
+func (p Projection) mode() proj.Mode {
+	switch p {
+	case ProjectionValidate:
+		return proj.ModeValidate
+	case ProjectionOff:
+		return proj.ModeOff
+	default:
+		return proj.ModeFast
+	}
+}
+
 // Options configures compilation.
 type Options struct {
 	// Engine selects the execution strategy (default EngineFlux).
 	Engine Engine
+	// Projection selects the flux engine's stream-projection mode for
+	// Plan.Execute (default ProjectionFast). StreamSet passes have their
+	// own set-level switch, StreamSet.SetProjection. The baseline engines
+	// ignore it.
+	Projection Projection
 	// DisableOptimizer skips the algebraic optimization step entirely.
 	DisableOptimizer bool
 	// NoLoopMerging disables the cardinality-constraint loop-merging rule
@@ -199,6 +262,17 @@ type Stats struct {
 	SkippedSubtrees int64
 	// HandlerFirings counts handler/loop-body executions (flux engine).
 	HandlerFirings int64
+	// ScanEventsDelivered and ScanEventsSkipped report the stream
+	// projection of the scan that fed this execution: events delivered to
+	// the evaluator vs pruned before it (zero when projection is off).
+	// For a StreamSet run the scan is shared, so these appear in
+	// StreamSet.LastScan rather than per plan.
+	ScanEventsDelivered int64
+	ScanEventsSkipped   int64
+	// ScanSubtreesSkipped counts pruned subtrees; ScanBytesSkipped counts
+	// raw input bytes the tokenizer bulk-skipped (ProjectionFast only).
+	ScanSubtreesSkipped int64
+	ScanBytesSkipped    int64
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }
@@ -247,7 +321,10 @@ func Compile(q *Query, d *DTD, o Options) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		phys, err := runtime.CompileOptions(flux, runtime.Options{FullBuffers: o.NoBufferProjection})
+		phys, err := runtime.CompileOptions(flux, runtime.Options{
+			FullBuffers: o.NoBufferProjection,
+			Projection:  o.Projection.mode(),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +382,10 @@ func statsFrom(rst *runtime.Stats, e Engine, d time.Duration) Stats {
 		st.OutputBytes = rst.OutputBytes
 		st.SkippedSubtrees = rst.SkippedSubtrees
 		st.HandlerFirings = rst.HandlerFirings
+		st.ScanEventsDelivered = rst.ScanEventsDelivered
+		st.ScanEventsSkipped = rst.ScanEventsSkipped
+		st.ScanSubtreesSkipped = rst.ScanSubtreesSkipped
+		st.ScanBytesSkipped = rst.ScanBytesSkipped
 	}
 	return st
 }
@@ -356,6 +437,41 @@ func (s *StreamSet) Register(p *Plan, out io.Writer) (*StreamQuery, error) {
 
 // Len returns the number of registered plans.
 func (s *StreamSet) Len() int { return s.set.Len() }
+
+// SetProjection selects how shared passes treat stream regions that no
+// registered plan can use. The set maintains the union of every
+// registered plan's projection path-set as one skip automaton, recomputed
+// on Register/Unregister; the mode (default ProjectionFast) decides
+// whether the pruned remainder is bulk-skipped in the tokenizer, still
+// validated, or delivered anyway. Takes effect at the next Run.
+func (s *StreamSet) SetProjection(m Projection) { s.set.SetProjection(m.mode()) }
+
+// ScanStats reports one shared scan pass of a StreamSet.
+type ScanStats struct {
+	// Passes counts completed Run calls (each is exactly one
+	// tokenize+validate pass regardless of how many plans ride it).
+	Passes int64
+	// EventsDelivered and EventsSkipped report the most recent pass's
+	// projection: events fanned out to the plans vs pruned at the scan.
+	EventsDelivered int64
+	EventsSkipped   int64
+	// SubtreesSkipped counts pruned subtrees; BytesSkipped counts raw
+	// input bytes bulk-skipped by the tokenizer (ProjectionFast only).
+	SubtreesSkipped int64
+	BytesSkipped    int64
+}
+
+// LastScan returns the scan statistics of the most recent Run.
+func (s *StreamSet) LastScan() ScanStats {
+	sc, passes := s.set.LastScan()
+	return ScanStats{
+		Passes:          passes,
+		EventsDelivered: sc.EventsDelivered,
+		EventsSkipped:   sc.EventsSkipped,
+		SubtreesSkipped: sc.SubtreesSkipped,
+		BytesSkipped:    sc.BytesSkipped,
+	}
+}
 
 // Run evaluates every registered plan over one document in a single
 // shared pass. Per-plan outcomes are reported through each StreamQuery;

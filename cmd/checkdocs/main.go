@@ -1,0 +1,129 @@
+// Command checkdocs is the repository's documentation and corpus lint,
+// run by the CI docs job. It fails (exit 1) when:
+//
+//   - a Markdown file contains a relative link whose target does not
+//     exist (absolute http(s) links and pure #fragments are not checked),
+//   - a query file in testdata/*.xq does not parse in the supported
+//     XQuery fragment,
+//   - a DTD file in testdata/*.dtd does not parse.
+//
+// Usage:
+//
+//	checkdocs [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"fluxquery"
+)
+
+// mdLink matches inline Markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// Skip VCS internals and vendored trees; everything else in the
+			// repository is fair game.
+			if name == ".git" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(name, ".md"):
+			checkMarkdown(path, report)
+		case strings.HasSuffix(name, ".xq") && inTestdata(path):
+			checkQuery(path, report)
+		case strings.HasSuffix(name, ".dtd") && inTestdata(path):
+			checkDTD(path, report)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "checkdocs:", p)
+		}
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: ok")
+}
+
+func inTestdata(path string) bool {
+	return strings.Contains(filepath.ToSlash(path), "testdata/")
+}
+
+// checkMarkdown verifies every relative link target exists on disk.
+func checkMarkdown(path string, report func(string, ...any)) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		report("%s: %v", path, err)
+		return
+	}
+	for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		// Strip a trailing #fragment; the file part must exist.
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+			if target == "" {
+				continue
+			}
+		}
+		resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+		if _, err := os.Stat(resolved); err != nil {
+			report("%s: broken relative link %q", path, m[1])
+		}
+	}
+}
+
+// checkQuery verifies a corpus query parses.
+func checkQuery(path string, report func(string, ...any)) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		report("%s: %v", path, err)
+		return
+	}
+	if _, err := fluxquery.ParseQuery(string(b)); err != nil {
+		report("%s: query does not parse: %v", path, err)
+	}
+}
+
+// checkDTD verifies a corpus schema parses.
+func checkDTD(path string, report func(string, ...any)) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		report("%s: %v", path, err)
+		return
+	}
+	if _, err := fluxquery.ParseDTD(string(b)); err != nil {
+		report("%s: DTD does not parse: %v", path, err)
+	}
+}

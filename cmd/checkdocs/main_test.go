@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func collect() (func(string, ...any), *[]string) {
+	var got []string
+	return func(format string, args ...any) {
+		got = append(got, format)
+	}, &got
+}
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "exists.md", "target")
+	md := write(t, dir, "doc.md",
+		"[ok](exists.md) [web](https://example.com) [frag](#x) "+
+			"[ok-frag](exists.md#sec) [broken](missing.md)")
+	report, got := collect()
+	checkMarkdown(md, report)
+	if len(*got) != 1 {
+		t.Fatalf("problems = %v, want exactly the broken link", *got)
+	}
+}
+
+func TestCheckQueryAndDTD(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "testdata/good.xq", `<r>{ for $b in $ROOT/bib/book return { $b/title } }</r>`)
+	bad := write(t, dir, "testdata/bad.xq", `for $x in`)
+	report, got := collect()
+	checkQuery(good, report)
+	if len(*got) != 0 {
+		t.Fatalf("good query flagged: %v", *got)
+	}
+	checkQuery(bad, report)
+	if len(*got) != 1 {
+		t.Fatalf("bad query not flagged")
+	}
+
+	report2, got2 := collect()
+	checkDTD(write(t, dir, "testdata/good.dtd", `<!ELEMENT bib (#PCDATA)>`), report2)
+	if len(*got2) != 0 {
+		t.Fatalf("good DTD flagged: %v", *got2)
+	}
+	checkDTD(write(t, dir, "testdata/bad.dtd", `<!ELEMENT`), report2)
+	if len(*got2) != 1 {
+		t.Fatal("bad DTD not flagged")
+	}
+}
+
+// TestRepositoryIsClean runs the real checks over this repository: the
+// docs CI job must stay green.
+func TestRepositoryIsClean(t *testing.T) {
+	root := "../.."
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, format)
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(d.Name(), ".md"):
+			checkMarkdown(path, report)
+		case strings.HasSuffix(d.Name(), ".xq") && inTestdata(path):
+			checkQuery(path, report)
+		case strings.HasSuffix(d.Name(), ".dtd") && inTestdata(path):
+			checkDTD(path, report)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("repository docs/corpus problems: %v", problems)
+	}
+}

@@ -35,6 +35,16 @@ type record struct {
 	AllocsPerOp     uint64 `json:"allocs_per_op"`
 	PeakBufferBytes int64  `json:"peak_buffer_bytes"`
 	OutputBytes     int64  `json:"output_bytes"`
+	// Proj is the stream-projection mode of flux-engine measurements
+	// ("fast"/"off"); empty for the baseline engines, which do not
+	// project the scan.
+	Proj string `json:"proj,omitempty"`
+	// EventsDelivered/EventsSkipped/BytesSkipped report the projection of
+	// the measured scan: events fanned to the evaluator vs pruned before
+	// it, and raw bytes the tokenizer bulk-skipped.
+	EventsDelivered int64 `json:"events_delivered,omitempty"`
+	EventsSkipped   int64 `json:"events_skipped,omitempty"`
+	BytesSkipped    int64 `json:"bytes_skipped,omitempty"`
 }
 
 // measureAllocs runs fn reps times and returns the best wall time along
@@ -81,8 +91,22 @@ func runJSON(r *runner, path string) error {
 		if err != nil {
 			return err
 		}
-		for _, e := range engines {
-			p := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{Engine: e})
+		// The flux engine is measured twice — projection off and fast — so
+		// trajectory files record the stream-projection win per query; the
+		// baseline engines do not project the scan.
+		type variant struct {
+			engine fluxquery.Engine
+			proj   fluxquery.Projection
+			label  string
+		}
+		variants := []variant{
+			{fluxquery.EngineFlux, fluxquery.ProjectionOff, "off"},
+			{fluxquery.EngineFlux, fluxquery.ProjectionFast, "fast"},
+			{fluxquery.EngineProjection, fluxquery.ProjectionOff, ""},
+			{fluxquery.EngineNaive, fluxquery.ProjectionOff, ""},
+		}
+		for _, v := range variants {
+			p := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{Engine: v.engine, Projection: v.proj})
 			var st fluxquery.Stats
 			best, allocs, err := measureAllocs(r.reps, func() error {
 				var rerr error
@@ -90,12 +114,12 @@ func runJSON(r *runner, path string) error {
 				return rerr
 			})
 			if err != nil {
-				return fmt.Errorf("%s/%s: %w", c.Name, e, err)
+				return fmt.Errorf("%s/%s: %w", c.Name, v.engine, err)
 			}
 			records = append(records, record{
 				Suite:           "workload",
 				Query:           c.Name,
-				Engine:          e.String(),
+				Engine:          v.engine.String(),
 				Plans:           1,
 				DocBytes:        len(doc),
 				NsPerOp:         best.Nanoseconds(),
@@ -103,6 +127,10 @@ func runJSON(r *runner, path string) error {
 				AllocsPerOp:     allocs,
 				PeakBufferBytes: st.PeakBufferBytes,
 				OutputBytes:     st.OutputBytes,
+				Proj:            v.label,
+				EventsDelivered: st.ScanEventsDelivered,
+				EventsSkipped:   st.ScanEventsSkipped,
+				BytesSkipped:    st.ScanBytesSkipped,
 			})
 		}
 	}
@@ -149,33 +177,51 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 	}
 	aggregate := int64(len(doc)) * nPlans
 
-	set := fluxquery.NewStreamSet(d)
-	regs := make([]*fluxquery.StreamQuery, len(plans))
-	for i, p := range plans {
-		reg, err := set.Register(p, io.Discard)
+	// The shared pass is measured with projection off and fast: the union
+	// skip automaton prunes what no riding plan can use, so fast records
+	// carry the scan's delivered/skipped split.
+	var sharedRecords []record
+	for _, pm := range []fluxquery.Projection{fluxquery.ProjectionOff, fluxquery.ProjectionFast} {
+		set := fluxquery.NewStreamSet(d)
+		set.SetProjection(pm)
+		regs := make([]*fluxquery.StreamQuery, len(plans))
+		for i, p := range plans {
+			reg, err := set.Register(p, io.Discard)
+			if err != nil {
+				return nil, err
+			}
+			regs[i] = reg
+		}
+		bestShared, sharedAllocs, err := measureAllocs(r.reps, func() error {
+			return set.Run(bytes.NewReader(doc))
+		})
 		if err != nil {
 			return nil, err
 		}
-		regs[i] = reg
-	}
-	bestShared, sharedAllocs, err := measureAllocs(r.reps, func() error {
-		return set.Run(bytes.NewReader(doc))
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Peak buffer and output of the pass: the maximum and sum over the
-	// riding plans (one record describes the whole shared pass).
-	var sharedPeak, sharedOut int64
-	for _, reg := range regs {
-		st, err := reg.Stats()
-		if err != nil {
-			return nil, err
+		// Peak buffer and output of the pass: the maximum and sum over the
+		// riding plans (one record describes the whole shared pass).
+		var sharedPeak, sharedOut int64
+		for _, reg := range regs {
+			st, err := reg.Stats()
+			if err != nil {
+				return nil, err
+			}
+			if st.PeakBufferBytes > sharedPeak {
+				sharedPeak = st.PeakBufferBytes
+			}
+			sharedOut += st.OutputBytes
 		}
-		if st.PeakBufferBytes > sharedPeak {
-			sharedPeak = st.PeakBufferBytes
-		}
-		sharedOut += st.OutputBytes
+		sc := set.LastScan()
+		sharedRecords = append(sharedRecords, record{
+			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-mqe",
+			Plans: nPlans, DocBytes: len(doc),
+			NsPerOp: bestShared.Nanoseconds(), MBPerS: mbPerS(aggregate, bestShared),
+			AllocsPerOp: sharedAllocs, PeakBufferBytes: sharedPeak, OutputBytes: sharedOut,
+			Proj:            pm.String(),
+			EventsDelivered: sc.EventsDelivered,
+			EventsSkipped:   sc.EventsSkipped,
+			BytesSkipped:    sc.BytesSkipped,
+		})
 	}
 	var seqPeak, seqOut int64
 	bestSeq, seqAllocs, err := measureAllocs(r.reps, func() error {
@@ -195,18 +241,11 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []record{
-		{
-			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-mqe",
-			Plans: nPlans, DocBytes: len(doc),
-			NsPerOp: bestShared.Nanoseconds(), MBPerS: mbPerS(aggregate, bestShared),
-			AllocsPerOp: sharedAllocs, PeakBufferBytes: sharedPeak, OutputBytes: sharedOut,
-		},
-		{
-			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-sequential",
-			Plans: nPlans, DocBytes: len(doc),
-			NsPerOp: bestSeq.Nanoseconds(), MBPerS: mbPerS(aggregate, bestSeq),
-			AllocsPerOp: seqAllocs, PeakBufferBytes: seqPeak, OutputBytes: seqOut,
-		},
-	}, nil
+	return append(sharedRecords, record{
+		Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-sequential",
+		Plans: nPlans, DocBytes: len(doc),
+		NsPerOp: bestSeq.Nanoseconds(), MBPerS: mbPerS(aggregate, bestSeq),
+		AllocsPerOp: seqAllocs, PeakBufferBytes: seqPeak, OutputBytes: seqOut,
+		Proj: "fast",
+	}), nil
 }

@@ -72,11 +72,14 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	if err := json.Unmarshal(b, &records); err != nil {
 		t.Fatal(err)
 	}
-	wantWorkload := len(workload.Cases) * len(engines)
-	if len(records) != wantWorkload+2 {
-		t.Fatalf("got %d records, want %d workload + 2 shared-stream", len(records), wantWorkload)
+	// Per case: flux with projection off and fast, plus the two baseline
+	// engines. Shared-stream: the mqe pass with projection off and fast,
+	// plus the sequential comparison.
+	wantWorkload := len(workload.Cases) * 4
+	if len(records) != wantWorkload+3 {
+		t.Fatalf("got %d records, want %d workload + 3 shared-stream", len(records), wantWorkload)
 	}
-	sharedSeen := 0
+	sharedSeen, fluxFast := 0, 0
 	for _, rec := range records {
 		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.DocBytes <= 0 {
 			t.Errorf("degenerate record: %+v", rec)
@@ -87,8 +90,14 @@ func TestJSONModeWritesRecords(t *testing.T) {
 				t.Errorf("shared-stream record with %d plans: %+v", rec.Plans, rec)
 			}
 		}
+		if rec.Suite == "workload" && rec.Engine == "flux" && rec.Proj == "fast" {
+			fluxFast++
+		}
 	}
-	if sharedSeen != 2 {
-		t.Errorf("shared-stream records = %d, want 2", sharedSeen)
+	if sharedSeen != 3 {
+		t.Errorf("shared-stream records = %d, want 3", sharedSeen)
+	}
+	if fluxFast != len(workload.Cases) {
+		t.Errorf("flux proj=fast records = %d, want one per case (%d)", fluxFast, len(workload.Cases))
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
 		validate   = flag.Bool("validate", false, "only validate the input against the DTD")
 		noOpt      = flag.Bool("no-optimizer", false, "disable the algebraic optimizer")
+		projMode   = flag.String("proj", "fast", "stream projection: fast (bulk-skip irrelevant subtrees), validate (skip delivery, full validation) or off")
 	)
 	var queryFiles multiFlag
 	flag.Var(&queryFiles, "q", "path to a query file; repeat to evaluate several queries in one shared pass")
@@ -53,6 +54,7 @@ func main() {
 		stats:      *stats,
 		validate:   *validate,
 		noOpt:      *noOpt,
+		projMode:   *projMode,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxquery:", err)
 		os.Exit(1)
@@ -77,6 +79,7 @@ type options struct {
 	stats      bool
 	validate   bool
 	noOpt      bool
+	projMode   string
 }
 
 func run(o options) error {
@@ -156,6 +159,13 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	if o.projMode == "" {
+		o.projMode = "fast"
+	}
+	projection, err := fluxquery.ParseProjection(o.projMode)
+	if err != nil {
+		return err
+	}
 	// Reject the invalid combination before compiling anything and —
 	// crucially — before -out truncates an existing file.
 	if len(queries) > 1 && engine != fluxquery.EngineFlux {
@@ -170,6 +180,7 @@ func run(o options) error {
 		plans[i], err = fluxquery.Compile(q, d, fluxquery.Options{
 			Engine:           engine,
 			DisableOptimizer: o.noOpt,
+			Projection:       projection,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", nq.name, err)
@@ -201,6 +212,11 @@ func run(o options) error {
 			name, st.Engine, elapsed.Round(time.Microsecond), st.Events,
 			st.PeakBufferBytes, st.BufferedBytesTotal, st.OutputBytes,
 			st.SkippedSubtrees, st.HandlerFirings)
+		if st.ScanEventsDelivered > 0 || st.ScanEventsSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "query=%s proj=%s scan-delivered=%d scan-skipped=%d scan-subtrees=%d scan-bytes-skipped=%d\n",
+				name, o.projMode, st.ScanEventsDelivered, st.ScanEventsSkipped,
+				st.ScanSubtreesSkipped, st.ScanBytesSkipped)
+		}
 	}
 
 	if len(plans) == 1 {
@@ -220,6 +236,7 @@ func run(o options) error {
 	// interleave on a shared writer); they are emitted in query order,
 	// separated by a comment naming the query.
 	set := fluxquery.NewStreamSet(d)
+	set.SetProjection(projection)
 	outs := make([]*bytes.Buffer, len(plans))
 	regs := make([]*fluxquery.StreamQuery, len(plans))
 	for i, p := range plans {
@@ -252,6 +269,11 @@ func run(o options) error {
 		if o.stats {
 			printStats(queries[i].name, st, elapsed)
 		}
+	}
+	if o.stats {
+		sc := set.LastScan()
+		fmt.Fprintf(os.Stderr, "shared-pass proj=%s passes=%d scan-delivered=%d scan-skipped=%d scan-subtrees=%d scan-bytes-skipped=%d\n",
+			o.projMode, sc.Passes, sc.EventsDelivered, sc.EventsSkipped, sc.SubtreesSkipped, sc.BytesSkipped)
 	}
 	return firstErr
 }

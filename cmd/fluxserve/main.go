@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fluxserve -dtd bib.dtd [-addr :8080] [-q name=query.xq ...]
+//	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off] [-q name=query.xq ...]
 //
 // Endpoints:
 //
@@ -17,10 +17,21 @@
 //	POST   /eval                 evaluate all queries over the posted XML
 //	POST   /eval?q=a&q=b         evaluate a subset
 //
-// /eval responds with JSON: one result object per query carrying the
-// output document, per-query statistics from the shared pass, and any
-// per-query error (a failing query never disturbs the others or the
-// stream).
+// /eval responds with JSON:
+//
+//   - "scan": the shared pass itself — "passes" (always 1: one
+//     tokenize+validate pass no matter how many queries ride it), the
+//     projection mode, and the events delivered to the plans vs events,
+//     subtrees and raw bytes pruned by the union skip automaton (the
+//     projection of everything no selected query can touch; see -proj).
+//   - "results": one object per query carrying the output document, the
+//     query's statistics from the shared pass, and any per-query error (a
+//     failing query never disturbs the others or the stream).
+//
+// With -proj fast (the default), stream regions outside every selected
+// query's path-set are checked for tag balance but not validated against
+// the DTD; -proj validate keeps full validation while still pruning
+// delivery, and -proj off disables projection.
 package main
 
 import (
@@ -30,13 +41,16 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"fluxquery"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dtdPath = flag.String("dtd", "", "path to the DTD file governing all streams (required)")
-		maxBody = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+		addr     = flag.String("addr", ":8080", "listen address")
+		dtdPath  = flag.String("dtd", "", "path to the DTD file governing all streams (required)")
+		maxBody  = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+		projMode = flag.String("proj", "fast", "stream projection for shared passes: fast, validate or off")
 	)
 	var preload multiFlag
 	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
@@ -51,7 +65,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)
 	}
-	srv, err := newServer(string(dtdSrc), *maxBody)
+	projection, err := fluxquery.ParseProjection(*projMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(2)
+	}
+	srv, err := newServer(string(dtdSrc), *maxBody, projection)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)

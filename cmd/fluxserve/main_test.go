@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"fluxquery"
 )
 
 const testDTD = `
@@ -22,7 +24,7 @@ const testQT = `<titles>{ for $b in $ROOT/bib/book return <t>{ $b/title }</t> }<
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(testDTD, 1<<20)
+	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,6 +130,14 @@ func TestEvalSharedPass(t *testing.T) {
 			t.Errorf("%s: empty stats %+v", res.Query, res.Stats)
 		}
 	}
+	// The shared scan is reported once, at response level: exactly one
+	// pass, with projection deliveries recorded.
+	if resp.Scan.Passes != 1 {
+		t.Errorf("scan passes = %d, want 1", resp.Scan.Passes)
+	}
+	if resp.Scan.Projection != "fast" || resp.Scan.EventsDelivered == 0 {
+		t.Errorf("scan stats not reported: %+v", resp.Scan)
+	}
 }
 
 func TestEvalSubsetAndErrors(t *testing.T) {
@@ -180,7 +190,7 @@ func TestEvalWithNoQueriesValidatesOnly(t *testing.T) {
 // TestEvalRejectsOversizedBody: a document larger than -max-body must be
 // rejected with 413, never silently truncated into a valid prefix.
 func TestEvalRejectsOversizedBody(t *testing.T) {
-	srv, err := newServer(testDTD, 500)
+	srv, err := newServer(testDTD, 500, fluxquery.ProjectionFast)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 type server struct {
 	d       *fluxquery.DTD
 	maxBody int64
+	proj    fluxquery.Projection
 
 	mu      sync.RWMutex
 	queries map[string]*entry
@@ -31,12 +32,12 @@ type entry struct {
 	plan *fluxquery.Plan
 }
 
-func newServer(dtdSrc string, maxBody int64) (*server, error) {
+func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection) (*server, error) {
 	d, err := fluxquery.ParseDTD(dtdSrc)
 	if err != nil {
 		return nil, fmt.Errorf("parsing DTD: %w", err)
 	}
-	return &server{d: d, maxBody: maxBody, queries: map[string]*entry{}}, nil
+	return &server{d: d, maxBody: maxBody, proj: proj, queries: map[string]*entry{}}, nil
 }
 
 func (s *server) root() string { return s.d.Root() }
@@ -165,8 +166,22 @@ type evalResult struct {
 	Stats  evalStats `json:"stats"`
 }
 
+// scanStats reports the shared scan pass of one /eval: exactly one
+// tokenize+validate pass feeds every selected query, and — with
+// projection on — events no selected query can use are pruned before any
+// evaluator sees them.
+type scanStats struct {
+	Passes          int64  `json:"passes"`
+	Projection      string `json:"projection"`
+	EventsDelivered int64  `json:"events_delivered"`
+	EventsSkipped   int64  `json:"events_skipped"`
+	SubtreesSkipped int64  `json:"subtrees_skipped"`
+	BytesSkipped    int64  `json:"bytes_skipped"`
+}
+
 type evalResponse struct {
 	DurationMicros int64        `json:"duration_us"`
+	Scan           scanStats    `json:"scan"`
 	Results        []evalResult `json:"results"`
 }
 
@@ -195,6 +210,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(selected, func(i, j int) bool { return selected[i].name < selected[j].name })
 
 	set := fluxquery.NewStreamSet(s.d)
+	set.SetProjection(s.proj)
 	outs := make([]*bytes.Buffer, len(selected))
 	regs := make([]*fluxquery.StreamQuery, len(selected))
 	for i, e := range selected {
@@ -221,6 +237,15 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := evalResponse{DurationMicros: time.Since(start).Microseconds()}
+	sc := set.LastScan()
+	resp.Scan = scanStats{
+		Passes:          sc.Passes,
+		Projection:      s.proj.String(),
+		EventsDelivered: sc.EventsDelivered,
+		EventsSkipped:   sc.EventsSkipped,
+		SubtreesSkipped: sc.SubtreesSkipped,
+		BytesSkipped:    sc.BytesSkipped,
+	}
 	for i, e := range selected {
 		st, err := regs[i].Stats()
 		res := evalResult{

@@ -75,6 +75,43 @@ func ExampleDTD_constraintSummary() {
 	// true
 }
 
+// Schema-driven stream projection: the plan's FluX handlers and buffer
+// description forest prove which document paths the query can touch; with
+// ProjectionFast (the default) everything else is bulk-skipped in the
+// tokenizer without ever materializing an event. Output is byte-identical
+// to an unprojected run; the Scan* stats show what was pruned.
+func ExampleOptions_projection() {
+	dtd, _ := fluxquery.ParseDTD(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,info)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT info (isbn,blurb)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT blurb (#PCDATA)>`)
+	query, _ := fluxquery.ParseQuery(`<titles>{
+  for $b in $ROOT/bib/book return { $b/title }
+}</titles>`)
+
+	doc := `<bib><book><title>TAOCP</title><info><isbn>0-201</isbn>` +
+		`<blurb>a very long blurb the query never reads</blurb></info></book></bib>`
+
+	fast, _ := fluxquery.Compile(query, dtd, fluxquery.Options{Projection: fluxquery.ProjectionFast})
+	out, stats, _ := fast.ExecuteString(doc)
+	fmt.Println(out)
+	fmt.Println("subtrees pruned:", stats.ScanSubtreesSkipped)
+	fmt.Println("bytes bulk-skipped:", stats.ScanBytesSkipped > 0)
+
+	// Projection never changes the result: an unprojected plan agrees.
+	off, _ := fluxquery.Compile(query, dtd, fluxquery.Options{Projection: fluxquery.ProjectionOff})
+	same, _, _ := off.ExecuteString(doc)
+	fmt.Println("identical to unprojected run:", out == same)
+	// Output:
+	// <titles><title>TAOCP</title></titles>
+	// subtrees pruned: 1
+	// bytes bulk-skipped: true
+	// identical to unprojected run: true
+}
+
 // Many queries, one stream: a StreamSet evaluates every registered plan
 // over a document in a single tokenize+validate pass.
 func ExampleStreamSet() {

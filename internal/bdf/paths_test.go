@@ -1,0 +1,156 @@
+package bdf
+
+// Adversarial tests for path-set extraction: the projection layer
+// (internal/proj, internal/runtime) derives its stream path-sets from the
+// tries this package computes, so a trie that comes out too narrow here
+// silently drops data from query results. Each case targets a construct
+// that must WIDEN the result: "*" wildcard buffers, CopyAll endpoint
+// reads, and text()-only steps.
+
+import (
+	"testing"
+
+	"fluxquery/internal/xquery"
+)
+
+// trie computes the projection trie of a query expression rooted at v.
+func trie(t *testing.T, src, v string) *Node {
+	t.Helper()
+	n, err := PathsTrie(xquery.MustParse(src), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestPathsTrieCopyAllEndpoint: a bare variable read in output position
+// is a node copy — the endpoint must be CopyAll, not structure-only.
+func TestPathsTrieCopyAllEndpoint(t *testing.T) {
+	n := trie(t, `$b/title`, "b")
+	title, ok := n.Keep("title")
+	if !ok {
+		t.Fatal("title dropped entirely")
+	}
+	if title == nil {
+		t.Fatal("keep-all for a named child of a non-CopyAll node")
+	}
+	if !title.CopyAll {
+		t.Error("endpoint read of title must be CopyAll (the whole subtree is emitted)")
+	}
+	// Siblings stay droppable: CopyAll must not leak upward.
+	if n.CopyAll {
+		t.Error("CopyAll leaked to the parent")
+	}
+	if _, ok := n.Keep("author"); ok {
+		t.Error("untouched sibling kept")
+	}
+}
+
+// TestPathsTrieCopyAllSubsumesDeeperPaths: once a prefix is CopyAll,
+// Keep must keep every deeper label — a projection that consulted the
+// (empty) child map instead would drop the subtree's interior.
+func TestPathsTrieCopyAllSubsumesDeeperPaths(t *testing.T) {
+	n := trie(t, `$b/info`, "b")
+	info, ok := n.Keep("info")
+	if !ok || !info.CopyAll {
+		t.Fatalf("info not CopyAll: %v %v", info, ok)
+	}
+	sub, ok := info.Keep("anything")
+	if !ok {
+		t.Fatal("child of a CopyAll subtree dropped")
+	}
+	if sub != nil {
+		t.Fatal("child of a CopyAll subtree must be keep-everything (nil projection)")
+	}
+}
+
+// TestPathsTrieTextOnlyNode: $b/title/text() needs the title node's text
+// but no subtree copy; the title node itself must survive with Text set.
+func TestPathsTrieTextOnlyNode(t *testing.T) {
+	n := trie(t, `$b/title/text()`, "b")
+	title, ok := n.Keep("title")
+	if !ok || title == nil {
+		t.Fatalf("title dropped: %v %v", title, ok)
+	}
+	if !title.Text {
+		t.Error("text() endpoint must set Text")
+	}
+	if title.CopyAll {
+		t.Error("text() endpoint must not widen to CopyAll (that defeats projection)")
+	}
+}
+
+// TestPathsTrieComparisonAtomization: a comparison atomizes its path
+// operand — the string value needs the whole subtree, so the endpoint
+// must widen to CopyAll even though nothing is emitted.
+func TestPathsTrieComparisonAtomization(t *testing.T) {
+	n := trie(t, `if ($b/publisher = "X") then $b/title else ()`, "b")
+	pub, ok := n.Keep("publisher")
+	if !ok || pub == nil || !pub.CopyAll {
+		t.Fatalf("comparison operand not CopyAll: %v %v", pub, ok)
+	}
+}
+
+// TestScopeWildcardBuffer: a whole-element read ({$x}) in a once-handler
+// buffers EVERY child — the scope must carry a "*" CopyAll entry so that
+// labels never named by the query are still buffered (and never pruned
+// from the stream).
+func TestScopeWildcardBuffer(t *testing.T) {
+	// The where clause atomizes $b itself: its string value needs every
+	// child, which only the "*" wildcard entry can express.
+	f := forest(t, `<r>{ for $b in $ROOT/bib/book where $b = "x" return <hit/> }</r>`, weakBib)
+	s := scopeOf(f, "b")
+	if s == nil {
+		t.Fatal("no scope for $b")
+	}
+	star, ok := s.Buffered["*"]
+	if !ok {
+		t.Fatalf("whole-element read lost the * wildcard buffer: %+v", s.Buffered)
+	}
+	if !star.CopyAll {
+		t.Error("* buffer must be CopyAll")
+	}
+	if !s.Text {
+		t.Error("whole-element read must buffer the scope's text too")
+	}
+}
+
+// TestScopeWildcardKeep: Node.Keep must route unnamed labels through the
+// "*" entry.
+func TestScopeWildcardKeep(t *testing.T) {
+	n := newNode()
+	n.child("*").CopyAll = true
+	sub, ok := n.Keep("anything")
+	if !ok {
+		t.Fatal("label not routed through *")
+	}
+	if sub == nil || !sub.CopyAll {
+		t.Fatalf("wildcard projection lost: %+v", sub)
+	}
+}
+
+// TestScopeTextOnlyBuffer: a scope whose handlers read only text() of a
+// child must keep that child with Text (wide enough) but without CopyAll
+// (narrow enough).
+func TestScopeTextOnlyBuffer(t *testing.T) {
+	const strongBib = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (author+,title)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+	// author+ precedes title, and the output wants title before authors,
+	// so authors are buffered; only their text is read.
+	f := forest(t, `<r>{ for $b in $ROOT/bib/book return <x>{ $b/title }<a>{ $b/author/text() }</a></x> }</r>`, strongBib)
+	s := scopeOf(f, "b")
+	if s == nil {
+		t.Fatal("no scope for $b")
+	}
+	author, ok := s.Buffered["author"]
+	if !ok {
+		t.Fatalf("author not buffered: %+v", s.Buffered)
+	}
+	if !author.Text {
+		t.Error("author text() read lost")
+	}
+}

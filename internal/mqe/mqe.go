@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/xsax"
 )
 
@@ -69,6 +70,13 @@ type Dispatcher struct {
 	// 32 KiB of payload).
 	BatchEvents int
 	BatchBytes  int
+	// Proj, when non-nil, projects the shared pass: only events relevant
+	// to the automaton (the union of every riding plan's path-set) are
+	// delivered; pruned subtrees are fed as start/end shells. ProjMode
+	// selects fast (bulk tokenizer skips) or validate (full validation,
+	// filtered delivery) handling of pruned regions.
+	Proj     *proj.Automaton
+	ProjMode proj.Mode
 }
 
 // Default batch bounds; see runtime's feed batch sizing for rationale.
@@ -85,6 +93,13 @@ const (
 // regardless of consumer failures, which are reported through each
 // consumer's Close.
 func (d *Dispatcher) Run(r io.Reader, consumers []Consumer) error {
+	_, err := d.RunScan(r, consumers)
+	return err
+}
+
+// RunScan is Run, additionally reporting the pass's projection scan
+// statistics (all zeros when Proj is nil).
+func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats, error) {
 	maxEvents := d.BatchEvents
 	if maxEvents <= 0 {
 		maxEvents = defaultBatchEvents
@@ -98,6 +113,9 @@ func (d *Dispatcher) Run(r io.Reader, consumers []Consumer) error {
 	copy(live, consumers)
 
 	xr := xsax.GetReader(r, d.DTD)
+	if d.Proj != nil && d.ProjMode != proj.ModeOff {
+		xr.SetProjection(d.Proj, d.ProjMode)
+	}
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
@@ -132,10 +150,11 @@ func (d *Dispatcher) Run(r io.Reader, consumers []Consumer) error {
 	for _, c := range live {
 		c.Close(cause)
 	}
+	sc := xr.ScanStats()
 	xsax.PutBatch(b)
 	xsax.PutReader(xr)
 	if cause == io.EOF {
-		return nil
+		return sc, nil
 	}
-	return cause
+	return sc, cause
 }

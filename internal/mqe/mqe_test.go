@@ -87,9 +87,21 @@ func TestSetMatchesSingleQueryRuns(t *testing.T) {
 		if err != nil {
 			t.Errorf("query %d: result error: %v", i, err)
 		}
-		if st != *wantSt {
+		// Events and the Scan* counters legitimately differ: the shared
+		// pass projects with the union of all riding plans' path-sets (a
+		// plan may see events only a neighbour needs, and scan stats are
+		// pass-level, reported via Set.LastScan). Everything the plan
+		// computes from the events must match exactly.
+		if st.PeakBufferBytes != wantSt.PeakBufferBytes ||
+			st.BufferedBytesTotal != wantSt.BufferedBytesTotal ||
+			st.BufferedNodes != wantSt.BufferedNodes ||
+			st.OutputBytes != wantSt.OutputBytes ||
+			st.HandlerFirings != wantSt.HandlerFirings {
 			t.Errorf("query %d: stats differ: shared %+v single %+v", i, st, *wantSt)
 		}
+	}
+	if sc, passes := s.LastScan(); passes != 1 || sc.EventsDelivered == 0 {
+		t.Errorf("LastScan = %+v after %d passes, want 1 pass with deliveries", sc, passes)
 	}
 }
 

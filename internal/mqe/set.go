@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
 	"fluxquery/internal/xsax"
 )
@@ -42,6 +43,20 @@ type Set struct {
 
 	mu   sync.Mutex
 	subs []*Sub
+	// pauto is the compiled union of every registered plan's projection
+	// path-set. Register/Unregister invalidate it (projDirty) and the
+	// next Run recompiles it once — registering K plans costs one union
+	// build, not K. The automaton is immutable once built: an in-flight
+	// Run keeps the one it snapshotted even as registrations replace it.
+	// nil while the set is empty (a pass over zero subscriptions stays a
+	// full validation pass).
+	pauto     *proj.Automaton
+	projDirty bool
+	pmode     proj.Mode
+	// lastScan reports the most recent pass's projection counters; passes
+	// counts completed Run calls.
+	lastScan xsax.ScanStats
+	passes   int64
 }
 
 // NewSet returns a Set for streams governed by d.
@@ -75,8 +90,51 @@ func (s *Set) Register(p *runtime.Plan, out io.Writer) (*Sub, error) {
 	b := &Sub{set: s, plan: p, out: out}
 	s.mu.Lock()
 	s.subs = append(s.subs, b)
+	s.projDirty = true
 	s.mu.Unlock()
 	return b, nil
+}
+
+// SetProjection selects how shared passes treat stream regions no
+// registered plan can use: proj.ModeFast (the default) bulk-skips them in
+// the tokenizer, proj.ModeValidate still validates them fully, and
+// proj.ModeOff delivers every event. Takes effect at the next Run.
+func (s *Set) SetProjection(m proj.Mode) {
+	s.mu.Lock()
+	s.pmode = m
+	s.mu.Unlock()
+}
+
+// LastScan returns the projection counters of the most recent
+// successfully completed Run and the number of such runs (shared scan
+// passes). A Run that fails mid-stream leaves both unchanged.
+func (s *Set) LastScan() (xsax.ScanStats, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastScan, s.passes
+}
+
+// recomputeProjLocked rebuilds the union skip automaton from the current
+// subscriptions when a Register/Unregister has invalidated it. Called
+// with s.mu held at the start of each Run; the previous automaton is
+// never mutated, so an in-flight Run that already snapshotted it is
+// unaffected (its union is merely wider or narrower than the new
+// registration set, both of which are sound for the plans it snapshotted
+// alongside).
+func (s *Set) recomputeProjLocked() {
+	if !s.projDirty {
+		return
+	}
+	s.projDirty = false
+	if len(s.subs) == 0 {
+		s.pauto = nil
+		return
+	}
+	sets := make([]*proj.PathSet, len(s.subs))
+	for i, b := range s.subs {
+		sets[i] = b.plan.Paths()
+	}
+	s.pauto = proj.Compile(proj.Union(sets...))
 }
 
 // Unregister removes the subscription. An in-flight Run detaches it at
@@ -94,6 +152,7 @@ func (b *Sub) Unregister() {
 			break
 		}
 	}
+	s.projDirty = true
 	s.mu.Unlock()
 }
 
@@ -149,8 +208,12 @@ func (s *Set) Run(r io.Reader) error {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	s.mu.Lock()
+	s.recomputeProjLocked()
 	subs := make([]*Sub, len(s.subs))
 	copy(subs, s.subs)
+	disp := s.disp
+	disp.Proj = s.pauto
+	disp.ProjMode = s.pmode
 	s.mu.Unlock()
 
 	start := time.Now()
@@ -158,7 +221,14 @@ func (s *Set) Run(r io.Reader) error {
 	for i, b := range subs {
 		consumers[i] = &subRun{sub: b, se: b.plan.NewStepExec(b.out), start: start}
 	}
-	return s.disp.Run(r, consumers)
+	sc, err := disp.RunScan(r, consumers)
+	if err == nil {
+		s.mu.Lock()
+		s.lastScan = sc
+		s.passes++
+		s.mu.Unlock()
+	}
+	return err
 }
 
 // subRun drives one subscription's StepExec through a single dispatcher

@@ -1,0 +1,186 @@
+package proj
+
+import (
+	"testing"
+
+	"fluxquery/internal/bdf"
+)
+
+func TestAutomatonVerdicts(t *testing.T) {
+	s := NewPathSet()
+	bib := s.Root.Child("bib")
+	book := bib.Child("book")
+	book.Child("title").All = true
+	book.Child("author").Text = true
+	a := Compile(s)
+
+	st := a.Start()
+	if got := a.Child(st, "nope"); got != StateSkip {
+		t.Errorf("unknown root child: got %d, want skip", got)
+	}
+	st = a.Child(st, "bib")
+	if st < 0 {
+		t.Fatalf("bib: got %d, want descend", st)
+	}
+	if a.Text(st) {
+		t.Error("bib must not need text")
+	}
+	bookSt := a.Child(st, "book")
+	if bookSt < 0 {
+		t.Fatalf("book: got %d, want descend", bookSt)
+	}
+	if got := a.Child(bookSt, "title"); got != StateAll {
+		t.Errorf("title: got %d, want all", got)
+	}
+	auth := a.Child(bookSt, "author")
+	if auth < 0 || !a.Text(auth) {
+		t.Errorf("author: got state %d text=%v, want descend with text", auth, a.Text(auth))
+	}
+	if got := a.Child(auth, "inner"); got != StateSkip {
+		t.Errorf("below a text-only node: got %d, want skip", got)
+	}
+	if got := a.Child(bookSt, "publisher"); got != StateSkip {
+		t.Errorf("irrelevant child: got %d, want skip", got)
+	}
+	// Inside an all-region every label and text is kept.
+	if got := a.Child(StateAll, "anything"); got != StateAll {
+		t.Errorf("all-region child: got %d, want all", got)
+	}
+	if !a.Text(StateAll) {
+		t.Error("all-region must keep text")
+	}
+}
+
+func TestUnionMergesRequirements(t *testing.T) {
+	a := NewPathSet()
+	a.Root.Child("site").Child("people").All = true
+	b := NewPathSet()
+	b.Root.Child("site").Child("items").Text = true
+
+	u := Compile(Union(a, b))
+	st := u.Child(u.Start(), "site")
+	if st < 0 {
+		t.Fatal("site must descend")
+	}
+	if got := u.Child(st, "people"); got != StateAll {
+		t.Errorf("people: got %d, want all", got)
+	}
+	if it := u.Child(st, "items"); it < 0 || !u.Text(it) {
+		t.Errorf("items: got %d, want text descend", it)
+	}
+	if got := u.Child(st, "regions"); got != StateSkip {
+		t.Errorf("regions: got %d, want skip", got)
+	}
+	// Union must not have mutated its inputs.
+	if a.Root.Child("site").Children["items"] != nil {
+		t.Error("union mutated input set")
+	}
+}
+
+func TestUnionOfZeroSetsIsEmpty(t *testing.T) {
+	u := Compile(Union())
+	if got := u.Child(u.Start(), "root"); got != StateSkip {
+		t.Errorf("empty union should skip everything, got %d", got)
+	}
+}
+
+// TestWildcardWidensNamedSiblings is the adversarial wildcard case: a
+// label matched by BOTH a named entry and a "*" entry needs the union of
+// the two subtrees. A projection that dispatched on the name alone and
+// ignored the star would silently drop the star's requirements.
+func TestWildcardWidensNamedSiblings(t *testing.T) {
+	a := NewPathSet()
+	book := a.Root.Child("bib").Child("book")
+	book.Child("title").Child("sub").All = true // named: only title/sub
+	b := NewPathSet()
+	star := b.Root.Child("bib").Child("book").Child("*")
+	star.Text = true // wildcard: text of every child
+
+	u := Compile(Union(a, b))
+	st := u.Child(u.Child(u.Start(), "bib"), "book")
+	title := u.Child(st, "title")
+	if title < 0 {
+		t.Fatal("title must descend")
+	}
+	if !u.Text(title) {
+		t.Error("star's text requirement lost on the named sibling")
+	}
+	if got := u.Child(title, "sub"); got != StateAll {
+		t.Errorf("named requirement lost: title/sub got %d, want all", got)
+	}
+	if other := u.Child(st, "publisher"); other < 0 || !u.Text(other) {
+		t.Errorf("star alone: got %d, want text descend", other)
+	}
+}
+
+// TestWildcardCopyAllSubsumesEverything: a "*" CopyAll buffer (whole-
+// element reads) must turn every child — named or not — into an
+// all-region.
+func TestWildcardCopyAllSubsumesEverything(t *testing.T) {
+	s := NewPathSet()
+	book := s.Root.Child("book")
+	book.Child("title").Text = true
+	book.Child("*").MergeBDF(&bdf.Node{CopyAll: true})
+	a := Compile(s)
+	st := a.Child(a.Start(), "book")
+	if got := a.Child(st, "title"); got != StateAll {
+		t.Errorf("named child under * CopyAll: got %d, want all", got)
+	}
+	if got := a.Child(st, "anything"); got != StateAll {
+		t.Errorf("unnamed child under * CopyAll: got %d, want all", got)
+	}
+}
+
+// TestMergeBDFNilKeepsEverything: bdf.Node.Keep returns a nil projection
+// for "keep everything below"; MergeBDF(nil) must map that to All, never
+// to an empty requirement.
+func TestMergeBDFNilKeepsEverything(t *testing.T) {
+	n := NewPathNode()
+	n.MergeBDF(nil)
+	if !n.All {
+		t.Fatal("nil BDF projection must widen to All")
+	}
+}
+
+// TestTextOnlyNodeKeepsShellChildren: a text()-only node delivers its
+// own text but shells its element children — it must not degenerate to
+// skip (losing the text) or to all (losing the pruning).
+func TestTextOnlyNodeKeepsShellChildren(t *testing.T) {
+	s := NewPathSet()
+	s.Root.Child("a").MergeBDF(&bdf.Node{Text: true})
+	a := Compile(s)
+	st := a.Child(a.Start(), "a")
+	if st < 0 {
+		t.Fatalf("a: got %d, want descend", st)
+	}
+	if !a.Text(st) {
+		t.Error("text requirement lost")
+	}
+	if got := a.Child(st, "b"); got != StateSkip {
+		t.Errorf("child of text-only node: got %d, want skip", got)
+	}
+}
+
+func TestModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeFast, ModeValidate, ModeOff} {
+		got, ok := ParseMode(m.String())
+		if !ok || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := ParseMode("bogus"); ok {
+		t.Error("ParseMode accepted bogus input")
+	}
+}
+
+func TestPathSetString(t *testing.T) {
+	s := NewPathSet()
+	s.Root.Child("bib").Child("book").Child("title").All = true
+	out := s.String()
+	if out == "" || out == "(empty)\n" {
+		t.Fatalf("String() = %q", out)
+	}
+	if NewPathSet().String() != "(empty)\n" {
+		t.Error("empty set should render as (empty)")
+	}
+}

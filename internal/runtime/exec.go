@@ -10,6 +10,7 @@ import (
 	"fluxquery/internal/core"
 	"fluxquery/internal/dom"
 	"fluxquery/internal/eval"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/xmltok"
 	"fluxquery/internal/xquery"
 	"fluxquery/internal/xsax"
@@ -34,6 +35,14 @@ type Stats struct {
 	SkippedSubtrees int64
 	// HandlerFirings counts handler executions.
 	HandlerFirings int64
+	// Scan* report the stream projection of the pass that fed this
+	// execution (zero when projection was off): events delivered to the
+	// evaluator vs pruned before it, pruned subtrees, and raw bytes the
+	// tokenizer bulk-skipped.
+	ScanEventsDelivered int64
+	ScanEventsSkipped   int64
+	ScanSubtreesSkipped int64
+	ScanBytesSkipped    int64
 }
 
 // execPool recycles the per-execution machinery (the evaluator frame; the
@@ -59,6 +68,9 @@ const (
 func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 	se := p.NewStepExec(out)
 	xr := xsax.GetReader(in, p.d)
+	if p.pmode != proj.ModeOff {
+		xr.SetProjection(p.pauto, p.pmode)
+	}
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
@@ -76,6 +88,13 @@ func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 		}
 	}
 	st, err := se.Close(cause)
+	if st != nil {
+		sc := xr.ScanStats()
+		st.ScanEventsDelivered = sc.EventsDelivered
+		st.ScanEventsSkipped = sc.EventsSkipped
+		st.ScanSubtreesSkipped = sc.SubtreesSkipped
+		st.ScanBytesSkipped = sc.BytesSkipped
+	}
 	xsax.PutBatch(b)
 	xsax.PutReader(xr)
 	return st, err

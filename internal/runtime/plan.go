@@ -11,6 +11,7 @@ import (
 	"fluxquery/internal/bdf"
 	"fluxquery/internal/core"
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/xquery"
 )
 
@@ -20,7 +21,18 @@ type Plan struct {
 	d    *dtd.DTD
 	// BDF retains the forest for explain output.
 	BDF *bdf.Forest
+	// paths/pauto are the plan's projection path-set and its compiled
+	// skip automaton (see package proj); pmode selects how Plan.Run
+	// applies it.
+	paths *proj.PathSet
+	pauto *proj.Automaton
+	pmode proj.Mode
 }
+
+// Paths returns the plan's projection path-set: every document path the
+// evaluator can read. The shared-stream dispatcher unions the path-sets
+// of all riding plans into one skip automaton.
+func (p *Plan) Paths() *proj.PathSet { return p.paths }
 
 // DTD returns the schema the plan was compiled against. The shared-stream
 // dispatcher uses it to check that every plan riding a stream agrees with
@@ -99,6 +111,11 @@ type Options struct {
 	// the buffering of the data which can be processed on the fly" and of
 	// data the handlers never read.
 	FullBuffers bool
+	// Projection selects how Plan.Run applies the plan's skip automaton
+	// to its own scan: ModeFast (default) bulk-skips irrelevant subtrees
+	// in the tokenizer, ModeValidate filters delivery but still validates
+	// everything, ModeOff delivers every event.
+	Projection proj.Mode
 }
 
 // Compile checks the FluX query's safety, computes its buffer description
@@ -121,7 +138,15 @@ func CompileOptions(q *core.Query, o Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{root: root, d: q.DTD, BDF: forest}, nil
+	paths := derivePaths(root)
+	return &Plan{
+		root:  root,
+		d:     q.DTD,
+		BDF:   forest,
+		paths: paths,
+		pauto: proj.Compile(paths),
+		pmode: o.Projection,
+	}, nil
 }
 
 type compiler struct {

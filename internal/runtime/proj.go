@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"fluxquery/internal/bdf"
+	"fluxquery/internal/core"
+	"fluxquery/internal/proj"
+	"fluxquery/internal/xquery"
+)
+
+// This file derives a plan's projection path-set (package proj) from its
+// physical operators: the union of every document path the evaluator can
+// read. The derivation mirrors exec.go's consumption of the stream —
+// every branch there that touches event content has a counterpart here
+// that widens the set — and errs wide: a path the evaluator never reads
+// costs only skipped savings, a path it reads but the set lacks would be
+// a correctness bug (the differential suite runs projection on/off to
+// prove there is none).
+
+// derivePaths computes the projection requirement of a compiled plan.
+func derivePaths(root pnode) *proj.PathSet {
+	s := proj.NewPathSet()
+	addPaths(root, s.Root)
+	s.Normalize()
+	return s
+}
+
+// addPaths folds the requirements of a physical node into cur, the
+// path node of the element the evaluator would be positioned on.
+func addPaths(p pnode, cur *proj.PathNode) {
+	switch t := p.(type) {
+	case pText, pOpen, pClose:
+		// Output-only: reads nothing from the stream.
+	case pSeq:
+		for _, c := range t.items {
+			addPaths(c, cur)
+		}
+	case pElement:
+		for _, c := range t.children {
+			addPaths(c, cur)
+		}
+	case pCopy:
+		// Verbatim copy of the current element: everything below streams
+		// to the output.
+		cur.All = true
+	case pAtomic:
+		// Attributes ride on the start event; text() needs the direct
+		// text children.
+		if t.step.Axis == xquery.TextAxis {
+			cur.Text = true
+		}
+	case pXQ:
+		// Buffered evaluation reads only what the BDF buffered, which the
+		// enclosing pPS folds in below — but derive the expression's own
+		// path trie too, so an XQ placed outside a buffer context is
+		// still covered. Underivable expressions keep everything.
+		if trie, err := bdf.PathsTrie(t.expr, t.scopeVar); err == nil {
+			cur.MergeBDF(trie)
+		} else {
+			cur.All = true
+		}
+	case *pPS:
+		addScopePaths(t, cur)
+	}
+}
+
+// addScopePaths folds one process-stream scope: the BDF's buffered
+// children, the scope's buffered text, and every handler body.
+func addScopePaths(ps *pPS, cur *proj.PathNode) {
+	if ps.scope.Text {
+		cur.Text = true
+	}
+	for label, b := range ps.scope.Buffered {
+		cur.Child(label).MergeBDF(b)
+	}
+	_, starBuffered := ps.scope.Buffered["*"]
+	for _, h := range ps.hs {
+		if h.kind != core.OnElement {
+			// Once-handlers evaluate over the scope's buffers; their
+			// bodies read relative to the scope element.
+			addPaths(h.body, cur)
+			continue
+		}
+		child := cur.Child(h.label)
+		if _, buffered := ps.scope.Buffered[h.label]; buffered || starBuffered {
+			// A label that is both streamed and buffered is materialized
+			// completely (the handler replays the full node).
+			child.All = true
+		}
+		addPaths(h.body, child)
+	}
+}

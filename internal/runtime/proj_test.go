@@ -1,0 +1,158 @@
+package runtime
+
+// Adversarial tests of the plan→path-set derivation: every construct that
+// widens what the evaluator reads (whole-element copies, text() reads,
+// wildcard buffers, streamed+buffered labels) must widen the projection.
+// A too-narrow path-set would not crash — it would silently change
+// output, which is why each case here is paired with an execution-level
+// equivalence check.
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/proj"
+)
+
+// verdict resolves a /-separated path against a plan's compiled skip
+// automaton and returns the final state sentinel or id.
+func verdict(p *Plan, path string) int32 {
+	a := proj.Compile(proj.Union(p.Paths()))
+	st := a.Start()
+	for _, label := range strings.Split(path, "/") {
+		st = a.Child(st, label)
+		if st == proj.StateSkip || st == proj.StateAll {
+			return st
+		}
+	}
+	return st
+}
+
+// projEquiv runs a plan on doc with projection off vs fast and fails on
+// any output difference.
+func projEquiv(t *testing.T, src, dtdSrc, doc string) {
+	t.Helper()
+	off := plan(t, src, dtdSrc)
+	off.pmode = proj.ModeOff
+	wantOut, _ := runPlan(t, off, doc)
+	fast := plan(t, src, dtdSrc)
+	gotOut, _ := runPlan(t, fast, doc)
+	if gotOut != wantOut {
+		t.Fatalf("projection changed output:\nfast: %s\noff:  %s", gotOut, wantOut)
+	}
+}
+
+func TestDeriveCopyAllSubtree(t *testing.T) {
+	// {$b} copies the whole book: the path-set must keep everything below
+	// book, not just the paths other handlers name.
+	src := `<r>{ for $b in $ROOT/bib/book return { $b } }</r>`
+	p := plan(t, src, weakBib)
+	if got := verdict(p, "bib/book"); got != proj.StateAll {
+		t.Errorf("copied subtree: verdict %d, want all\npaths:\n%s", got, p.Paths())
+	}
+	projEquiv(t, src, weakBib,
+		`<bib><book><title>T</title><author>A</author></book></bib>`)
+}
+
+func TestDeriveTextOnlyNode(t *testing.T) {
+	// $b/title/text() needs title's text but not title's element children
+	// (none here) — and must NOT skip title itself.
+	src := `<r>{ for $b in $ROOT/bib/book return <t>{ $b/title/text() }</t> }</r>`
+	p := plan(t, src, strongBib)
+	st := verdict(p, "bib/book/title")
+	if st == proj.StateSkip {
+		t.Fatalf("text()-read title skipped\npaths:\n%s", p.Paths())
+	}
+	a := proj.Compile(proj.Union(p.Paths()))
+	cur := a.Start()
+	for _, l := range []string{"bib", "book", "title"} {
+		cur = a.Child(cur, l)
+	}
+	if cur != proj.StateAll && !a.Text(cur) {
+		t.Errorf("title text not kept: state %d\npaths:\n%s", cur, p.Paths())
+	}
+	projEquiv(t, src, strongBib,
+		`<bib><book><title>T</title><author>A</author><publisher>P</publisher><price>9</price></book></bib>`)
+}
+
+func TestDeriveIrrelevantSiblingSkipped(t *testing.T) {
+	// Sanity: derivation must not degenerate to keep-everything —
+	// publisher/price are untouched by q3 and must be prunable.
+	p := plan(t, q3, strongBib)
+	if got := verdict(p, "bib/book/publisher"); got != proj.StateSkip {
+		t.Errorf("irrelevant sibling: verdict %d, want skip\npaths:\n%s", got, p.Paths())
+	}
+	if got := verdict(p, "bib/book/title"); got != proj.StateAll {
+		t.Errorf("output title: verdict %d, want all", got)
+	}
+}
+
+func TestDeriveStreamedPlusBufferedLabel(t *testing.T) {
+	// A label that is both streamed (loop) and buffered (later read in a
+	// second loop over the same label, forcing on-end buffering under the
+	// weak DTD) is materialized fully by the evaluator — the derivation
+	// must keep its whole subtree.
+	src := `<r>{ for $b in $ROOT/bib/book return <x>{ $b/author }{ $b/title }</x> }</r>`
+	doc := `<bib><book><author>A1</author><title>T</title><author>A2</author></book></bib>`
+	projEquiv(t, src, weakBib, doc)
+}
+
+func TestDeriveAttributeRead(t *testing.T) {
+	// Attribute reads ride on the start event: the child need not keep
+	// its interior, but its shell must survive. Widening check only —
+	// equivalence is what matters.
+	const dtdSrc = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+	src := `<r>{ for $b in $ROOT/bib/book return <y>{ $b/@year }</y> }</r>`
+	projEquiv(t, src, dtdSrc,
+		`<bib><book year="1999"><title>T</title><author>A</author></book></bib>`)
+}
+
+func TestDeriveNestedScopes(t *testing.T) {
+	const dtdSrc = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,info)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT info (isbn,blurb)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT blurb (#PCDATA)>
+`
+	src := `<r>{ for $b in $ROOT/bib/book return <x>{ for $i in $b/info return <n>{ $i/isbn/text() }</n> }</x> }</r>`
+	p := plan(t, src, dtdSrc)
+	if got := verdict(p, "bib/book/info/blurb"); got != proj.StateSkip {
+		t.Errorf("blurb under nested scope: verdict %d, want skip\npaths:\n%s", got, p.Paths())
+	}
+	if got := verdict(p, "bib/book/info/isbn"); got == proj.StateSkip {
+		t.Errorf("isbn skipped\npaths:\n%s", p.Paths())
+	}
+	projEquiv(t, src, dtdSrc,
+		`<bib><book><title>T</title><info><isbn>1</isbn><blurb>B</blurb></info></book></bib>`)
+}
+
+func TestPlanRunProjectionModes(t *testing.T) {
+	doc := `<bib><book><title>T</title><author>A</author></book></bib>`
+	var want string
+	for i, mode := range []proj.Mode{proj.ModeOff, proj.ModeValidate, proj.ModeFast} {
+		p := plan(t, q3, weakBib)
+		p.pmode = mode
+		out, st := runPlan(t, p, doc)
+		if i == 0 {
+			want = out
+			if st.ScanEventsDelivered != 0 {
+				t.Errorf("mode off recorded scan stats: %+v", st)
+			}
+			continue
+		}
+		if out != want {
+			t.Errorf("mode %v output differs", mode)
+		}
+		if st.ScanEventsDelivered == 0 {
+			t.Errorf("mode %v recorded no deliveries", mode)
+		}
+	}
+}

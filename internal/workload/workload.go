@@ -167,6 +167,46 @@ var Cases = []Case{
 		Gen: auctionGen,
 	},
 	{
+		Name:  "xmark-q17-nophone",
+		Paper: "XMark Q17-style: people listed with a conditional phone check",
+		Query: `<result>{
+  for $p in $ROOT/site/people/person
+  return { if (exists($p/phone)) then () else <nophone>{ $p/name/text() }</nophone> }
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "xmark-q20-cities",
+		Paper: "XMark Q20-style: city of every person that lists one",
+		Query: `<cities>{
+  for $p in $ROOT/site/people/person, $c in $p/city
+  return <c>{ $c/text() }</c>
+}</cities>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "xmark-q4-sellers",
+		Paper: "XMark Q4-style: seller and item reference of every open auction",
+		Query: `<result>{
+  for $a in $ROOT/site/open_auctions/open_auction
+  return <offer><by>{ $a/seller/text() }</by><of>{ $a/itemref/text() }</of></offer>
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
+		Name:  "xmark-q11-bids",
+		Paper: "XMark Q11-style: the bid history of every open auction",
+		Query: `<result>{
+  for $a in $ROOT/site/open_auctions/open_auction
+  return <history>{ for $b in $a/bidder return <bid>{ $b/increase/text() }</bid> }</history>
+}</result>`,
+		DTD: xmlgen.AuctionDTD,
+		Gen: auctionGen,
+	},
+	{
 		Name:  "paper-loop-merge",
 		Paper: "paper §3.1: two consecutive loops over $book/publisher",
 		Query: `<results>{

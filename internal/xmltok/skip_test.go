@@ -1,0 +1,172 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// startSkipping positions a scanner just past the start tag of the named
+// element and returns it.
+func startSkipping(t *testing.T, doc, name string) *Scanner {
+	t.Helper()
+	sc := NewScanner(strings.NewReader(doc))
+	for {
+		ev, err := sc.NextEvent()
+		if err != nil {
+			t.Fatalf("element <%s> not found: %v", name, err)
+		}
+		if ev.Kind == StartElement && string(ev.NameBytes()) == name {
+			return sc
+		}
+	}
+}
+
+func TestSkipSubtreeBasic(t *testing.T) {
+	doc := `<root><skip><a x="1">text<b/></a><!--c--></skip><keep>K</keep></root>`
+	sc := startSkipping(t, doc, "skip")
+	depth := sc.Depth()
+	c, err := sc.SkipSubtree("skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Depth() != depth-1 {
+		t.Errorf("depth after skip = %d, want %d", sc.Depth(), depth-1)
+	}
+	if c.Bytes == 0 || c.Events == 0 {
+		t.Errorf("no skip accounting: %+v", c)
+	}
+	// The stream continues correctly after the skip.
+	ev, err := sc.NextEvent()
+	if err != nil || ev.Kind != StartElement || string(ev.NameBytes()) != "keep" {
+		t.Fatalf("after skip: %v %v, want <keep>", ev, err)
+	}
+	var rest []Kind
+	for {
+		ev, err := sc.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, ev.Kind)
+	}
+	want := []Kind{Text, EndElement, EndElement}
+	if len(rest) != len(want) {
+		t.Fatalf("tail events %v, want %v", rest, want)
+	}
+}
+
+func TestSkipSubtreeSelfClosing(t *testing.T) {
+	sc := startSkipping(t, `<root><skip/><keep/></root>`, "skip")
+	if _, err := sc.SkipSubtree("skip"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sc.NextEvent()
+	if err != nil || string(ev.NameBytes()) != "keep" {
+		t.Fatalf("after self-close skip: %v %v", ev, err)
+	}
+}
+
+// TestSkipSubtreeHostileContent: markup lookalikes inside comments,
+// CDATA, PIs and quoted attribute values must not confuse the raw
+// depth tracking.
+func TestSkipSubtreeHostileContent(t *testing.T) {
+	doc := `<root><skip>` +
+		`<!-- </skip> <fake> -->` +
+		`<![CDATA[</skip><more>]]>` +
+		`<?pi </skip> ?>` +
+		`<a title="</skip>" other='<b>'>&unknown-entity-ok-here;</a>` +
+		`<empty attr="x/>"/>` +
+		`</skip><keep/></root>`
+	sc := startSkipping(t, doc, "skip")
+	if _, err := sc.SkipSubtree("skip"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sc.NextEvent()
+	if err != nil || string(ev.NameBytes()) != "keep" {
+		t.Fatalf("after hostile skip: %v %v", ev, err)
+	}
+}
+
+// TestSkipSubtreeLargeConstantMemory: skipping a subtree far larger than
+// the scanner window must not grow the window.
+func TestSkipSubtreeLargeConstantMemory(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<root><skip>`)
+	for i := 0; i < 20000; i++ {
+		b.WriteString(`<item attr="value value value">payload text content</item>`)
+	}
+	b.WriteString(`</skip><keep/></root>`)
+	sc := startSkipping(t, b.String(), "skip")
+	c, err := sc.SkipSubtree("skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes < int64(20000*40) {
+		t.Errorf("bytes skipped = %d, implausibly low", c.Bytes)
+	}
+	if c.Events < 40000 {
+		t.Errorf("events skipped = %d, want >= 40000 (start+end per item)", c.Events)
+	}
+	if cap(sc.buf) > 4*defaultWindow {
+		t.Errorf("window grew to %d during a bulk skip", cap(sc.buf))
+	}
+	if ev, err := sc.NextEvent(); err != nil || string(ev.NameBytes()) != "keep" {
+		t.Fatalf("after large skip: %v %v", ev, err)
+	}
+}
+
+func TestSkipSubtreeErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"eof", `<root><skip><a>`},
+		{"mismatched outer end", `<root><skip><a></a></wrong><keep/></root>`},
+		{"unterminated comment", `<root><skip><!-- nope</skip></root>`},
+		{"unterminated cdata", `<root><skip><![CDATA[ nope</skip></root>`},
+		{"stray bang", `<root><skip><!ELEMENT nope></skip></root>`},
+	}
+	for _, tc := range cases {
+		sc := startSkipping(t, tc.doc, "skip")
+		if _, err := sc.SkipSubtree("skip"); err == nil {
+			t.Errorf("%s: skip succeeded on %q", tc.name, tc.doc)
+		}
+	}
+}
+
+// TestSkipSubtreeWindowStraddle: markup boundaries crossing the refill
+// point must be handled; a tiny reader forces many refills.
+func TestSkipSubtreeWindowStraddle(t *testing.T) {
+	doc := `<root><skip><a key="</skip>"><b>text</b></a></skip><keep/></root>`
+	sc := NewScanner(&iotest1{s: doc})
+	for {
+		ev, err := sc.NextEvent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == StartElement && string(ev.NameBytes()) == "skip" {
+			break
+		}
+	}
+	if _, err := sc.SkipSubtree("skip"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := sc.NextEvent(); err != nil || string(ev.NameBytes()) != "keep" {
+		t.Fatalf("after straddled skip: %v %v", ev, err)
+	}
+}
+
+// iotest1 yields one byte per Read.
+type iotest1 struct {
+	s string
+	n int
+}
+
+func (r *iotest1) Read(p []byte) (int, error) {
+	if r.n >= len(r.s) {
+		return 0, io.EOF
+	}
+	p[0] = r.s[r.n]
+	r.n++
+	return 1, nil
+}

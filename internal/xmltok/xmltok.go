@@ -10,14 +10,36 @@
 // processing instructions, a DOCTYPE declaration (captured, not
 // interpreted), and the predefined plus numeric character entities.
 //
-// Two result representations are offered. NextEvent is the zero-copy form:
-// the returned Event exposes NameBytes/DataBytes/Attrs views into the
-// scanner's internal window, valid only until the following NextEvent (or
-// Next) call. Next is a convenience adapter that copies the event into an
-// owned Token, interning element and attribute names so that repeated tags
-// in large streams do not allocate per occurrence. The engine's hot paths
-// consume events and copy only at the points where data must outlive the
-// stream position (the buffering boundary of the FluX semantics).
+// Two result representations are offered. NextEvent is the zero-copy form;
+// Next is a convenience adapter that copies the event into an owned Token,
+// interning element and attribute names so that repeated tags in large
+// streams do not allocate per occurrence. The engine's hot paths consume
+// events and copy only at the points where data must outlive the stream
+// position (the buffering boundary of the FluX semantics).
+//
+// # Zero-copy lifetime rules
+//
+// Every byte slice reachable from an Event — NameBytes, DataBytes, and
+// both fields of each AttrBytes in Attrs — is a view into the scanner's
+// internal window (or its per-event scratch buffer). The rules are:
+//
+//  1. A view is valid from the NextEvent call that returned it until the
+//     NEXT call of any scanning method on the same Scanner (NextEvent,
+//     Next, SkipSubtree, Reset). The next call may refill or shift the
+//     window and overwrite the bytes in place.
+//  2. The *Event pointer itself is scanner-owned and reused: retaining it
+//     across calls retains a struct whose views have been invalidated.
+//  3. Consumers that need data to survive the stream position must copy
+//     it while the view is valid. The engine copies exactly once per
+//     boundary crossing: xsax.Batch.Append for the shared-stream fanout,
+//     and the runtime's BDF buffer-fill points (dom materialization,
+//     OwnedAttrs) for data the query semantics require to live on.
+//  4. Strings interned by the Token adapter (element and attribute names)
+//     are owned and safe to retain forever.
+//
+// The race detector will not catch violations of rule 1 on a single
+// goroutine; the zero-copy invariant tests (zerocopy_test.go here and in
+// the root package) exist for exactly that reason.
 package xmltok
 
 import (
@@ -217,6 +239,10 @@ type Scanner struct {
 	// (no read happens between delivery of the start and the end).
 	pendingOff, pendingEnd int
 	hasPending             bool
+	// base is the stream offset of buf[0]: bytes discarded by fill so
+	// far. base+pos is the absolute stream position, which SkipSubtree
+	// uses to report how many raw bytes a bulk skip consumed.
+	base int64
 	// names interns element and attribute names for the Token adapter.
 	names map[string]string
 	// attrbuf is reused across Token conversions; the Attrs slice handed
@@ -263,6 +289,7 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.lineScanned = 0
 	s.eof = false
 	s.rdErr = nil
+	s.base = 0
 	s.done = false
 	s.started = false
 	s.depth = 0
@@ -315,6 +342,7 @@ func (s *Scanner) fill() error {
 		}
 		n := copy(s.buf, s.buf[keep:])
 		s.buf = s.buf[:n]
+		s.base += int64(keep)
 		s.pos -= keep
 		s.lineScanned -= keep
 		if s.mark >= 0 {

@@ -1,0 +1,163 @@
+package xsax
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
+	"fluxquery/internal/xmltok"
+)
+
+const filterDTD = `<!ELEMENT bib (book)*>
+<!ELEMENT book (title,info)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT info (isbn,blurb)>
+<!ELEMENT isbn (#PCDATA)>
+<!ELEMENT blurb (#PCDATA)>`
+
+const filterDoc = `<bib><book><title>T1</title><info><isbn>1</isbn><blurb>long text</blurb></info></book>` +
+	`<book><title>T2</title><info><isbn>2</isbn><blurb>more text</blurb></info></book></bib>`
+
+// titleOnly is a path-set keeping bib/book/title subtrees and nothing
+// below info.
+func titleOnly() *proj.Automaton {
+	s := proj.NewPathSet()
+	s.Root.Child("bib").Child("book").Child("title").All = true
+	return proj.Compile(s)
+}
+
+// drainEvents collects (kind, name-or-data) pairs of a whole stream.
+func drainEvents(t *testing.T, r *Reader) []string {
+	t.Helper()
+	var out []string
+	for {
+		ev, err := r.NextEvent()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case xmltok.StartElement:
+			out = append(out, "<"+ev.Name+">")
+		case xmltok.EndElement:
+			out = append(out, "</"+ev.Name+">")
+		case xmltok.Text:
+			out = append(out, string(ev.Data))
+		}
+	}
+}
+
+func TestFilteredReaderShellsAndText(t *testing.T) {
+	d := dtd.MustParse(filterDTD)
+	for _, mode := range []proj.Mode{proj.ModeFast, proj.ModeValidate} {
+		r := GetReader(strings.NewReader(filterDoc), d)
+		r.SetProjection(titleOnly(), mode)
+		got := strings.Join(drainEvents(t, r), " ")
+		// info is a shell: start and end delivered, interior gone.
+		want := "<bib> <book> <title> T1 </title> <info> </info> </book> " +
+			"<book> <title> T2 </title> <info> </info> </book> </bib>"
+		if got != want {
+			t.Errorf("mode %v:\ngot:  %s\nwant: %s", mode, got, want)
+		}
+		st := r.ScanStats()
+		if st.EventsDelivered == 0 || st.EventsSkipped == 0 || st.SubtreesSkipped != 2 {
+			t.Errorf("mode %v: stats %+v", mode, st)
+		}
+		if mode == proj.ModeFast && st.BytesSkipped == 0 {
+			t.Error("fast mode recorded no bulk-skipped bytes")
+		}
+		if mode == proj.ModeValidate && st.BytesSkipped != 0 {
+			t.Error("validate mode claims bulk-skipped bytes")
+		}
+		PutReader(r)
+	}
+}
+
+// TestFilteredReaderValidatesFrontier: the start tag of a pruned element
+// is still fully validated (undeclared element, missing required
+// attribute, content-model position) in both modes.
+func TestFilteredReaderValidatesFrontier(t *testing.T) {
+	d := dtd.MustParse(filterDTD)
+	// <extra> is undeclared at the frontier (a direct, prunable child
+	// position): both modes must reject it.
+	bad := `<bib><book><title>T</title><extra/></book></bib>`
+	for _, mode := range []proj.Mode{proj.ModeFast, proj.ModeValidate} {
+		r := GetReader(strings.NewReader(bad), d)
+		r.SetProjection(titleOnly(), mode)
+		var err error
+		for err == nil {
+			_, err = r.NextEvent()
+		}
+		if err == io.EOF {
+			t.Errorf("mode %v: undeclared frontier element accepted", mode)
+		}
+		PutReader(r)
+	}
+}
+
+// TestFilteredReaderValidateModeSeesInterior: an invalid element hidden
+// inside a pruned subtree is caught by validate mode and traded away by
+// fast mode (the documented difference).
+func TestFilteredReaderValidateModeSeesInterior(t *testing.T) {
+	d := dtd.MustParse(filterDTD)
+	bad := `<bib><book><title>T</title><info><wrong/></info></book></bib>`
+	run := func(mode proj.Mode) error {
+		r := GetReader(strings.NewReader(bad), d)
+		defer PutReader(r)
+		r.SetProjection(titleOnly(), mode)
+		var err error
+		for err == nil {
+			_, err = r.NextEvent()
+		}
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+	if err := run(proj.ModeValidate); err == nil {
+		t.Error("validate mode accepted an invalid pruned interior")
+	}
+	if err := run(proj.ModeFast); err != nil {
+		t.Errorf("fast mode rejected a balanced pruned interior: %v", err)
+	}
+}
+
+// TestFilteredReaderEquivalence: filtering never changes which events of
+// the kept region are delivered, against an unprojected reference.
+func TestFilteredReaderEquivalence(t *testing.T) {
+	d := dtd.MustParse(filterDTD)
+	ref := GetReader(strings.NewReader(filterDoc), d)
+	full := drainEvents(t, ref)
+	PutReader(ref)
+
+	// keep-everything set: All at the root child.
+	s := proj.NewPathSet()
+	s.Root.Child("bib").All = true
+	for _, mode := range []proj.Mode{proj.ModeFast, proj.ModeValidate} {
+		r := GetReader(strings.NewReader(filterDoc), d)
+		r.SetProjection(proj.Compile(s), mode)
+		got := drainEvents(t, r)
+		PutReader(r)
+		if strings.Join(got, "|") != strings.Join(full, "|") {
+			t.Errorf("mode %v: keep-all projection altered the stream", mode)
+		}
+	}
+}
+
+// TestFilteredReaderReset: projection must not survive a pooled reader's
+// Reset.
+func TestFilteredReaderReset(t *testing.T) {
+	d := dtd.MustParse(filterDTD)
+	r := GetReader(strings.NewReader(filterDoc), d)
+	r.SetProjection(titleOnly(), proj.ModeFast)
+	drainEvents(t, r)
+	r.Reset(strings.NewReader(filterDoc), d)
+	if got := drainEvents(t, r); len(got) < 20 {
+		t.Errorf("projection leaked through Reset: only %d events", len(got))
+	}
+	PutReader(r)
+}

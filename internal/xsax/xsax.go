@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
 	"fluxquery/internal/xmltok"
 )
 
@@ -86,7 +87,25 @@ func (e *Event) OwnedAttrs() []xmltok.Attr {
 	return e.AppendOwnedAttrs(make([]xmltok.Attr, 0, len(e.Attrs)))
 }
 
-// Reader is a validating pull reader over an XML stream.
+// ScanStats reports what a projecting reader delivered and skipped over
+// one stream.
+type ScanStats struct {
+	// EventsDelivered counts events handed to the consumer.
+	EventsDelivered int64
+	// EventsSkipped counts events (or, in fast mode, raw markup
+	// structures) consumed without delivery.
+	EventsSkipped int64
+	// SubtreesSkipped counts pruned subtrees (shell deliveries).
+	SubtreesSkipped int64
+	// BytesSkipped counts raw input bytes consumed by bulk skips (fast
+	// mode only; validate mode tokenizes everything).
+	BytesSkipped int64
+}
+
+// Reader is a validating pull reader over an XML stream. With
+// SetProjection it additionally filters delivery through a projection
+// skip automaton (see package proj): pruned subtrees are delivered as
+// bare start/end shells with their interiors skipped.
 type Reader struct {
 	sc      *xmltok.Scanner
 	d       *dtd.DTD
@@ -96,6 +115,16 @@ type Reader struct {
 	sawRoot bool
 	// ev is the reader-owned event returned by NextEvent.
 	ev Event
+
+	// Projection state: pauto is nil when projection is off. pstack holds
+	// the automaton state per delivered open element (pstack[0] is the
+	// virtual document state); a pending shell skip is consumed at the
+	// next NextEvent call.
+	pauto       *proj.Automaton
+	pfast       bool
+	pstack      []int32
+	pendingSkip bool
+	pstats      ScanStats
 }
 
 // NewReader returns a validating reader for the stream r under DTD d.
@@ -110,7 +139,35 @@ func (r *Reader) Reset(rd io.Reader, d *dtd.DTD) {
 	r.d = d
 	r.stack = r.stack[:0]
 	r.sawRoot = false
+	r.pauto = nil
+	r.pfast = false
+	r.pstack = r.pstack[:0]
+	r.pendingSkip = false
+	r.pstats = ScanStats{}
 }
+
+// SetProjection installs a projection automaton for the current stream:
+// only events the automaton deems relevant are delivered; pruned subtrees
+// become start/end shells. In fast mode pruned interiors are bulk-skipped
+// in the tokenizer (tag balance and the outer end-tag name are checked,
+// declarations and content models inside are not); otherwise they are
+// fully tokenized and validated, and merely not delivered. Projection is
+// cleared by Reset, so it must be re-installed per stream.
+func (r *Reader) SetProjection(a *proj.Automaton, mode proj.Mode) {
+	if a == nil || mode == proj.ModeOff {
+		r.pauto = nil
+		return
+	}
+	r.pauto = a
+	r.pfast = mode == proj.ModeFast
+	r.pstack = append(r.pstack[:0], a.Start())
+	r.pendingSkip = false
+	r.pstats = ScanStats{}
+}
+
+// ScanStats returns the projection counters accumulated since
+// SetProjection. All zeros when projection is off.
+func (r *Reader) ScanStats() ScanStats { return r.pstats }
 
 var readerPool sync.Pool
 
@@ -165,8 +222,91 @@ func (r *Reader) Line() int { return r.sc.Line() }
 
 // NextEvent returns the next validated event in zero-copy form. Comments,
 // processing instructions and directives are passed through unvalidated.
-// The error is io.EOF at the end of a well-formed, valid document.
+// The error is io.EOF at the end of a well-formed, valid document. With a
+// projection installed (SetProjection), irrelevant events are consumed
+// here and never delivered.
 func (r *Reader) NextEvent() (*Event, error) {
+	if r.pauto == nil {
+		return r.nextCore()
+	}
+	if r.pendingSkip {
+		ev, err := r.finishSkip()
+		if err != nil {
+			return nil, err
+		}
+		r.pstats.EventsDelivered++
+		return ev, nil
+	}
+	for {
+		ev, err := r.nextCore()
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case xmltok.StartElement:
+			next := r.pauto.Child(r.pstack[len(r.pstack)-1], ev.Name)
+			if next == proj.StateSkip {
+				// Shell: deliver the (validated) start bare, mark its
+				// interior for skipping. Nothing downstream reads a
+				// pruned element's attributes, so they are dropped to
+				// save the per-consumer batch copy.
+				ev.Attrs = nil
+				r.pendingSkip = true
+				r.pstats.SubtreesSkipped++
+			} else {
+				r.pstack = append(r.pstack, next)
+			}
+		case xmltok.EndElement:
+			r.pstack = r.pstack[:len(r.pstack)-1]
+		case xmltok.Text:
+			if !r.pauto.Text(r.pstack[len(r.pstack)-1]) {
+				r.pstats.EventsSkipped++
+				continue
+			}
+		}
+		r.pstats.EventsDelivered++
+		return ev, nil
+	}
+}
+
+// finishSkip consumes the interior of a pending shell element and returns
+// its EndElement. In fast mode the tokenizer bulk-skips the raw bytes; in
+// validate mode every interior event is tokenized and validated, just not
+// delivered.
+func (r *Reader) finishSkip() (*Event, error) {
+	r.pendingSkip = false
+	f := r.stack[len(r.stack)-1]
+	if r.pfast {
+		c, err := r.sc.SkipSubtree(f.elem.Name)
+		r.pstats.BytesSkipped += c.Bytes
+		r.pstats.EventsSkipped += c.Events
+		if err != nil {
+			return nil, err
+		}
+		// The interior was not validated, so the element's content-model
+		// accepting state cannot be checked; the frame is popped as-is.
+		r.stack = r.stack[:len(r.stack)-1]
+		r.ev = Event{Kind: xmltok.EndElement, Name: f.elem.Name, Elem: f.elem}
+		return &r.ev, nil
+	}
+	target := len(r.stack)
+	for {
+		ev, err := r.nextCore()
+		if err != nil {
+			if err == io.EOF {
+				return nil, r.errf("unexpected EOF while skipping <%s>", f.elem.Name)
+			}
+			return nil, err
+		}
+		if ev.Kind == xmltok.EndElement && len(r.stack) == target-1 {
+			return ev, nil
+		}
+		r.pstats.EventsSkipped++
+	}
+}
+
+// nextCore is the unprojected event loop: tokenize, validate, deliver.
+func (r *Reader) nextCore() (*Event, error) {
 	for {
 		ev, err := r.sc.NextEvent()
 		if err == io.EOF && !r.sawRoot {

@@ -80,7 +80,11 @@ func TestStreamSetDifferential(t *testing.T) {
 				if err != nil {
 					t.Errorf("%s: stats error: %v", c.Name, err)
 				}
-				if st.Events != wantSt.Events || st.PeakBufferBytes != wantSt.PeakBufferBytes ||
+				// Events may legitimately diverge: the shared pass projects
+				// with the union of every registered plan's path-set, so a
+				// plan can see (and count) events only a neighbour needs.
+				// Everything derived from the events must match exactly.
+				if st.Events < wantSt.Events || st.PeakBufferBytes != wantSt.PeakBufferBytes ||
 					st.OutputBytes != wantSt.OutputBytes || st.HandlerFirings != wantSt.HandlerFirings {
 					t.Errorf("%s: shared stats diverge: %+v vs %+v", c.Name, st, wantSt)
 				}
