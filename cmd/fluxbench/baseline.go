@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// This file implements -baseline: re-run the measurement catalogue and
+// diff its throughput against a committed BENCH_*.json trajectory file,
+// failing on regression. It is the perf analogue of the differential
+// suite — a PR that slows a hot path down past the threshold turns the
+// bench job red instead of landing silently.
+
+// key identifies a measurement across runs; it must be stable under
+// append-only schema evolution of record.
+type key struct {
+	Suite  string
+	Query  string
+	Engine string
+	Proj   string
+	Plans  int
+}
+
+func (r *record) key() key {
+	return key{Suite: r.Suite, Query: r.Query, Engine: r.Engine, Proj: r.Proj, Plans: r.Plans}
+}
+
+// loadBaseline reads a BENCH_*.json file written by -json.
+func loadBaseline(path string) (map[key]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[key]record, len(records))
+	for _, r := range records {
+		out[r.key()] = r
+	}
+	return out, nil
+}
+
+// runBaseline measures the current tree and diffs MB/s per measurement
+// against the baseline file. It returns an error when any shared
+// measurement regresses by more than maxRegressPct percent.
+func runBaseline(r *runner, baselinePath string, maxRegressPct float64, normalize bool) error {
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := collectRecords(r)
+	if err != nil {
+		return err
+	}
+	if normalize {
+		cur = normalizeRecords(r.w, base, cur)
+	}
+	if failed := diffRecords(r.w, base, cur, maxRegressPct); failed > 0 {
+		return fmt.Errorf("%d measurement(s) regressed by more than %.0f%% MB/s vs %s",
+			failed, maxRegressPct, baselinePath)
+	}
+	fmt.Fprintf(r.w, "OK: no measurement regressed by more than %.0f%% vs %s\n", maxRegressPct, baselinePath)
+	return nil
+}
+
+// normalizeRecords rescales the current run by the median current/base
+// throughput ratio, so a uniformly slower or faster machine diffs clean
+// against a baseline from different hardware and only measurements that
+// moved relative to the rest of the suite stand out.
+func normalizeRecords(w io.Writer, base map[key]record, cur []record) []record {
+	var ratios []float64
+	for _, c := range cur {
+		if b, ok := base[c.key()]; ok && b.MBPerS > 0 && c.MBPerS > 0 {
+			ratios = append(ratios, c.MBPerS/b.MBPerS)
+		}
+	}
+	if len(ratios) == 0 {
+		return cur
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if median <= 0 {
+		return cur
+	}
+	fmt.Fprintf(w, "normalizing by median throughput ratio %.3f (machine-speed difference cancelled)\n", median)
+	out := make([]record, len(cur))
+	for i, c := range cur {
+		c.MBPerS /= median
+		out[i] = c
+	}
+	return out
+}
+
+// diffRecords prints the per-measurement throughput deltas and returns
+// the number of regressions past the threshold. Measurements missing
+// from either side are reported but do not count as failures (the schema
+// is append-only; new workloads appear over time).
+func diffRecords(w io.Writer, base map[key]record, cur []record, maxRegressPct float64) int {
+	type row struct {
+		k          key
+		baseMB     float64
+		curMB      float64
+		deltaPct   float64
+		regression bool
+	}
+	var rows []row
+	var missing []key
+	seen := make(map[key]bool, len(cur))
+	for _, c := range cur {
+		k := c.key()
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		if b.MBPerS <= 0 {
+			continue
+		}
+		d := (c.MBPerS - b.MBPerS) / b.MBPerS * 100
+		rows = append(rows, row{k: k, baseMB: b.MBPerS, curMB: c.MBPerS, deltaPct: d,
+			regression: d < -maxRegressPct})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].deltaPct < rows[j].deltaPct })
+
+	fmt.Fprintf(w, "%-14s %-24s %-16s %-8s %10s %10s %8s\n",
+		"suite", "query", "engine", "proj", "base MB/s", "cur MB/s", "delta")
+	failed := 0
+	for _, row := range rows {
+		marker := ""
+		if row.regression {
+			marker = "  << REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(w, "%-14s %-24s %-16s %-8s %10.1f %10.1f %+7.1f%%%s\n",
+			row.k.Suite, row.k.Query, row.k.Engine, row.k.Proj,
+			row.baseMB, row.curMB, row.deltaPct, marker)
+	}
+	for _, k := range missing {
+		fmt.Fprintf(w, "%-14s %-24s %-16s %-8s %10s (not in baseline)\n",
+			k.Suite, k.Query, k.Engine, k.Proj, "-")
+	}
+	for k := range base {
+		if !seen[k] {
+			fmt.Fprintf(w, "%-14s %-24s %-16s %-8s %10s (baseline only)\n",
+				k.Suite, k.Query, k.Engine, k.Proj, "-")
+		}
+	}
+	return failed
+}

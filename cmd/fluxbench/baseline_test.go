@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiffRecordsRegression(t *testing.T) {
+	mk := func(q string, mbs float64) record {
+		return record{Suite: "workload", Query: q, Engine: "flux", Plans: 1, MBPerS: mbs}
+	}
+	base := map[key]record{}
+	for _, r := range []record{mk("q-ok", 100), mk("q-slow", 100), mk("q-gone", 50)} {
+		base[r.key()] = r
+	}
+	cur := []record{
+		mk("q-ok", 95),   // -5%: within threshold
+		mk("q-slow", 80), // -20%: regression
+		mk("q-new", 10),  // not in baseline: reported, not failed
+	}
+	var out strings.Builder
+	failed := diffRecords(&out, base, cur, 10)
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1\n%s", failed, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"REGRESSION", "q-slow", "not in baseline", "baseline only"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, s)
+		}
+	}
+	if failed := diffRecords(&out, base, cur, 25); failed != 0 {
+		t.Fatalf("threshold 25%%: failed = %d, want 0", failed)
+	}
+}
+
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	recs := []record{{Suite: "workload", Query: "q", Engine: "flux", Plans: 1, MBPerS: 42}}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[recs[0].key()].MBPerS != 42 {
+		t.Fatalf("loadBaseline = %+v", got)
+	}
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file must error")
+	}
+}
+
+func TestNormalizeRecordsCancelsMachineSpeed(t *testing.T) {
+	mk := func(q string, mbs float64) record {
+		return record{Suite: "workload", Query: q, Engine: "flux", Plans: 1, MBPerS: mbs}
+	}
+	base := map[key]record{}
+	for _, r := range []record{mk("a", 100), mk("b", 200), mk("c", 300)} {
+		base[r.key()] = r
+	}
+	// A machine uniformly 2x slower, except "c" which truly regressed a
+	// further 50% relative to the rest.
+	cur := []record{mk("a", 50), mk("b", 100), mk("c", 75)}
+	var out strings.Builder
+	norm := normalizeRecords(&out, base, cur)
+	if failed := diffRecords(&out, base, norm, 35); failed != 1 {
+		t.Fatalf("failed = %d, want 1 (only the true regression)\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "normalizing by median") {
+		t.Fatalf("missing normalization note:\n%s", out.String())
+	}
+	// Without the real regression, a uniformly slower machine passes.
+	cur2 := []record{mk("a", 50), mk("b", 100), mk("c", 150)}
+	var out2 strings.Builder
+	if failed := diffRecords(&out2, base, normalizeRecords(&out2, base, cur2), 10); failed != 0 {
+		t.Fatalf("uniform slowdown flagged as regression:\n%s", out2.String())
+	}
+}

@@ -78,6 +78,28 @@ func mbPerS(bytes int64, d time.Duration) float64 {
 // runJSON measures the workload catalogue on every engine plus the
 // shared-stream multi-query workload and writes the records as JSON.
 func runJSON(r *runner, path string) error {
+	records, err := collectRecords(r)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// collectRecords runs the full measurement catalogue (single-query suite
+// and shared-stream suite) and returns the records. It is shared by the
+// -json writer and the -baseline regression diff.
+func collectRecords(r *runner) ([]record, error) {
 	var records []record
 
 	// Single-query suite: every case on every engine.
@@ -89,7 +111,7 @@ func runJSON(r *runner, path string) error {
 		}
 		doc, err := r.gen(c, size)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// The flux engine is measured twice — projection off and fast — so
 		// trajectory files record the stream-projection win per query; the
@@ -114,7 +136,7 @@ func runJSON(r *runner, path string) error {
 				return rerr
 			})
 			if err != nil {
-				return fmt.Errorf("%s/%s: %w", c.Name, v.engine, err)
+				return nil, fmt.Errorf("%s/%s: %w", c.Name, v.engine, err)
 			}
 			records = append(records, record{
 				Suite:           "workload",
@@ -138,22 +160,9 @@ func runJSON(r *runner, path string) error {
 	// Shared-stream suite: N streaming auction queries on one pass.
 	shared, err := sharedStreamRecords(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	records = append(records, shared...)
-
-	out := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(records)
+	return append(records, shared...), nil
 }
 
 // sharedStreamRecords measures the multi-query engine: 8 streaming XMark

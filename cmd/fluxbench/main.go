@@ -6,16 +6,27 @@
 //
 // Usage:
 //
-//	fluxbench                 # all experiments at default scale
-//	fluxbench -exp e1         # one experiment
-//	fluxbench -scale 4        # 4x larger documents
-//	fluxbench -json out.json  # machine-readable suite results ("-" = stdout)
+//	fluxbench                       # all experiments at default scale
+//	fluxbench -exp e1               # one experiment
+//	fluxbench -scale 4              # 4x larger documents
+//	fluxbench -json out.json        # machine-readable suite results ("-" = stdout)
+//	fluxbench -baseline BENCH.json  # diff current MB/s against a committed baseline
+//	fluxbench -cpuprofile cpu.prof  # pprof evidence for perf PRs
 //
 // With -json, fluxbench skips the tables and instead runs the workload
 // catalogue (every case on every engine, plus the shared-stream
 // multi-query workload) and writes one JSON record per measurement —
 // engine, query, throughput, allocations and peak buffer — so successive
 // PRs can record BENCH_*.json trajectory files.
+//
+// With -baseline, the same catalogue runs and its throughput is compared
+// per measurement against the given BENCH_*.json file; the process exits
+// non-zero when any shared measurement regresses by more than
+// -regress-pct percent MB/s (default 10). Baselines are machine-specific:
+// compare only runs from the same class of hardware.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the measured
+// work, so perf PRs can attach evidence of where the time went.
 package main
 
 import (
@@ -24,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,20 +49,66 @@ import (
 var engines = []fluxquery.Engine{fluxquery.EngineFlux, fluxquery.EngineProjection, fluxquery.EngineNaive}
 
 func main() {
+	// The work happens in run so that its defers — the pprof writers in
+	// particular — complete before the process exits with a failure code
+	// (a -baseline regression is exactly when the profiles are wanted).
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: e1..e8 or all")
-		scale    = flag.Int64("scale", 1, "document size multiplier")
-		reps     = flag.Int("reps", 3, "repetitions per measurement (best time reported)")
-		jsonPath = flag.String("json", "", "write machine-readable workload-suite results to this file (\"-\" for stdout) instead of the experiment tables")
+		exp        = flag.String("exp", "all", "experiment id: e1..e8 or all")
+		scale      = flag.Int64("scale", 1, "document size multiplier")
+		reps       = flag.Int("reps", 3, "repetitions per measurement (best time reported)")
+		jsonPath   = flag.String("json", "", "write machine-readable workload-suite results to this file (\"-\" for stdout) instead of the experiment tables")
+		baseline   = flag.String("baseline", "", "diff the current run against this BENCH_*.json file and exit non-zero on regression")
+		regressPct = flag.Float64("regress-pct", 10, "MB/s regression threshold (percent) for -baseline")
+		normalize  = flag.Bool("normalize", false, "for -baseline: divide every current/baseline ratio by the run's median ratio, cancelling uniform machine-speed differences (use when diffing against a baseline from different hardware)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured work to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (taken after the measured work) to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fluxbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fluxbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	r := &runner{scale: *scale, reps: *reps, w: os.Stdout}
+	if *baseline != "" {
+		if err := runBaseline(r, *baseline, *regressPct, *normalize); err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: -baseline: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *jsonPath != "" {
 		if err := runJSON(r, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fluxbench: -json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 	if *exp != "all" {
@@ -59,14 +118,15 @@ func main() {
 		fn, ok := experiments[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "fluxbench: unknown experiment %q\n", id)
-			os.Exit(1)
+			return 1
 		}
 		if err := fn(r); err != nil {
 			fmt.Fprintf(os.Stderr, "fluxbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(r.w)
 	}
+	return 0
 }
 
 type runner struct {

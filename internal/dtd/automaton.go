@@ -30,6 +30,13 @@ type Automaton struct {
 	// isAny marks the universal automaton of the ANY content model; its
 	// transition table is empty and every label self-loops implicitly.
 	isAny bool
+
+	// stepID is the flattened id-indexed transition table filled by
+	// compileIDTable: stepID[q*vocabN+id] is the successor of state q on a
+	// child with dense name id `id`, or -1. It lets the streaming hot path
+	// step the automaton with one slice load instead of a string-map probe.
+	stepID []int32
+	vocabN int
 }
 
 // compileElement builds the automaton for an element declaration.
@@ -376,6 +383,65 @@ func (a *Automaton) Step(q int, label string) int {
 		return -1
 	}
 	return a.trans[q][l]
+}
+
+// compileIDTable fills the automaton's id-indexed transition table over
+// the DTD's name-id vocabulary. The ANY automaton keeps a nil table (every
+// declared child self-loops, see StepID).
+func (a *Automaton) compileIDTable(d *DTD) {
+	if a.isAny {
+		a.stepID = nil
+		a.vocabN = d.NumIDs()
+		return
+	}
+	n := d.NumIDs()
+	a.vocabN = n
+	a.stepID = make([]int32, len(a.trans)*n)
+	for i := range a.stepID {
+		a.stepID[i] = -1
+	}
+	for l, label := range a.labels {
+		e := d.Elements[label]
+		if e == nil {
+			continue // undeclared label: Parse rejects these anyway
+		}
+		id := int(e.id)
+		for q := range a.trans {
+			if t := a.trans[q][l]; t >= 0 {
+				a.stepID[q*n+id] = int32(t)
+			}
+		}
+	}
+}
+
+// StepID is Step keyed by the child's dense name id: one slice load on
+// the streaming hot path. The caller guarantees q is a valid state (>= 0)
+// and id < the DTD's NumIDs; both hold for states produced by Start/StepID
+// under a validated stream.
+func (a *Automaton) StepID(q int, id int32) int {
+	if a.stepID == nil {
+		if a.isAny {
+			return 0
+		}
+		return -1
+	}
+	return int(a.stepID[q*a.vocabN+int(id)])
+}
+
+// PastVector precomputes Past(q, set) for every state: the returned slice
+// is indexed by automaton state, so an on-first handler's firing test is
+// one slice load per completed child instead of a per-label CanSee scan.
+// The vector is immutable and safe to share across executions.
+func (a *Automaton) PastVector(set []string) []bool {
+	n := len(a.trans)
+	if n == 0 {
+		n = 1
+	}
+	out := make([]bool, n)
+	for q := range out {
+		out[q] = a.Past(q, set)
+	}
+	return out
 }
 
 // CanSee reports whether, from state q, a child labeled label can still

@@ -1,0 +1,129 @@
+package dtd
+
+import (
+	"os"
+	"testing"
+)
+
+// idTestDTDs gathers a spread of content-model shapes: sequences,
+// choices, repetitions, mixed, EMPTY and ANY.
+func idTestDTDs(t *testing.T) []*DTD {
+	t.Helper()
+	srcs := []string{
+		`<!ELEMENT r (a,b?,c*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)><!ELEMENT c (a|b)+>`,
+		`<!ELEMENT r ((a|b)*,c)><!ELEMENT a EMPTY><!ELEMENT b ANY><!ELEMENT c (#PCDATA|a)*>`,
+	}
+	var out []*DTD
+	for _, s := range srcs {
+		out = append(out, MustParse(s))
+	}
+	for _, f := range []string{"../../testdata/bib-weak.dtd", "../../testdata/bib-strong.dtd"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, MustParse(string(data)))
+	}
+	return out
+}
+
+// TestStepIDEquivalence: the id-indexed transition table agrees with the
+// string-keyed Step on every (element, state, child) triple, including
+// the hidden document pseudo-element.
+func TestStepIDEquivalence(t *testing.T) {
+	for _, d := range idTestDTDs(t) {
+		for _, e := range d.Elements {
+			a := e.Automaton()
+			for q := 0; q < a.NumStates(); q++ {
+				for id := int32(0); int(id) < d.NumIDs(); id++ {
+					child := d.ByID(id)
+					want := a.Step(q, child.Name)
+					got := a.StepID(q, id)
+					if want != got {
+						t.Fatalf("%s: Step(%d,%s)=%d but StepID(%d,%d)=%d",
+							e.Name, q, child.Name, want, q, id, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPastVectorEquivalence: the precompiled per-state past vectors agree
+// with the per-call Past on assorted label sets.
+func TestPastVectorEquivalence(t *testing.T) {
+	for _, d := range idTestDTDs(t) {
+		for _, e := range d.Elements {
+			a := e.Automaton()
+			labels := a.Alphabet()
+			sets := [][]string{{}, labels}
+			for _, l := range labels {
+				sets = append(sets, []string{l})
+			}
+			if len(labels) >= 2 {
+				sets = append(sets, labels[:2])
+			}
+			for _, set := range sets {
+				vec := a.PastVector(set)
+				for q := 0; q < a.NumStates(); q++ {
+					if vec[q] != a.Past(q, set) {
+						t.Fatalf("%s: PastVector(%v)[%d]=%v, Past=%v",
+							e.Name, set, q, vec[q], a.Past(q, set))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIDsDeterministic: two parses of the same source assign identical
+// ids — the invariant that lets plans compiled against an equivalent DTD
+// ride a shared stream with integer dispatch.
+func TestIDsDeterministic(t *testing.T) {
+	const src = `<!ELEMENT r (a,b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`
+	d1, d2 := MustParse(src), MustParse(src)
+	if d1.NumIDs() != d2.NumIDs() {
+		t.Fatalf("NumIDs differ: %d vs %d", d1.NumIDs(), d2.NumIDs())
+	}
+	for id := int32(0); int(id) < d1.NumIDs(); id++ {
+		if d1.ByID(id).Name != d2.ByID(id).Name {
+			t.Fatalf("id %d names %q vs %q", id, d1.ByID(id).Name, d2.ByID(id).Name)
+		}
+	}
+	if doc := d1.Element(DocElem); doc == nil || int(doc.ID()) != d1.NumIDs()-1 {
+		t.Fatalf("document pseudo-element must take the last id")
+	}
+}
+
+// TestParseDoctypeReassignsIDs: ParseDoctype replaces the document
+// pseudo-element after Parse froze the id tables; it must re-freeze them
+// so the live doc element owns the document id and a transition table
+// (regression: StepID returned -1 for the root child, poisoning every
+// id-keyed dispatch downstream).
+func TestParseDoctypeReassignsIDs(t *testing.T) {
+	d, err := ParseDoctype(`DOCTYPE b [<!ELEMENT a (#PCDATA)><!ELEMENT b (a)*>]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "b" {
+		t.Fatalf("root = %q, want b", d.Root)
+	}
+	doc := d.Element(DocElem)
+	if doc == nil {
+		t.Fatal("no document pseudo-element")
+	}
+	if int(doc.ID()) != d.NumIDs()-1 {
+		t.Fatalf("doc id = %d, want %d", doc.ID(), d.NumIDs()-1)
+	}
+	if d.ByID(doc.ID()) != doc {
+		t.Fatalf("ByID(doc.ID()) is %q, not the live doc element", d.ByID(doc.ID()).Name)
+	}
+	a := doc.Automaton()
+	rootElem := d.Element("b")
+	if got := a.StepID(a.Start(), rootElem.ID()); got < 0 {
+		t.Fatalf("doc StepID(start, root) = %d, want a valid state", got)
+	}
+	if got := a.StepID(a.Start(), d.Element("a").ID()); got >= 0 {
+		t.Fatalf("doc StepID(start, non-root) = %d, want -1", got)
+	}
+}

@@ -150,11 +150,22 @@ type Element struct {
 	Atts  []*AttDef
 
 	auto *Automaton
+	// id is the element's dense name id within its DTD (see Element.ID).
+	id int32
 	// hasPCData reports whether text children are permitted.
 	hasPCData bool
 	// isAny marks the ANY content model.
 	isAny bool
 }
+
+// ID returns the element's dense name id: declared elements are numbered
+// in declaration order starting at 0, with the hidden document
+// pseudo-element last. Ids index the Sym-oriented dispatch tables of the
+// whole pipeline (content-model StepID tables, projection jump tables,
+// the runtime's handler slices). Two DTDs with equal String() renderings
+// assign identical ids, which is what lets plans compiled against an
+// equivalent DTD ride a shared stream with integer dispatch.
+func (e *Element) ID() int32 { return e.id }
 
 // Automaton returns the compiled content-model automaton.
 func (e *Element) Automaton() *Automaton { return e.auto }
@@ -186,6 +197,46 @@ type DTD struct {
 	// Order lists element names in declaration order (for deterministic
 	// printing).
 	Order []string
+	// byID maps dense name ids back to declarations (index = Element.ID).
+	byID []*Element
+}
+
+// NumIDs returns the size of the DTD's name-id space (declared elements
+// plus the document pseudo-element); valid ids are 0..NumIDs()-1.
+func (d *DTD) NumIDs() int { return len(d.byID) }
+
+// ByID returns the declaration with the given dense name id.
+func (d *DTD) ByID(id int32) *Element { return d.byID[id] }
+
+// IDNames returns element names indexed by their dense ids; it is the
+// vocabulary handed to integer-compiled dispatch tables (e.g. the
+// projection automaton). The returned slice is freshly allocated.
+func (d *DTD) IDNames() []string {
+	out := make([]string, len(d.byID))
+	for i, e := range d.byID {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// assignIDs numbers the declarations (declaration order, document
+// pseudo-element last) and compiles every content-model automaton's
+// id-indexed transition table. Called once at the end of Parse, after all
+// elements exist.
+func (d *DTD) assignIDs() {
+	d.byID = make([]*Element, 0, len(d.Order)+1)
+	for _, name := range d.Order {
+		e := d.Elements[name]
+		e.id = int32(len(d.byID))
+		d.byID = append(d.byID, e)
+	}
+	if doc, ok := d.Elements[DocElem]; ok {
+		doc.id = int32(len(d.byID))
+		d.byID = append(d.byID, doc)
+	}
+	for _, e := range d.byID {
+		e.auto.compileIDTable(d)
+	}
 }
 
 // Element returns the declaration for name, or nil if undeclared.

@@ -77,6 +77,9 @@ func Parse(src string) (*DTD, error) {
 		return nil, err
 	}
 	d.Elements[DocElem] = doc
+	// Freeze the dense name-id vocabulary and the id-indexed dispatch
+	// tables; everything above the tokenizer keys on these integers.
+	d.assignIDs()
 	return d, nil
 }
 
@@ -122,12 +125,16 @@ func ParseDoctype(directive string) (*DTD, error) {
 		return nil, &ParseError{Msg: fmt.Sprintf("DOCTYPE root %s not declared", root)}
 	}
 	d.Root = root
-	// Rebuild the document pseudo-element for the declared root.
+	// Rebuild the document pseudo-element for the declared root, then
+	// re-freeze the name-id tables: Parse assigned ids against its default
+	// root, and the replacement doc element must take over the document
+	// id and its id-indexed transition table.
 	doc := &Element{Name: DocElem, Model: Name{Label: root}}
 	if err := compileElement(doc); err != nil {
 		return nil, err
 	}
 	d.Elements[DocElem] = doc
+	d.assignIDs()
 	return d, nil
 }
 

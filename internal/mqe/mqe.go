@@ -27,7 +27,10 @@
 //  2. Batches are read-only. Many consumers read the same arena
 //     concurrently; no consumer may mutate an event in place.
 //  3. Interned data is exempt. Element names and *dtd.Element
-//     declarations are interned in the DTD and safe to retain forever.
+//     declarations are interned in the DTD and safe to retain forever;
+//     attribute names resolve through the scanner's symbol table, which
+//     consumers may read while they hold the batch (the scanner is idle
+//     until every consumer has acknowledged it).
 //
 // Zero-copy views therefore never cross a plan boundary un-copied: the
 // dispatcher's single batch copy replaces the N per-plan scans, and each

@@ -134,7 +134,11 @@ func (s *Set) recomputeProjLocked() {
 	for i, b := range s.subs {
 		sets[i] = b.plan.Paths()
 	}
-	s.pauto = proj.Compile(proj.Union(sets...))
+	// Compiled over the stream DTD's name-id vocabulary so the shared
+	// pass dispatches verdicts with slice loads. Plans ride with their
+	// own (equivalent) DTD: equal String() renderings assign identical
+	// ids, which Register's equivalence check guarantees.
+	s.pauto = proj.CompileVocab(proj.Union(sets...), s.d.IDNames())
 }
 
 // Unregister removes the subscription. An in-flight Run detaches it at

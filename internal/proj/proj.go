@@ -239,14 +239,23 @@ const (
 // over element labels whose current state answers, per event, whether to
 // deliver it. It is immutable after Compile and safe for concurrent use by
 // any number of readers.
+//
+// Compiled with a name-id vocabulary (CompileVocab), every state
+// additionally carries a dense jump table indexed by the DTD's element
+// ids, so the per-event verdict is one slice load (ChildID) instead of a
+// map probe.
 type Automaton struct {
 	states []state
+	vocab  bool
 }
 
 type state struct {
 	children map[string]int32
-	star     int32 // verdict for labels without a named entry
-	text     bool
+	// byID is the vocabulary jump table: byID[id] is the verdict/successor
+	// for a child with dense name id `id` (nil unless CompileVocab).
+	byID []int32
+	star int32 // verdict for labels without a named entry
+	text bool
 }
 
 // Compile builds the skip automaton of a normalized path-set. Compile
@@ -256,6 +265,45 @@ func Compile(s *PathSet) *Automaton {
 	a := &Automaton{}
 	a.build(s.Root)
 	return a
+}
+
+// CompileVocab is Compile plus a dense jump table per state over the
+// given name-id vocabulary (names[id] = element name, as produced by
+// dtd.IDNames). Readers then dispatch with ChildID — one slice load per
+// start tag. Labels in the path-set that are not in the vocabulary can
+// never match a validated event and are simply unreachable through the
+// id tables.
+func CompileVocab(s *PathSet, names []string) *Automaton {
+	a := Compile(s)
+	a.vocab = true
+	for i := range a.states {
+		st := &a.states[i]
+		st.byID = make([]int32, len(names))
+		for id, name := range names {
+			if next, ok := st.children[name]; ok {
+				st.byID[id] = next
+			} else {
+				st.byID[id] = st.star
+			}
+		}
+	}
+	return a
+}
+
+// HasVocab reports whether the automaton carries id jump tables (built by
+// CompileVocab) and therefore supports ChildID.
+func (a *Automaton) HasVocab() bool { return a.vocab }
+
+// ChildID is Child keyed by the child element's dense name id. Valid only
+// on automata built by CompileVocab, for ids within that vocabulary.
+func (a *Automaton) ChildID(st int32, id int32) int32 {
+	if st == StateAll {
+		return StateAll
+	}
+	if st < 0 || int(st) >= len(a.states) {
+		return StateSkip
+	}
+	return a.states[st].byID[id]
 }
 
 // build interns a path node as a state and returns its id (or a

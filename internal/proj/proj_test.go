@@ -184,3 +184,33 @@ func TestPathSetString(t *testing.T) {
 		t.Error("empty set should render as (empty)")
 	}
 }
+
+// TestChildIDEquivalence: the vocabulary jump tables agree with the
+// string-keyed Child on every (state, name) pair, including the All and
+// Skip sentinels and star-wildcard fallthrough.
+func TestChildIDEquivalence(t *testing.T) {
+	names := []string{"bib", "book", "title", "author", "price", "unused"}
+	s := NewPathSet()
+	bib := s.Root.Child("bib")
+	book := bib.Child("book")
+	book.Child("title").All = true
+	book.Child("author").Text = true
+	bib.Child("*").Child("price").Text = true
+	a := CompileVocab(s, names)
+	if !a.HasVocab() {
+		t.Fatal("CompileVocab did not mark the vocabulary")
+	}
+	states := []int32{StateAll, StateSkip, a.Start()}
+	for st := int32(0); int(st) < a.Len(); st++ {
+		states = append(states, st)
+	}
+	for _, st := range states {
+		for id, name := range names {
+			want := a.Child(st, name)
+			got := a.ChildID(st, int32(id))
+			if want != got {
+				t.Fatalf("state %d name %q: Child=%d ChildID=%d", st, name, want, got)
+			}
+		}
+	}
+}

@@ -411,29 +411,31 @@ type psFrame struct {
 	nextOnce int // index into ps.once of the next unfired once-handler
 	buf      *dom.Node
 	bufBytes int64
-	// stopped[label] marks labels whose buffers were freed; further
-	// children with that label are no longer buffered.
-	stopped map[string]bool
+	// stopped[id] marks name ids whose buffers were freed; further
+	// children with that id are no longer buffered. Allocated lazily by
+	// the first buffer-freeing once-handler.
+	stopped []bool
 }
 
 // dispatchChild handles one child start tag in stream mode. ev's views
 // are only valid until the next reader call, so every branch that
 // retains data copies it first (the buffering branches) or hands the
 // owned conversions to the handler (the streaming branch).
+//
+// All per-child decisions key on the element's dense name id: the
+// content-model step, the buffering verdict and the handler lookup are
+// each one slice load.
 func (ex *exec) dispatchChild(f *psFrame, ev *xsax.Event) error {
 	label := ev.Name
-	f.state = f.ps.auto.Step(f.state, label)
+	id := ev.Elem.ID()
+	f.state = f.ps.auto.StepID(f.state, id)
 
-	proj, buffered := f.ps.scope.Buffered[label]
-	if !buffered {
-		if star, ok := f.ps.scope.Buffered["*"]; ok {
-			proj, buffered = star, true
-		}
-	}
-	if buffered && f.stopped[label] {
+	proj, buffered := f.ps.bufProj[id], f.ps.bufOn[id]
+	if buffered && f.stopped != nil && f.stopped[id] {
 		buffered = false
 	}
-	hIdx, streamed := f.ps.onElem[label]
+	hIdx := int(f.ps.onElemID[id])
+	streamed := hIdx >= 0
 
 	switch {
 	case streamed && !buffered:
@@ -540,15 +542,16 @@ func copyAttrs(attrs []xmltok.Attr) []xmltok.Attr {
 }
 
 // fireEligible fires pending once-handlers whose past condition holds in
-// the current automaton state, in handler order.
+// the current automaton state, in handler order. The condition is the
+// handler's precompiled per-state vector: one slice load.
 func (ex *exec) fireEligible(f *psFrame) error {
 	for f.nextOnce < len(f.ps.once) {
 		idx := f.ps.once[f.nextOnce]
-		h := f.ps.hs[idx]
+		h := &f.ps.hs[idx]
 		if h.kind == core.OnEnd {
 			return nil // only at the end tag
 		}
-		if !f.ps.auto.Past(f.state, h.past) {
+		if !h.pastOK[f.state] {
 			return nil
 		}
 		if err := ex.fireOnce(f, idx); err != nil {
@@ -574,9 +577,11 @@ func (ex *exec) fireOnce(f *psFrame, idx int) error {
 			continue
 		}
 		if f.stopped == nil {
-			f.stopped = map[string]bool{}
+			f.stopped = make([]bool, f.ps.numIDs)
 		}
-		f.stopped[label] = true
+		if e := f.ps.d.Element(label); e != nil {
+			f.stopped[e.ID()] = true
+		}
 		kept := f.buf.Children[:0]
 		for _, c := range f.buf.Children {
 			match := c.Kind == dom.ElementNode && (c.Name == label || label == "*")
@@ -626,8 +631,10 @@ func (ex *exec) runPSReplay(ps *pPS, f *psFrame, node *dom.Node) error {
 					proj, buffered = star, true
 				}
 			}
-			if buffered && f.stopped[c.Name] {
-				buffered = false
+			if buffered && f.stopped != nil {
+				if e := ps.d.Element(c.Name); e != nil && f.stopped[e.ID()] {
+					buffered = false
+				}
 			}
 			hIdx, streamed := ps.onElem[c.Name]
 			if buffered {

@@ -75,13 +75,25 @@ type pPS struct {
 	v     string
 	elem  string
 	auto  *dtd.Automaton
+	d     *dtd.DTD
 	hs    []pHandler
 	scope *bdf.Scope
 	// onElem maps a child label to the index of its streaming handler in
-	// hs, or -1.
+	// hs; it is retained for the replay (materialized) path. The stream
+	// path dispatches through the id-indexed slices below.
 	onElem map[string]int
 	// once lists the indices of OnFirst/OnEnd handlers in firing order.
 	once []int
+
+	// Integer dispatch tables, indexed by the DTD's dense name ids
+	// (Element.ID): onElemID[id] is the streaming-handler index or -1;
+	// bufOn[id]/bufProj[id] give the BDF buffering decision with the "*"
+	// wildcard already folded in. One slice load per child start tag
+	// replaces two map probes.
+	onElemID []int32
+	bufOn    []bool
+	bufProj  []*bdf.Node
+	numIDs   int
 }
 
 type pHandler struct {
@@ -90,6 +102,10 @@ type pHandler struct {
 	bind  string
 	past  []string
 	body  pnode
+	// pastOK, for OnFirst handlers, is the precompiled firing condition:
+	// pastOK[q] reports whether past(past) holds in content-model state q,
+	// so the per-child trigger check is a single slice load.
+	pastOK []bool
 }
 
 func (pText) pnode()    {}
@@ -144,7 +160,7 @@ func CompileOptions(q *core.Query, o Options) (*Plan, error) {
 		d:     q.DTD,
 		BDF:   forest,
 		paths: paths,
-		pauto: proj.Compile(paths),
+		pauto: proj.CompileVocab(paths, q.DTD.IDNames()),
 		pmode: o.Projection,
 	}, nil
 }
@@ -219,11 +235,13 @@ func (c *compiler) compilePS(ps core.ProcessStream) (*pPS, error) {
 		v:      ps.Var,
 		elem:   ps.ElemName,
 		auto:   elem.Automaton(),
+		d:      c.d,
 		scope:  scope,
 		onElem: map[string]int{},
 	}
 	for i, h := range ps.Handlers {
 		var body pnode
+		var pastOK []bool
 		switch h.Kind {
 		case core.OnElement:
 			b, err := c.compile(h.Body, h.Bind)
@@ -242,14 +260,46 @@ func (c *compiler) compilePS(ps core.ProcessStream) (*pPS, error) {
 			}
 			body = b
 			out.once = append(out.once, i)
+			if h.Kind == core.OnFirst {
+				pastOK = elem.Automaton().PastVector(h.Past)
+			}
 		}
 		out.hs = append(out.hs, pHandler{
-			kind:  h.Kind,
-			label: h.Label,
-			bind:  h.Bind,
-			past:  h.Past,
-			body:  body,
+			kind:   h.Kind,
+			label:  h.Label,
+			bind:   h.Bind,
+			past:   h.Past,
+			body:   body,
+			pastOK: pastOK,
 		})
 	}
+	out.compileIDDispatch(c.d)
 	return out, nil
+}
+
+// compileIDDispatch flattens the scope's per-label maps into dense
+// name-id-indexed slices for the stream path.
+func (ps *pPS) compileIDDispatch(d *dtd.DTD) {
+	n := d.NumIDs()
+	ps.numIDs = n
+	ps.onElemID = make([]int32, n)
+	for i := range ps.onElemID {
+		ps.onElemID[i] = -1
+	}
+	for label, idx := range ps.onElem {
+		if e := d.Element(label); e != nil {
+			ps.onElemID[e.ID()] = int32(idx)
+		}
+	}
+	ps.bufOn = make([]bool, n)
+	ps.bufProj = make([]*bdf.Node, n)
+	star, hasStar := ps.scope.Buffered["*"]
+	for id := int32(0); int(id) < n; id++ {
+		name := d.ByID(id).Name
+		if b, ok := ps.scope.Buffered[name]; ok {
+			ps.bufOn[id], ps.bufProj[id] = true, b
+		} else if hasStar {
+			ps.bufOn[id], ps.bufProj[id] = true, star
+		}
+	}
 }

@@ -40,6 +40,7 @@ func (s *Scanner) SkipSubtree(name string) (SkipCounts, error) {
 		// synthesized EndElement.
 		s.hasPending = false
 		s.depth--
+		s.openSyms = s.openSyms[:len(s.openSyms)-1]
 		return c, nil
 	}
 	s.mark = -1 // nothing pinned: let fill discard consumed bytes freely
@@ -74,8 +75,13 @@ func (s *Scanner) SkipSubtree(name string) (SkipCounts, error) {
 			depth--
 			s.depth--
 			c.Events++
-			if depth == 0 && !matched {
-				return s.skipCounts(c, start), s.errf("end tag does not match <%s> while skipping its subtree", name)
+			if depth == 0 {
+				// The skipped element's symbol leaves the depth stack with
+				// it (interior tags never touched the stack).
+				s.openSyms = s.openSyms[:len(s.openSyms)-1]
+				if !matched {
+					return s.skipCounts(c, start), s.errf("end tag does not match <%s> while skipping its subtree", name)
+				}
 			}
 		case '?':
 			s.pos += 2
@@ -161,8 +167,27 @@ func (s *Scanner) skipStartTag(name string) (selfClose bool, err error) {
 			quote = 0
 			continue
 		}
-		i := bytes.IndexAny(win, `"'>`)
-		if i < 0 {
+		// Bulk scan: find the tag close with one IndexByte, then check the
+		// prefix for an opening quote — the same bounded-search shape as
+		// the attribute-value scanner, avoiding IndexAny's per-rune loop.
+		gt := bytes.IndexByte(win, '>')
+		lim := gt
+		if lim < 0 {
+			lim = len(win)
+		}
+		qi := bytes.IndexByte(win[:lim], '"')
+		if qj := bytes.IndexByte(win[:lim], '\''); qj >= 0 && (qi < 0 || qj < qi) {
+			qi = qj
+		}
+		if qi >= 0 {
+			if qi > 0 {
+				prev = win[qi-1]
+			}
+			quote = win[qi]
+			s.pos += qi + 1
+			continue
+		}
+		if gt < 0 {
 			if len(win) > 0 {
 				prev = win[len(win)-1]
 			}
@@ -172,15 +197,11 @@ func (s *Scanner) skipStartTag(name string) (selfClose bool, err error) {
 			}
 			continue
 		}
-		if i > 0 {
-			prev = win[i-1]
+		if gt > 0 {
+			prev = win[gt-1]
 		}
-		if win[i] == '>' {
-			s.pos += i + 1
-			return prev == '/', nil
-		}
-		quote = win[i]
-		s.pos += i + 1
+		s.pos += gt + 1
+		return prev == '/', nil
 	}
 }
 

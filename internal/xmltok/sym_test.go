@@ -1,0 +1,263 @@
+package xmltok
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSymTabInternDense(t *testing.T) {
+	var tab SymTab
+	names := []string{"a", "b", "book", "author", "a"} // "a" repeats
+	want := []Sym{0, 1, 2, 3, 0}
+	for i, n := range names {
+		if got := tab.Intern([]byte(n)); got != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", n, got, want[i])
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tab.Len())
+	}
+	for s, n := range []string{"a", "b", "book", "author"} {
+		if tab.Name(Sym(s)) != n {
+			t.Fatalf("Name(%d) = %q, want %q", s, tab.Name(Sym(s)), n)
+		}
+	}
+}
+
+// TestSymTabGrowth pushes the vocabulary well past the initial table size
+// and checks that every symbol survives the rehashes: dense, stable, and
+// round-tripping through Name.
+func TestSymTabGrowth(t *testing.T) {
+	var tab SymTab
+	const n = 10 * symTabInitSlots
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("el-%d", i)
+		if got := tab.Intern([]byte(name)); got != Sym(i) {
+			t.Fatalf("Intern(%q) = %d, want %d", name, got, i)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	// Every earlier symbol must still resolve to itself after growth.
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("el-%d", i)
+		if got := tab.Intern([]byte(name)); got != Sym(i) {
+			t.Fatalf("post-growth Intern(%q) = %d, want %d", name, got, i)
+		}
+		if tab.Name(Sym(i)) != name {
+			t.Fatalf("post-growth Name(%d) = %q, want %q", i, tab.Name(Sym(i)), name)
+		}
+	}
+}
+
+// TestSymTabDistinctness: symbols are exact byte identities — case and
+// namespace prefixes distinguish.
+func TestSymTabDistinctness(t *testing.T) {
+	var tab SymTab
+	names := []string{"item", "Item", "ITEM", "ns:item", "ns2:item", "n:sitem"}
+	seen := map[Sym]string{}
+	for _, n := range names {
+		s := tab.Intern([]byte(n))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("names %q and %q share symbol %d", prev, n, s)
+		}
+		seen[s] = n
+	}
+}
+
+// TestScannerSymAgreement: a start tag and its end tag carry the same
+// symbol, across plain, nested, repeated and self-closing elements.
+func TestScannerSymAgreement(t *testing.T) {
+	const doc = `<root><a x="1"/><b><a>t</a></b><ns:c></ns:c></root>`
+	s := NewScanner(strings.NewReader(doc))
+	type open struct {
+		name string
+		sym  Sym
+	}
+	var stack []open
+	syms := map[string]Sym{}
+	for {
+		ev, err := s.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case StartElement:
+			name := string(ev.NameBytes())
+			if prev, ok := syms[name]; ok && prev != ev.Sym() {
+				t.Fatalf("<%s> got symbol %d, earlier occurrence had %d", name, ev.Sym(), prev)
+			}
+			syms[name] = ev.Sym()
+			stack = append(stack, open{name: name, sym: ev.Sym()})
+		case EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if string(ev.NameBytes()) != top.name {
+				t.Fatalf("end tag </%s>, open was <%s>", ev.NameBytes(), top.name)
+			}
+			if ev.Sym() != top.sym {
+				t.Fatalf("end tag </%s> symbol %d != start symbol %d", top.name, ev.Sym(), top.sym)
+			}
+			if got := s.SymName(ev.Sym()); got != top.name {
+				t.Fatalf("SymName(%d) = %q, want %q", ev.Sym(), got, top.name)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unbalanced: %d elements left open", len(stack))
+	}
+}
+
+// TestScannerSymMismatchedEndTag: an end tag that does not match the open
+// element (well-formed per this tokenizer, rejected by validating layers)
+// still gets the true symbol of its own name.
+func TestScannerSymMismatchedEndTag(t *testing.T) {
+	s := NewScanner(strings.NewReader(`<a><b></a></b>`))
+	var evs []struct {
+		kind Kind
+		name string
+		sym  Sym
+	}
+	for {
+		ev, err := s.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, struct {
+			kind Kind
+			name string
+			sym  Sym
+		}{ev.Kind, string(ev.NameBytes()), ev.Sym()})
+	}
+	// <a> and </a>, <b> and the first mismatched </a>: the mismatched end
+	// tag must carry a's symbol (its actual name), not b's.
+	symOf := map[string]Sym{}
+	for _, e := range evs {
+		if e.kind == StartElement {
+			symOf[e.name] = e.sym
+		}
+	}
+	for _, e := range evs {
+		if e.sym != symOf[e.name] {
+			t.Fatalf("%v <%s> has symbol %d, name's symbol is %d", e.kind, e.name, e.sym, symOf[e.name])
+		}
+	}
+}
+
+// TestScannerAttrSyms: attribute names are interned and agree across
+// occurrences; element and attribute names share one symbol space.
+func TestScannerAttrSyms(t *testing.T) {
+	s := NewScanner(strings.NewReader(`<r a="1" b="2"><x a="3"/><a a="4">t</a></r>`))
+	attrSym := map[string]Sym{}
+	var elemA Sym = NoSym
+	for {
+		ev, err := s.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != StartElement {
+			continue
+		}
+		if string(ev.NameBytes()) == "a" {
+			elemA = ev.Sym()
+		}
+		for _, at := range ev.Attrs() {
+			name := string(at.Name)
+			if prev, ok := attrSym[name]; ok && prev != at.Sym {
+				t.Fatalf("attribute %q symbol changed %d -> %d", name, prev, at.Sym)
+			}
+			attrSym[name] = at.Sym
+			if got := s.SymName(at.Sym); got != name {
+				t.Fatalf("SymName(attr %q) = %q", name, got)
+			}
+		}
+	}
+	// The element <a> and the attribute a are the same name, hence the
+	// same symbol.
+	if elemA == NoSym || attrSym["a"] != elemA {
+		t.Fatalf("element <a> sym %d, attribute a sym %d: want equal", elemA, attrSym["a"])
+	}
+}
+
+// TestScannerZeroAllocSteadyState: after the first pass interned the
+// vocabulary, re-scanning the same document through the zero-copy API
+// performs zero allocations per event.
+func TestScannerZeroAllocSteadyState(t *testing.T) {
+	var doc bytes.Buffer
+	doc.WriteString("<root>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&doc, `<item id="%d"><name>n%d</name><qty>%d</qty></item>`, i, i, i)
+	}
+	doc.WriteString("</root>")
+	data := doc.Bytes()
+
+	s := NewScanner(bytes.NewReader(data))
+	rd := bytes.NewReader(data)
+	scan := func() {
+		rd.Reset(data)
+		s.Reset(rd)
+		for {
+			ev, err := s.NextEvent()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = ev
+		}
+	}
+	scan() // warm: interns the vocabulary, sizes window and stacks
+	if allocs := testing.AllocsPerRun(5, scan); allocs > 0 {
+		t.Fatalf("steady-state scan allocates %.1f times per pass, want 0", allocs)
+	}
+}
+
+// TestScannerSymsAcrossReset: a Reset within the retained-vocabulary
+// bound keeps symbols stable, so pooled scanners do not re-intern per
+// stream.
+func TestScannerSymsAcrossReset(t *testing.T) {
+	const doc = `<r><a/></r>`
+	s := NewScanner(strings.NewReader(doc))
+	first := map[string]Sym{}
+	for {
+		ev, err := s.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == StartElement {
+			first[string(ev.NameBytes())] = ev.Sym()
+		}
+	}
+	s.Reset(strings.NewReader(doc))
+	for {
+		ev, err := s.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == StartElement {
+			if got := first[string(ev.NameBytes())]; got != ev.Sym() {
+				t.Fatalf("<%s> renumbered across Reset: %d -> %d", ev.NameBytes(), got, ev.Sym())
+			}
+		}
+	}
+}

@@ -34,8 +34,20 @@
 //     boundary crossing: xsax.Batch.Append for the shared-stream fanout,
 //     and the runtime's BDF buffer-fill points (dom materialization,
 //     OwnedAttrs) for data the query semantics require to live on.
-//  4. Strings interned by the Token adapter (element and attribute names)
-//     are owned and safe to retain forever.
+//  4. Strings interned in the scanner's symbol table (element and
+//     attribute names, resolved via SymName or the Token adapter) are
+//     owned and safe to retain for the lifetime of the Scanner.
+//
+// # Symbols
+//
+// Every element and attribute name (and ProcInst target) is interned to a
+// dense integer Sym at tokenization time: one hash probe per open tag or
+// attribute; end tags reuse the open tag's symbol from the scanner's depth
+// stack without re-hashing. Events carry the symbol alongside the byte
+// view (Event.Sym, AttrBytes.Sym), so the layers above dispatch on
+// integers and resolve names lazily — and allocation-free — through
+// SymName. Symbols are dense (0, 1, 2, … in order of first occurrence),
+// stable within a stream, and may be renumbered by Reset.
 //
 // The race detector will not catch violations of rule 1 on a single
 // goroutine; the zero-copy invariant tests (zerocopy_test.go here and in
@@ -102,10 +114,12 @@ type Attr struct {
 }
 
 // AttrBytes is the zero-copy form of Attr: both slices view scanner-owned
-// memory and are valid only until the next scanner call.
+// memory and are valid only until the next scanner call. Sym is the
+// attribute name's interned symbol, valid for the stream.
 type AttrBytes struct {
 	Name  []byte
 	Value []byte
+	Sym   Sym
 }
 
 // Token is one XML event. Which fields are meaningful depends on Kind:
@@ -158,6 +172,7 @@ func IsAllWhitespace(b []byte) bool {
 // need the data to survive the stream position must copy it.
 type Event struct {
 	Kind  Kind
+	sym   Sym
 	name  []byte
 	data  []byte
 	attrs []AttrBytes
@@ -166,6 +181,11 @@ type Event struct {
 // NameBytes returns the element name (StartElement, EndElement) or the
 // ProcInst target. The view is valid until the next scanner call.
 func (e *Event) NameBytes() []byte { return e.name }
+
+// Sym returns the interned symbol of the event's name (StartElement,
+// EndElement, ProcInst), or NoSym for nameless event kinds. A start tag
+// and its matching end tag always carry the same symbol.
+func (e *Event) Sym() Sym { return e.sym }
 
 // DataBytes returns the character data (Text), body (Comment, Directive)
 // or remainder (ProcInst). The view is valid until the next scanner call.
@@ -202,6 +222,7 @@ type span struct {
 
 type attrSpan struct {
 	name, val span
+	sym       Sym
 }
 
 const defaultWindow = 64 << 10
@@ -238,13 +259,18 @@ type Scanner struct {
 	// pending EndElement of a self-closed tag, as absolute window offsets
 	// (no read happens between delivery of the start and the end).
 	pendingOff, pendingEnd int
+	pendingSym             Sym
 	hasPending             bool
 	// base is the stream offset of buf[0]: bytes discarded by fill so
 	// far. base+pos is the absolute stream position, which SkipSubtree
 	// uses to report how many raw bytes a bulk skip consumed.
 	base int64
-	// names interns element and attribute names for the Token adapter.
-	names map[string]string
+	// syms interns every element/attribute name and PI target to a dense
+	// Sym; openSyms is the depth stack of open-element symbols, so end
+	// tags resolve their symbol with one byte comparison instead of a
+	// hash probe.
+	syms     SymTab
+	openSyms []Sym
 	// attrbuf is reused across Token conversions; the Attrs slice handed
 	// out in a Token remains valid until the next call to Next.
 	attrbuf []Attr
@@ -252,6 +278,19 @@ type Scanner struct {
 	// avoids copying the event struct through every return in the hot
 	// path.
 	ev Event
+}
+
+// setEvent overwrites every field of the scanner-owned event with direct
+// stores; assigning a struct literal instead would copy the whole Event
+// through runtime.duffcopy on each hot-path return.
+func (s *Scanner) setEvent(kind Kind, sym Sym, name, data []byte, attrs []AttrBytes) *Event {
+	ev := &s.ev
+	ev.Kind = kind
+	ev.sym = sym
+	ev.name = name
+	ev.data = data
+	ev.attrs = attrs
+	return ev
 }
 
 // NewScanner returns a Scanner reading from r. A leading UTF-8 byte
@@ -298,10 +337,26 @@ func (s *Scanner) Reset(r io.Reader) {
 	s.aspans = s.aspans[:0]
 	s.eattrs = s.eattrs[:0]
 	s.hasPending = false
-	if s.names == nil {
-		s.names = make(map[string]string, 64)
+	s.openSyms = s.openSyms[:0]
+	if s.syms.Len() > maxRetainedSyms {
+		// A pooled scanner that has seen too many unrelated vocabularies
+		// starts its symbol space over; consumers re-derive Sym bindings
+		// per stream anyway.
+		s.syms.Reset()
 	}
 }
+
+// SymName returns the owned, interned name of a symbol issued on the
+// current stream. It is the allocation-free way to turn an event's Sym
+// into a string that outlives the scanner position.
+func (s *Scanner) SymName(sym Sym) string { return s.syms.Name(sym) }
+
+// Syms exposes the scanner's symbol table so validating layers can size
+// and index their Sym-keyed binding tables, and resolve names after the
+// event's byte views have been invalidated. The table is written only by
+// the scanning methods; callers may read it concurrently whenever the
+// scanner is idle (the engine's batch rendezvous guarantees that).
+func (s *Scanner) Syms() *SymTab { return &s.syms }
 
 // Line returns the current 1-based line number (for error reporting).
 func (s *Scanner) Line() int {
@@ -406,6 +461,15 @@ func isNameByte(c byte) bool {
 	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
 }
 
+// nameByteTab precomputes isNameByte so the name-scanning inner loop is a
+// single table load per byte.
+var nameByteTab = func() (t [256]bool) {
+	for c := 0; c < 256; c++ {
+		t[c] = isNameByte(byte(c))
+	}
+	return
+}()
+
 func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
 }
@@ -422,32 +486,23 @@ func (s *Scanner) Next() (Token, error) {
 	t := Token{Kind: ev.Kind}
 	switch ev.Kind {
 	case StartElement:
-		t.Name = s.intern(ev.name)
+		t.Name = s.syms.Name(ev.sym)
 		if len(ev.attrs) > 0 {
 			s.attrbuf = s.attrbuf[:0]
 			for _, a := range ev.attrs {
-				s.attrbuf = append(s.attrbuf, Attr{Name: s.intern(a.Name), Value: string(a.Value)})
+				s.attrbuf = append(s.attrbuf, Attr{Name: s.syms.Name(a.Sym), Value: string(a.Value)})
 			}
 			t.Attrs = s.attrbuf
 		}
 	case EndElement:
-		t.Name = s.intern(ev.name)
+		t.Name = s.syms.Name(ev.sym)
 	case ProcInst:
-		t.Name = s.intern(ev.name)
+		t.Name = s.syms.Name(ev.sym)
 		t.Data = string(ev.data)
 	default:
 		t.Data = string(ev.data)
 	}
 	return t, nil
-}
-
-func (s *Scanner) intern(b []byte) string {
-	if v, ok := s.names[string(b)]; ok {
-		return v
-	}
-	v := string(b)
-	s.names[v] = v
-	return v
 }
 
 // NextEvent returns the next event in zero-copy form, or io.EOF after the
@@ -467,8 +522,8 @@ func (s *Scanner) NextEvent() (*Event, error) {
 	if s.hasPending {
 		s.hasPending = false
 		s.depth--
-		s.ev = Event{Kind: EndElement, name: s.buf[s.pendingOff:s.pendingEnd]}
-		return &s.ev, nil
+		s.openSyms = s.openSyms[:len(s.openSyms)-1]
+		return s.setEvent(EndElement, s.pendingSym, s.buf[s.pendingOff:s.pendingEnd], nil, nil), nil
 	}
 	s.mark = -1
 	for {
@@ -528,7 +583,7 @@ func (s *Scanner) scanNameSpan() (span, error) {
 	start := s.pos - s.mark
 	s.pos++
 	for {
-		for s.pos < len(s.buf) && isNameByte(s.buf[s.pos]) {
+		for s.pos < len(s.buf) && nameByteTab[s.buf[s.pos]] {
 			s.pos++
 		}
 		if s.pos < len(s.buf) {
@@ -702,8 +757,7 @@ func (s *Scanner) scanTextEvent() (*Event, error) {
 		}
 		return nil, nil
 	}
-	s.ev = Event{Kind: Text, data: data}
-	return &s.ev, nil
+	return s.setEvent(Text, NoSym, nil, data, nil), nil
 }
 
 var cdataClose = []byte("]]>")
@@ -767,8 +821,22 @@ func (s *Scanner) scanEndTag() (*Event, error) {
 		return nil, s.errf("unmatched end tag </%s>", s.str(name))
 	}
 	s.depth--
-	s.ev = Event{Kind: EndElement, name: s.resolve(name)}
-	return &s.ev, nil
+	nb := s.resolve(name)
+	// The matching open tag's symbol sits on top of the depth stack: one
+	// byte comparison replaces the hash probe. A non-matching name (the
+	// document is ill-formed; a validating layer will reject it) still
+	// gets its true symbol via the table.
+	var sym Sym
+	if n := len(s.openSyms) - 1; n >= 0 {
+		sym = s.openSyms[n]
+		s.openSyms = s.openSyms[:n]
+		if string(nb) != s.syms.Name(sym) {
+			sym = s.syms.Intern(nb)
+		}
+	} else {
+		sym = s.syms.Intern(nb)
+	}
+	return s.setEvent(EndElement, sym, nb, nil, nil), nil
 }
 
 func (s *Scanner) scanStartTag() (*Event, error) {
@@ -813,18 +881,21 @@ func (s *Scanner) scanStartTag() (*Event, error) {
 			return nil, s.errf("attribute %s value must be quoted", s.str(aname))
 		}
 		s.pos++
+		asym := s.syms.Intern(s.resolve(aname))
 		val, err := s.scanAttValueSpan(c)
 		if err != nil {
 			return nil, err
 		}
-		nb := s.resolve(aname)
+		// Interned symbols make duplicate detection an integer comparison.
 		for _, sp := range s.aspans {
-			if bytes.Equal(s.resolve(sp.name), nb) {
+			if sp.sym == asym {
 				return nil, s.errf("duplicate attribute %s in <%s>", s.str(aname), s.str(name))
 			}
 		}
-		s.aspans = append(s.aspans, attrSpan{name: aname, val: val})
+		s.aspans = append(s.aspans, attrSpan{name: aname, val: val, sym: asym})
 	}
+	sym := s.syms.Intern(s.resolve(name))
+	s.openSyms = append(s.openSyms, sym)
 	s.depth++
 	s.sawRoot = true
 	if selfClose {
@@ -833,13 +904,13 @@ func (s *Scanner) scanStartTag() (*Event, error) {
 		s.hasPending = true
 		s.pendingOff = s.mark + int(name.off)
 		s.pendingEnd = s.mark + int(name.end)
+		s.pendingSym = sym
 	}
 	s.eattrs = s.eattrs[:0]
 	for _, sp := range s.aspans {
-		s.eattrs = append(s.eattrs, AttrBytes{Name: s.resolve(sp.name), Value: s.resolve(sp.val)})
+		s.eattrs = append(s.eattrs, AttrBytes{Name: s.resolve(sp.name), Value: s.resolve(sp.val), Sym: sp.sym})
 	}
-	s.ev = Event{Kind: StartElement, name: s.resolve(name), attrs: s.eattrs}
-	return &s.ev, nil
+	return s.setEvent(StartElement, sym, s.resolve(name), nil, s.eattrs), nil
 }
 
 // scanAttValueSpan scans a quoted attribute value (opening quote
@@ -905,8 +976,7 @@ func (s *Scanner) scanProcInst() (*Event, error) {
 			for len(data) > 0 && isSpace(data[0]) {
 				data = data[1:]
 			}
-			s.ev = Event{Kind: ProcInst, name: s.resolve(name), data: data}
-			return &s.ev, nil
+			return s.setEvent(ProcInst, s.syms.Intern(s.resolve(name)), s.resolve(name), data, nil), nil
 		}
 		if p := len(s.buf) - 1; p > s.pos {
 			s.pos = p
@@ -936,8 +1006,7 @@ func (s *Scanner) scanBang() (*Event, error) {
 		if err := s.scanCDATAInto(); err != nil {
 			return nil, err
 		}
-		s.ev = Event{Kind: Text, data: s.scratch}
-		return &s.ev, nil
+		return s.setEvent(Text, NoSym, nil, s.scratch, nil), nil
 	}
 	// Directive: copy until matching '>' tracking bracket and quote nesting
 	// (the DOCTYPE internal subset may contain '>' inside [...]).
@@ -965,8 +1034,7 @@ func (s *Scanner) scanBang() (*Event, error) {
 				if depth <= 0 {
 					data := s.buf[s.mark+bodyStart : s.pos]
 					s.pos++
-					s.ev = Event{Kind: Directive, data: data}
-					return &s.ev, nil
+					return s.setEvent(Directive, NoSym, nil, data, nil), nil
 				}
 			}
 			s.pos++
@@ -983,8 +1051,7 @@ func (s *Scanner) scanComment() (*Event, error) {
 		if i := bytes.Index(s.buf[s.pos:], commentClose); i >= 0 {
 			data := s.buf[s.mark+start : s.pos+i]
 			s.pos += i + len(commentClose)
-			s.ev = Event{Kind: Comment, data: data}
-			return &s.ev, nil
+			return s.setEvent(Comment, NoSym, nil, data, nil), nil
 		}
 		if p := len(s.buf) - (len(commentClose) - 1); p > s.pos {
 			s.pos = p

@@ -47,9 +47,11 @@ func (b *Batch) ArenaBytes() int { return len(b.arena) }
 
 // Append copies ev into the batch. The copy is deep with respect to
 // scanner-owned memory (Data, attribute names and values) and shallow for
-// interned data (Name, Elem).
+// interned data (Name, Elem, the symbol-table reference — the scanner is
+// idle while consumers hold the batch, so resolving symbols through it is
+// safe).
 func (b *Batch) Append(ev *Event) {
-	e := Event{Kind: ev.Kind, Name: ev.Name, Elem: ev.Elem}
+	e := Event{Kind: ev.Kind, Name: ev.Name, Elem: ev.Elem, tab: ev.tab}
 	if len(ev.Data) > 0 {
 		e.Data = b.copyBytes(ev.Data)
 	}
@@ -59,6 +61,7 @@ func (b *Batch) Append(ev *Event) {
 			b.attrs = append(b.attrs, xmltok.AttrBytes{
 				Name:  b.copyBytes(a.Name),
 				Value: b.copyBytes(a.Value),
+				Sym:   a.Sym,
 			})
 		}
 		// Full slice expression: a later arena/attrs growth must not let

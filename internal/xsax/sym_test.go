@@ -1,0 +1,158 @@
+package xsax
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
+	"fluxquery/internal/xmltok"
+)
+
+const symTestDTD = `
+<!ELEMENT root (item)*>
+<!ELEMENT item (name,qty)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT qty (#PCDATA)>
+<!ATTLIST item id CDATA #IMPLIED>
+`
+
+func symTestDoc() []byte {
+	var doc bytes.Buffer
+	doc.WriteString("<root>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&doc, `<item id="%d"><name>n%d</name><qty>%d</qty></item>`, i, i, i)
+	}
+	doc.WriteString("</root>")
+	return doc.Bytes()
+}
+
+// TestReaderZeroAllocSteadyState pins the tentpole claim at the validated
+// layer: once the vocabulary is interned and bound, the tokenize+validate
+// event loop performs zero heap allocations per event.
+func TestReaderZeroAllocSteadyState(t *testing.T) {
+	d := dtd.MustParse(symTestDTD)
+	data := symTestDoc()
+	rd := bytes.NewReader(data)
+	r := NewReader(rd, d)
+	scan := func() {
+		rd.Reset(data)
+		r.Reset(rd, d)
+		for {
+			_, err := r.NextEvent()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scan() // warm: interning, window and stack growth
+	if allocs := testing.AllocsPerRun(5, scan); allocs > 0 {
+		t.Fatalf("steady-state validated scan allocates %.1f times per pass, want 0", allocs)
+	}
+}
+
+// TestReaderZeroAllocProjected is the same pin for the projected
+// streaming path (fast mode, id-vocabulary automaton): shell deliveries
+// and bulk skips stay allocation-free too.
+func TestReaderZeroAllocProjected(t *testing.T) {
+	d := dtd.MustParse(symTestDTD)
+	// Keep /root/item/name (with text); qty prunes to a shell.
+	ps := proj.NewPathSet()
+	ps.Root.Child("root").Child("item").Child("name").Text = true
+	a := proj.CompileVocab(ps, d.IDNames())
+
+	data := symTestDoc()
+	rd := bytes.NewReader(data)
+	r := NewReader(rd, d)
+	scan := func() {
+		rd.Reset(data)
+		r.Reset(rd, d)
+		r.SetProjection(a, proj.ModeFast)
+		for {
+			_, err := r.NextEvent()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scan()
+	if allocs := testing.AllocsPerRun(5, scan); allocs > 0 {
+		t.Fatalf("steady-state projected scan allocates %.1f times per pass, want 0", allocs)
+	}
+	if st := r.ScanStats(); st.SubtreesSkipped == 0 {
+		t.Fatalf("projection did not prune anything: %+v", st)
+	}
+}
+
+// TestReaderProcInstNameInterned: the ProcInst target resolves through
+// the symbol table to the same owned string on every occurrence (the old
+// code allocated a fresh string per event).
+func TestReaderProcInstNameInterned(t *testing.T) {
+	d := dtd.MustParse(symTestDTD)
+	doc := []byte(`<root><?target one?><item id="1"><name>n</name><qty>1</qty></item><?target two?></root>`)
+	r := NewReader(bytes.NewReader(doc), d)
+	var names []string
+	for {
+		ev, err := r.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == xmltok.ProcInst {
+			names = append(names, ev.Name)
+		}
+	}
+	if len(names) != 2 || names[0] != "target" || names[1] != "target" {
+		t.Fatalf("ProcInst names = %q, want two %q", names, "target")
+	}
+}
+
+// TestOwnedAttrsSymResolution: attribute names from OwnedAttrs are the
+// symbol table's interned strings, resolved without consulting the DTD.
+func TestOwnedAttrsSymResolution(t *testing.T) {
+	d := dtd.MustParse(symTestDTD)
+	doc := []byte(`<root><item id="42"><name>n</name><qty>1</qty></item></root>`)
+	r := NewReader(bytes.NewReader(doc), d)
+	for {
+		ev, err := r.NextEvent()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == xmltok.StartElement && ev.Name == "item" {
+			attrs := ev.OwnedAttrs()
+			if len(attrs) != 1 || attrs[0].Name != "id" || attrs[0].Value != "42" {
+				t.Fatalf("OwnedAttrs = %+v", attrs)
+			}
+		}
+	}
+}
+
+// TestReaderEndTagMismatchStillCaught: the integer end-tag check rejects
+// exactly what the string comparison did.
+func TestReaderEndTagMismatchStillCaught(t *testing.T) {
+	d := dtd.MustParse(symTestDTD)
+	doc := []byte(`<root><item id="1"><name>n</name><qty>1</qty></root></item>`)
+	r := NewReader(bytes.NewReader(doc), d)
+	for {
+		_, err := r.NextEvent()
+		if err == io.EOF {
+			t.Fatalf("mismatched end tag accepted")
+		}
+		if err != nil {
+			return // rejected, as required
+		}
+	}
+}

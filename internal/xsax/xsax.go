@@ -32,7 +32,10 @@ import (
 
 // frame is one open element during parsing.
 type frame struct {
-	elem  *dtd.Element
+	elem *dtd.Element
+	// sym is the element's stream symbol; the end-tag name check is one
+	// integer comparison against it.
+	sym   xmltok.Sym
 	state int
 }
 
@@ -44,12 +47,20 @@ type Event struct {
 	Kind xmltok.Kind
 	// Name is the element name (Start/EndElement) or ProcInst target.
 	Name string
-	// Elem is the DTD declaration of a Start/EndElement.
+	// Elem is the DTD declaration of a Start/EndElement. Its dense ID()
+	// keys every integer dispatch table above the reader.
 	Elem *dtd.Element
 	// Data holds text/comment/directive content (zero-copy view).
 	Data []byte
-	// Attrs holds a StartElement's attributes (zero-copy views).
+	// Attrs holds a StartElement's attributes (zero-copy views; each
+	// carries the attribute name's stream symbol).
 	Attrs []xmltok.AttrBytes
+	// tab resolves attribute-name symbols to owned strings after the
+	// byte views have been invalidated; it points at the producing
+	// scanner's symbol table, which is safe to read whenever the scanner
+	// is idle (the batch rendezvous guarantees that for fanned-out
+	// events).
+	tab *xmltok.SymTab
 }
 
 // IsWhitespace reports whether a Text event is all XML whitespace.
@@ -58,18 +69,15 @@ func (e *Event) IsWhitespace() bool {
 }
 
 // AppendOwnedAttrs appends the event's attributes to dst as owned
-// strings, interning attribute names through the element's ATTLIST
-// declarations (every validated attribute is declared, so names almost
-// never allocate).
+// strings. Attribute names resolve lazily through the scanner's symbol
+// table — an owned, interned string, no allocation per attribute — so
+// only the values are copied.
 func (e *Event) AppendOwnedAttrs(dst []xmltok.Attr) []xmltok.Attr {
 	for _, a := range e.Attrs {
-		name := ""
-		if e.Elem != nil {
-			if def := e.Elem.AttDefBytes(a.Name); def != nil {
-				name = def.Name
-			}
-		}
-		if name == "" {
+		var name string
+		if e.tab != nil && a.Sym != xmltok.NoSym {
+			name = e.tab.Name(a.Sym)
+		} else {
 			name = string(a.Name)
 		}
 		dst = append(dst, xmltok.Attr{Name: name, Value: string(a.Value)})
@@ -113,15 +121,24 @@ type Reader struct {
 	apairs  []dtd.AttrPair
 	attrbuf []xmltok.Attr
 	sawRoot bool
-	// ev is the reader-owned event returned by NextEvent.
+	// symElem binds stream symbols to declarations: symElem[sym] is the
+	// *dtd.Element of the name with that symbol, bound at the name's
+	// first occurrence on this stream (one map lookup per distinct name
+	// per stream; every later occurrence is a slice load).
+	symElem []*dtd.Element
+	// ev is the reader-owned event returned by NextEvent; setEvent
+	// overwrites it with direct field stores (a struct-literal assignment
+	// would duffcopy the whole Event per delivered event).
 	ev Event
 
 	// Projection state: pauto is nil when projection is off. pstack holds
 	// the automaton state per delivered open element (pstack[0] is the
 	// virtual document state); a pending shell skip is consumed at the
-	// next NextEvent call.
+	// next NextEvent call. pvocab selects the id-jump-table dispatch of
+	// automata compiled with the DTD vocabulary.
 	pauto       *proj.Automaton
 	pfast       bool
+	pvocab      bool
 	pstack      []int32
 	pendingSkip bool
 	pstats      ScanStats
@@ -132,6 +149,17 @@ func NewReader(r io.Reader, d *dtd.DTD) *Reader {
 	return &Reader{sc: xmltok.NewScanner(r), d: d}
 }
 
+func (r *Reader) setEvent(kind xmltok.Kind, name string, elem *dtd.Element, data []byte, attrs []xmltok.AttrBytes, tab *xmltok.SymTab) *Event {
+	ev := &r.ev
+	ev.Kind = kind
+	ev.Name = name
+	ev.Elem = elem
+	ev.Data = data
+	ev.Attrs = attrs
+	ev.tab = tab
+	return ev
+}
+
 // Reset rebinds the reader to a new stream and DTD, retaining its
 // scanner window and stack storage.
 func (r *Reader) Reset(rd io.Reader, d *dtd.DTD) {
@@ -139,8 +167,15 @@ func (r *Reader) Reset(rd io.Reader, d *dtd.DTD) {
 	r.d = d
 	r.stack = r.stack[:0]
 	r.sawRoot = false
+	// Symbols may be renumbered by the scanner Reset, and the DTD may
+	// differ: drop all sym→element bindings (they re-form at first
+	// occurrence per name).
+	for i := range r.symElem {
+		r.symElem[i] = nil
+	}
 	r.pauto = nil
 	r.pfast = false
+	r.pvocab = false
 	r.pstack = r.pstack[:0]
 	r.pendingSkip = false
 	r.pstats = ScanStats{}
@@ -160,6 +195,7 @@ func (r *Reader) SetProjection(a *proj.Automaton, mode proj.Mode) {
 	}
 	r.pauto = a
 	r.pfast = mode == proj.ModeFast
+	r.pvocab = a.HasVocab()
 	r.pstack = append(r.pstack[:0], a.Start())
 	r.pendingSkip = false
 	r.pstats = ScanStats{}
@@ -244,7 +280,12 @@ func (r *Reader) NextEvent() (*Event, error) {
 		}
 		switch ev.Kind {
 		case xmltok.StartElement:
-			next := r.pauto.Child(r.pstack[len(r.pstack)-1], ev.Name)
+			var next int32
+			if r.pvocab {
+				next = r.pauto.ChildID(r.pstack[len(r.pstack)-1], ev.Elem.ID())
+			} else {
+				next = r.pauto.Child(r.pstack[len(r.pstack)-1], ev.Name)
+			}
 			if next == proj.StateSkip {
 				// Shell: deliver the (validated) start bare, mark its
 				// interior for skipping. Nothing downstream reads a
@@ -286,8 +327,7 @@ func (r *Reader) finishSkip() (*Event, error) {
 		// The interior was not validated, so the element's content-model
 		// accepting state cannot be checked; the frame is popped as-is.
 		r.stack = r.stack[:len(r.stack)-1]
-		r.ev = Event{Kind: xmltok.EndElement, Name: f.elem.Name, Elem: f.elem}
-		return &r.ev, nil
+		return r.setEvent(xmltok.EndElement, f.elem.Name, f.elem, nil, nil, nil), nil
 	}
 	target := len(r.stack)
 	for {
@@ -329,14 +369,13 @@ func (r *Reader) nextCore() (*Event, error) {
 				// downstream operators see the pure child sequence.
 				continue
 			}
-			r.ev = Event{Kind: xmltok.Text, Data: ev.DataBytes()}
-			return &r.ev, nil
+			return r.setEvent(xmltok.Text, "", nil, ev.DataBytes(), nil, nil), nil
 		case xmltok.ProcInst:
-			r.ev = Event{Kind: ev.Kind, Name: string(ev.NameBytes()), Data: ev.DataBytes()}
-			return &r.ev, nil
+			// The target resolves through the symbol table: owned string,
+			// no per-event allocation.
+			return r.setEvent(ev.Kind, r.sc.SymName(ev.Sym()), nil, ev.DataBytes(), nil, nil), nil
 		default:
-			r.ev = Event{Kind: ev.Kind, Data: ev.DataBytes()}
-			return &r.ev, nil
+			return r.setEvent(ev.Kind, "", nil, ev.DataBytes(), nil, nil), nil
 		}
 	}
 }
@@ -360,11 +399,31 @@ func (r *Reader) errf(format string, args ...any) error {
 	return fmt.Errorf("xsax: line %d: %s", r.sc.Line(), fmt.Sprintf(format, args...))
 }
 
-func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
-	name := tok.NameBytes()
+// elemOf resolves a start tag's stream symbol to its DTD declaration,
+// binding the symbol at the name's first occurrence on this stream. The
+// steady-state cost is a single slice load per start tag.
+func (r *Reader) elemOf(sym xmltok.Sym, name []byte) *dtd.Element {
+	if int(sym) < len(r.symElem) {
+		if e := r.symElem[sym]; e != nil {
+			return e
+		}
+	}
 	e := r.d.ElementBytes(name)
 	if e == nil {
-		return nil, r.errf("undeclared element <%s>", name)
+		return nil
+	}
+	for int(sym) >= len(r.symElem) {
+		r.symElem = append(r.symElem, nil)
+	}
+	r.symElem[sym] = e
+	return e
+}
+
+func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
+	sym := tok.Sym()
+	e := r.elemOf(sym, tok.NameBytes())
+	if e == nil {
+		return nil, r.errf("undeclared element <%s>", tok.NameBytes())
 	}
 	if len(r.stack) == 0 {
 		if r.sawRoot {
@@ -376,7 +435,7 @@ func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
 		r.sawRoot = true
 	} else {
 		parent := &r.stack[len(r.stack)-1]
-		next := parent.elem.Automaton().Step(parent.state, e.Name)
+		next := parent.elem.Automaton().StepID(parent.state, e.ID())
 		if next < 0 {
 			return nil, r.errf("child <%s> not allowed here in <%s> (content model %s)",
 				e.Name, parent.elem.Name, parent.elem.Model)
@@ -392,9 +451,8 @@ func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
 	if err := r.d.ValidateAttrPairs(e, r.apairs); err != nil {
 		return nil, r.errf("%s", err)
 	}
-	r.stack = append(r.stack, frame{elem: e, state: e.Automaton().Start()})
-	r.ev = Event{Kind: xmltok.StartElement, Name: e.Name, Elem: e, Attrs: attrs}
-	return &r.ev, nil
+	r.stack = append(r.stack, frame{elem: e, sym: sym, state: e.Automaton().Start()})
+	return r.setEvent(xmltok.StartElement, e.Name, e, nil, attrs, r.sc.Syms()), nil
 }
 
 func (r *Reader) endElement(tok *xmltok.Event) (*Event, error) {
@@ -402,15 +460,16 @@ func (r *Reader) endElement(tok *xmltok.Event) (*Event, error) {
 		return nil, r.errf("unmatched end tag </%s>", tok.NameBytes())
 	}
 	f := r.stack[len(r.stack)-1]
-	if string(tok.NameBytes()) != f.elem.Name {
+	// The tokenizer hands start and end tags of one element the same
+	// symbol, so the name check is one integer comparison.
+	if tok.Sym() != f.sym {
 		return nil, r.errf("end tag </%s> does not match open element <%s>", tok.NameBytes(), f.elem.Name)
 	}
 	if !f.elem.Automaton().Accepting(f.state) {
 		return nil, r.errf("element <%s> ended prematurely (content model %s)", f.elem.Name, f.elem.Model)
 	}
 	r.stack = r.stack[:len(r.stack)-1]
-	r.ev = Event{Kind: xmltok.EndElement, Name: f.elem.Name, Elem: f.elem}
-	return &r.ev, nil
+	return r.setEvent(xmltok.EndElement, f.elem.Name, f.elem, nil, nil, nil), nil
 }
 
 // Skip consumes and validates the remainder of the innermost open
