@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"fluxquery/internal/baseline"
+	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/core"
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/mqe"
@@ -145,6 +146,109 @@ func (p Projection) mode() proj.Mode {
 	}
 }
 
+// BufferPolicy selects what a budgeted execution does when the next
+// buffer fill would push live heap buffer bytes past the budget.
+type BufferPolicy int
+
+// Overflow policies.
+const (
+	// BufferFail aborts the over-budget plan with ErrBudgetExceeded.
+	// The cap is per plan, so in a shared pass the failing query never
+	// disturbs its siblings — this is the deterministic "reject" mode a
+	// server uses to bound any single query.
+	BufferFail BufferPolicy = iota
+	// BufferSpill evicts the plan's coldest buffered subtrees — largest
+	// first — to an unlinked temp-file segment store and transparently
+	// rehydrates them when the evaluator first touches them. Output is
+	// byte-identical to an unbudgeted run; live heap buffer bytes stay
+	// under the budget whenever any cold subtree remains to evict.
+	BufferSpill
+	// BufferBackpressure lets reservations through but blocks the
+	// stream feed of an over-budget pass while any other pass still
+	// holds memory it can drain, throttling concurrent work instead of
+	// failing it. A lone pass never blocks (nothing could drain).
+	BufferBackpressure
+)
+
+// String returns the policy's flag spelling.
+func (p BufferPolicy) String() string { return p.policy().String() }
+
+// ParseBufferPolicy converts a flag value ("fail", "spill",
+// "backpressure").
+func ParseBufferPolicy(s string) (BufferPolicy, error) {
+	pol, ok := bufmgr.ParsePolicy(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown buffer policy %q (want fail, spill or backpressure)", s)
+	}
+	switch pol {
+	case bufmgr.PolicySpill:
+		return BufferSpill, nil
+	case bufmgr.PolicyBackpressure:
+		return BufferBackpressure, nil
+	default:
+		return BufferFail, nil
+	}
+}
+
+func (p BufferPolicy) policy() bufmgr.Policy {
+	switch p {
+	case BufferSpill:
+		return bufmgr.PolicySpill
+	case BufferBackpressure:
+		return bufmgr.PolicyBackpressure
+	default:
+		return bufmgr.PolicyFail
+	}
+}
+
+// ErrBudgetExceeded is the typed error a BufferFail plan aborts with
+// when it would exceed its buffer budget; match it with errors.Is.
+var ErrBudgetExceeded = bufmgr.ErrBudgetExceeded
+
+// BufferManager governs the buffer memory of any number of plan
+// executions and StreamSet passes against one byte budget. Create one
+// per process (or per tenant), hand it to Options.Buffers and
+// StreamSet.SetBuffers, and Close it when done to release the spill
+// store. All methods are safe for concurrent use.
+type BufferManager struct {
+	m *bufmgr.Manager
+}
+
+// NewBufferManager returns a manager enforcing budget bytes (<= 0
+// accounts without enforcing) under the given policy. spillDir is where
+// BufferSpill keeps its segment file ("" = the system temp directory);
+// the file is created lazily and unlinked immediately, so it cannot
+// outlive the process.
+func NewBufferManager(budget int64, policy BufferPolicy, spillDir string) *BufferManager {
+	return &BufferManager{m: bufmgr.New(bufmgr.Config{
+		Budget:   budget,
+		Policy:   policy.policy(),
+		SpillDir: spillDir,
+	})}
+}
+
+// Close releases the manager's spill store. Executions drawing on the
+// manager must have finished.
+func (b *BufferManager) Close() error {
+	if b == nil {
+		return nil
+	}
+	return b.m.Close()
+}
+
+// BufferMetrics is a point-in-time snapshot of a BufferManager.
+type BufferMetrics = bufmgr.Metrics
+
+// Metrics returns the manager's counters: current and peak reserved
+// bytes, spill and rehydrate traffic, backpressure stall time, and
+// PolicyFail rejections.
+func (b *BufferManager) Metrics() BufferMetrics {
+	if b == nil {
+		return BufferMetrics{}
+	}
+	return b.m.Metrics()
+}
+
 // Options configures compilation.
 type Options struct {
 	// Engine selects the execution strategy (default EngineFlux).
@@ -167,6 +271,18 @@ type Options struct {
 	// projection would keep them (ablation for the paper's improvement
 	// over [10]).
 	NoBufferProjection bool
+	// BufferBudget bounds the live heap bytes of the plan's runtime
+	// buffers (EngineFlux only; 0 = unlimited). Compile creates a
+	// plan-owned BufferManager with BufferPolicy and BufferSpillDir;
+	// every Execute of the plan draws on it, and Plan.Close releases
+	// its spill store. Ignored when Buffers is set.
+	BufferBudget   int64
+	BufferPolicy   BufferPolicy
+	BufferSpillDir string
+	// Buffers, when non-nil, makes the plan's executions draw on a
+	// shared, process-wide BufferManager instead (the budget then spans
+	// every plan and StreamSet wired to it).
+	Buffers *BufferManager
 }
 
 // DTD is a parsed document type definition.
@@ -273,6 +389,17 @@ type Stats struct {
 	// raw input bytes the tokenizer bulk-skipped (ProjectionFast only).
 	ScanSubtreesSkipped int64
 	ScanBytesSkipped    int64
+	// PeakHeapBufferBytes is the high-water of heap-resident buffered
+	// bytes — the quantity a buffer budget bounds. Equal to
+	// PeakBufferBytes unless BufferSpill moved subtrees to disk.
+	PeakHeapBufferBytes int64
+	// SpilledBytes and RehydratedBytes count the execution's traffic to
+	// and from the spill store (BufferSpill only).
+	SpilledBytes    int64
+	RehydratedBytes int64
+	// BudgetStall is the time the pass spent blocked by
+	// BufferBackpressure (for a StreamSet run, the shared pass's stall).
+	BudgetStall time.Duration
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }
@@ -293,6 +420,25 @@ type Plan struct {
 	optTrace   opt.Trace
 	flux       *core.Query
 	phys       *runtime.Plan
+	// bufs governs the buffer memory of the plan's executions: the
+	// shared manager from Options.Buffers, a plan-owned one built from
+	// Options.BufferBudget, or nil (unmanaged). ownBufs marks the
+	// plan-owned case, which Plan.Close releases.
+	bufs    *bufmgr.Manager
+	ownBufs bool
+}
+
+// Close releases the plan-owned buffer manager created by
+// Options.BufferBudget (its lazily created spill store holds an open
+// file descriptor). It is a no-op — and the Plan remains usable — for
+// unbudgeted plans and plans drawing on a shared Options.Buffers
+// manager, whose owner closes it. Executions of this plan must have
+// finished.
+func (p *Plan) Close() error {
+	if !p.ownBufs {
+		return nil
+	}
+	return p.bufs.Close()
 }
 
 // Compile runs the full pipeline of the paper's architecture (Figure 2):
@@ -331,6 +477,16 @@ func Compile(q *Query, d *DTD, o Options) (*Plan, error) {
 		p.flux = flux
 		p.phys = phys
 	}
+	if o.Buffers != nil {
+		p.bufs = o.Buffers.m
+	} else if o.BufferBudget > 0 {
+		p.bufs = bufmgr.New(bufmgr.Config{
+			Budget:   o.BufferBudget,
+			Policy:   o.BufferPolicy.policy(),
+			SpillDir: o.BufferSpillDir,
+		})
+		p.ownBufs = true
+	}
 	return p, nil
 }
 
@@ -360,7 +516,7 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 	var err error
 	switch p.opts.Engine {
 	case EngineFlux:
-		rst, err = p.phys.Run(r, w)
+		rst, err = p.phys.RunManaged(r, w, p.bufs)
 	case EngineProjection:
 		rst, err = baseline.RunProjection(p.optimized, p.d, r, w)
 	case EngineNaive:
@@ -386,6 +542,10 @@ func statsFrom(rst *runtime.Stats, e Engine, d time.Duration) Stats {
 		st.ScanEventsSkipped = rst.ScanEventsSkipped
 		st.ScanSubtreesSkipped = rst.ScanSubtreesSkipped
 		st.ScanBytesSkipped = rst.ScanBytesSkipped
+		st.PeakHeapBufferBytes = rst.PeakHeapBufferBytes
+		st.SpilledBytes = rst.SpilledBytes
+		st.RehydratedBytes = rst.RehydratedBytes
+		st.BudgetStall = rst.BudgetStall
 	}
 	return st
 }
@@ -446,6 +606,20 @@ func (s *StreamSet) Len() int { return s.set.Len() }
 // validated, or delivered anyway. Takes effect at the next Run.
 func (s *StreamSet) SetProjection(m Projection) { s.set.SetProjection(m.mode()) }
 
+// SetBuffers installs the BufferManager governing the set's shared
+// passes (nil = unmanaged). Each Run opens one backpressure gate for the
+// pass and one budget account per riding plan, so a BufferFail overflow
+// rejects only the offending query while its siblings complete, and
+// BufferSpill keeps each plan's live heap buffers under the shared
+// budget. Takes effect at the next Run.
+func (s *StreamSet) SetBuffers(b *BufferManager) {
+	if b == nil {
+		s.set.SetBuffers(nil)
+		return
+	}
+	s.set.SetBuffers(b.m)
+}
+
 // ScanStats reports one shared scan pass of a StreamSet.
 type ScanStats struct {
 	// Passes counts completed Run calls (each is exactly one
@@ -459,6 +633,8 @@ type ScanStats struct {
 	// input bytes bulk-skipped by the tokenizer (ProjectionFast only).
 	SubtreesSkipped int64
 	BytesSkipped    int64
+	// Stall is the time the pass spent blocked by BufferBackpressure.
+	Stall time.Duration
 }
 
 // LastScan returns the scan statistics of the most recent Run.
@@ -470,6 +646,7 @@ func (s *StreamSet) LastScan() ScanStats {
 		EventsSkipped:   sc.EventsSkipped,
 		SubtreesSkipped: sc.SubtreesSkipped,
 		BytesSkipped:    sc.BytesSkipped,
+		Stall:           s.set.LastStall(),
 	}
 }
 

@@ -45,6 +45,15 @@ type record struct {
 	EventsDelivered int64 `json:"events_delivered,omitempty"`
 	EventsSkipped   int64 `json:"events_skipped,omitempty"`
 	BytesSkipped    int64 `json:"bytes_skipped,omitempty"`
+	// Budget* describe budgeted (buffer-managed) measurements: the byte
+	// budget and policy, the spill traffic of the measured run, the
+	// heap-resident peak the budget bounded, and backpressure stall.
+	Budget              int64  `json:"budget,omitempty"`
+	BudgetPolicy        string `json:"budget_policy,omitempty"`
+	SpilledBytes        int64  `json:"spilled_bytes,omitempty"`
+	RehydratedBytes     int64  `json:"rehydrated_bytes,omitempty"`
+	PeakHeapBufferBytes int64  `json:"peak_heap_buffer_bytes,omitempty"`
+	StallNs             int64  `json:"stall_ns,omitempty"`
 }
 
 // measureAllocs runs fn reps times and returns the best wall time along
@@ -162,7 +171,81 @@ func collectRecords(r *runner) ([]record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(records, shared...), nil
+	records = append(records, shared...)
+
+	// Budgeted suite: the spill path under memory pressure.
+	budgeted, err := budgetedRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(records, budgeted...), nil
+}
+
+// budgetedRecords measures the buffer manager's spill path: accrual
+// workloads run with a budget at half their natural peak under
+// PolicySpill, so the record's MB/s carries the full
+// encode→segment-store→rehydrate round trip and a regression in the
+// spill path turns the -baseline diff red like any other hot path.
+func budgetedRecords(r *runner) ([]record, error) {
+	var records []record
+	// Two access shapes: xmp-q4-distinct accrues a buffer across the
+	// whole stream and scans it once at the end (the spill path's
+	// sequential best case); xmark-q8-join re-scans its buffers per
+	// outer row (the nested-loop stress case, bounded by MRU re-drops).
+	for _, name := range []string{"xmp-q4-distinct", "xmark-q8-join"} {
+		c := workload.ByName(name)
+		doc, err := r.gen(c, 256<<10)
+		if err != nil {
+			return nil, err
+		}
+		// Natural peak first, then the budgeted run at half of it.
+		probe := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{})
+		pst, err := probe.Execute(bytes.NewReader(doc), io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		budget := r.budget
+		if budget <= 0 {
+			budget = pst.PeakBufferBytes / 2
+		}
+		p := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{
+			BufferBudget: budget,
+			BufferPolicy: fluxquery.BufferSpill,
+		})
+		var st fluxquery.Stats
+		best, allocs, err := measureAllocs(r.reps, func() error {
+			var rerr error
+			st, rerr = p.Execute(bytes.NewReader(doc), io.Discard)
+			return rerr
+		})
+		// The plan owns its manager (and the spill store's fd): release it.
+		if cerr := p.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("budgeted %s: %w", name, err)
+		}
+		records = append(records, record{
+			Suite:               "budgeted",
+			Query:               name,
+			Engine:              "flux-spill",
+			Plans:               1,
+			DocBytes:            len(doc),
+			NsPerOp:             best.Nanoseconds(),
+			MBPerS:              mbPerS(int64(len(doc)), best),
+			AllocsPerOp:         allocs,
+			PeakBufferBytes:     st.PeakBufferBytes,
+			OutputBytes:         st.OutputBytes,
+			Proj:                "fast",
+			Budget:              budget,
+			BudgetPolicy:        "spill",
+			SpilledBytes:        st.SpilledBytes,
+			RehydratedBytes:     st.RehydratedBytes,
+			PeakHeapBufferBytes: st.PeakHeapBufferBytes,
+			StallNs:             st.BudgetStall.Nanoseconds(),
+		})
+	}
+	return records, nil
 }
 
 // sharedStreamRecords measures the multi-query engine: 8 streaming XMark

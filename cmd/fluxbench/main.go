@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"fluxquery"
+	"fluxquery/internal/unit"
 	"fluxquery/internal/workload"
 	"fluxquery/internal/xmlgen"
 )
@@ -64,6 +65,7 @@ func run() int {
 		baseline   = flag.String("baseline", "", "diff the current run against this BENCH_*.json file and exit non-zero on regression")
 		regressPct = flag.Float64("regress-pct", 10, "MB/s regression threshold (percent) for -baseline")
 		normalize  = flag.Bool("normalize", false, "for -baseline: divide every current/baseline ratio by the run's median ratio, cancelling uniform machine-speed differences (use when diffing against a baseline from different hardware)")
+		budget     = flag.String("budget", "", "byte budget for the budgeted (spill) suite, e.g. 512K or 64M; empty = half of each workload's natural peak")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured work to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (taken after the measured work) to this file")
 	)
@@ -95,7 +97,12 @@ func run() int {
 			}
 		}()
 	}
-	r := &runner{scale: *scale, reps: *reps, w: os.Stdout}
+	budgetBytes, err := unit.ParseBytes(*budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fluxbench: -budget: %v\n", err)
+		return 1
+	}
+	r := &runner{scale: *scale, reps: *reps, budget: budgetBytes, w: os.Stdout}
 	if *baseline != "" {
 		if err := runBaseline(r, *baseline, *regressPct, *normalize); err != nil {
 			fmt.Fprintf(os.Stderr, "fluxbench: -baseline: %v\n", err)
@@ -132,7 +139,10 @@ func run() int {
 type runner struct {
 	scale int64
 	reps  int
-	w     io.Writer
+	// budget overrides the budgeted suite's byte budget (0 = half of
+	// each workload's measured natural peak).
+	budget int64
+	w      io.Writer
 }
 
 type measurement struct {

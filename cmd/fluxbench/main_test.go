@@ -74,12 +74,12 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	}
 	// Per case: flux with projection off and fast, plus the two baseline
 	// engines. Shared-stream: the mqe pass with projection off and fast,
-	// plus the sequential comparison.
+	// plus the sequential comparison. Budgeted: the two spill workloads.
 	wantWorkload := len(workload.Cases) * 4
-	if len(records) != wantWorkload+3 {
-		t.Fatalf("got %d records, want %d workload + 3 shared-stream", len(records), wantWorkload)
+	if len(records) != wantWorkload+3+2 {
+		t.Fatalf("got %d records, want %d workload + 3 shared-stream + 2 budgeted", len(records), wantWorkload)
 	}
-	sharedSeen, fluxFast := 0, 0
+	sharedSeen, fluxFast, budgeted := 0, 0, 0
 	for _, rec := range records {
 		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.DocBytes <= 0 {
 			t.Errorf("degenerate record: %+v", rec)
@@ -93,9 +93,21 @@ func TestJSONModeWritesRecords(t *testing.T) {
 		if rec.Suite == "workload" && rec.Engine == "flux" && rec.Proj == "fast" {
 			fluxFast++
 		}
+		if rec.Suite == "budgeted" {
+			budgeted++
+			if rec.Budget <= 0 || rec.SpilledBytes == 0 || rec.RehydratedBytes == 0 {
+				t.Errorf("budgeted record did not exercise the spill path: %+v", rec)
+			}
+			if rec.PeakHeapBufferBytes > rec.Budget {
+				t.Errorf("budgeted record heap peak %d over budget %d", rec.PeakHeapBufferBytes, rec.Budget)
+			}
+		}
 	}
 	if sharedSeen != 3 {
 		t.Errorf("shared-stream records = %d, want 3", sharedSeen)
+	}
+	if budgeted != 2 {
+		t.Errorf("budgeted records = %d, want 2", budgeted)
 	}
 	if fluxFast != len(workload.Cases) {
 		t.Errorf("flux proj=fast records = %d, want one per case (%d)", fluxFast, len(workload.Cases))

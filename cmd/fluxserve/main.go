@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off] [-q name=query.xq ...]
+//	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off]
+//	          [-budget 64M -budget-policy fail|spill|backpressure [-spill-dir DIR]]
+//	          [-q name=query.xq ...]
 //
 // Endpoints:
 //
@@ -16,6 +18,7 @@
 //	DELETE /queries/{name}       unregister a query
 //	POST   /eval                 evaluate all queries over the posted XML
 //	POST   /eval?q=a&q=b         evaluate a subset
+//	GET    /stats                per-query and aggregate buffer/spill metrics
 //
 // /eval responds with JSON:
 //
@@ -32,6 +35,19 @@
 // query's path-set are checked for tag balance but not validated against
 // the DTD; -proj validate keeps full validation while still pruning
 // delivery, and -proj off disables projection.
+//
+// With -budget, one process-wide buffer manager governs the runtime
+// buffers of every concurrent /eval pass. -budget-policy selects the
+// overflow behavior: "spill" and "backpressure" bound the aggregate
+// live heap of all passes against the one budget (spill evicts cold
+// buffered subtrees to an unlinked temp file under -spill-dir and
+// rehydrates them on access — byte-identical output, bounded heap;
+// backpressure throttles an over-budget pass while other passes drain).
+// "fail" is a per-query cap, not an aggregate bound: each query is
+// rejected when its own buffers would exceed the budget (its /eval
+// result carries code 413 while sibling queries complete), so N
+// concurrent passes may together hold up to N budgets. GET /stats
+// exposes the manager's counters and per-query cumulative aggregates.
 package main
 
 import (
@@ -43,14 +59,18 @@ import (
 	"time"
 
 	"fluxquery"
+	"fluxquery/internal/unit"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dtdPath  = flag.String("dtd", "", "path to the DTD file governing all streams (required)")
-		maxBody  = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
-		projMode = flag.String("proj", "fast", "stream projection for shared passes: fast, validate or off")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dtdPath   = flag.String("dtd", "", "path to the DTD file governing all streams (required)")
+		maxBody   = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+		projMode  = flag.String("proj", "fast", "stream projection for shared passes: fast, validate or off")
+		budget    = flag.String("budget", "", "buffer byte budget for all passes, e.g. 64M (empty = unlimited)")
+		budPolicy = flag.String("budget-policy", "spill", "buffer overflow policy: fail, spill or backpressure")
+		spillDir  = flag.String("spill-dir", "", "directory for the spill segment file (default: system temp)")
 	)
 	var preload multiFlag
 	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
@@ -70,7 +90,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(2)
 	}
-	srv, err := newServer(string(dtdSrc), *maxBody, projection)
+	budgetBytes, err := unit.ParseBytes(*budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve: -budget:", err)
+		os.Exit(2)
+	}
+	policy, err := fluxquery.ParseBufferPolicy(*budPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(2)
+	}
+	srv, err := newServer(string(dtdSrc), *maxBody, projection, budgetBytes, policy, *spillDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"fluxquery"
+	"fluxquery/internal/unit"
 )
 
 const testDTD = `
@@ -24,7 +25,7 @@ const testQT = `<titles>{ for $b in $ROOT/bib/book return <t>{ $b/title }</t> }<
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast)
+	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast, 0, fluxquery.BufferSpill, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,156 @@ func TestEvalWithNoQueriesValidatesOnly(t *testing.T) {
 	}
 }
 
+// testQBuf buffers every book's author list until the second loop, so a
+// small budget is actually exercised.
+const testQBuf = `<r>{ for $b in $ROOT/bib/book return <x>{ $b/title }</x> }{ for $c in $ROOT/bib/book return <y>{ $c/author }</y> }</r>`
+
+// TestStatsEndpointAndBudgetedEval: a server with a spill budget serves
+// byte-identical results, reports spill counters in /eval stats, and
+// aggregates them in GET /stats.
+func TestStatsEndpointAndBudgetedEval(t *testing.T) {
+	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast, 16<<10, fluxquery.BufferSpill, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	if err := srv.register("buf", testQBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbudgeted reference for the same query and document.
+	ref, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast, 0, fluxquery.BufferSpill, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(ref.handler())
+	defer rts.Close()
+	if err := ref.register("buf", testQBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := testDoc(200)
+	code, body := do(t, "POST", ts.URL+"/eval", doc)
+	if code != 200 {
+		t.Fatalf("budgeted eval: %d %s", code, body)
+	}
+	_, refBody := do(t, "POST", rts.URL+"/eval", doc)
+	var resp, refResp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(refBody), &refResp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Output != refResp.Results[0].Output {
+		t.Fatal("budgeted output differs from unbudgeted")
+	}
+	st := resp.Results[0].Stats
+	if st.SpilledBytes == 0 || st.RehydratedBytes == 0 {
+		t.Errorf("spill counters missing from /eval stats: %+v", st)
+	}
+	if st.PeakHeapBufferBytes == 0 || st.PeakHeapBufferBytes > 16<<10 {
+		t.Errorf("heap peak %d not bounded by the 16 KiB budget", st.PeakHeapBufferBytes)
+	}
+	if st.PeakBufferBytes <= 16<<10 {
+		t.Errorf("workload too small to exercise the budget: logical peak %d", st.PeakBufferBytes)
+	}
+
+	code, body = do(t, "GET", ts.URL+"/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var stats statsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evals != 1 {
+		t.Errorf("evals = %d, want 1", stats.Evals)
+	}
+	agg := stats.Queries["buf"]
+	if agg == nil || agg.Evals != 1 || agg.SpilledBytes == 0 {
+		t.Errorf("per-query aggregate missing or empty: %+v", agg)
+	}
+	if stats.Buffers == nil || stats.Buffers.Budget != 16<<10 || stats.Buffers.Policy != "spill" {
+		t.Fatalf("buffer manager snapshot: %+v", stats.Buffers)
+	}
+	if stats.Buffers.SpillOps == 0 || stats.Buffers.SpillSegsLive != 0 {
+		t.Errorf("manager counters: %+v", stats.Buffers)
+	}
+}
+
+// TestBudgetFailPerQueryRejection: under -budget-policy fail, the
+// over-budget query's /eval result carries code 413 and an
+// ErrBudgetExceeded message while the cheap sibling completes normally
+// in the same pass.
+func TestBudgetFailPerQueryRejection(t *testing.T) {
+	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast, 2048, fluxquery.BufferFail, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	if err := srv.register("greedy", testQBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register("light", testQT); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, "POST", ts.URL+"/eval", testDoc(200))
+	if code != 200 {
+		t.Fatalf("eval: %d %s", code, body)
+	}
+	var resp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]evalResult{}
+	for _, r := range resp.Results {
+		byName[r.Query] = r
+	}
+	if g := byName["greedy"]; g.Code != http.StatusRequestEntityTooLarge ||
+		!strings.Contains(g.Error, "budget exceeded") {
+		t.Errorf("greedy rejection: %+v", g)
+	}
+	if l := byName["light"]; l.Error != "" || l.Output == "" {
+		t.Errorf("light sibling disturbed: %+v", l)
+	}
+	_, body = do(t, "GET", ts.URL+"/stats", "")
+	var stats statsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries["greedy"].BudgetRejections != 1 {
+		t.Errorf("rejection not aggregated: %+v", stats.Queries["greedy"])
+	}
+	if stats.Buffers.Rejections != 1 {
+		t.Errorf("manager rejections: %+v", stats.Buffers)
+	}
+}
+
+// TestParseBytes covers the -budget flag syntax (shared helper).
+func TestParseBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false}, {"1024", 1024, false}, {"4K", 4 << 10, false},
+		{"64M", 64 << 20, false}, {"2g", 2 << 30, false}, {"1.5M", 0, true},
+		{"-3", 0, true}, {"x", 0, true},
+	} {
+		got, err := unit.ParseBytes(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
 // TestEvalRejectsOversizedBody: a document larger than -max-body must be
 // rejected with 413, never silently truncated into a valid prefix.
 func TestEvalRejectsOversizedBody(t *testing.T) {
-	srv, err := newServer(testDTD, 500, fluxquery.ProjectionFast)
+	srv, err := newServer(testDTD, 500, fluxquery.ProjectionFast, 0, fluxquery.BufferSpill, "")
 	if err != nil {
 		t.Fatal(err)
 	}

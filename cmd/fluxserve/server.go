@@ -16,14 +16,24 @@ import (
 
 // server holds the compiled-query registry. Plans are compiled once at
 // registration; each /eval assembles a StreamSet from the selected plans
-// and evaluates the posted document in one shared pass.
+// and evaluates the posted document in one shared pass. One process-wide
+// BufferManager (when -budget is set) governs the buffer memory of every
+// concurrent pass.
 type server struct {
 	d       *fluxquery.DTD
 	maxBody int64
 	proj    fluxquery.Projection
+	bufs    *fluxquery.BufferManager
+	policy  fluxquery.BufferPolicy
+	budget  int64
 
 	mu      sync.RWMutex
 	queries map[string]*entry
+	// agg accumulates per-query scan/buffer/spill statistics across
+	// /eval calls for GET /stats.
+	agg map[string]*queryAgg
+	// evals counts completed /eval passes.
+	evals int64
 }
 
 type entry struct {
@@ -32,12 +42,34 @@ type entry struct {
 	plan *fluxquery.Plan
 }
 
-func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection) (*server, error) {
+// queryAgg is the cumulative record of one registered query.
+type queryAgg struct {
+	Evals               int64 `json:"evals"`
+	Errors              int64 `json:"errors"`
+	BudgetRejections    int64 `json:"budget_rejections"`
+	Events              int64 `json:"events"`
+	OutputBytes         int64 `json:"output_bytes"`
+	PeakBufferBytes     int64 `json:"peak_buffer_bytes"`
+	PeakHeapBufferBytes int64 `json:"peak_heap_buffer_bytes"`
+	SpilledBytes        int64 `json:"spilled_bytes"`
+	RehydratedBytes     int64 `json:"rehydrated_bytes"`
+	StallMicros         int64 `json:"stall_us"`
+}
+
+func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget int64, policy fluxquery.BufferPolicy, spillDir string) (*server, error) {
 	d, err := fluxquery.ParseDTD(dtdSrc)
 	if err != nil {
 		return nil, fmt.Errorf("parsing DTD: %w", err)
 	}
-	return &server{d: d, maxBody: maxBody, proj: proj, queries: map[string]*entry{}}, nil
+	s := &server{
+		d: d, maxBody: maxBody, proj: proj,
+		budget: budget, policy: policy,
+		queries: map[string]*entry{}, agg: map[string]*queryAgg{},
+	}
+	if budget > 0 {
+		s.bufs = fluxquery.NewBufferManager(budget, policy, spillDir)
+	}
+	return s, nil
 }
 
 func (s *server) root() string { return s.d.Root() }
@@ -68,6 +100,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /queries/{name}", s.handleGet)
 	mux.HandleFunc("DELETE /queries/{name}", s.handleDelete)
 	mux.HandleFunc("POST /eval", s.handleEval)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -157,13 +190,25 @@ type evalStats struct {
 	OutputBytes        int64 `json:"output_bytes"`
 	SkippedSubtrees    int64 `json:"skipped_subtrees"`
 	HandlerFirings     int64 `json:"handler_firings"`
+	// Buffer-budget counters (zero unless the server runs with -budget):
+	// heap-resident high-water, spill traffic, and backpressure stall.
+	PeakHeapBufferBytes int64 `json:"peak_heap_buffer_bytes,omitempty"`
+	SpilledBytes        int64 `json:"spilled_bytes,omitempty"`
+	RehydratedBytes     int64 `json:"rehydrated_bytes,omitempty"`
+	StallMicros         int64 `json:"stall_us,omitempty"`
 }
 
 type evalResult struct {
-	Query  string    `json:"query"`
-	Output string    `json:"output,omitempty"`
-	Error  string    `json:"error,omitempty"`
-	Stats  evalStats `json:"stats"`
+	Query  string `json:"query"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Code classifies a per-query failure: 413 when the query was
+	// rejected for exceeding the buffer budget (the 413-style per-query
+	// rejection of a BufferFail server), 422 for any other evaluation
+	// error. The HTTP status stays 200: the shared pass succeeded and
+	// sibling queries carry results.
+	Code  int       `json:"code,omitempty"`
+	Stats evalStats `json:"stats"`
 }
 
 // scanStats reports the shared scan pass of one /eval: exactly one
@@ -177,6 +222,9 @@ type scanStats struct {
 	EventsSkipped   int64  `json:"events_skipped"`
 	SubtreesSkipped int64  `json:"subtrees_skipped"`
 	BytesSkipped    int64  `json:"bytes_skipped"`
+	// StallMicros is the time the shared pass spent blocked by
+	// backpressure (zero unless -budget with -budget-policy backpressure).
+	StallMicros int64 `json:"stall_us,omitempty"`
 }
 
 type evalResponse struct {
@@ -211,6 +259,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 	set := fluxquery.NewStreamSet(s.d)
 	set.SetProjection(s.proj)
+	set.SetBuffers(s.bufs)
 	outs := make([]*bytes.Buffer, len(selected))
 	regs := make([]*fluxquery.StreamQuery, len(selected))
 	for i, e := range selected {
@@ -245,6 +294,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		EventsSkipped:   sc.EventsSkipped,
 		SubtreesSkipped: sc.SubtreesSkipped,
 		BytesSkipped:    sc.BytesSkipped,
+		StallMicros:     sc.Stall.Microseconds(),
 	}
 	for i, e := range selected {
 		st, err := regs[i].Stats()
@@ -252,19 +302,92 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			Query:  e.name,
 			Output: outs[i].String(),
 			Stats: evalStats{
-				Events:             st.Events,
-				PeakBufferBytes:    st.PeakBufferBytes,
-				BufferedBytesTotal: st.BufferedBytesTotal,
-				OutputBytes:        st.OutputBytes,
-				SkippedSubtrees:    st.SkippedSubtrees,
-				HandlerFirings:     st.HandlerFirings,
+				Events:              st.Events,
+				PeakBufferBytes:     st.PeakBufferBytes,
+				BufferedBytesTotal:  st.BufferedBytesTotal,
+				OutputBytes:         st.OutputBytes,
+				SkippedSubtrees:     st.SkippedSubtrees,
+				HandlerFirings:      st.HandlerFirings,
+				PeakHeapBufferBytes: st.PeakHeapBufferBytes,
+				SpilledBytes:        st.SpilledBytes,
+				RehydratedBytes:     st.RehydratedBytes,
+				StallMicros:         st.BudgetStall.Microseconds(),
 			},
 		}
 		if err != nil {
 			res.Error = err.Error()
 			res.Output = ""
+			res.Code = http.StatusUnprocessableEntity
+			if errors.Is(err, fluxquery.ErrBudgetExceeded) {
+				res.Code = http.StatusRequestEntityTooLarge
+			}
 		}
+		s.record(e.name, st, err)
 		resp.Results = append(resp.Results, res)
+	}
+	s.mu.Lock()
+	s.evals++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// record folds one query's pass outcome into the /stats aggregates.
+func (s *server) record(name string, st fluxquery.Stats, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.agg[name]
+	if a == nil {
+		a = &queryAgg{}
+		s.agg[name] = a
+	}
+	a.Evals++
+	if err != nil {
+		a.Errors++
+		if errors.Is(err, fluxquery.ErrBudgetExceeded) {
+			a.BudgetRejections++
+		}
+	}
+	a.Events += st.Events
+	a.OutputBytes += st.OutputBytes
+	if st.PeakBufferBytes > a.PeakBufferBytes {
+		a.PeakBufferBytes = st.PeakBufferBytes
+	}
+	if st.PeakHeapBufferBytes > a.PeakHeapBufferBytes {
+		a.PeakHeapBufferBytes = st.PeakHeapBufferBytes
+	}
+	a.SpilledBytes += st.SpilledBytes
+	a.RehydratedBytes += st.RehydratedBytes
+	a.StallMicros += st.BudgetStall.Microseconds()
+}
+
+// statsResponse is the GET /stats document: per-query cumulative
+// scan/buffer/spill aggregates plus the process-wide buffer-manager
+// snapshot.
+type statsResponse struct {
+	Evals   int64                `json:"evals"`
+	Queries map[string]*queryAgg `json:"queries"`
+	Buffers *bufferStats         `json:"buffers,omitempty"`
+}
+
+// bufferStats embeds the manager snapshot (whose fields carry their
+// own JSON tags, so new counters appear here automatically) plus the
+// stall in the microsecond unit the rest of the API uses.
+type bufferStats struct {
+	fluxquery.BufferMetrics
+	StallMicros int64 `json:"stall_us"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := statsResponse{Evals: s.evals, Queries: make(map[string]*queryAgg, len(s.agg))}
+	for name, a := range s.agg {
+		cp := *a
+		resp.Queries[name] = &cp
+	}
+	s.mu.RUnlock()
+	if s.bufs != nil {
+		mt := s.bufs.Metrics()
+		resp.Buffers = &bufferStats{BufferMetrics: mt, StallMicros: mt.StallNanos / 1000}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -38,6 +38,7 @@ func RunNaive(q xquery.Expr, d *dtd.DTD, in io.Reader, out io.Writer) (*runtime.
 	}
 	sz := doc.Size()
 	st.PeakBufferBytes = sz
+	st.PeakHeapBufferBytes = sz
 	st.BufferedBytesTotal = sz
 	st.BufferedNodes = int64(doc.Count())
 	return st, evalOver(q, doc, out, st)
@@ -56,6 +57,7 @@ func RunProjection(q xquery.Expr, d *dtd.DTD, in io.Reader, out io.Writer) (*run
 	}
 	sz := doc.Size()
 	st.PeakBufferBytes = sz
+	st.PeakHeapBufferBytes = sz
 	st.BufferedBytesTotal = sz
 	st.BufferedNodes = int64(doc.Count())
 	return st, evalOver(q, doc, out, st)

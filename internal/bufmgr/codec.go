@@ -1,0 +1,195 @@
+package bufmgr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fluxquery/internal/dom"
+	"fluxquery/internal/xmltok"
+)
+
+// This file implements the compact dom↔bytes codec the spill path uses
+// to serialize a buffered subtree's children into a segment and restore
+// them on rehydration. The format is a preorder walk with uvarint
+// lengths:
+//
+//	children  := count:uvarint node*
+//	node      := kindText len:uvarint bytes
+//	           | kindElem nameLen:uvarint name
+//	             attrCount:uvarint (nameLen name valLen val)*
+//	             children
+//
+// Only element and text nodes occur inside runtime buffers (document
+// nodes are synthetic roots and never buffered); the decoder rejects
+// anything else, so a corrupted segment surfaces as an error instead of
+// a mis-shaped tree.
+const (
+	kindText byte = 0x01
+	kindElem byte = 0x02
+)
+
+// EncodeChildren serializes n's children (not n itself — the spill stub
+// keeps the root's name and attributes resident).
+func EncodeChildren(n *dom.Node) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		buf = appendNode(buf, c)
+	}
+	return buf
+}
+
+func appendNode(buf []byte, n *dom.Node) []byte {
+	switch n.Kind {
+	case dom.TextNode:
+		buf = append(buf, kindText)
+		buf = appendString(buf, n.Text)
+	default: // ElementNode (document nodes never occur inside buffers)
+		buf = append(buf, kindElem)
+		buf = appendString(buf, n.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			buf = appendString(buf, a.Name)
+			buf = appendString(buf, a.Value)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+		for _, c := range n.Children {
+			buf = appendNode(buf, c)
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeChildren restores a subtree's children from data onto n,
+// re-establishing parent links. It is the exact inverse of
+// EncodeChildren.
+func DecodeChildren(n *dom.Node, data []byte) error {
+	d := decoder{data: data}
+	count, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	kids, err := d.nodes(count, 0)
+	if err != nil {
+		return err
+	}
+	if len(d.data) != d.pos {
+		return fmt.Errorf("bufmgr: codec: %d trailing bytes", len(d.data)-d.pos)
+	}
+	n.Children = kids
+	for _, c := range kids {
+		c.Parent = n
+	}
+	return nil
+}
+
+// maxDecodeDepth bounds recursion so a corrupted or adversarial segment
+// cannot blow the stack.
+const maxDecodeDepth = 10_000
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bufmgr: codec: bad varint at %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	ln, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if ln > uint64(len(d.data)-d.pos) {
+		return "", fmt.Errorf("bufmgr: codec: string length %d exceeds remaining %d", ln, len(d.data)-d.pos)
+	}
+	s := string(d.data[d.pos : d.pos+int(ln)])
+	d.pos += int(ln)
+	return s, nil
+}
+
+func (d *decoder) nodes(count uint64, depth int) ([]*dom.Node, error) {
+	if count > uint64(len(d.data)-d.pos) {
+		// Every node costs at least one byte; reject impossible counts
+		// before allocating.
+		return nil, fmt.Errorf("bufmgr: codec: child count %d exceeds remaining %d bytes", count, len(d.data)-d.pos)
+	}
+	out := make([]*dom.Node, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, err := d.node(depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (d *decoder) node(depth int) (*dom.Node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("bufmgr: codec: nesting exceeds %d", maxDecodeDepth)
+	}
+	if d.pos >= len(d.data) {
+		return nil, fmt.Errorf("bufmgr: codec: truncated at %d", d.pos)
+	}
+	kind := d.data[d.pos]
+	d.pos++
+	switch kind {
+	case kindText:
+		text, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return dom.NewText(text), nil
+	case kindElem:
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		n := dom.NewElement(name)
+		attrs, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if attrs > uint64(len(d.data)-d.pos) {
+			return nil, fmt.Errorf("bufmgr: codec: attr count %d exceeds remaining %d bytes", attrs, len(d.data)-d.pos)
+		}
+		for i := uint64(0); i < attrs; i++ {
+			an, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			av, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			n.Attrs = append(n.Attrs, xmltok.Attr{Name: an, Value: av})
+		}
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		kids, err := d.nodes(count, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = kids
+		for _, c := range kids {
+			c.Parent = n
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("bufmgr: codec: unknown node kind 0x%02x at %d", kind, d.pos-1)
+	}
+}

@@ -1,0 +1,138 @@
+package bufmgr
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/dom"
+	"fluxquery/internal/xmltok"
+)
+
+// roundTrip encodes n's children and decodes them onto a fresh stub.
+func roundTrip(t testing.TB, n *dom.Node) *dom.Node {
+	t.Helper()
+	data := EncodeChildren(n)
+	out := dom.NewElement(n.Name)
+	out.Attrs = append([]xmltok.Attr(nil), n.Attrs...)
+	if err := DecodeChildren(out, data); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestCodecRoundTripDocuments(t *testing.T) {
+	docs := []string{
+		`<a/>`,
+		`<a>text</a>`,
+		`<a k="v" k2="v2"><b/><c x="1">mid</c>tail</a>`,
+		`<bib><book year="1994"><title>TCP/IP &amp; co</title><author><last>Stevens</last></author></book></bib>`,
+		`<a>` + strings.Repeat(`<b p="q">deep</b>`, 200) + `</a>`,
+		`<a><b><c><d><e>nested</e></d></c></b></a>`,
+		`<a>` + strings.Repeat("x", 70000) + `</a>`, // multi-byte varint lengths
+	}
+	for _, src := range docs {
+		n := mustTree(t, src)
+		got := roundTrip(t, n)
+		if got.String() != n.String() {
+			t.Errorf("round trip changed %q:\n%s", src, got.String())
+		}
+		if got.Size() != n.Size() {
+			t.Errorf("round trip changed accounted size of %q: %d vs %d", src, got.Size(), n.Size())
+		}
+		// Parent links must be re-established for every decoded node.
+		var check func(p *dom.Node)
+		check = func(p *dom.Node) {
+			for _, c := range p.Children {
+				if c.Parent != p {
+					t.Fatalf("parent link broken under %q", src)
+				}
+				check(c)
+			}
+		}
+		check(got)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	n := mustTree(t, `<a k="v"><b>text</b><c/></a>`)
+	data := EncodeChildren(n)
+	stub := dom.NewElement("a")
+	// Truncations at every length must error, never mis-shape silently.
+	for cut := 0; cut < len(data); cut++ {
+		if err := DecodeChildren(stub, data[:cut]); err == nil && cut != lenPrefixOnlyOK(data, cut) {
+			// A cut that lands exactly after "0 children" decodes fine;
+			// everything else must fail.
+			if cut > 1 {
+				t.Fatalf("truncation at %d of %d decoded silently", cut, len(data))
+			}
+		}
+	}
+	// Unknown node kind.
+	bad := append([]byte{1}, 0x7f)
+	if err := DecodeChildren(stub, bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Child count far past the data must be rejected before allocating.
+	if err := DecodeChildren(stub, []byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("absurd child count accepted")
+	}
+}
+
+// lenPrefixOnlyOK reports the only truncation point that legally
+// decodes: an empty child list.
+func lenPrefixOnlyOK(data []byte, cut int) int {
+	if cut == 1 && data[0] == 0 {
+		return cut
+	}
+	return -1
+}
+
+// FuzzCodecRoundTrip decodes arbitrary bytes; the decoder must never
+// panic or mis-link parents, and whatever decodes must survive an
+// encode/decode cycle unchanged with the re-encoding a fixpoint. (Byte
+// canonicality of arbitrary input is not required — binary.Uvarint
+// accepts non-minimal varints — but the encoder's own output is.)
+func FuzzCodecRoundTrip(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a>t</a>`,
+		`<a k="v"><b/>x<c y="z">w</c></a>`,
+		`<bib><book year="1994"><title>T</title></book></bib>`,
+	}
+	for _, src := range seeds {
+		doc, err := dom.ParseString(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeChildren(doc.Root()))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stub := dom.NewElement("fuzz")
+		if err := DecodeChildren(stub, data); err != nil {
+			return
+		}
+		re := EncodeChildren(stub)
+		again := dom.NewElement("fuzz")
+		if err := DecodeChildren(again, re); err != nil {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		if again.String() != stub.String() || again.Size() != stub.Size() {
+			t.Fatalf("encode/decode cycle changed the tree:\n%s\nvs\n%s", stub, again)
+		}
+		if re2 := EncodeChildren(again); string(re2) != string(re) {
+			t.Fatalf("encoder not a fixpoint:\n%x\nvs\n%x", re, re2)
+		}
+		var check func(p *dom.Node)
+		check = func(p *dom.Node) {
+			for _, c := range p.Children {
+				if c.Parent != p {
+					t.Fatal("parent link broken")
+				}
+				check(c)
+			}
+		}
+		check(stub)
+	})
+}

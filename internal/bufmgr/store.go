@@ -1,0 +1,143 @@
+package bufmgr
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// seg is one allocated extent of the spill file.
+type seg struct {
+	off int64
+	len int64
+}
+
+// segStore is an append-mostly extent allocator over a single unlinked
+// temp file. Freed extents go to a free list and are coalesced and
+// reused, so a long-running server's spill file grows to the working-set
+// high-water, not without bound. Reads use ReadAt and can run
+// concurrently; allocation and free are serialized by the mutex.
+type segStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	live int64
+	// free holds reusable extents sorted by offset (adjacent extents
+	// are merged on free).
+	freeList []seg
+}
+
+// openSegStore creates the store's backing file in dir and unlinks it
+// immediately: the extents live only as long as the process (or until
+// close), and a crash leaks nothing.
+func openSegStore(dir string) (*segStore, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "fluxquery-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("bufmgr: spill store: %w", err)
+	}
+	// Unlink while keeping the descriptor: the file vanishes from the
+	// namespace now and its blocks are reclaimed when the fd closes.
+	if err := os.Remove(f.Name()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bufmgr: spill store: %w", err)
+	}
+	return &segStore{f: f}, nil
+}
+
+// put writes data into a reused or fresh extent.
+func (s *segStore) put(data []byte) (seg, error) {
+	need := int64(len(data))
+	s.mu.Lock()
+	sg := s.alloc(need)
+	s.live++
+	s.mu.Unlock()
+	if _, err := s.f.WriteAt(data, sg.off); err != nil {
+		s.free(sg)
+		return seg{}, fmt.Errorf("bufmgr: spill write: %w", err)
+	}
+	return sg, nil
+}
+
+// alloc finds the first free extent that fits (returning the remainder
+// to the list) or extends the file. Caller holds s.mu.
+func (s *segStore) alloc(need int64) seg {
+	for i, fr := range s.freeList {
+		if fr.len >= need {
+			out := seg{off: fr.off, len: need}
+			if rem := fr.len - need; rem > 0 {
+				s.freeList[i] = seg{off: fr.off + need, len: rem}
+			} else {
+				s.freeList = append(s.freeList[:i], s.freeList[i+1:]...)
+			}
+			return out
+		}
+	}
+	out := seg{off: s.size, len: need}
+	s.size += need
+	return out
+}
+
+// get reads the extent and hands it to fn; the buffer is only valid for
+// the duration of the call.
+func (s *segStore) get(sg seg, fn func(data []byte) error) error {
+	buf := make([]byte, sg.len)
+	if _, err := s.f.ReadAt(buf, sg.off); err != nil {
+		return fmt.Errorf("bufmgr: spill read: %w", err)
+	}
+	return fn(buf)
+}
+
+// free returns an extent to the free list, merging neighbors.
+func (s *segStore) free(sg seg) {
+	if sg.len <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live > 0 {
+		s.live--
+	}
+	i := sort.Search(len(s.freeList), func(i int) bool { return s.freeList[i].off >= sg.off })
+	s.freeList = append(s.freeList, seg{})
+	copy(s.freeList[i+1:], s.freeList[i:])
+	s.freeList[i] = sg
+	// Merge with the successor, then the predecessor.
+	if i+1 < len(s.freeList) && s.freeList[i].off+s.freeList[i].len == s.freeList[i+1].off {
+		s.freeList[i].len += s.freeList[i+1].len
+		s.freeList = append(s.freeList[:i+1], s.freeList[i+2:]...)
+	}
+	if i > 0 && s.freeList[i-1].off+s.freeList[i-1].len == s.freeList[i].off {
+		s.freeList[i-1].len += s.freeList[i].len
+		s.freeList = append(s.freeList[:i], s.freeList[i+1:]...)
+	}
+}
+
+// fileBytes returns the spill file's current extent span.
+func (s *segStore) fileBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// liveSegs returns the number of allocated (un-freed) extents.
+func (s *segStore) liveSegs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// close releases the backing file.
+func (s *segStore) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -38,6 +38,32 @@ type Node struct {
 	Attrs    []xmltok.Attr
 	Children []*Node
 	Parent   *Node
+	// Lazy, when non-nil, restores spilled children on first traversal:
+	// the buffer manager (internal/bufmgr) evicts cold buffered subtrees
+	// to disk by clearing Children and installing this hook, and every
+	// child-reading accessor fires it exactly once before looking. The
+	// hook may panic on I/O failure; the runtime's recover wrapper turns
+	// that into the plan's error. Code that reads Children directly must
+	// go through Kids() (or another hydrating accessor) to see spilled
+	// content.
+	Lazy func(*Node)
+}
+
+// hydrate fires the Lazy hook once.
+func (n *Node) hydrate() {
+	if n.Lazy != nil {
+		f := n.Lazy
+		n.Lazy = nil
+		f(n)
+	}
+}
+
+// Kids returns the node's children, restoring them first if they were
+// spilled. Direct Children access is only sound where the node is known
+// resident (tree construction, the accounting walk of Size).
+func (n *Node) Kids() []*Node {
+	n.hydrate()
+	return n.Children
 }
 
 // NewDocument returns an empty document node.
@@ -68,6 +94,7 @@ func (n *Node) Attr(name string) (string, bool) {
 // ChildElements returns the element children with the given name; name "*"
 // matches every element child.
 func (n *Node) ChildElements(name string) []*Node {
+	n.hydrate()
 	var out []*Node
 	for _, c := range n.Children {
 		if c.Kind == ElementNode && (name == "*" || c.Name == name) {
@@ -80,6 +107,7 @@ func (n *Node) ChildElements(name string) []*Node {
 // FirstChildElement returns the first element child with the given name, or
 // nil.
 func (n *Node) FirstChildElement(name string) *Node {
+	n.hydrate()
 	for _, c := range n.Children {
 		if c.Kind == ElementNode && (name == "*" || c.Name == name) {
 			return c
@@ -113,6 +141,7 @@ func (n *Node) appendText(b *strings.Builder) {
 		b.WriteString(n.Text)
 		return
 	}
+	n.hydrate()
 	for _, c := range n.Children {
 		c.appendText(b)
 	}
@@ -124,14 +153,33 @@ func (n *Node) appendText(b *strings.Builder) {
 // 64-bit footprint of Node.
 const nodeOverhead = 48
 
-// Size returns the accounted memory footprint of the subtree in bytes:
-// per-node overhead plus the length of all names, attribute strings and
-// character data. This is the engine's buffer-size metric.
-func (n *Node) Size() int64 {
+// attrOverhead is the per-attribute bookkeeping cost: two string headers
+// (16 bytes each on 64-bit) on top of the name and value bytes. The old
+// accounting charged only 8 bytes per attribute, which undercounted the
+// retained memory of attribute-heavy documents badly enough that a byte
+// budget computed from Size would overshoot the real heap.
+const attrOverhead = 32
+
+// SelfSize returns the accounted footprint of the node itself — overhead,
+// name, text and attribute strings — without its children. This is what
+// a spilled subtree's stub still keeps resident (the buffer manager
+// retains names and attributes so handler matching and attribute axes
+// never touch the disk).
+func (n *Node) SelfSize() int64 {
 	s := int64(nodeOverhead + len(n.Name) + len(n.Text))
 	for _, a := range n.Attrs {
-		s += int64(len(a.Name) + len(a.Value) + 8)
+		s += int64(len(a.Name) + len(a.Value) + attrOverhead)
 	}
+	return s
+}
+
+// Size returns the accounted memory footprint of the subtree in bytes:
+// per-node overhead plus the length of all names, attribute strings and
+// character data. This is the engine's buffer-size metric. A spilled
+// subtree reports only its resident portion (Size does not hydrate); the
+// buffer manager remembers logical sizes itself.
+func (n *Node) Size() int64 {
+	s := n.SelfSize()
 	for _, c := range n.Children {
 		s += c.Size()
 	}
@@ -140,6 +188,7 @@ func (n *Node) Size() int64 {
 
 // Count returns the number of nodes in the subtree, including n.
 func (n *Node) Count() int {
+	n.hydrate()
 	c := 1
 	for _, ch := range n.Children {
 		c += ch.Count()
@@ -149,6 +198,7 @@ func (n *Node) Count() int {
 
 // Clone returns a deep copy of the subtree with a nil parent.
 func (n *Node) Clone() *Node {
+	n.hydrate()
 	cp := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
 	if len(n.Attrs) > 0 {
 		cp.Attrs = append([]xmltok.Attr(nil), n.Attrs...)
@@ -164,6 +214,7 @@ func (n *Node) Clone() *Node {
 // WriteXML serializes the subtree to w. Document nodes emit their
 // children; element and text nodes emit themselves.
 func (n *Node) WriteXML(w *xmltok.Writer) {
+	n.hydrate()
 	switch n.Kind {
 	case DocumentNode:
 		for _, c := range n.Children {

@@ -97,6 +97,31 @@ func TestSizeAccounting(t *testing.T) {
 	}
 }
 
+// TestSizeAttrAccounting pins the per-attribute formula: name and value
+// bytes plus two string headers (32 B), matching the real retained
+// memory of attribute-heavy documents — the old 8 B overhead undercount
+// would let a byte budget overshoot the actual heap.
+func TestSizeAttrAccounting(t *testing.T) {
+	bare := mustParse(t, `<a/>`)
+	attr := mustParse(t, `<a key="value"/>`)
+	wantDelta := int64(len("key") + len("value") + attrOverhead)
+	if got := attr.Size() - bare.Size(); got != wantDelta {
+		t.Errorf("one attribute costs %d, want %d", got, wantDelta)
+	}
+	if attrOverhead != 32 {
+		t.Errorf("attrOverhead = %d, want two 16-byte string headers", attrOverhead)
+	}
+	// SelfSize of a childless element equals its Size; children add to
+	// Size only.
+	parent := mustParse(t, `<a key="value"><b/>text</a>`).Root()
+	if parent.SelfSize() != attr.Root().Size() {
+		t.Errorf("SelfSize %d != childless Size %d", parent.SelfSize(), attr.Root().Size())
+	}
+	if parent.Size() <= parent.SelfSize() {
+		t.Errorf("children not accounted beyond SelfSize")
+	}
+}
+
 func TestClone(t *testing.T) {
 	doc := mustParse(t, bibDoc)
 	cp := doc.Clone()

@@ -246,9 +246,10 @@ func resolveSteps(items []Item, steps []xquery.Step) ([]Item, error) {
 					next = append(next, v)
 				}
 			case xquery.TextAxis:
-				// The concatenated character data directly under n.
+				// The concatenated character data directly under n
+				// (Kids, not Children: n may be a spilled buffer stub).
 				var b strings.Builder
-				for _, c := range n.Children {
+				for _, c := range n.Kids() {
 					if c.Kind == dom.TextNode {
 						b.WriteString(c.Text)
 					}

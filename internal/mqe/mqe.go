@@ -42,6 +42,7 @@ package mqe
 import (
 	"io"
 
+	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/xsax"
@@ -80,6 +81,14 @@ type Dispatcher struct {
 	// filtered delivery) handling of pruned regions.
 	Proj     *proj.Automaton
 	ProjMode proj.Mode
+	// Gate, when non-nil, is the pass's backpressure point: the
+	// dispatcher waits on it before tokenizing each batch, so under
+	// bufmgr.PolicyBackpressure the whole shared pass throttles while
+	// the process is over budget and another pass can drain. The gate
+	// covers the pass, not individual consumers — blocking one consumer
+	// of a batch would deadlock against the siblings that could free
+	// memory only when fed.
+	Gate *bufmgr.Gate
 }
 
 // Default batch bounds; see runtime's feed batch sizing for rationale.
@@ -122,6 +131,7 @@ func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats,
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
+		d.Gate.Wait()
 		b.Reset()
 		for b.Len() < maxEvents && b.ArenaBytes() < maxBytes {
 			ev, err := xr.NextEvent()

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
@@ -53,10 +54,17 @@ type Set struct {
 	pauto     *proj.Automaton
 	projDirty bool
 	pmode     proj.Mode
+	// bufs, when non-nil, governs the buffer memory of shared passes:
+	// each Run opens one gate (the pass's backpressure point) and one
+	// account per riding plan, so a budget violation is attributed — and,
+	// under bufmgr.PolicyFail, confined — to the individual plan.
+	bufs *bufmgr.Manager
 	// lastScan reports the most recent pass's projection counters; passes
-	// counts completed Run calls.
-	lastScan xsax.ScanStats
-	passes   int64
+	// counts completed Run calls. lastStall is the most recent pass's
+	// backpressure stall.
+	lastScan  xsax.ScanStats
+	passes    int64
+	lastStall time.Duration
 }
 
 // NewSet returns a Set for streams governed by d.
@@ -112,6 +120,23 @@ func (s *Set) LastScan() (xsax.ScanStats, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastScan, s.passes
+}
+
+// SetBuffers installs the buffer manager governing shared passes (nil =
+// unmanaged). Takes effect at the next Run.
+func (s *Set) SetBuffers(m *bufmgr.Manager) {
+	s.mu.Lock()
+	s.bufs = m
+	s.mu.Unlock()
+}
+
+// LastStall returns the backpressure stall of the most recent
+// successfully completed Run (zero unless bufmgr.PolicyBackpressure
+// throttled the pass).
+func (s *Set) LastStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastStall
 }
 
 // recomputeProjLocked rebuilds the union skip automaton from the current
@@ -188,6 +213,16 @@ func (b *Sub) Duration() time.Duration {
 	return b.dur
 }
 
+// setStall overwrites the most recent run's backpressure stall with the
+// pass-wide value once the pass has fully ended.
+func (b *Sub) setStall(stall time.Duration) {
+	b.mu.Lock()
+	if b.ran {
+		b.st.BudgetStall = stall
+	}
+	b.mu.Unlock()
+}
+
 func (b *Sub) setResult(st *runtime.Stats, dur time.Duration, err error) {
 	b.mu.Lock()
 	b.ran = true
@@ -218,18 +253,41 @@ func (s *Set) Run(r io.Reader) error {
 	disp := s.disp
 	disp.Proj = s.pauto
 	disp.ProjMode = s.pmode
+	bufs := s.bufs
 	s.mu.Unlock()
+
+	// One gate per pass, one account per riding plan: the gate throttles
+	// the shared scan under backpressure, the accounts isolate budget
+	// enforcement per plan (an over-budget query fails or spills alone).
+	gate := bufs.NewGate()
+	disp.Gate = gate
 
 	start := time.Now()
 	consumers := make([]Consumer, len(subs))
 	for i, b := range subs {
-		consumers[i] = &subRun{sub: b, se: b.plan.NewStepExec(b.out), start: start}
+		acct := gate.NewAccount()
+		consumers[i] = &subRun{
+			sub:   b,
+			se:    b.plan.NewStepExecBudgeted(b.out, acct),
+			acct:  acct,
+			start: start,
+		}
 	}
 	sc, err := disp.RunScan(r, consumers)
+	stall := gate.Stall()
+	// Every riding plan reports the same full-pass stall (a consumer
+	// that settled mid-pass snapshotted only what had accrued by then).
+	for _, c := range consumers {
+		if rr, ok := c.(*subRun); ok {
+			rr.sub.setStall(stall)
+		}
+	}
+	gate.Close()
 	if err == nil {
 		s.mu.Lock()
 		s.lastScan = sc
 		s.passes++
+		s.lastStall = stall
 		s.mu.Unlock()
 	}
 	return err
@@ -240,6 +298,7 @@ func (s *Set) Run(r io.Reader) error {
 type subRun struct {
 	sub   *Sub
 	se    *runtime.StepExec
+	acct  *bufmgr.Account
 	start time.Time
 	done  bool
 }
@@ -272,5 +331,15 @@ func (rr *subRun) Close(cause error) {
 func (rr *subRun) finish(cause error) {
 	rr.done = true
 	st, err := rr.se.Close(cause)
+	if rr.acct != nil {
+		as := rr.acct.Close()
+		if st != nil {
+			st.PeakHeapBufferBytes = as.PeakBytes
+			st.SpilledBytes = as.SpilledBytes
+			st.RehydratedBytes = as.RehydratedBytes
+			// BudgetStall is stamped by Set.Run once the pass ends, so
+			// every riding plan reports the same pass-wide stall.
+		}
+	}
 	rr.sub.setResult(st, time.Since(rr.start), err)
 }

@@ -5,8 +5,10 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"fluxquery/internal/bdf"
+	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/core"
 	"fluxquery/internal/dom"
 	"fluxquery/internal/eval"
@@ -43,6 +45,19 @@ type Stats struct {
 	ScanEventsSkipped   int64
 	ScanSubtreesSkipped int64
 	ScanBytesSkipped    int64
+	// PeakHeapBufferBytes is the high-water of heap-resident buffered
+	// bytes. It equals PeakBufferBytes (the logical metric above) unless
+	// a buffer manager spilled subtrees to disk, in which case it is the
+	// quantity the budget bounds.
+	PeakHeapBufferBytes int64
+	// SpilledBytes and RehydratedBytes count the execution's traffic to
+	// and from the spill store (PolicySpill only).
+	SpilledBytes    int64
+	RehydratedBytes int64
+	// BudgetStall is the time the pass spent blocked at its backpressure
+	// gate (PolicyBackpressure only; for a shared pass the stall belongs
+	// to the pass and every riding plan reports the same value).
+	BudgetStall time.Duration
 }
 
 // execPool recycles the per-execution machinery (the evaluator frame; the
@@ -66,7 +81,17 @@ const (
 // dispatcher (internal/mqe) drives the same StepExec machinery with one
 // reader and many plans.
 func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
-	se := p.NewStepExec(out)
+	return p.RunManaged(in, out, nil)
+}
+
+// RunManaged is Run with the execution's buffer memory governed by m: a
+// per-pass gate throttles the feed loop under backpressure and a
+// per-plan account enforces the budget at every buffer-fill point (nil m
+// = unmanaged, the plain Run).
+func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	gate := m.NewGate()
+	acct := gate.NewAccount()
+	se := p.NewStepExecBudgeted(out, acct)
 	xr := xsax.GetReader(in, p.d)
 	if p.pmode != proj.ModeOff {
 		xr.SetProjection(p.pauto, p.pmode)
@@ -74,6 +99,10 @@ func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
+		// The backpressure point: under PolicyBackpressure the gate
+		// blocks the feed while the process is over budget and another
+		// pass can still drain.
+		gate.Wait()
 		b.Reset()
 		for b.Len() < feedBatchEvents && b.ArenaBytes() < feedBatchBytes {
 			ev, err := xr.NextEvent()
@@ -95,6 +124,16 @@ func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 		st.ScanSubtreesSkipped = sc.SubtreesSkipped
 		st.ScanBytesSkipped = sc.BytesSkipped
 	}
+	if acct != nil {
+		as := acct.Close()
+		if st != nil {
+			st.PeakHeapBufferBytes = as.PeakBytes
+			st.SpilledBytes = as.SpilledBytes
+			st.RehydratedBytes = as.RehydratedBytes
+			st.BudgetStall = gate.Stall()
+		}
+	}
+	gate.Close()
 	xsax.PutBatch(b)
 	xsax.PutReader(xr)
 	return st, err
@@ -115,7 +154,11 @@ type exec struct {
 	xr  eventSource
 	w   *xmltok.Writer
 	st  *Stats
-	cur int64 // live buffered bytes
+	cur int64 // live buffered bytes (logical)
+	// acct, when non-nil, is the execution's budget ledger: every
+	// buffer-fill point reserves against it and every free releases, so
+	// the buffer manager can fail, spill or throttle per its policy.
+	acct *bufmgr.Account
 }
 
 func (ex *exec) grow(n int64) {
@@ -127,6 +170,30 @@ func (ex *exec) grow(n int64) {
 }
 
 func (ex *exec) shrink(n int64) { ex.cur -= n }
+
+// fill accounts one freshly buffered subtree (or text node) of size sz
+// appended to f.buf: the logical ledgers always, and the budget account
+// when managed. spillable registers n as a spill candidate; a budget
+// rejection (PolicyFail) aborts the plan with the returned error.
+func (ex *exec) fill(f *psFrame, n *dom.Node, sz int64, spillable bool) error {
+	f.bufBytes += sz
+	ex.grow(sz)
+	if ex.acct == nil {
+		return nil
+	}
+	return ex.acct.Filled(n, sz, spillable)
+}
+
+// unbuffer accounts the release of one buffered child: it reports the
+// child's logical size (the buffer manager remembers fill-time sizes for
+// spilled units — a spilled child's resident Size no longer tells) and
+// drains the budget ledger.
+func (ex *exec) unbuffer(c *dom.Node) int64 {
+	if ex.acct == nil {
+		return c.Size()
+	}
+	return ex.acct.FreeTree(c)
+}
 
 // element is the evaluator's view of one element instance: either the
 // live stream positioned right after its start tag, or a materialized
@@ -274,7 +341,7 @@ func (ex *exec) atomicElement(el *element, step xquery.Step) error {
 			}
 		case xquery.TextAxis:
 			var b strings.Builder
-			for _, c := range el.node.Children {
+			for _, c := range el.node.Kids() {
 				if c.Kind == dom.TextNode {
 					b.WriteString(c.Text)
 				}
@@ -387,9 +454,9 @@ func (ex *exec) runPS(ps *pPS, el *element) error {
 				// out of the scanner window.
 				n := dom.NewText(string(ev.Data))
 				f.buf.AppendChild(n)
-				sz := n.Size()
-				f.bufBytes += sz
-				ex.grow(sz)
+				if err := ex.fill(f, n, n.Size(), false); err != nil {
+					return err
+				}
 			}
 		case xmltok.StartElement:
 			if err := ex.dispatchChild(f, ev); err != nil {
@@ -451,12 +518,11 @@ func (ex *exec) dispatchChild(f *psFrame, ev *xsax.Event) error {
 		}
 		return nil
 	case buffered && !streamed:
-		n, err := ex.materialize(ev, proj)
+		n, sz, err := ex.materialize(ev, proj)
 		if err != nil {
 			return err
 		}
 		f.buf.AppendChild(n)
-		sz := n.Size()
 		f.bufBytes += sz
 		ex.grow(sz)
 		ex.st.BufferedNodes++
@@ -464,18 +530,22 @@ func (ex *exec) dispatchChild(f *psFrame, ev *xsax.Event) error {
 	case buffered && streamed:
 		// Materialize fully (the streaming handler replays the node),
 		// then run the handler over the materialized child.
-		n, err := ex.materialize(ev, nil)
+		n, sz, err := ex.materialize(ev, nil)
 		if err != nil {
 			return err
 		}
 		f.buf.AppendChild(n)
-		sz := n.Size()
 		f.bufBytes += sz
 		ex.grow(sz)
 		ex.st.BufferedNodes++
 		h := f.ps.hs[hIdx]
 		ex.st.HandlerFirings++
-		return ex.eval(h.body, &element{name: label, node: n}, nil)
+		// Pinned while the handler replays it: the node must not be a
+		// spill victim of a reservation its own handler body makes.
+		ex.acct.Pin(n)
+		err = ex.eval(h.body, &element{name: label, node: n}, nil)
+		ex.acct.Unpin(n)
+		return err
 	default:
 		ex.st.SkippedSubtrees++
 		return ex.skipRest(1)
@@ -486,9 +556,17 @@ func (ex *exec) dispatchChild(f *psFrame, ev *xsax.Event) error {
 // just read, applying the BDF projection (nil proj = keep everything).
 // This is the evaluator's buffer-fill point: names come interned from the
 // DTD, text and attribute values are copied into owned strings here.
-func (ex *exec) materialize(start *xsax.Event, proj *bdf.Node) (*dom.Node, error) {
+//
+// When the execution is budget-managed, construction streams through a
+// bufmgr.Filler: completed sub-subtrees are reserved (and registered as
+// eviction units) as their end tags arrive, so a buffer far larger than
+// the budget spills its earlier chunks while the later ones are still
+// being parsed — the accounted residency never waits for the whole
+// subtree.
+func (ex *exec) materialize(start *xsax.Event, proj *bdf.Node) (*dom.Node, int64, error) {
 	rootNode := dom.NewElement(start.Name)
 	rootNode.Attrs = start.OwnedAttrs()
+	fl := ex.acct.NewFiller(rootNode)
 	type frame struct {
 		node *dom.Node // nil when the level is being dropped
 		proj *bdf.Node // nil = copy all below
@@ -497,7 +575,7 @@ func (ex *exec) materialize(start *xsax.Event, proj *bdf.Node) (*dom.Node, error
 	for len(stack) > 0 {
 		ev, err := ex.xr.NextEvent()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ex.st.Events++
 		top := &stack[len(stack)-1]
@@ -519,19 +597,35 @@ func (ex *exec) materialize(start *xsax.Event, proj *bdf.Node) (*dom.Node, error
 			child := dom.NewElement(ev.Name)
 			child.Attrs = ev.OwnedAttrs()
 			top.node.AppendChild(child)
+			fl.Push(child)
 			stack = append(stack, frame{node: child, proj: childProj})
 		case xmltok.EndElement:
+			kept := top.node != nil
 			stack = stack[:len(stack)-1]
+			if kept && len(stack) > 0 {
+				if err := fl.Pop(); err != nil {
+					return nil, 0, err
+				}
+			}
 		case xmltok.Text:
 			if top.node == nil {
 				continue
 			}
 			if top.proj == nil || top.proj.CopyAll || top.proj.Text {
-				top.node.AppendChild(dom.NewText(string(ev.Data)))
+				n := dom.NewText(string(ev.Data))
+				top.node.AppendChild(n)
+				fl.Text(n)
 			}
 		}
 	}
-	return rootNode, nil
+	total, err := fl.Finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ex.acct == nil {
+		total = rootNode.Size()
+	}
+	return rootNode, total, nil
 }
 
 func copyAttrs(attrs []xmltok.Attr) []xmltok.Attr {
@@ -586,7 +680,7 @@ func (ex *exec) fireOnce(f *psFrame, idx int) error {
 		for _, c := range f.buf.Children {
 			match := c.Kind == dom.ElementNode && (c.Name == label || label == "*")
 			if match {
-				sz := c.Size()
+				sz := ex.unbuffer(c)
 				f.bufBytes -= sz
 				ex.shrink(sz)
 				continue
@@ -606,6 +700,17 @@ func (ex *exec) finishPS(f *psFrame) error {
 			return err
 		}
 	}
+	if ex.acct != nil {
+		// Drain the budget ledger child by child so spilled units return
+		// their segments; any residue (rounding between the logical and
+		// resident views cannot occur, but a defensive remainder release
+		// keeps the ledger exact if it ever did) is released in one sweep.
+		rem := f.bufBytes
+		for _, c := range f.buf.Children {
+			rem -= ex.acct.FreeTree(c)
+		}
+		ex.acct.Release(rem)
+	}
 	ex.shrink(f.bufBytes)
 	f.bufBytes = 0
 	return nil
@@ -613,15 +718,15 @@ func (ex *exec) finishPS(f *psFrame) error {
 
 // runPSReplay iterates a materialized element's children.
 func (ex *exec) runPSReplay(ps *pPS, f *psFrame, node *dom.Node) error {
-	for _, c := range node.Children {
+	for _, c := range node.Kids() {
 		switch c.Kind {
 		case dom.TextNode:
 			if f.ps.scope.Text {
 				n := dom.NewText(c.Text)
 				f.buf.AppendChild(n)
-				sz := n.Size()
-				f.bufBytes += sz
-				ex.grow(sz)
+				if err := ex.fill(f, n, n.Size(), false); err != nil {
+					return err
+				}
 			}
 		case dom.ElementNode:
 			f.state = ps.auto.Step(f.state, c.Name)
@@ -640,9 +745,9 @@ func (ex *exec) runPSReplay(ps *pPS, f *psFrame, node *dom.Node) error {
 			if buffered {
 				n := projectNode(c, proj)
 				f.buf.AppendChild(n)
-				sz := n.Size()
-				f.bufBytes += sz
-				ex.grow(sz)
+				if err := ex.fill(f, n, n.Size(), true); err != nil {
+					return err
+				}
 				ex.st.BufferedNodes++
 			}
 			if streamed {
@@ -669,7 +774,7 @@ func projectNode(n *dom.Node, proj *bdf.Node) *dom.Node {
 	}
 	out := dom.NewElement(n.Name)
 	out.Attrs = copyAttrs(n.Attrs)
-	for _, c := range n.Children {
+	for _, c := range n.Kids() {
 		switch c.Kind {
 		case dom.TextNode:
 			if proj.Text {

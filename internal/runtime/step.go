@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/xmltok"
 	"fluxquery/internal/xsax"
 )
@@ -103,8 +104,11 @@ type StepExec struct {
 	inflight bool
 	done     bool
 	released bool
-	st       *Stats
-	err      error
+	// managed marks a budget-accounted execution; unmanaged runs report
+	// their logical peak as the heap peak (nothing ever spills).
+	managed bool
+	st      *Stats
+	err     error
 }
 
 // srcPool recycles the rendezvous channels; after Close a pushSource is
@@ -116,6 +120,15 @@ var srcPool = sync.Pool{New: func() any {
 // NewStepExec starts an incremental execution of the plan, writing the
 // result stream to out. The caller must eventually call Close.
 func (p *Plan) NewStepExec(out io.Writer) *StepExec {
+	return p.NewStepExecBudgeted(out, nil)
+}
+
+// NewStepExecBudgeted is NewStepExec with the execution's buffer memory
+// governed by the given account: every BDF buffer-fill point reserves
+// against it and every buffer free releases. The caller retains
+// ownership of the account — it must Close it after the StepExec's own
+// Close to collect the final spill/residency stats (nil = unmanaged).
+func (p *Plan) NewStepExecBudgeted(out io.Writer, acct *bufmgr.Account) *StepExec {
 	src := srcPool.Get().(*pushSource)
 	src.reset()
 	ex := execPool.Get().(*exec)
@@ -123,7 +136,8 @@ func (p *Plan) NewStepExec(out io.Writer) *StepExec {
 	ex.w = xmltok.GetWriter(out)
 	ex.st = &Stats{}
 	ex.cur = 0
-	e := &StepExec{src: src, ex: ex}
+	ex.acct = acct
+	e := &StepExec{src: src, ex: ex, managed: acct != nil}
 	go func() {
 		st, err := runProtected(ex, p)
 		src.acks <- ackMsg{done: true, st: st, err: err}
@@ -221,11 +235,14 @@ func (e *StepExec) Close(cause error) (*Stats, error) {
 	if !e.released {
 		e.released = true
 		xmltok.PutWriter(e.ex.w)
-		e.ex.xr, e.ex.w, e.ex.st = nil, nil, nil
+		e.ex.xr, e.ex.w, e.ex.st, e.ex.acct = nil, nil, nil, nil
 		execPool.Put(e.ex)
 		e.ex = nil
 		srcPool.Put(e.src)
 		e.src = nil
+	}
+	if e.st != nil && !e.managed {
+		e.st.PeakHeapBufferBytes = e.st.PeakBufferBytes
 	}
 	return e.st, e.err
 }

@@ -1,0 +1,36 @@
+// Package unit parses human-readable byte counts for CLI flags, so
+// every command's size-taking flag (fluxserve -budget, fluxbench
+// -budget, …) accepts the same spellings.
+package unit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes reads a byte count with an optional K/M/G suffix (binary
+// units); "" means 0. Negative values and products that would overflow
+// int64 are rejected — a wrapped-negative size silently disabling a
+// limit is exactly the failure this guards against.
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("want a byte count like 512K or 64M, got %q", s)
+	}
+	return n * mult, nil
+}
