@@ -283,6 +283,13 @@ type Options struct {
 	// shared, process-wide BufferManager instead (the budget then spans
 	// every plan and StreamSet wired to it).
 	Buffers *BufferManager
+	// Parallel selects pipelined execution for EngineFlux: with a value
+	// >= 2, Execute runs tokenization, DTD validation and evaluation as
+	// pipeline stages on separate goroutines connected by bounded batch
+	// rings, so the scan overlaps the evaluator. 0 or 1 is the
+	// sequential pass. Output is byte-identical either way. StreamSet
+	// passes have their own switch, StreamSet.SetParallel.
+	Parallel int
 }
 
 // DTD is a parsed document type definition.
@@ -516,7 +523,11 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 	var err error
 	switch p.opts.Engine {
 	case EngineFlux:
-		rst, err = p.phys.RunManaged(r, w, p.bufs)
+		if p.opts.Parallel >= 2 {
+			rst, err = p.phys.RunManagedParallel(r, w, p.bufs)
+		} else {
+			rst, err = p.phys.RunManaged(r, w, p.bufs)
+		}
 	case EngineProjection:
 		rst, err = baseline.RunProjection(p.optimized, p.d, r, w)
 	case EngineNaive:
@@ -618,6 +629,55 @@ func (s *StreamSet) SetBuffers(b *BufferManager) {
 		return
 	}
 	s.set.SetBuffers(b.m)
+}
+
+// SetParallel selects how the set's shared passes execute: n >= 2 runs
+// the staged pipeline — tokenize, validate and dispatch on separate
+// goroutines connected by bounded batch rings, with up to n feed
+// workers sharding the plan set by cost estimate (idle workers steal
+// plans from loaded ones) — while 0 or 1 keeps the sequential
+// single-goroutine pass. Per-plan outputs are byte-identical either
+// way. Takes effect at the next Run.
+func (s *StreamSet) SetParallel(n int) { s.set.SetParallel(n) }
+
+// PassStats reports the pipeline metrics of a parallel shared pass (all
+// zeros after sequential passes).
+type PassStats struct {
+	// Parallel is the evaluator worker count the pass ran with.
+	Parallel int
+	// Batches counts validated event batches fanned out to the plans.
+	Batches int64
+	// Steals counts plan feeds claimed by a worker outside its own cost
+	// stripe.
+	Steals int64
+	// TokenizeStall, ValidateStall and DispatchStall are the per-stage
+	// blocked times: the tokenizer on a full token ring (validation was
+	// the bottleneck), the validator on a full event ring (evaluation
+	// was the bottleneck), and the dispatcher waiting for a validated
+	// batch (the scan was the bottleneck).
+	TokenizeStall time.Duration
+	ValidateStall time.Duration
+	DispatchStall time.Duration
+	// TokenRingPeak and EventRingPeak are high-water occupancies of the
+	// two inter-stage rings.
+	TokenRingPeak int
+	EventRingPeak int
+}
+
+// LastPass returns the pipeline metrics of the most recent successfully
+// completed Run.
+func (s *StreamSet) LastPass() PassStats {
+	ps := s.set.LastPass()
+	return PassStats{
+		Parallel:      ps.Parallel,
+		Batches:       ps.Batches,
+		Steals:        ps.Steals,
+		TokenizeStall: ps.TokenizeStall,
+		ValidateStall: ps.ValidateStall,
+		DispatchStall: ps.DispatchStall,
+		TokenRingPeak: ps.TokenRingPeak,
+		EventRingPeak: ps.EventRingPeak,
+	}
 }
 
 // ScanStats reports one shared scan pass of a StreamSet.

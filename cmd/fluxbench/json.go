@@ -54,6 +54,23 @@ type record struct {
 	RehydratedBytes     int64  `json:"rehydrated_bytes,omitempty"`
 	PeakHeapBufferBytes int64  `json:"peak_heap_buffer_bytes,omitempty"`
 	StallNs             int64  `json:"stall_ns,omitempty"`
+	// GoMaxProcs is the scheduler width of the measuring process — a
+	// parallel measurement from a 1-CPU run is not comparable to one
+	// from 8, so the record carries it.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Parallel is the feed-worker count of a pipelined measurement (the
+	// `parallel` suite; 0 = sequential pass). The remaining fields
+	// describe that pass: work-steal events between evaluator workers,
+	// per-stage stall time (tokenizer blocked on a full ring, validator
+	// blocked on a full ring, dispatcher blocked on an empty ring) and
+	// the rings' occupancy high-water marks.
+	Parallel        int   `json:"parallel,omitempty"`
+	Steals          int64 `json:"steals,omitempty"`
+	TokenizeStallNs int64 `json:"tokenize_stall_ns,omitempty"`
+	ValidateStallNs int64 `json:"validate_stall_ns,omitempty"`
+	DispatchStallNs int64 `json:"dispatch_stall_ns,omitempty"`
+	TokenRingPeak   int   `json:"token_ring_peak,omitempty"`
+	EventRingPeak   int   `json:"event_ring_peak,omitempty"`
 }
 
 // measureAllocs runs fn reps times and returns the best wall time along
@@ -178,7 +195,108 @@ func collectRecords(r *runner) ([]record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(records, budgeted...), nil
+	records = append(records, budgeted...)
+
+	// Parallel suite: the pipelined shared pass vs the sequential one.
+	par, err := parallelRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, par...)
+
+	gmp := goruntime.GOMAXPROCS(0)
+	for i := range records {
+		records[i].GoMaxProcs = gmp
+	}
+	return records, nil
+}
+
+// parallelRecords measures the tentpole: all 8 streaming XMark queries
+// riding one auction stream, first as the sequential shared pass, then
+// pipelined (tokenize ∥ validate ∥ dispatch with r.parallel feed
+// workers sharding the plan set). Both records carry the same suite,
+// query, plans and proj, differing in engine — so a -baseline diff
+// tracks each independently — and the pipelined record adds the
+// per-stage stall, steal and ring-occupancy evidence.
+func parallelRecords(r *runner) ([]record, error) {
+	names := []string{
+		"xmark-q1", "xmark-q8-join", "xmark-q13", "xmark-q2-bidders",
+		"xmark-q17-nophone", "xmark-q20-cities", "xmark-q4-sellers", "xmark-q11-bids",
+	}
+	base := workload.ByName(names[0])
+	doc, err := r.gen(base, 512<<10)
+	if err != nil {
+		return nil, err
+	}
+	d, err := fluxquery.ParseDTD(base.DTD)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*fluxquery.Plan, len(names))
+	for i, name := range names {
+		c := workload.ByName(name)
+		plans[i] = fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{})
+	}
+	aggregate := int64(len(doc)) * int64(len(plans))
+	workers := r.parallel
+	if workers < 2 {
+		workers = 4
+	}
+
+	var records []record
+	for _, par := range []int{0, workers} {
+		set := fluxquery.NewStreamSet(d)
+		set.SetParallel(par)
+		regs := make([]*fluxquery.StreamQuery, len(plans))
+		for i, p := range plans {
+			reg, err := set.Register(p, io.Discard)
+			if err != nil {
+				return nil, err
+			}
+			regs[i] = reg
+		}
+		best, allocs, err := measureAllocs(r.reps, func() error {
+			return set.Run(bytes.NewReader(doc))
+		})
+		if err != nil {
+			return nil, err
+		}
+		var peak, out int64
+		for _, reg := range regs {
+			st, err := reg.Stats()
+			if err != nil {
+				return nil, err
+			}
+			if st.PeakBufferBytes > peak {
+				peak = st.PeakBufferBytes
+			}
+			out += st.OutputBytes
+		}
+		sc := set.LastScan()
+		rec := record{
+			Suite: "parallel", Query: "xmark-8q", Plans: len(plans),
+			Engine: "flux-mqe-seq", DocBytes: len(doc),
+			NsPerOp: best.Nanoseconds(), MBPerS: mbPerS(aggregate, best),
+			AllocsPerOp: allocs, PeakBufferBytes: peak, OutputBytes: out,
+			Proj:            "fast",
+			EventsDelivered: sc.EventsDelivered,
+			EventsSkipped:   sc.EventsSkipped,
+			BytesSkipped:    sc.BytesSkipped,
+		}
+		if par >= 2 {
+			ps := set.LastPass()
+			rec.Engine = "flux-mqe-parallel"
+			rec.Parallel = ps.Parallel
+			rec.Steals = ps.Steals
+			rec.TokenizeStallNs = ps.TokenizeStall.Nanoseconds()
+			rec.ValidateStallNs = ps.ValidateStall.Nanoseconds()
+			rec.DispatchStallNs = ps.DispatchStall.Nanoseconds()
+			rec.TokenRingPeak = ps.TokenRingPeak
+			rec.EventRingPeak = ps.EventRingPeak
+		}
+		records = append(records, rec)
+	}
+	return records, nil
 }
 
 // budgetedRecords measures the buffer manager's spill path: accrual

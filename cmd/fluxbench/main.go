@@ -68,6 +68,7 @@ func run() int {
 		budget     = flag.String("budget", "", "byte budget for the budgeted (spill) suite, e.g. 512K or 64M; empty = half of each workload's natural peak")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured work to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (taken after the measured work) to this file")
+		parallel   = flag.Int("parallel", 4, "feed-worker count of the parallel suite's pipelined shared pass")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -102,7 +103,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "fluxbench: -budget: %v\n", err)
 		return 1
 	}
-	r := &runner{scale: *scale, reps: *reps, budget: budgetBytes, w: os.Stdout}
+	r := &runner{scale: *scale, reps: *reps, budget: budgetBytes, parallel: *parallel, w: os.Stdout}
 	if *baseline != "" {
 		if err := runBaseline(r, *baseline, *regressPct, *normalize); err != nil {
 			fmt.Fprintf(os.Stderr, "fluxbench: -baseline: %v\n", err)
@@ -142,7 +143,10 @@ type runner struct {
 	// budget overrides the budgeted suite's byte budget (0 = half of
 	// each workload's measured natural peak).
 	budget int64
-	w      io.Writer
+	// parallel is the feed-worker count of the parallel suite's
+	// pipelined measurement.
+	parallel int
+	w        io.Writer
 }
 
 type measurement struct {

@@ -75,14 +75,36 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	// Per case: flux with projection off and fast, plus the two baseline
 	// engines. Shared-stream: the mqe pass with projection off and fast,
 	// plus the sequential comparison. Budgeted: the two spill workloads.
+	// Parallel: the sequential and pipelined shared-pass pair.
 	wantWorkload := len(workload.Cases) * 4
-	if len(records) != wantWorkload+3+2 {
-		t.Fatalf("got %d records, want %d workload + 3 shared-stream + 2 budgeted", len(records), wantWorkload)
+	if len(records) != wantWorkload+3+2+2 {
+		t.Fatalf("got %d records, want %d workload + 3 shared-stream + 2 budgeted + 2 parallel", len(records), wantWorkload)
 	}
-	sharedSeen, fluxFast, budgeted := 0, 0, 0
+	sharedSeen, fluxFast, budgeted, parSeen := 0, 0, 0, 0
 	for _, rec := range records {
 		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.DocBytes <= 0 {
 			t.Errorf("degenerate record: %+v", rec)
+		}
+		if rec.GoMaxProcs <= 0 {
+			t.Errorf("record without gomaxprocs: %+v", rec)
+		}
+		if rec.Suite == "parallel" {
+			parSeen++
+			if rec.Plans != 8 {
+				t.Errorf("parallel record with %d plans: %+v", rec.Plans, rec)
+			}
+			switch rec.Engine {
+			case "flux-mqe-seq":
+				if rec.Parallel != 0 {
+					t.Errorf("sequential record carries parallel=%d", rec.Parallel)
+				}
+			case "flux-mqe-parallel":
+				if rec.Parallel < 2 {
+					t.Errorf("pipelined record without parallel field: %+v", rec)
+				}
+			default:
+				t.Errorf("unexpected parallel-suite engine %q", rec.Engine)
+			}
 		}
 		if rec.Suite == "shared-stream" {
 			sharedSeen++
@@ -111,5 +133,8 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	}
 	if fluxFast != len(workload.Cases) {
 		t.Errorf("flux proj=fast records = %d, want one per case (%d)", fluxFast, len(workload.Cases))
+	}
+	if parSeen != 2 {
+		t.Errorf("parallel records = %d, want 2", parSeen)
 	}
 }

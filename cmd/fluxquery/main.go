@@ -38,6 +38,7 @@ func main() {
 		validate   = flag.Bool("validate", false, "only validate the input against the DTD")
 		noOpt      = flag.Bool("no-optimizer", false, "disable the algebraic optimizer")
 		projMode   = flag.String("proj", "fast", "stream projection: fast (bulk-skip irrelevant subtrees), validate (skip delivery, full validation) or off")
+		parallel   = flag.Int("parallel", 1, "pipelined execution: >= 2 runs tokenize/validate/dispatch on separate goroutines with that many feed workers (flux engine only); 0 or 1 is sequential")
 	)
 	var queryFiles multiFlag
 	flag.Var(&queryFiles, "q", "path to a query file; repeat to evaluate several queries in one shared pass")
@@ -55,6 +56,7 @@ func main() {
 		validate:   *validate,
 		noOpt:      *noOpt,
 		projMode:   *projMode,
+		parallel:   *parallel,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxquery:", err)
 		os.Exit(1)
@@ -80,6 +82,7 @@ type options struct {
 	validate   bool
 	noOpt      bool
 	projMode   string
+	parallel   int
 }
 
 func run(o options) error {
@@ -171,6 +174,9 @@ func run(o options) error {
 	if len(queries) > 1 && engine != fluxquery.EngineFlux {
 		return fmt.Errorf("multiple queries require -engine flux (shared event streams)")
 	}
+	if o.parallel >= 2 && engine != fluxquery.EngineFlux {
+		return fmt.Errorf("-parallel requires -engine flux (pipelined shared passes)")
+	}
 	plans := make([]*fluxquery.Plan, len(queries))
 	for i, nq := range queries {
 		q, err := fluxquery.ParseQuery(nq.text)
@@ -181,6 +187,7 @@ func run(o options) error {
 			Engine:           engine,
 			DisableOptimizer: o.noOpt,
 			Projection:       projection,
+			Parallel:         o.parallel,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", nq.name, err)
@@ -237,6 +244,7 @@ func run(o options) error {
 	// separated by a comment naming the query.
 	set := fluxquery.NewStreamSet(d)
 	set.SetProjection(projection)
+	set.SetParallel(o.parallel)
 	outs := make([]*bytes.Buffer, len(plans))
 	regs := make([]*fluxquery.StreamQuery, len(plans))
 	for i, p := range plans {
@@ -274,6 +282,12 @@ func run(o options) error {
 		sc := set.LastScan()
 		fmt.Fprintf(os.Stderr, "shared-pass proj=%s passes=%d scan-delivered=%d scan-skipped=%d scan-subtrees=%d scan-bytes-skipped=%d\n",
 			o.projMode, sc.Passes, sc.EventsDelivered, sc.EventsSkipped, sc.SubtreesSkipped, sc.BytesSkipped)
+		if ps := set.LastPass(); ps.Parallel >= 2 {
+			fmt.Fprintf(os.Stderr, "shared-pass parallel=%d batches=%d steals=%d tok-stall=%v val-stall=%v disp-stall=%v ring-peak=%d/%d\n",
+				ps.Parallel, ps.Batches, ps.Steals,
+				ps.TokenizeStall.Round(time.Microsecond), ps.ValidateStall.Round(time.Microsecond),
+				ps.DispatchStall.Round(time.Microsecond), ps.TokenRingPeak, ps.EventRingPeak)
+		}
 	}
 	return firstErr
 }

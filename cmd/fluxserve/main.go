@@ -7,7 +7,7 @@
 //
 //	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off]
 //	          [-budget 64M -budget-policy fail|spill|backpressure [-spill-dir DIR]]
-//	          [-q name=query.xq ...]
+//	          [-parallel N] [-pool N] [-q name=query.xq ...]
 //
 // Endpoints:
 //
@@ -48,6 +48,19 @@
 // result carries code 413 while sibling queries complete), so N
 // concurrent passes may together hold up to N budgets. GET /stats
 // exposes the manager's counters and per-query cumulative aggregates.
+//
+// With -parallel N (N >= 2), each /eval's shared pass runs pipelined:
+// tokenizer, validator and dispatcher on separate goroutines connected
+// by bounded batch rings, the plan set sharded across N feed workers.
+// -pool bounds the number of concurrently streaming /eval passes
+// (default 2×GOMAXPROCS); a request arriving with every slot busy is
+// shed with a structured 503 ({"error": ..., "code":
+// "POOL_SATURATED"}) rather than queued, so many documents streaming
+// against the one buffer budget stay bounded. Every non-200 response
+// carries such a "code" (BODY_TOO_LARGE, POOL_SATURATED,
+// QUERY_NOT_FOUND, INVALID_QUERY, INVALID_DOCUMENT, BAD_REQUEST,
+// INTERNAL); GET /stats reports pool occupancy/rejections and, under
+// -parallel, cumulative per-stage stall and work-steal metrics.
 package main
 
 import (
@@ -55,6 +68,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -71,6 +85,8 @@ func main() {
 		budget    = flag.String("budget", "", "buffer byte budget for all passes, e.g. 64M (empty = unlimited)")
 		budPolicy = flag.String("budget-policy", "spill", "buffer overflow policy: fail, spill or backpressure")
 		spillDir  = flag.String("spill-dir", "", "directory for the spill segment file (default: system temp)")
+		parallel  = flag.Int("parallel", 1, "pipelined shared passes: >= 2 runs tokenize/validate/dispatch on separate goroutines with that many feed workers; 0 or 1 is sequential")
+		pool      = flag.Int("pool", 2*runtime.GOMAXPROCS(0), "maximum concurrently streaming /eval passes; excess requests get a structured 503 (0 = unbounded)")
 	)
 	var preload multiFlag
 	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
@@ -105,6 +121,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)
 	}
+	srv.setParallel(*parallel)
+	srv.setPool(*pool)
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -354,3 +354,120 @@ func TestEvalRejectsOversizedBody(t *testing.T) {
 		t.Fatalf("oversized query body: %d", code)
 	}
 }
+
+// TestParallelEval: a server running pipelined passes returns the same
+// results as a sequential one and reports pipeline metrics in /eval and
+// GET /stats.
+func TestParallelEval(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.setParallel(4)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register("titles", testQT); err != nil {
+		t.Fatal(err)
+	}
+	ref, rts := newTestServer(t)
+	if err := ref.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.register("titles", testQT); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := testDoc(300)
+	code, body := do(t, "POST", ts.URL+"/eval", doc)
+	if code != 200 {
+		t.Fatalf("parallel eval: %d %s", code, body)
+	}
+	_, refBody := do(t, "POST", rts.URL+"/eval", doc)
+	var resp, refResp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(refBody), &refResp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range resp.Results {
+		if resp.Results[i].Output != refResp.Results[i].Output {
+			t.Errorf("%s: parallel output differs from sequential", resp.Results[i].Query)
+		}
+	}
+	if resp.Pipeline == nil || resp.Pipeline.Parallel < 2 || resp.Pipeline.Batches == 0 {
+		t.Fatalf("pipeline metrics missing from /eval: %+v", resp.Pipeline)
+	}
+	if refResp.Pipeline != nil {
+		t.Errorf("sequential pass reported pipeline metrics: %+v", refResp.Pipeline)
+	}
+
+	_, body = do(t, "GET", ts.URL+"/stats", "")
+	var stats statsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pipeline == nil || stats.Pipeline.Passes != 1 || stats.Pipeline.Batches == 0 {
+		t.Errorf("pipeline aggregate missing from /stats: %+v", stats.Pipeline)
+	}
+}
+
+// TestPoolSaturation: with a single eval slot held by an in-flight
+// pass, the next /eval is shed with a structured 503 POOL_SATURATED,
+// and the rejection is visible in GET /stats.
+func TestPoolSaturation(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.setPool(1)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot directly (an in-flight pass holds it exactly
+	// like this), then observe the shed path deterministically.
+	srv.pool <- struct{}{}
+	code, body := do(t, "POST", ts.URL+"/eval", testDoc(1))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated eval: %d %s", code, body)
+	}
+	if !strings.Contains(body, codePoolSaturated) {
+		t.Fatalf("503 body lacks the %s code: %s", codePoolSaturated, body)
+	}
+	<-srv.pool
+
+	// With the slot free again, the same request streams normally.
+	if code, body := do(t, "POST", ts.URL+"/eval", testDoc(1)); code != 200 {
+		t.Fatalf("post-drain eval: %d %s", code, body)
+	}
+	_, body = do(t, "GET", ts.URL+"/stats", "")
+	var stats statsResponse
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pool == nil || stats.Pool.Capacity != 1 || stats.Pool.Rejected != 1 {
+		t.Fatalf("pool stats: %+v", stats.Pool)
+	}
+}
+
+// TestErrorCodeTaxonomy: every structured error response carries its
+// classifying code alongside the message.
+func TestErrorCodeTaxonomy(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"PUT", "/queries/bad", "for $x in", 422, codeInvalidQuery},
+		{"GET", "/queries/nosuch", "", 404, codeQueryNotFound},
+		{"DELETE", "/queries/nosuch", "", 404, codeQueryNotFound},
+		{"POST", "/eval?q=nosuch", testDoc(1), 404, codeQueryNotFound},
+		{"POST", "/eval", "not xml", 422, codeInvalidDoc},
+	} {
+		status, body := do(t, tc.method, ts.URL+tc.path, tc.body)
+		if status != tc.status || !strings.Contains(body, tc.code) {
+			t.Errorf("%s %s: got %d %s, want %d with code %s",
+				tc.method, tc.path, status, body, tc.status, tc.code)
+		}
+	}
+}

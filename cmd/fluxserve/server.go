@@ -26,14 +26,40 @@ type server struct {
 	bufs    *fluxquery.BufferManager
 	policy  fluxquery.BufferPolicy
 	budget  int64
+	// parallel, when >= 2, runs each /eval's shared pass pipelined with
+	// that many feed workers (StreamSet.SetParallel).
+	parallel int
+	// pool bounds the number of concurrently streaming /eval passes: a
+	// request that cannot claim a slot without blocking is rejected with
+	// a structured 503 rather than queued, so saturation is visible to
+	// the client instead of turning into unbounded goroutines all
+	// contending for the one buffer budget. nil = unbounded.
+	pool chan struct{}
 
 	mu      sync.RWMutex
 	queries map[string]*entry
 	// agg accumulates per-query scan/buffer/spill statistics across
 	// /eval calls for GET /stats.
 	agg map[string]*queryAgg
-	// evals counts completed /eval passes.
-	evals int64
+	// evals counts completed /eval passes; rejected counts structured
+	// 503 pool rejections.
+	evals    int64
+	rejected int64
+	// pipeline accumulates pipelined-pass metrics across /eval calls.
+	pipeline pipelineAgg
+}
+
+// pipelineAgg is the cumulative record of pipelined shared passes for
+// GET /stats.
+type pipelineAgg struct {
+	Passes              int64 `json:"passes"`
+	Batches             int64 `json:"batches"`
+	Steals              int64 `json:"steals"`
+	TokenizeStallMicros int64 `json:"tokenize_stall_us"`
+	ValidateStallMicros int64 `json:"validate_stall_us"`
+	DispatchStallMicros int64 `json:"dispatch_stall_us"`
+	TokenRingPeak       int   `json:"token_ring_peak"`
+	EventRingPeak       int   `json:"event_ring_peak"`
 }
 
 type entry struct {
@@ -70,6 +96,20 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 		s.bufs = fluxquery.NewBufferManager(budget, policy, spillDir)
 	}
 	return s, nil
+}
+
+// setParallel selects pipelined shared passes for /eval (>= 2; 0/1 is
+// sequential).
+func (s *server) setParallel(n int) { s.parallel = n }
+
+// setPool bounds the in-flight /eval passes to n (0 = unbounded). Must
+// be called before the server starts handling requests.
+func (s *server) setPool(n int) {
+	if n <= 0 {
+		s.pool = nil
+		return
+	}
+	s.pool = make(chan struct{}, n)
 }
 
 func (s *server) root() string { return s.d.Root() }
@@ -112,8 +152,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Error codes of the structured error taxonomy: every non-200 response
+// is {"error": ..., "code": ...}, where the HTTP status signals
+// retryability and the code names the limit or stage that rejected the
+// request (a 503 POOL_SATURATED is retryable after backoff, a 413
+// BODY_TOO_LARGE is not).
+const (
+	codeBodyTooLarge  = "BODY_TOO_LARGE"   // 413: request body exceeds -max-body
+	codePoolSaturated = "POOL_SATURATED"   // 503: all -pool eval slots are streaming
+	codeQueryNotFound = "QUERY_NOT_FOUND"  // 404: no registered query by that name
+	codeInvalidQuery  = "INVALID_QUERY"    // 422: query text does not compile
+	codeInvalidDoc    = "INVALID_DOCUMENT" // 422: document malformed or DTD-invalid
+	codeBadRequest    = "BAD_REQUEST"      // 400: unreadable request
+	codeInternal      = "INTERNAL"         // 500: server-side registration failure
+)
+
+func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -145,14 +203,14 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "query exceeds -max-body (%d bytes)", s.maxBody)
+			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "query exceeds -max-body (%d bytes)", s.maxBody)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
 		return
 	}
 	if err := s.register(name, string(src)); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "compiling query %q: %v", name, err)
+		writeErr(w, http.StatusUnprocessableEntity, codeInvalidQuery, "compiling query %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"registered": name})
@@ -164,7 +222,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.queries[name]
 	s.mu.RUnlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no query %q", name)
+		writeErr(w, http.StatusNotFound, codeQueryNotFound, "no query %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryInfo{Name: e.name, Query: e.src})
@@ -177,7 +235,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	delete(s.queries, name)
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no query %q", name)
+		writeErr(w, http.StatusNotFound, codeQueryNotFound, "no query %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -228,14 +286,49 @@ type scanStats struct {
 }
 
 type evalResponse struct {
-	DurationMicros int64        `json:"duration_us"`
-	Scan           scanStats    `json:"scan"`
-	Results        []evalResult `json:"results"`
+	DurationMicros int64     `json:"duration_us"`
+	Scan           scanStats `json:"scan"`
+	// Pipeline reports the pass's pipeline metrics when the server runs
+	// with -parallel >= 2 (absent for sequential passes).
+	Pipeline *passInfo    `json:"pipeline,omitempty"`
+	Results  []evalResult `json:"results"`
+}
+
+// passInfo is one pipelined pass: worker count, batches through the
+// rings, work-steal events, per-stage stall time and ring high-water
+// marks.
+type passInfo struct {
+	Parallel            int   `json:"parallel"`
+	Batches             int64 `json:"batches"`
+	Steals              int64 `json:"steals"`
+	TokenizeStallMicros int64 `json:"tokenize_stall_us"`
+	ValidateStallMicros int64 `json:"validate_stall_us"`
+	DispatchStallMicros int64 `json:"dispatch_stall_us"`
+	TokenRingPeak       int   `json:"token_ring_peak"`
+	EventRingPeak       int   `json:"event_ring_peak"`
 }
 
 // handleEval evaluates the selected queries over the posted document in a
 // single shared tokenize+validate pass.
 func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	// Claim an ingest slot without blocking: when every slot is already
+	// streaming a document, shed load with a structured 503 the client
+	// can back off on, instead of stacking passes against the shared
+	// buffer budget.
+	if s.pool != nil {
+		select {
+		case s.pool <- struct{}{}:
+			defer func() { <-s.pool }()
+		default:
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, codePoolSaturated,
+				"all %d eval slots are streaming; retry later", cap(s.pool))
+			return
+		}
+	}
 	names := r.URL.Query()["q"]
 	s.mu.RLock()
 	var selected []*entry
@@ -248,7 +341,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			e, ok := s.queries[name]
 			if !ok {
 				s.mu.RUnlock()
-				writeErr(w, http.StatusNotFound, "no query %q", name)
+				writeErr(w, http.StatusNotFound, codeQueryNotFound, "no query %q", name)
 				return
 			}
 			selected = append(selected, e)
@@ -260,13 +353,14 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	set := fluxquery.NewStreamSet(s.d)
 	set.SetProjection(s.proj)
 	set.SetBuffers(s.bufs)
+	set.SetParallel(s.parallel)
 	outs := make([]*bytes.Buffer, len(selected))
 	regs := make([]*fluxquery.StreamQuery, len(selected))
 	for i, e := range selected {
 		outs[i] = &bytes.Buffer{}
 		reg, err := set.Register(e.plan, outs[i])
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "registering %q: %v", e.name, err)
+			writeErr(w, http.StatusInternalServerError, codeInternal, "registering %q: %v", e.name, err)
 			return
 		}
 		regs[i] = reg
@@ -279,13 +373,25 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		// into a (possibly valid) prefix.
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "document exceeds -max-body (%d bytes)", s.maxBody)
+			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "document exceeds -max-body (%d bytes)", s.maxBody)
 			return
 		}
-		writeErr(w, http.StatusUnprocessableEntity, "document rejected: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, codeInvalidDoc, "document rejected: %v", err)
 		return
 	}
 	resp := evalResponse{DurationMicros: time.Since(start).Microseconds()}
+	if ps := set.LastPass(); ps.Parallel >= 2 {
+		resp.Pipeline = &passInfo{
+			Parallel:            ps.Parallel,
+			Batches:             ps.Batches,
+			Steals:              ps.Steals,
+			TokenizeStallMicros: ps.TokenizeStall.Microseconds(),
+			ValidateStallMicros: ps.ValidateStall.Microseconds(),
+			DispatchStallMicros: ps.DispatchStall.Microseconds(),
+			TokenRingPeak:       ps.TokenRingPeak,
+			EventRingPeak:       ps.EventRingPeak,
+		}
+	}
 	sc := set.LastScan()
 	resp.Scan = scanStats{
 		Passes:          sc.Passes,
@@ -327,6 +433,20 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.evals++
+	if ps := set.LastPass(); ps.Parallel >= 2 {
+		s.pipeline.Passes++
+		s.pipeline.Batches += ps.Batches
+		s.pipeline.Steals += ps.Steals
+		s.pipeline.TokenizeStallMicros += ps.TokenizeStall.Microseconds()
+		s.pipeline.ValidateStallMicros += ps.ValidateStall.Microseconds()
+		s.pipeline.DispatchStallMicros += ps.DispatchStall.Microseconds()
+		if ps.TokenRingPeak > s.pipeline.TokenRingPeak {
+			s.pipeline.TokenRingPeak = ps.TokenRingPeak
+		}
+		if ps.EventRingPeak > s.pipeline.EventRingPeak {
+			s.pipeline.EventRingPeak = ps.EventRingPeak
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -367,6 +487,19 @@ type statsResponse struct {
 	Evals   int64                `json:"evals"`
 	Queries map[string]*queryAgg `json:"queries"`
 	Buffers *bufferStats         `json:"buffers,omitempty"`
+	// Pool reports the bounded ingest pool (absent when unbounded);
+	// Pipeline the cumulative pipelined-pass metrics (absent while no
+	// pipelined pass has run).
+	Pool     *poolStats   `json:"pool,omitempty"`
+	Pipeline *pipelineAgg `json:"pipeline,omitempty"`
+}
+
+// poolStats reports the ingest pool: capacity, passes currently
+// streaming, and structured-503 rejections since start.
+type poolStats struct {
+	Capacity int   `json:"capacity"`
+	InFlight int   `json:"in_flight"`
+	Rejected int64 `json:"rejected"`
 }
 
 // bufferStats embeds the manager snapshot (whose fields carry their
@@ -383,6 +516,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, a := range s.agg {
 		cp := *a
 		resp.Queries[name] = &cp
+	}
+	if s.pool != nil {
+		resp.Pool = &poolStats{Capacity: cap(s.pool), InFlight: len(s.pool), Rejected: s.rejected}
+	}
+	if s.pipeline.Passes > 0 {
+		cp := s.pipeline
+		resp.Pipeline = &cp
 	}
 	s.mu.RUnlock()
 	if s.bufs != nil {

@@ -89,6 +89,11 @@ type Dispatcher struct {
 	// of a batch would deadlock against the siblings that could free
 	// memory only when fed.
 	Gate *bufmgr.Gate
+	// Parallel, when >= 2, runs passes in pipelined form: tokenize,
+	// validate and dispatch on separate goroutines connected by bounded
+	// batch rings, with up to Parallel feed workers sharding the
+	// consumer set (see parallel.go). 0 or 1 is the sequential pass.
+	Parallel int
 }
 
 // Default batch bounds; see runtime's feed batch sizing for rationale.
@@ -105,12 +110,12 @@ const (
 // regardless of consumer failures, which are reported through each
 // consumer's Close.
 func (d *Dispatcher) Run(r io.Reader, consumers []Consumer) error {
-	_, err := d.RunScan(r, consumers)
+	_, _, err := d.RunScanPass(r, consumers)
 	return err
 }
 
-// RunScan is Run, additionally reporting the pass's projection scan
-// statistics (all zeros when Proj is nil).
+// RunScan is the sequential shared pass (Parallel is ignored), reporting
+// the pass's projection scan statistics (all zeros when Proj is nil).
 func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats, error) {
 	maxEvents := d.BatchEvents
 	if maxEvents <= 0 {

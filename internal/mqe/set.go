@@ -59,12 +59,17 @@ type Set struct {
 	// account per riding plan, so a budget violation is attributed — and,
 	// under bufmgr.PolicyFail, confined — to the individual plan.
 	bufs *bufmgr.Manager
+	// parallel selects pipelined passes (>= 2: staged pipeline with that
+	// many feed workers; 0/1: the sequential pass).
+	parallel int
 	// lastScan reports the most recent pass's projection counters; passes
 	// counts completed Run calls. lastStall is the most recent pass's
-	// backpressure stall.
+	// backpressure stall, lastPass its pipeline metrics (zero when
+	// sequential).
 	lastScan  xsax.ScanStats
 	passes    int64
 	lastStall time.Duration
+	lastPass  PassStats
 }
 
 // NewSet returns a Set for streams governed by d.
@@ -137,6 +142,24 @@ func (s *Set) LastStall() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastStall
+}
+
+// SetParallel selects how shared passes execute: n >= 2 runs the staged
+// pipeline (tokenize ∥ validate ∥ dispatch) with up to n feed workers
+// sharding the plan set; 0 or 1 is the sequential single-goroutine pass.
+// Takes effect at the next Run.
+func (s *Set) SetParallel(n int) {
+	s.mu.Lock()
+	s.parallel = n
+	s.mu.Unlock()
+}
+
+// LastPass returns the pipeline metrics of the most recent successfully
+// completed Run (all zeros for sequential passes).
+func (s *Set) LastPass() PassStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastPass
 }
 
 // recomputeProjLocked rebuilds the union skip automaton from the current
@@ -253,6 +276,7 @@ func (s *Set) Run(r io.Reader) error {
 	disp := s.disp
 	disp.Proj = s.pauto
 	disp.ProjMode = s.pmode
+	disp.Parallel = s.parallel
 	bufs := s.bufs
 	s.mu.Unlock()
 
@@ -273,7 +297,7 @@ func (s *Set) Run(r io.Reader) error {
 			start: start,
 		}
 	}
-	sc, err := disp.RunScan(r, consumers)
+	sc, ps, err := disp.RunScanPass(r, consumers)
 	stall := gate.Stall()
 	// Every riding plan reports the same full-pass stall (a consumer
 	// that settled mid-pass snapshotted only what had accrued by then).
@@ -288,6 +312,7 @@ func (s *Set) Run(r io.Reader) error {
 		s.lastScan = sc
 		s.passes++
 		s.lastStall = stall
+		s.lastPass = ps
 		s.mu.Unlock()
 	}
 	return err
@@ -313,6 +338,10 @@ func (rr *subRun) BeginFeed(evs []xsax.Event) {
 	}
 	rr.se.BeginFeed(evs)
 }
+
+// FeedCost reports the subscription plan's structural cost estimate so
+// the pipelined pass can balance its evaluator worker stripes.
+func (rr *subRun) FeedCost() int { return rr.sub.plan.CostEstimate() }
 
 func (rr *subRun) EndFeed() (done bool, err error) {
 	if rr.done {

@@ -139,6 +139,65 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 	return st, err
 }
 
+// RunManagedParallel is RunManaged in pipelined form: tokenization and
+// DTD validation run ahead of evaluation on their own goroutines,
+// connected by bounded batch rings (xsax.Pipeline), so the scan overlaps
+// the plan's evaluator instead of alternating with it. Output and error
+// semantics are identical to RunManaged.
+func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	gate := m.NewGate()
+	acct := gate.NewAccount()
+	se := p.NewStepExecBudgeted(out, acct)
+	var pa *proj.Automaton
+	if p.pmode != proj.ModeOff {
+		pa = p.pauto
+	}
+	pl := xsax.NewPipeline(in, p.d, xsax.PipelineConfig{
+		BatchEvents: feedBatchEvents,
+		BatchBytes:  feedBatchBytes,
+		Proj:        pa,
+		ProjMode:    p.pmode,
+		// The backpressure point moves into the tokenizer stage: under
+		// PolicyBackpressure it parks before each batch while the
+		// process is over budget and another pass can still drain.
+		Throttle: gate.Wait,
+	})
+	var cause error
+	for cause == nil {
+		vb, err := pl.Next()
+		if err != nil {
+			cause = err
+			break
+		}
+		done, _ := se.Feed(vb.Events)
+		pl.Recycle(vb)
+		if done {
+			break
+		}
+	}
+	st, err := se.Close(cause)
+	if acct != nil {
+		as := acct.Close()
+		if st != nil {
+			st.PeakHeapBufferBytes = as.PeakBytes
+			st.SpilledBytes = as.SpilledBytes
+			st.RehydratedBytes = as.RehydratedBytes
+		}
+	}
+	// The account is closed first: a tokenizer stage parked in the gate
+	// can only drain once this pass's reservations release.
+	sc, _, _ := pl.Close()
+	if st != nil {
+		st.ScanEventsDelivered = sc.EventsDelivered
+		st.ScanEventsSkipped = sc.EventsSkipped
+		st.ScanSubtreesSkipped = sc.SubtreesSkipped
+		st.ScanBytesSkipped = sc.BytesSkipped
+		st.BudgetStall = gate.Stall()
+	}
+	gate.Close()
+	return st, err
+}
+
 func (ex *exec) run(p *Plan) (*Stats, error) {
 	if err := ex.evalTop(p.root); err != nil {
 		return ex.st, err

@@ -39,6 +39,16 @@ func (p *Plan) Paths() *proj.PathSet { return p.paths }
 // the stream's schema.
 func (p *Plan) DTD() *dtd.DTD { return p.d }
 
+// CostEstimate is a cheap structural proxy for the plan's per-event
+// feeding cost (the weight of its projection path-set). The shared-pass
+// evaluator pool partitions plans across workers by it.
+func (p *Plan) CostEstimate() int {
+	if p.paths == nil {
+		return 1
+	}
+	return p.paths.Size()
+}
+
 // pnode is a physical operator.
 type pnode interface{ pnode() }
 

@@ -1,5 +1,7 @@
 package xmltok
 
+import "sync/atomic"
+
 // This file implements the scanner's symbol table: every element and
 // attribute name (and processing-instruction target) seen on a stream is
 // interned to a dense integer Sym at tokenization time. The layers above
@@ -33,13 +35,26 @@ const maxRetainedSyms = 4096
 // SymTab interns byte-slice names to dense Sym integers. The zero value
 // is ready to use. Interning a name that is already present performs one
 // hash probe and no allocation; the first occurrence of a name copies it
-// into an owned string. A SymTab is not safe for concurrent mutation, but
-// concurrent Name/Len calls are safe while no Intern is running — which
-// is exactly the batch-rendezvous discipline of the engine: the scanner
-// (the only writer) is idle while consumers resolve names.
+// into an owned string.
+//
+// Concurrency: there is exactly one writer (the scanner goroutine calling
+// Intern/Reset). Name and Len may be called from other goroutines
+// concurrently with Intern, provided the caller obtained the symbol
+// through a happens-before edge from the intern that issued it — the
+// batch-ring handoff of the pipelined pass, or the batch rendezvous of
+// the sequential pass, both establish that edge. Intern publishes the
+// name vector through an atomic pointer on every new name, so readers
+// never observe a torn slice header. Reset still requires quiescence: it
+// renumbers symbols, so no reader may hold symbols across it (streams
+// never share symbols across a Reset anyway).
 type SymTab struct {
-	// names maps Sym → owned name; its length is the symbol count.
+	// names maps Sym → owned name; its length is the symbol count. It is
+	// the writer's working copy; cross-goroutine readers go through pub.
 	names []string
+	// pub is the atomically published snapshot of names, stored on every
+	// append (one pointer store per distinct name per stream, nothing on
+	// the hot repeat-name path).
+	pub atomic.Pointer[[]string]
 	// slots is the open-addressing hash table; entries are Sym indices or
 	// -1 for empty. len(slots) is a power of two.
 	slots []int32
@@ -51,11 +66,25 @@ func (t *SymTab) Len() int { return len(t.names) }
 // Name returns the interned name of s. The string is owned by the table
 // and safe to retain for the lifetime of the scanner. Name panics on a
 // symbol the table never issued.
-func (t *SymTab) Name(s Sym) string { return t.names[s] }
+func (t *SymTab) Name(s Sym) string {
+	if p := t.pub.Load(); p != nil {
+		return (*p)[s]
+	}
+	return t.names[s]
+}
 
-// Reset discards all interned names and symbols.
+// publish snapshots names for concurrent readers.
+func (t *SymTab) publish() {
+	n := t.names
+	t.pub.Store(&n)
+}
+
+// Reset discards all interned names and symbols. It must not run
+// concurrently with any reader (the backing array is reused, so a stale
+// snapshot would see renumbered names).
 func (t *SymTab) Reset() {
 	t.names = t.names[:0]
+	t.publish()
 	for i := range t.slots {
 		t.slots[i] = -1
 	}
@@ -97,6 +126,7 @@ func (t *SymTab) Intern(name []byte) Sym {
 			// cost on this table.
 			sym := Sym(len(t.names))
 			t.names = append(t.names, string(name))
+			t.publish()
 			t.slots[i] = int32(sym)
 			if len(t.names)*4 > len(t.slots)*3 {
 				t.grow(len(t.slots) * 2)

@@ -28,6 +28,10 @@ type Batch struct {
 	arena []byte
 	// attrs backs the Attrs slices of Events.
 	attrs []xmltok.AttrBytes
+	// src, when non-nil, is the raw token batch whose arena this batch's
+	// events alias (pipelined passes validate without re-copying); the
+	// pair is recycled together by Pipeline.Recycle.
+	src *TokBatch
 }
 
 // Reset empties the batch, retaining its storage. It invalidates every
@@ -36,7 +40,13 @@ func (b *Batch) Reset() {
 	b.Events = b.Events[:0]
 	b.arena = b.arena[:0]
 	b.attrs = b.attrs[:0]
+	b.src = nil
 }
+
+// appendDirect appends an already-owned event without copying into the
+// arena; the pipelined validator uses it because its event views alias
+// the TokBatch recycled together with this batch.
+func (b *Batch) appendDirect(e Event) { b.Events = append(b.Events, e) }
 
 // Len returns the number of buffered events.
 func (b *Batch) Len() int { return len(b.Events) }

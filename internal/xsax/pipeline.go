@@ -1,0 +1,646 @@
+package xsax
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
+	"fluxquery/internal/xmltok"
+)
+
+// This file implements the pipelined pass: tokenization, DTD validation
+// and delivery run as three stages on separate goroutines, connected by
+// two bounded SPSC rings of owned batches —
+//
+//	tokenizer ──TokBatch ring──▶ validator ──Batch ring──▶ caller
+//
+// so the scanner runs ahead of validation, which runs ahead of the
+// consumers, instead of the three alternating on one goroutine. The
+// tokenizer stage also executes the projection automaton (it owns the
+// scanner, and fast-mode pruning is a scanner operation); it records its
+// verdicts as per-event flags that the validator replays, so delivery
+// and error semantics are exactly those of the sequential Reader — the
+// differential tests pin byte-identical output.
+//
+// Each ring is a pair of channels: full batches flowing downstream and
+// empty batches flowing back. The batch population is fixed at ring
+// construction, so a stage that outruns its consumer blocks on the full
+// ring (backpressure) and a stage that outruns its producer blocks on
+// the empty one; both blocked times are accounted as per-stage stalls.
+
+// PipeStats reports a pipelined pass's stage metrics.
+type PipeStats struct {
+	// Batches counts validated batches handed to the caller.
+	Batches int64
+	// TokStall is the time the tokenizer stage spent blocked on a full
+	// token ring (validation was the bottleneck); ValStall the same for
+	// the validator on the event ring (consumers were the bottleneck);
+	// DispStall the time the caller waited for a validated batch (the
+	// scan was the bottleneck).
+	TokStall, ValStall, DispStall time.Duration
+	// TokRingPeak and ValRingPeak are high-water occupancies of the two
+	// rings, observed at send.
+	TokRingPeak, ValRingPeak int
+}
+
+// PipelineConfig configures a pipelined pass.
+type PipelineConfig struct {
+	// BatchEvents and BatchBytes bound a batch (defaults 256 events,
+	// 32 KiB of payload).
+	BatchEvents int
+	BatchBytes  int
+	// RingDepth bounds each inter-stage ring (default 4 batches).
+	RingDepth int
+	// Proj and ProjMode install a projection automaton, with the same
+	// semantics as Reader.SetProjection.
+	Proj     *proj.Automaton
+	ProjMode proj.Mode
+	// Throttle, when non-nil, is called by the tokenizer stage before
+	// each batch: the pass's backpressure point (a bufmgr gate wait).
+	Throttle func()
+}
+
+const defaultRingDepth = 4
+
+// Pipeline is one pipelined tokenize→validate pass over a stream. The
+// caller drains it with Next/Recycle and must Close it exactly once —
+// also on early abandonment, which unblocks and joins the stages.
+type Pipeline struct {
+	sc  *xmltok.Scanner
+	d   *dtd.DTD
+	cfg PipelineConfig
+
+	quit   chan struct{}
+	tvFull chan *TokBatch
+	tvFree chan *TokBatch
+	vdFull chan *Batch
+	vdFree chan *Batch
+	wg     sync.WaitGroup
+	closed bool
+
+	// Tokenizer-stage state: the projection automaton stack, the
+	// sym→declaration cache for skip decisions (tundecl marks symbols
+	// with no declaration: delivered, reported by the validator), and
+	// the validate-mode interior depth.
+	pauto  *proj.Automaton
+	pfast  bool
+	pvocab bool
+	tstack []int32
+	tselem []*dtd.Element
+	tundec []bool
+	vskip  int
+	// terr/terrLine are the tokenizer's terminal condition, published to
+	// the validator by closing tvFull.
+	terr     error
+	terrLine int
+	tokStats ScanStats
+	tokStall int64
+	tokPeak  int
+
+	// Validator-stage state. vname caches sym→owned name bytes for
+	// vcore, which keys on byte slices (one small allocation per
+	// distinct name per stream).
+	val      vcore
+	vname    [][]byte
+	verr     error
+	valStats ScanStats
+	valStall int64
+	valPeak  int
+
+	// Caller-side counters.
+	dispStall int64
+	batches   int64
+}
+
+var pipePool sync.Pool
+
+// NewPipeline starts a pipelined pass over rd under DTD d. The two stage
+// goroutines run until the stream's terminal condition or Close.
+func NewPipeline(rd io.Reader, d *dtd.DTD, cfg PipelineConfig) *Pipeline {
+	var p *Pipeline
+	if v := pipePool.Get(); v != nil {
+		p = v.(*Pipeline)
+		p.sc.Reset(rd)
+	} else {
+		p = &Pipeline{sc: xmltok.NewScanner(rd)}
+	}
+	if cfg.BatchEvents <= 0 {
+		cfg.BatchEvents = 256
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 32 << 10
+	}
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = defaultRingDepth
+	}
+	if cfg.ProjMode == proj.ModeOff {
+		cfg.Proj = nil
+	}
+	p.d = d
+	p.cfg = cfg
+	p.pauto = cfg.Proj
+	p.pfast = cfg.ProjMode == proj.ModeFast
+	p.pvocab = cfg.Proj != nil && cfg.Proj.HasVocab()
+	p.tstack = p.tstack[:0]
+	if p.pauto != nil {
+		p.tstack = append(p.tstack, p.pauto.Start())
+	}
+	for i := range p.tselem {
+		p.tselem[i] = nil
+		p.tundec[i] = false
+	}
+	p.vskip = 0
+	p.terr, p.terrLine = nil, 0
+	p.tokStats, p.valStats = ScanStats{}, ScanStats{}
+	p.tokStall, p.valStall, p.dispStall = 0, 0, 0
+	p.tokPeak, p.valPeak, p.batches = 0, 0, 0
+	p.val.reset(d)
+	for i := range p.vname {
+		p.vname[i] = nil
+	}
+	p.verr = nil
+	p.closed = false
+
+	r := cfg.RingDepth
+	p.quit = make(chan struct{})
+	p.tvFull = make(chan *TokBatch, r)
+	p.tvFree = make(chan *TokBatch, r+1)
+	p.vdFull = make(chan *Batch, r)
+	p.vdFree = make(chan *Batch, r+1)
+	// Fixed batch populations: stages only recirculate, so free-ring
+	// sends below never block.
+	for i := 0; i < r+1; i++ {
+		p.tvFree <- getTokBatch()
+		p.vdFree <- GetBatch()
+	}
+
+	p.wg.Add(2)
+	go p.tokRun()
+	go p.valRun()
+	return p
+}
+
+// Next returns the next validated batch, or the pass's terminal error
+// once the stages have drained: io.EOF after a well-formed, valid
+// document, the first stream or validation error otherwise. The batch
+// (including every byte view) is owned by the caller until Recycle.
+func (p *Pipeline) Next() (*Batch, error) {
+	var vb *Batch
+	var ok bool
+	select {
+	case vb, ok = <-p.vdFull:
+	default:
+		start := time.Now()
+		vb, ok = <-p.vdFull
+		p.dispStall += time.Since(start).Nanoseconds()
+	}
+	if !ok {
+		return nil, p.verr
+	}
+	p.batches++
+	return vb, nil
+}
+
+// Recycle returns a batch obtained from Next, together with the raw
+// token batch backing its views, to the pipeline's rings.
+func (p *Pipeline) Recycle(b *Batch) {
+	tb := b.src
+	b.src = nil
+	if tb != nil {
+		select {
+		case p.tvFree <- tb:
+		default:
+			putTokBatch(tb)
+		}
+	}
+	select {
+	case p.vdFree <- b:
+	default:
+		PutBatch(b)
+	}
+}
+
+// Close unblocks and joins the stages, releases the batch population and
+// returns the pass's scan statistics, stage metrics and terminal error
+// (nil after a clean end-of-stream). It must be called exactly once.
+func (p *Pipeline) Close() (ScanStats, PipeStats, error) {
+	if p.closed {
+		return ScanStats{}, PipeStats{}, fmt.Errorf("xsax: pipeline closed twice")
+	}
+	p.closed = true
+	close(p.quit)
+	p.wg.Wait()
+	// Stages are joined: drain the rings back into the pools. The full
+	// rings are closed by their producers, so a drained recv yields nil.
+	for tb := range p.tvFull {
+		putTokBatch(tb)
+	}
+	for vb := range p.vdFull {
+		if vb.src != nil {
+			putTokBatch(vb.src)
+			vb.src = nil
+		}
+		PutBatch(vb)
+	}
+	for {
+		select {
+		case tb := <-p.tvFree:
+			putTokBatch(tb)
+			continue
+		default:
+		}
+		break
+	}
+	for {
+		select {
+		case vb := <-p.vdFree:
+			PutBatch(vb)
+			continue
+		default:
+		}
+		break
+	}
+
+	sc := ScanStats{
+		EventsDelivered: p.valStats.EventsDelivered,
+		EventsSkipped:   p.tokStats.EventsSkipped + p.valStats.EventsSkipped,
+		SubtreesSkipped: p.tokStats.SubtreesSkipped,
+		BytesSkipped:    p.tokStats.BytesSkipped,
+	}
+	ps := PipeStats{
+		Batches:     p.batches,
+		TokStall:    time.Duration(p.tokStall),
+		ValStall:    time.Duration(p.valStall),
+		DispStall:   time.Duration(p.dispStall),
+		TokRingPeak: p.tokPeak,
+		ValRingPeak: p.valPeak,
+	}
+	err := p.verr
+	if err == io.EOF {
+		err = nil
+	}
+	pipePool.Put(p)
+	return sc, ps, err
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer stage
+
+func (p *Pipeline) tokRun() {
+	defer p.wg.Done()
+	defer close(p.tvFull)
+	for {
+		var tb *TokBatch
+		select {
+		case tb = <-p.tvFree:
+			tb.Reset()
+		case <-p.quit:
+			return
+		}
+		if p.cfg.Throttle != nil {
+			p.cfg.Throttle()
+		}
+		var terminal bool
+		for tb.Len() < p.cfg.BatchEvents && tb.ArenaBytes() < p.cfg.BatchBytes {
+			ev, err := p.sc.NextEvent()
+			if err == nil {
+				err = p.tokEmit(tb, ev)
+			}
+			if err != nil {
+				p.terr = err
+				p.terrLine = p.sc.Line()
+				terminal = true
+				break
+			}
+		}
+		if tb.Len() > 0 {
+			if !p.tokSend(tb) {
+				return
+			}
+		} else {
+			select {
+			case p.tvFree <- tb:
+			default:
+				putTokBatch(tb)
+			}
+		}
+		if terminal {
+			return
+		}
+	}
+}
+
+// tokSend hands a full batch downstream, accounting blocked time as the
+// tokenizer stage's stall. It reports false when the pass was abandoned.
+func (p *Pipeline) tokSend(tb *TokBatch) bool {
+	select {
+	case p.tvFull <- tb:
+	default:
+		start := time.Now()
+		select {
+		case p.tvFull <- tb:
+			p.tokStall += time.Since(start).Nanoseconds()
+		case <-p.quit:
+			return false
+		}
+	}
+	if n := len(p.tvFull); n > p.tokPeak {
+		p.tokPeak = n
+	}
+	return true
+}
+
+// tokElem resolves a start tag's symbol to its declaration for the skip
+// decision, caching per symbol. A nil result with ok=true means the name
+// has no declaration: the event is delivered un-projected and the
+// validator reports the error at the same position the sequential reader
+// would.
+func (p *Pipeline) tokElem(sym xmltok.Sym, name []byte) *dtd.Element {
+	if int(sym) < len(p.tselem) {
+		if e := p.tselem[sym]; e != nil {
+			return e
+		}
+		if p.tundec[sym] {
+			return nil
+		}
+	}
+	for int(sym) >= len(p.tselem) {
+		p.tselem = append(p.tselem, nil)
+		p.tundec = append(p.tundec, false)
+	}
+	e := p.d.ElementBytes(name)
+	if e == nil {
+		p.tundec[sym] = true
+		return nil
+	}
+	p.tselem[sym] = e
+	return e
+}
+
+// tokEmit applies the projection automaton to one scanner event and
+// appends the verdict-flagged raw event(s) to tb.
+func (p *Pipeline) tokEmit(tb *TokBatch, ev *xmltok.Event) error {
+	line := p.sc.Line()
+	if p.pauto == nil {
+		tb.Append(ev, 0, line)
+		return nil
+	}
+	if p.vskip > 0 {
+		// Inside a validate-mode pruned subtree: everything is tagged
+		// for validation without delivery, except the closing end tag.
+		switch ev.Kind {
+		case xmltok.StartElement:
+			p.vskip++
+			tb.Append(ev, tokInterior, line)
+		case xmltok.EndElement:
+			p.vskip--
+			if p.vskip == 0 {
+				tb.Append(ev, tokShellEnd, line)
+			} else {
+				tb.Append(ev, tokInterior, line)
+			}
+		default:
+			tb.Append(ev, tokInterior, line)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case xmltok.StartElement:
+		top := p.tstack[len(p.tstack)-1]
+		e := p.tokElem(ev.Sym(), ev.NameBytes())
+		if e == nil {
+			// Undeclared element: no skip decision is possible; deliver
+			// it (the validator rejects it) and keep the stack balanced
+			// in case the scan runs ahead of the error.
+			tb.Append(ev, 0, line)
+			p.tstack = append(p.tstack, top)
+			return nil
+		}
+		var next int32
+		if p.pvocab {
+			next = p.pauto.ChildID(top, e.ID())
+		} else {
+			next = p.pauto.Child(top, e.Name)
+		}
+		if next != proj.StateSkip {
+			tb.Append(ev, 0, line)
+			p.tstack = append(p.tstack, next)
+			return nil
+		}
+		// Pruned subtree: the start goes downstream as a shell.
+		p.tokStats.SubtreesSkipped++
+		tb.Append(ev, tokShellStart, line)
+		if !p.pfast {
+			p.vskip = 1
+			return nil
+		}
+		c, err := p.sc.SkipSubtree(e.Name)
+		p.tokStats.BytesSkipped += c.Bytes
+		p.tokStats.EventsSkipped += c.Events
+		if err != nil {
+			return err
+		}
+		tb.AppendSynth(xmltok.EndElement, ev.Sym(), tokShellEndFast, p.sc.Line())
+	case xmltok.EndElement:
+		if len(p.tstack) > 1 {
+			p.tstack = p.tstack[:len(p.tstack)-1]
+		}
+		tb.Append(ev, 0, line)
+	case xmltok.Text:
+		var flags uint8
+		if !p.pauto.Text(p.tstack[len(p.tstack)-1]) {
+			flags = tokTextDrop
+		}
+		tb.Append(ev, flags, line)
+	default:
+		tb.Append(ev, 0, line)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Validator stage
+
+func (p *Pipeline) valRun() {
+	defer p.wg.Done()
+	defer close(p.vdFull)
+	for {
+		var tb *TokBatch
+		var ok bool
+		select {
+		case tb, ok = <-p.tvFull:
+		case <-p.quit:
+			return
+		}
+		if !ok {
+			// Tokenizer terminal: convert a rootless clean EOF like the
+			// sequential reader does.
+			if p.terr == io.EOF && !p.val.sawRoot {
+				p.verr = fmt.Errorf("xsax: line %d: document has no root element", p.terrLine)
+			} else {
+				p.verr = p.terr
+			}
+			return
+		}
+		var vb *Batch
+		select {
+		case vb = <-p.vdFree:
+			vb.Reset()
+		case <-p.quit:
+			return
+		}
+		var verr error
+		for i := range tb.Events {
+			if verr = p.valEvent(vb, &tb.Events[i]); verr != nil {
+				break
+			}
+		}
+		// Events validated before an error are still delivered, exactly
+		// as the sequential dispatcher delivers a partial batch before
+		// reporting the stream's error.
+		vb.src = tb
+		if vb.Len() > 0 {
+			if !p.valSend(vb) {
+				return
+			}
+		} else {
+			vb.src = nil
+			select {
+			case p.tvFree <- tb:
+			default:
+				putTokBatch(tb)
+			}
+			select {
+			case p.vdFree <- vb:
+			default:
+				PutBatch(vb)
+			}
+		}
+		if verr != nil {
+			p.verr = verr
+			return
+		}
+	}
+}
+
+func (p *Pipeline) valSend(vb *Batch) bool {
+	select {
+	case p.vdFull <- vb:
+	default:
+		start := time.Now()
+		select {
+		case p.vdFull <- vb:
+			p.valStall += time.Since(start).Nanoseconds()
+		case <-p.quit:
+			return false
+		}
+	}
+	if n := len(p.vdFull); n > p.valPeak {
+		p.valPeak = n
+	}
+	return true
+}
+
+func (p *Pipeline) valErrf(te *TokEvent, err error) error {
+	return fmt.Errorf("xsax: line %d: %s", te.Line, err)
+}
+
+// nameOf resolves an element symbol to owned name bytes for vcore (one
+// allocation per distinct name per stream; the scanner's symbol table is
+// safe to read while the tokenizer stage interns ahead).
+func (p *Pipeline) nameOf(sym xmltok.Sym) []byte {
+	if sym == xmltok.NoSym {
+		return nil
+	}
+	if int(sym) < len(p.vname) {
+		if nb := p.vname[sym]; nb != nil {
+			return nb
+		}
+	}
+	nb := []byte(p.sc.Syms().Name(sym))
+	for int(sym) >= len(p.vname) {
+		p.vname = append(p.vname, nil)
+	}
+	p.vname[sym] = nb
+	return nb
+}
+
+// valEvent validates one raw event and appends its validated form to vb
+// unless the tokenizer's projection verdict suppresses delivery.
+func (p *Pipeline) valEvent(vb *Batch, te *TokEvent) error {
+	if te.Flags&tokInterior != 0 {
+		// Validate-mode pruned interior: full validation, no delivery.
+		switch te.Kind {
+		case xmltok.StartElement:
+			if _, err := p.val.start(te.Sym, p.nameOf(te.Sym), te.Attrs); err != nil {
+				return p.valErrf(te, err)
+			}
+		case xmltok.EndElement:
+			if _, err := p.val.end(te.Sym, p.nameOf(te.Sym)); err != nil {
+				return p.valErrf(te, err)
+			}
+		case xmltok.Text:
+			deliver, err := p.val.text(te.Data)
+			if err != nil {
+				return p.valErrf(te, err)
+			}
+			if !deliver {
+				// Insignificant whitespace never counts as skipped.
+				return nil
+			}
+		}
+		p.valStats.EventsSkipped++
+		return nil
+	}
+	switch te.Kind {
+	case xmltok.StartElement:
+		e, err := p.val.start(te.Sym, p.nameOf(te.Sym), te.Attrs)
+		if err != nil {
+			return p.valErrf(te, err)
+		}
+		attrs := te.Attrs
+		if te.Flags&tokShellStart != 0 {
+			// Nothing downstream reads a pruned element's attributes
+			// (they were still validated above).
+			attrs = nil
+		}
+		vb.appendDirect(Event{Kind: xmltok.StartElement, Name: e.Name, Elem: e, Attrs: attrs, tab: p.sc.Syms()})
+	case xmltok.EndElement:
+		var e *dtd.Element
+		if te.Flags&tokShellEndFast != 0 {
+			// The interior was bulk-skipped unvalidated, so the content
+			// model's accepting state cannot be checked.
+			e = p.val.popShell()
+		} else {
+			var err error
+			if e, err = p.val.end(te.Sym, p.nameOf(te.Sym)); err != nil {
+				return p.valErrf(te, err)
+			}
+		}
+		vb.appendDirect(Event{Kind: xmltok.EndElement, Name: e.Name, Elem: e})
+	case xmltok.Text:
+		deliver, err := p.val.text(te.Data)
+		if err != nil {
+			return p.valErrf(te, err)
+		}
+		if !deliver {
+			return nil
+		}
+		if te.Flags&tokTextDrop != 0 {
+			p.valStats.EventsSkipped++
+			return nil
+		}
+		vb.appendDirect(Event{Kind: xmltok.Text, Data: te.Data})
+	case xmltok.ProcInst:
+		vb.appendDirect(Event{Kind: xmltok.ProcInst, Name: p.sc.Syms().Name(te.Sym), Data: te.Data})
+	default:
+		vb.appendDirect(Event{Kind: te.Kind, Data: te.Data})
+	}
+	if p.pauto != nil {
+		p.valStats.EventsDelivered++
+	}
+	return nil
+}

@@ -115,17 +115,12 @@ type ScanStats struct {
 // skip automaton (see package proj): pruned subtrees are delivered as
 // bare start/end shells with their interiors skipped.
 type Reader struct {
-	sc      *xmltok.Scanner
-	d       *dtd.DTD
-	stack   []frame
-	apairs  []dtd.AttrPair
+	sc *xmltok.Scanner
+	// vcore holds the validation state machine (open-element stack,
+	// content-model stepping, sym→declaration binding); it is shared
+	// with the pipelined pass's validator stage.
+	vcore
 	attrbuf []xmltok.Attr
-	sawRoot bool
-	// symElem binds stream symbols to declarations: symElem[sym] is the
-	// *dtd.Element of the name with that symbol, bound at the name's
-	// first occurrence on this stream (one map lookup per distinct name
-	// per stream; every later occurrence is a slice load).
-	symElem []*dtd.Element
 	// ev is the reader-owned event returned by NextEvent; setEvent
 	// overwrites it with direct field stores (a struct-literal assignment
 	// would duffcopy the whole Event per delivered event).
@@ -146,7 +141,7 @@ type Reader struct {
 
 // NewReader returns a validating reader for the stream r under DTD d.
 func NewReader(r io.Reader, d *dtd.DTD) *Reader {
-	return &Reader{sc: xmltok.NewScanner(r), d: d}
+	return &Reader{sc: xmltok.NewScanner(r), vcore: vcore{d: d}}
 }
 
 func (r *Reader) setEvent(kind xmltok.Kind, name string, elem *dtd.Element, data []byte, attrs []xmltok.AttrBytes, tab *xmltok.SymTab) *Event {
@@ -164,15 +159,7 @@ func (r *Reader) setEvent(kind xmltok.Kind, name string, elem *dtd.Element, data
 // scanner window and stack storage.
 func (r *Reader) Reset(rd io.Reader, d *dtd.DTD) {
 	r.sc.Reset(rd)
-	r.d = d
-	r.stack = r.stack[:0]
-	r.sawRoot = false
-	// Symbols may be renumbered by the scanner Reset, and the DTD may
-	// differ: drop all sym→element bindings (they re-form at first
-	// occurrence per name).
-	for i := range r.symElem {
-		r.symElem[i] = nil
-	}
+	r.vcore.reset(d)
 	r.pauto = nil
 	r.pfast = false
 	r.pvocab = false
@@ -361,12 +348,11 @@ func (r *Reader) nextCore() (*Event, error) {
 		case xmltok.EndElement:
 			return r.endElement(ev)
 		case xmltok.Text:
-			if len(r.stack) > 0 && !r.stack[len(r.stack)-1].elem.HasPCData() {
-				if !ev.IsWhitespace() {
-					return nil, r.errf("element %s may not contain character data", r.stack[len(r.stack)-1].elem.Name)
-				}
-				// Insignificant whitespace in element content: drop it so
-				// downstream operators see the pure child sequence.
+			deliver, terr := r.vcore.text(ev.DataBytes())
+			if terr != nil {
+				return nil, r.errf("%s", terr)
+			}
+			if !deliver {
 				continue
 			}
 			return r.setEvent(xmltok.Text, "", nil, ev.DataBytes(), nil, nil), nil
@@ -399,77 +385,21 @@ func (r *Reader) errf(format string, args ...any) error {
 	return fmt.Errorf("xsax: line %d: %s", r.sc.Line(), fmt.Sprintf(format, args...))
 }
 
-// elemOf resolves a start tag's stream symbol to its DTD declaration,
-// binding the symbol at the name's first occurrence on this stream. The
-// steady-state cost is a single slice load per start tag.
-func (r *Reader) elemOf(sym xmltok.Sym, name []byte) *dtd.Element {
-	if int(sym) < len(r.symElem) {
-		if e := r.symElem[sym]; e != nil {
-			return e
-		}
-	}
-	e := r.d.ElementBytes(name)
-	if e == nil {
-		return nil
-	}
-	for int(sym) >= len(r.symElem) {
-		r.symElem = append(r.symElem, nil)
-	}
-	r.symElem[sym] = e
-	return e
-}
-
 func (r *Reader) startElement(tok *xmltok.Event) (*Event, error) {
-	sym := tok.Sym()
-	e := r.elemOf(sym, tok.NameBytes())
-	if e == nil {
-		return nil, r.errf("undeclared element <%s>", tok.NameBytes())
-	}
-	if len(r.stack) == 0 {
-		if r.sawRoot {
-			return nil, r.errf("multiple root elements")
-		}
-		if e.Name != r.d.Root {
-			return nil, r.errf("root element is <%s>, DTD requires <%s>", e.Name, r.d.Root)
-		}
-		r.sawRoot = true
-	} else {
-		parent := &r.stack[len(r.stack)-1]
-		next := parent.elem.Automaton().StepID(parent.state, e.ID())
-		if next < 0 {
-			return nil, r.errf("child <%s> not allowed here in <%s> (content model %s)",
-				e.Name, parent.elem.Name, parent.elem.Model)
-		}
-		parent.state = next
-	}
-	// Attribute validation over the zero-copy views.
 	attrs := tok.Attrs()
-	r.apairs = r.apairs[:0]
-	for _, a := range attrs {
-		r.apairs = append(r.apairs, dtd.AttrPair{Name: a.Name, Value: a.Value})
-	}
-	if err := r.d.ValidateAttrPairs(e, r.apairs); err != nil {
+	e, err := r.vcore.start(tok.Sym(), tok.NameBytes(), attrs)
+	if err != nil {
 		return nil, r.errf("%s", err)
 	}
-	r.stack = append(r.stack, frame{elem: e, sym: sym, state: e.Automaton().Start()})
 	return r.setEvent(xmltok.StartElement, e.Name, e, nil, attrs, r.sc.Syms()), nil
 }
 
 func (r *Reader) endElement(tok *xmltok.Event) (*Event, error) {
-	if len(r.stack) == 0 {
-		return nil, r.errf("unmatched end tag </%s>", tok.NameBytes())
+	e, err := r.vcore.end(tok.Sym(), tok.NameBytes())
+	if err != nil {
+		return nil, r.errf("%s", err)
 	}
-	f := r.stack[len(r.stack)-1]
-	// The tokenizer hands start and end tags of one element the same
-	// symbol, so the name check is one integer comparison.
-	if tok.Sym() != f.sym {
-		return nil, r.errf("end tag </%s> does not match open element <%s>", tok.NameBytes(), f.elem.Name)
-	}
-	if !f.elem.Automaton().Accepting(f.state) {
-		return nil, r.errf("element <%s> ended prematurely (content model %s)", f.elem.Name, f.elem.Model)
-	}
-	r.stack = r.stack[:len(r.stack)-1]
-	return r.setEvent(xmltok.EndElement, f.elem.Name, f.elem, nil, nil, nil), nil
+	return r.setEvent(xmltok.EndElement, e.Name, e, nil, nil, nil), nil
 }
 
 // Skip consumes and validates the remainder of the innermost open
