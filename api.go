@@ -41,6 +41,7 @@ import (
 	"fluxquery/internal/opt"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
+	"fluxquery/internal/telemetry"
 	"fluxquery/internal/xmltok"
 	"fluxquery/internal/xquery"
 	"fluxquery/internal/xsax"
@@ -249,6 +250,64 @@ func (b *BufferManager) Metrics() BufferMetrics {
 	return b.m.Metrics()
 }
 
+// Telemetry is the engine's metrics handle: a registry of counters,
+// gauges and histograms that every wired component publishes to, and
+// that WritePrometheus renders as a /metrics scrape. Create one per
+// process, hand it to Options.Telemetry and StreamSet.SetTelemetry (and
+// BufferManager.RegisterMetrics), and serve WritePrometheus over HTTP.
+// A nil *Telemetry disables everything at the cost of a few nil checks
+// per pass — there is no background goroutine and no sampling either way.
+type Telemetry struct {
+	reg *telemetry.Registry
+}
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return &Telemetry{reg: telemetry.New()} }
+
+// MetricsContentType is the HTTP Content-Type of WritePrometheus output
+// (Prometheus text exposition format v0.0.4).
+const MetricsContentType = telemetry.ContentType
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format. Safe for concurrent use with ongoing executions;
+// scrapes of an unchanged registry are byte-identical.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.reg.WritePrometheus(w)
+}
+
+// Registry exposes the underlying instrument registry so servers inside
+// this module can add their own series (request counters, pool gauges)
+// to the same scrape. Nil-safe.
+func (t *Telemetry) Registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Trace is one pass's span tree, captured by Plan.ExecuteTrace or a
+// StreamSet with tracing enabled: per-stage durations with stall
+// attribution, data-flow counters and ring high-water marks. It marshals
+// to JSON and renders as a human-readable timeline via WriteTree.
+type Trace = telemetry.Trace
+
+// TraceSpan is one node of a Trace.
+type TraceSpan = telemetry.Span
+
+// RegisterMetrics publishes the manager's ledger (reserved bytes, spill
+// traffic, backpressure stalls, rejections) on the telemetry registry as
+// flux_bufmgr_* series. Values are read from the live ledger at scrape
+// time; nothing is added to the reservation path.
+func (b *BufferManager) RegisterMetrics(t *Telemetry) {
+	if b == nil {
+		return
+	}
+	b.m.RegisterMetrics(t.Registry())
+}
+
 // Options configures compilation.
 type Options struct {
 	// Engine selects the execution strategy (default EngineFlux).
@@ -290,6 +349,10 @@ type Options struct {
 	// sequential pass. Output is byte-identical either way. StreamSet
 	// passes have their own switch, StreamSet.SetParallel.
 	Parallel int
+	// Telemetry, when non-nil, publishes the plan's execution metrics
+	// (pass counts, latency, input bytes and events) on the registry.
+	// StreamSet passes have their own hook, StreamSet.SetTelemetry.
+	Telemetry *Telemetry
 }
 
 // DTD is a parsed document type definition.
@@ -407,6 +470,11 @@ type Stats struct {
 	// BudgetStall is the time the pass spent blocked by
 	// BufferBackpressure (for a StreamSet run, the shared pass's stall).
 	BudgetStall time.Duration
+	// InputBytes is the raw input size the pass consumed (flux engine).
+	InputBytes int64
+	// PassID is the process-unique id of the execution pass, correlating
+	// these stats with logs, traces and metric scrapes.
+	PassID uint64
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }
@@ -433,6 +501,38 @@ type Plan struct {
 	// plan-owned case, which Plan.Close releases.
 	bufs    *bufmgr.Manager
 	ownBufs bool
+	// pm holds the plan's resolved telemetry instruments (nil when
+	// Options.Telemetry was not set).
+	pm *planMetrics
+}
+
+// planMetrics is the instrument bundle of single-plan executions,
+// resolved once at Compile. The series names are shared with StreamSet
+// passes — a registry wired to both aggregates them, which is the
+// intended reading (every execution is one pass over one input).
+type planMetrics struct {
+	passes      *telemetry.Counter
+	bytes       *telemetry.Counter
+	events      *telemetry.Counter
+	passSeconds *telemetry.Histogram
+}
+
+func newPlanMetrics(t *Telemetry) *planMetrics {
+	reg := t.Registry()
+	if reg == nil {
+		return nil
+	}
+	return &planMetrics{
+		passes: reg.Counter("flux_scan_passes_total",
+			"Completed shared scan passes."),
+		bytes: reg.Counter("flux_scan_bytes_total",
+			"Raw input bytes consumed by scan passes."),
+		events: reg.Counter("flux_scan_events_total",
+			"Validated events fanned out to riding plans."),
+		passSeconds: reg.Histogram("flux_pass_seconds",
+			"Wall time of one shared scan pass.",
+			telemetry.LatencyBuckets, telemetry.ScaleNanos),
+	}
 }
 
 // Close releases the plan-owned buffer manager created by
@@ -494,6 +594,9 @@ func Compile(q *Query, d *DTD, o Options) (*Plan, error) {
 		})
 		p.ownBufs = true
 	}
+	if o.Telemetry != nil {
+		p.pm = newPlanMetrics(o.Telemetry)
+	}
 	return p, nil
 }
 
@@ -518,15 +621,35 @@ func MustCompile(query, dtdSrc string, o Options) *Plan {
 // result stream to w. It is safe for concurrent use: the plan is
 // read-only and all mutable state is per-call.
 func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
+	return p.execute(r, w, nil)
+}
+
+// ExecuteTrace is Execute with per-pass span tracing: it returns the
+// execution's span tree alongside the stats. id tags the trace (a
+// request id, a file name — anything that correlates it with its
+// caller); the trace's PassID matches Stats.PassID. For the flux engine
+// the tree breaks the pass into scan/eval spans (pipelined executions
+// add tokenize/validate stage spans with stall attribution and ring
+// high-water marks); the baseline engines report a root span only.
+func (p *Plan) ExecuteTrace(r io.Reader, w io.Writer, id string) (Stats, *Trace, error) {
+	tr := telemetry.NewTrace(id)
+	st, err := p.execute(r, w, tr)
+	if tr.Root != nil && tr.Root.Dur == 0 {
+		tr.End() // baseline engines: root span only
+	}
+	return st, tr, err
+}
+
+func (p *Plan) execute(r io.Reader, w io.Writer, tr *telemetry.Trace) (Stats, error) {
 	start := time.Now()
 	var rst *runtime.Stats
 	var err error
 	switch p.opts.Engine {
 	case EngineFlux:
 		if p.opts.Parallel >= 2 {
-			rst, err = p.phys.RunManagedParallel(r, w, p.bufs)
+			rst, err = p.phys.RunManagedParallelTrace(r, w, p.bufs, tr)
 		} else {
-			rst, err = p.phys.RunManaged(r, w, p.bufs)
+			rst, err = p.phys.RunManagedTrace(r, w, p.bufs, tr)
 		}
 	case EngineProjection:
 		rst, err = baseline.RunProjection(p.optimized, p.d, r, w)
@@ -535,7 +658,22 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 	default:
 		return Stats{}, fmt.Errorf("unknown engine %v", p.opts.Engine)
 	}
-	return statsFrom(rst, p.opts.Engine, time.Since(start)), err
+	wall := time.Since(start)
+	st := statsFrom(rst, p.opts.Engine, wall)
+	if st.PassID == 0 {
+		if tr != nil {
+			st.PassID = tr.PassID
+		} else {
+			st.PassID = telemetry.NextPassID()
+		}
+	}
+	if pm := p.pm; pm != nil && err == nil {
+		pm.passes.Inc()
+		pm.bytes.Add(st.InputBytes)
+		pm.events.Add(st.Events)
+		pm.passSeconds.Observe(wall.Nanoseconds())
+	}
+	return st, err
 }
 
 // statsFrom converts the runtime's counters into the public Stats.
@@ -557,6 +695,8 @@ func statsFrom(rst *runtime.Stats, e Engine, d time.Duration) Stats {
 		st.SpilledBytes = rst.SpilledBytes
 		st.RehydratedBytes = rst.RehydratedBytes
 		st.BudgetStall = rst.BudgetStall
+		st.InputBytes = rst.ScanBytesRead
+		st.PassID = rst.PassID
 	}
 	return st
 }
@@ -596,10 +736,18 @@ func NewStreamSet(d *DTD) *StreamSet {
 // engines materialize documents and do not ride event streams) and be
 // compiled against the set's DTD.
 func (s *StreamSet) Register(p *Plan, out io.Writer) (*StreamQuery, error) {
+	return s.RegisterNamed(p, out, "")
+}
+
+// RegisterNamed is Register with an explicit plan name. The name labels
+// the plan's telemetry: its per-batch eval latency series
+// (flux_eval_batch_seconds{plan="..."}) and its eval span in traces.
+// An empty name auto-assigns q0, q1, … in registration order.
+func (s *StreamSet) RegisterNamed(p *Plan, out io.Writer, name string) (*StreamQuery, error) {
 	if p.opts.Engine != EngineFlux {
 		return nil, fmt.Errorf("fluxquery: StreamSet requires EngineFlux plans, got %v", p.opts.Engine)
 	}
-	sub, err := s.set.Register(p.phys, out)
+	sub, err := s.set.RegisterNamed(p.phys, out, name)
 	if err != nil {
 		return nil, err
 	}
@@ -639,6 +787,30 @@ func (s *StreamSet) SetBuffers(b *BufferManager) {
 // single-goroutine pass. Per-plan outputs are byte-identical either
 // way. Takes effect at the next Run.
 func (s *StreamSet) SetParallel(n int) { s.set.SetParallel(n) }
+
+// SetTelemetry wires the set's shared passes into t's metrics registry:
+// pass/byte/event counters, pass-latency and input-size histograms,
+// per-stage stall and ring-occupancy series, and per-plan eval latency
+// histograms labeled by registration name. nil detaches. Takes effect
+// at the next Run; the disabled path costs one nil check per batch.
+func (s *StreamSet) SetTelemetry(t *Telemetry) {
+	if t == nil {
+		s.set.SetTelemetry(nil)
+		return
+	}
+	s.set.SetTelemetry(t.reg)
+}
+
+// SetTracing toggles per-pass span tracing. While enabled, every Run
+// builds a span tree — scan and dispatch phases, one eval span per
+// riding plan, stage spans with stall attribution for pipelined passes
+// — retrievable through LastTrace. id tags the traces (reused across
+// runs until changed). Takes effect at the next Run.
+func (s *StreamSet) SetTracing(on bool, id string) { s.set.SetTracing(on, id) }
+
+// LastTrace returns the span tree of the most recent completed Run, or
+// nil if tracing was off for that run.
+func (s *StreamSet) LastTrace() *Trace { return s.set.LastTrace() }
 
 // PassStats reports the pipeline metrics of a parallel shared pass (all
 // zeros after sequential passes).
@@ -693,6 +865,9 @@ type ScanStats struct {
 	// input bytes bulk-skipped by the tokenizer (ProjectionFast only).
 	SubtreesSkipped int64
 	BytesSkipped    int64
+	// InputBytes is the raw input size the most recent pass consumed,
+	// skipped regions included.
+	InputBytes int64
 	// Stall is the time the pass spent blocked by BufferBackpressure.
 	Stall time.Duration
 }
@@ -706,6 +881,7 @@ func (s *StreamSet) LastScan() ScanStats {
 		EventsSkipped:   sc.EventsSkipped,
 		SubtreesSkipped: sc.SubtreesSkipped,
 		BytesSkipped:    sc.BytesSkipped,
+		InputBytes:      sc.BytesRead,
 		Stall:           s.set.LastStall(),
 	}
 }

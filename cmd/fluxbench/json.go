@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	goruntime "runtime"
+	"sort"
 	"time"
 
 	"fluxquery"
@@ -71,18 +73,51 @@ type record struct {
 	DispatchStallNs int64 `json:"dispatch_stall_ns,omitempty"`
 	TokenRingPeak   int   `json:"token_ring_peak,omitempty"`
 	EventRingPeak   int   `json:"event_ring_peak,omitempty"`
+	// P50Ns/P95Ns/P99Ns are latency quantiles over the measurement's
+	// repetitions (nearest-rank). NsPerOp remains the best repetition;
+	// the quantiles expose the spread — with few -reps the upper ones
+	// saturate at the slowest repetition.
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	P95Ns int64 `json:"p95_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
 }
 
-// measureAllocs runs fn reps times and returns the best wall time along
-// with the allocation count of that repetition.
-func measureAllocs(reps int, fn func() error) (best time.Duration, allocs uint64, err error) {
+// withQuantiles fills rec's latency quantile fields from the
+// repetition durations and returns it.
+func withQuantiles(rec record, durs []time.Duration) record {
+	rec.P50Ns = pctile(durs, 0.50)
+	rec.P95Ns = pctile(durs, 0.95)
+	rec.P99Ns = pctile(durs, 0.99)
+	return rec
+}
+
+// pctile returns the q-quantile (0 < q <= 1) of the ascending-sorted
+// durations by the nearest-rank method.
+func pctile(durs []time.Duration, q float64) int64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(durs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	return durs[rank-1].Nanoseconds()
+}
+
+// measureAllocs runs fn reps times and returns the best wall time, the
+// allocation count of that repetition, and every repetition's duration
+// sorted ascending (for latency quantiles).
+func measureAllocs(reps int, fn func() error) (best time.Duration, allocs uint64, durs []time.Duration, err error) {
 	best = 1 << 62
 	var ms0, ms1 goruntime.MemStats
 	for i := 0; i < reps; i++ {
 		goruntime.ReadMemStats(&ms0)
 		start := time.Now()
 		if err := fn(); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 		el := time.Since(start)
 		goruntime.ReadMemStats(&ms1)
@@ -90,8 +125,10 @@ func measureAllocs(reps int, fn func() error) (best time.Duration, allocs uint64
 			best = el
 			allocs = ms1.Mallocs - ms0.Mallocs
 		}
+		durs = append(durs, el)
 	}
-	return best, allocs, nil
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return best, allocs, durs, nil
 }
 
 func mbPerS(bytes int64, d time.Duration) float64 {
@@ -156,7 +193,7 @@ func collectRecords(r *runner) ([]record, error) {
 		for _, v := range variants {
 			p := fluxquery.MustCompile(c.Query, c.DTD, fluxquery.Options{Engine: v.engine, Projection: v.proj})
 			var st fluxquery.Stats
-			best, allocs, err := measureAllocs(r.reps, func() error {
+			best, allocs, durs, err := measureAllocs(r.reps, func() error {
 				var rerr error
 				st, rerr = p.Execute(bytes.NewReader(doc), io.Discard)
 				return rerr
@@ -164,7 +201,7 @@ func collectRecords(r *runner) ([]record, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", c.Name, v.engine, err)
 			}
-			records = append(records, record{
+			records = append(records, withQuantiles(record{
 				Suite:           "workload",
 				Query:           c.Name,
 				Engine:          v.engine.String(),
@@ -179,7 +216,7 @@ func collectRecords(r *runner) ([]record, error) {
 				EventsDelivered: st.ScanEventsDelivered,
 				EventsSkipped:   st.ScanEventsSkipped,
 				BytesSkipped:    st.ScanBytesSkipped,
-			})
+			}, durs))
 		}
 	}
 
@@ -255,7 +292,7 @@ func parallelRecords(r *runner) ([]record, error) {
 			}
 			regs[i] = reg
 		}
-		best, allocs, err := measureAllocs(r.reps, func() error {
+		best, allocs, durs, err := measureAllocs(r.reps, func() error {
 			return set.Run(bytes.NewReader(doc))
 		})
 		if err != nil {
@@ -294,7 +331,7 @@ func parallelRecords(r *runner) ([]record, error) {
 			rec.TokenRingPeak = ps.TokenRingPeak
 			rec.EventRingPeak = ps.EventRingPeak
 		}
-		records = append(records, rec)
+		records = append(records, withQuantiles(rec, durs))
 	}
 	return records, nil
 }
@@ -331,7 +368,7 @@ func budgetedRecords(r *runner) ([]record, error) {
 			BufferPolicy: fluxquery.BufferSpill,
 		})
 		var st fluxquery.Stats
-		best, allocs, err := measureAllocs(r.reps, func() error {
+		best, allocs, durs, err := measureAllocs(r.reps, func() error {
 			var rerr error
 			st, rerr = p.Execute(bytes.NewReader(doc), io.Discard)
 			return rerr
@@ -343,7 +380,7 @@ func budgetedRecords(r *runner) ([]record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("budgeted %s: %w", name, err)
 		}
-		records = append(records, record{
+		records = append(records, withQuantiles(record{
 			Suite:               "budgeted",
 			Query:               name,
 			Engine:              "flux-spill",
@@ -361,7 +398,7 @@ func budgetedRecords(r *runner) ([]record, error) {
 			RehydratedBytes:     st.RehydratedBytes,
 			PeakHeapBufferBytes: st.PeakHeapBufferBytes,
 			StallNs:             st.BudgetStall.Nanoseconds(),
-		})
+		}, durs))
 	}
 	return records, nil
 }
@@ -402,7 +439,7 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 			}
 			regs[i] = reg
 		}
-		bestShared, sharedAllocs, err := measureAllocs(r.reps, func() error {
+		bestShared, sharedAllocs, sharedDurs, err := measureAllocs(r.reps, func() error {
 			return set.Run(bytes.NewReader(doc))
 		})
 		if err != nil {
@@ -422,7 +459,7 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 			sharedOut += st.OutputBytes
 		}
 		sc := set.LastScan()
-		sharedRecords = append(sharedRecords, record{
+		sharedRecords = append(sharedRecords, withQuantiles(record{
 			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-mqe",
 			Plans: nPlans, DocBytes: len(doc),
 			NsPerOp: bestShared.Nanoseconds(), MBPerS: mbPerS(aggregate, bestShared),
@@ -431,10 +468,10 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 			EventsDelivered: sc.EventsDelivered,
 			EventsSkipped:   sc.EventsSkipped,
 			BytesSkipped:    sc.BytesSkipped,
-		})
+		}, sharedDurs))
 	}
 	var seqPeak, seqOut int64
-	bestSeq, seqAllocs, err := measureAllocs(r.reps, func() error {
+	bestSeq, seqAllocs, seqDurs, err := measureAllocs(r.reps, func() error {
 		seqPeak, seqOut = 0, 0
 		for _, p := range plans {
 			st, err := p.Execute(bytes.NewReader(doc), io.Discard)
@@ -451,11 +488,11 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(sharedRecords, record{
+	return append(sharedRecords, withQuantiles(record{
 		Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-sequential",
 		Plans: nPlans, DocBytes: len(doc),
 		NsPerOp: bestSeq.Nanoseconds(), MBPerS: mbPerS(aggregate, bestSeq),
 		AllocsPerOp: seqAllocs, PeakBufferBytes: seqPeak, OutputBytes: seqOut,
 		Proj: "fast",
-	}), nil
+	}, seqDurs)), nil
 }

@@ -39,6 +39,7 @@ func main() {
 		noOpt      = flag.Bool("no-optimizer", false, "disable the algebraic optimizer")
 		projMode   = flag.String("proj", "fast", "stream projection: fast (bulk-skip irrelevant subtrees), validate (skip delivery, full validation) or off")
 		parallel   = flag.Int("parallel", 1, "pipelined execution: >= 2 runs tokenize/validate/dispatch on separate goroutines with that many feed workers (flux engine only); 0 or 1 is sequential")
+		trace      = flag.Bool("trace", false, "print the execution's span timeline (scan/eval phases, stalls, ring peaks) to stderr")
 	)
 	var queryFiles multiFlag
 	flag.Var(&queryFiles, "q", "path to a query file; repeat to evaluate several queries in one shared pass")
@@ -57,6 +58,7 @@ func main() {
 		noOpt:      *noOpt,
 		projMode:   *projMode,
 		parallel:   *parallel,
+		trace:      *trace,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxquery:", err)
 		os.Exit(1)
@@ -83,6 +85,7 @@ type options struct {
 	noOpt      bool
 	projMode   string
 	parallel   int
+	trace      bool
 }
 
 func run(o options) error {
@@ -228,9 +231,19 @@ func run(o options) error {
 
 	if len(plans) == 1 {
 		start := time.Now()
-		st, err := plans[0].Execute(in, out)
-		if err != nil {
-			return err
+		var st fluxquery.Stats
+		if o.trace {
+			var tr *fluxquery.Trace
+			st, tr, err = plans[0].ExecuteTrace(in, out, queries[0].name)
+			if err != nil {
+				return err
+			}
+			tr.WriteTree(os.Stderr)
+		} else {
+			st, err = plans[0].Execute(in, out)
+			if err != nil {
+				return err
+			}
 		}
 		if o.stats {
 			printStats(queries[0].name, st, time.Since(start))
@@ -245,11 +258,12 @@ func run(o options) error {
 	set := fluxquery.NewStreamSet(d)
 	set.SetProjection(projection)
 	set.SetParallel(o.parallel)
+	set.SetTracing(o.trace, "cli")
 	outs := make([]*bytes.Buffer, len(plans))
 	regs := make([]*fluxquery.StreamQuery, len(plans))
 	for i, p := range plans {
 		outs[i] = &bytes.Buffer{}
-		regs[i], err = set.Register(p, outs[i])
+		regs[i], err = set.RegisterNamed(p, outs[i], queries[i].name)
 		if err != nil {
 			return fmt.Errorf("%s: %w", queries[i].name, err)
 		}
@@ -259,6 +273,9 @@ func run(o options) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	if o.trace {
+		set.LastTrace().WriteTree(os.Stderr)
+	}
 	var firstErr error
 	for i := range plans {
 		st, qerr := regs[i].Stats()

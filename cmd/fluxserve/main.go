@@ -7,7 +7,7 @@
 //
 //	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off]
 //	          [-budget 64M -budget-policy fail|spill|backpressure [-spill-dir DIR]]
-//	          [-parallel N] [-pool N] [-q name=query.xq ...]
+//	          [-parallel N] [-pool N] [-debug-addr :6060] [-q name=query.xq ...]
 //
 // Endpoints:
 //
@@ -18,7 +18,20 @@
 //	DELETE /queries/{name}       unregister a query
 //	POST   /eval                 evaluate all queries over the posted XML
 //	POST   /eval?q=a&q=b         evaluate a subset
+//	POST   /eval?trace=1         additionally return the pass's span tree
 //	GET    /stats                per-query and aggregate buffer/spill metrics
+//	GET    /metrics              Prometheus text exposition of all series
+//
+// Observability: every request is assigned an id (echoed as
+// X-Request-Id and written to the structured stderr access log); with
+// ?trace=1 an /eval response additionally carries the shared pass's
+// span tree — scan and dispatch phases, one eval span per query, and
+// under -parallel the tokenize/validate stage spans with stall
+// attribution and ring high-water marks — tagged with that request id.
+// GET /metrics exposes scan, pipeline, buffer-manager, ingest-pool and
+// HTTP series for scraping; -debug-addr starts a second listener with
+// Go's pprof profiling endpoints (/debug/pprof/), kept off the public
+// address so profiling is opt-in.
 //
 // /eval responds with JSON:
 //
@@ -66,7 +79,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -87,6 +102,7 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "directory for the spill segment file (default: system temp)")
 		parallel  = flag.Int("parallel", 1, "pipelined shared passes: >= 2 runs tokenize/validate/dispatch on separate goroutines with that many feed workers; 0 or 1 is sequential")
 		pool      = flag.Int("pool", 2*runtime.GOMAXPROCS(0), "maximum concurrently streaming /eval passes; excess requests get a structured 503 (0 = unbounded)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for pprof profiling endpoints (empty = disabled)")
 	)
 	var preload multiFlag
 	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
@@ -116,6 +132,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(2)
 	}
+	// The server captures slog.Default at construction, so the handler
+	// must be installed first.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+
 	srv, err := newServer(string(dtdSrc), *maxBody, projection, budgetBytes, policy, *spillDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
@@ -138,6 +158,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fluxserve: -q %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+
+	// Profiling stays on its own opt-in listener: pprof handlers expose
+	// heap contents and must never ride the public address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "fluxserve: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintln(os.Stderr, "fluxserve: debug listener:", err)
+			}
+		}()
 	}
 
 	fmt.Fprintf(os.Stderr, "fluxserve: serving DTD root <%s> on %s (%d queries preloaded)\n",

@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fluxquery"
+	"fluxquery/internal/telemetry"
 )
 
 // server holds the compiled-query registry. Plans are compiled once at
@@ -35,6 +39,21 @@ type server struct {
 	// the client instead of turning into unbounded goroutines all
 	// contending for the one buffer budget. nil = unbounded.
 	pool chan struct{}
+
+	// tel is the process-wide metrics registry behind GET /metrics; the
+	// shared passes, the buffer manager and the ingest pool all publish
+	// into it.
+	tel *fluxquery.Telemetry
+	// log writes structured access logs; every request gets an id
+	// (X-Request-Id) that also tags its ?trace=1 span tree.
+	log    *slog.Logger
+	reqSeq atomic.Uint64
+	idBase string
+	// mRejected, mHTTPReqs, mHTTPSecs are the server's own series:
+	// shed-load rejections, request count and request latency.
+	mRejected *telemetry.Counter
+	mHTTPReqs *telemetry.Counter
+	mHTTPSecs *telemetry.Histogram
 
 	mu      sync.RWMutex
 	queries map[string]*entry
@@ -95,6 +114,19 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 	if budget > 0 {
 		s.bufs = fluxquery.NewBufferManager(budget, policy, spillDir)
 	}
+	s.tel = fluxquery.NewTelemetry()
+	s.log = slog.Default()
+	s.idBase = fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff)
+	reg := s.tel.Registry()
+	s.mRejected = reg.Counter("flux_pool_rejected_total",
+		"Eval requests shed with a structured 503 POOL_SATURATED.")
+	s.mHTTPReqs = reg.Counter("flux_http_requests_total",
+		"HTTP requests served.")
+	s.mHTTPSecs = reg.Histogram("flux_http_request_seconds",
+		"HTTP request wall time.", telemetry.LatencyBuckets, telemetry.ScaleNanos)
+	if s.bufs != nil {
+		s.bufs.RegisterMetrics(s.tel)
+	}
 	return s, nil
 }
 
@@ -133,6 +165,17 @@ func (s *server) register(name, src string) error {
 }
 
 func (s *server) handler() http.Handler {
+	// Pool occupancy is read at scrape time straight off the slot
+	// channel (len = passes streaming now, cap = -pool). Registered here
+	// rather than in newServer so setPool has run.
+	reg := s.tel.Registry()
+	reg.GaugeFunc("flux_pool_inflight",
+		"Eval passes currently streaming.",
+		func() int64 { return int64(len(s.pool)) })
+	reg.GaugeFunc("flux_pool_capacity",
+		"Maximum concurrently streaming eval passes (-pool; 0 = unbounded).",
+		func() int64 { return int64(cap(s.pool)) })
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /queries", s.handleList)
@@ -141,7 +184,54 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /queries/{name}", s.handleDelete)
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.withObservability(mux)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format (version 0.0.4) for scraping.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", fluxquery.MetricsContentType)
+	_ = s.tel.WritePrometheus(w)
+}
+
+// ctxReqID keys the request id in the request context.
+type ctxKey int
+
+const ctxReqID ctxKey = 0
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// withObservability assigns every request an id (returned as
+// X-Request-Id and propagated to ?trace=1 span trees), writes a
+// structured access log line, and feeds the request-rate and latency
+// series.
+func (s *server) withObservability(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("%s-%d", s.idBase, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), ctxReqID, id)))
+		dur := time.Since(start)
+		s.mHTTPReqs.Inc()
+		s.mHTTPSecs.Observe(dur.Nanoseconds())
+		s.log.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "dur", dur)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -280,6 +370,9 @@ type scanStats struct {
 	EventsSkipped   int64  `json:"events_skipped"`
 	SubtreesSkipped int64  `json:"subtrees_skipped"`
 	BytesSkipped    int64  `json:"bytes_skipped"`
+	// InputBytes is the raw input size the pass consumed, skipped
+	// regions included.
+	InputBytes int64 `json:"input_bytes"`
 	// StallMicros is the time the shared pass spent blocked by
 	// backpressure (zero unless -budget with -budget-policy backpressure).
 	StallMicros int64 `json:"stall_us,omitempty"`
@@ -292,6 +385,12 @@ type evalResponse struct {
 	// with -parallel >= 2 (absent for sequential passes).
 	Pipeline *passInfo    `json:"pipeline,omitempty"`
 	Results  []evalResult `json:"results"`
+	// Trace is the pass's span tree, present only with ?trace=1: the
+	// shared pass broken into scan and dispatch phases with one eval
+	// span per query, plus tokenize/validate stage spans (with stall
+	// attribution and ring high-water marks) under -parallel. The
+	// trace's id is the request's X-Request-Id.
+	Trace *fluxquery.Trace `json:"trace,omitempty"`
 }
 
 // passInfo is one pipelined pass: worker count, batches through the
@@ -323,9 +422,17 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
+			s.mRejected.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, codePoolSaturated,
-				"all %d eval slots are streaming; retry later", cap(s.pool))
+			// The body carries the live pool occupancy so a client can
+			// tell a momentary spike (depth just hit capacity) from
+			// sustained saturation without a second /stats round trip.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":         fmt.Sprintf("all %d eval slots are streaming; retry later", cap(s.pool)),
+				"code":          codePoolSaturated,
+				"pool_depth":    len(s.pool),
+				"pool_capacity": cap(s.pool),
+			})
 			return
 		}
 	}
@@ -354,11 +461,21 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	set.SetProjection(s.proj)
 	set.SetBuffers(s.bufs)
 	set.SetParallel(s.parallel)
+	set.SetTelemetry(s.tel)
+	traced := false
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		traced = true
+		reqID, _ := r.Context().Value(ctxReqID).(string)
+		set.SetTracing(true, reqID)
+	}
 	outs := make([]*bytes.Buffer, len(selected))
 	regs := make([]*fluxquery.StreamQuery, len(selected))
 	for i, e := range selected {
 		outs[i] = &bytes.Buffer{}
-		reg, err := set.Register(e.plan, outs[i])
+		// The registration name labels the plan's eval-latency series
+		// and trace span, so metrics line up with /queries names.
+		reg, err := set.RegisterNamed(e.plan, outs[i], e.name)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, codeInternal, "registering %q: %v", e.name, err)
 			return
@@ -380,6 +497,9 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := evalResponse{DurationMicros: time.Since(start).Microseconds()}
+	if traced {
+		resp.Trace = set.LastTrace()
+	}
 	if ps := set.LastPass(); ps.Parallel >= 2 {
 		resp.Pipeline = &passInfo{
 			Parallel:            ps.Parallel,
@@ -400,6 +520,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		EventsSkipped:   sc.EventsSkipped,
 		SubtreesSkipped: sc.SubtreesSkipped,
 		BytesSkipped:    sc.BytesSkipped,
+		InputBytes:      sc.InputBytes,
 		StallMicros:     sc.Stall.Microseconds(),
 	}
 	for i, e := range selected {
@@ -527,7 +648,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if s.bufs != nil {
 		mt := s.bufs.Metrics()
-		resp.Buffers = &bufferStats{BufferMetrics: mt, StallMicros: mt.StallNanos / 1000}
+		resp.Buffers = &bufferStats{BufferMetrics: mt, StallMicros: mt.Stall.Microseconds()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -213,9 +213,11 @@ type Metrics struct {
 	// SpillFileBytes/SpillSegsLive describe the segment file.
 	SpillFileBytes int64 `json:"spill_file_bytes"`
 	SpillSegsLive  int64 `json:"spill_segs_live"`
-	// StallNanos/Stalls accumulate backpressure gate waits.
-	StallNanos int64 `json:"stall_nanos"`
-	Stalls     int64 `json:"stalls"`
+	// Stall/Stalls accumulate backpressure gate waits. Stall marshals as
+	// integer nanoseconds, keeping the JSON wire format of the old
+	// StallNanos field.
+	Stall  time.Duration `json:"stall_nanos"`
+	Stalls int64         `json:"stalls"`
 	// Rejections counts PolicyFail budget errors.
 	Rejections int64 `json:"rejections"`
 }
@@ -234,7 +236,7 @@ func (m *Manager) Metrics() Metrics {
 		SpillOps:           m.spillOps,
 		RehydratedBytes:    m.rehydratedBytes,
 		RehydrateOps:       m.rehydrateOps,
-		StallNanos:         m.stallNanos,
+		Stall:              time.Duration(m.stallNanos),
 		Stalls:             m.stalls,
 		Rejections:         m.rejections,
 	}

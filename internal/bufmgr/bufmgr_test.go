@@ -253,7 +253,7 @@ func TestBackpressureGateBlocksAndDrains(t *testing.T) {
 		t.Fatal("gate did not wake after the holder drained")
 	}
 	<-released
-	if m.Metrics().Stalls != 1 || m.Metrics().StallNanos <= 0 {
+	if m.Metrics().Stalls != 1 || m.Metrics().Stall <= 0 {
 		t.Errorf("stall metrics: %+v", m.Metrics())
 	}
 	if g2.Stall() <= 0 {

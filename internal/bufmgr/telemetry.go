@@ -1,0 +1,74 @@
+package bufmgr
+
+import "fluxquery/internal/telemetry"
+
+// RegisterMetrics publishes the manager's ledger as scrape-time series on
+// reg. The gauge/counter functions read the live counters under the
+// manager mutex at scrape time, so there is no second accounting path to
+// drift from Metrics(); the hot path pays nothing. Nil manager or nil
+// registry are no-ops.
+func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("flux_bufmgr_budget_bytes",
+		"Configured buffer budget in bytes (0 when unenforced).",
+		func() int64 {
+			if m.cfg.Budget > 0 {
+				return m.cfg.Budget
+			}
+			return 0
+		})
+	reg.GaugeFunc("flux_bufmgr_reserved_bytes",
+		"Live heap bytes currently reserved across all accounts.",
+		m.lockedRead(func() int64 { return m.total }))
+	reg.GaugeFunc("flux_bufmgr_reserved_peak_bytes",
+		"High-water mark of reserved bytes.",
+		m.lockedRead(func() int64 { return m.peak }))
+	reg.GaugeFunc("flux_bufmgr_overshoot_peak_bytes",
+		"High-water mark of reservations past the budget.",
+		m.lockedRead(func() int64 { return m.overshootPeak }))
+	reg.GaugeFunc("flux_bufmgr_spill_file_bytes",
+		"Current size of the spill segment file.",
+		func() int64 {
+			m.mu.Lock()
+			st := m.store
+			m.mu.Unlock()
+			if st == nil {
+				return 0
+			}
+			return st.fileBytes()
+		})
+	reg.CounterFunc("flux_bufmgr_spilled_bytes_total",
+		"Bytes written to the spill store.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.spilledBytes }))
+	reg.CounterFunc("flux_bufmgr_spill_ops_total",
+		"Spill operations performed.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.spillOps }))
+	reg.CounterFunc("flux_bufmgr_rehydrated_bytes_total",
+		"Bytes read back from the spill store.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.rehydratedBytes }))
+	reg.CounterFunc("flux_bufmgr_rehydrate_ops_total",
+		"Rehydrate operations performed.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.rehydrateOps }))
+	reg.CounterFunc("flux_bufmgr_stall_seconds_total",
+		"Cumulative time stream drivers spent blocked at backpressure gates.",
+		telemetry.ScaleNanos,
+		m.lockedRead(func() int64 { return m.stallNanos }))
+	reg.CounterFunc("flux_bufmgr_stalls_total",
+		"Backpressure gate stalls.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.stalls }))
+	reg.CounterFunc("flux_bufmgr_rejections_total",
+		"Reservations rejected under the fail policy.", telemetry.ScaleNone,
+		m.lockedRead(func() int64 { return m.rejections }))
+}
+
+// lockedRead wraps a counter read in the manager mutex for scrape-time
+// snapshot functions.
+func (m *Manager) lockedRead(f func() int64) func() int64 {
+	return func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return f()
+	}
+}

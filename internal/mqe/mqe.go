@@ -41,6 +41,7 @@ package mqe
 
 import (
 	"io"
+	"time"
 
 	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/dtd"
@@ -94,6 +95,9 @@ type Dispatcher struct {
 	// batch rings, with up to Parallel feed workers sharding the
 	// consumer set (see parallel.go). 0 or 1 is the sequential pass.
 	Parallel int
+	// Obs, when non-nil, receives the pass's stage timings and delivery
+	// totals (see PassObs). The disabled path is one nil check per batch.
+	Obs *PassObs
 }
 
 // Default batch bounds; see runtime's feed batch sizing for rationale.
@@ -134,10 +138,17 @@ func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats,
 		xr.SetProjection(d.Proj, d.ProjMode)
 	}
 	b := xsax.GetBatch()
+	obs := d.Obs
+	var scanTime, dispTime time.Duration
+	var batches, events int64
 	var cause error
 	for cause == nil {
 		d.Gate.Wait()
 		b.Reset()
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+		}
 		for b.Len() < maxEvents && b.ArenaBytes() < maxBytes {
 			ev, err := xr.NextEvent()
 			if err != nil {
@@ -145,6 +156,11 @@ func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats,
 				break
 			}
 			b.Append(ev)
+		}
+		var t1 time.Time
+		if obs != nil {
+			t1 = time.Now()
+			scanTime += t1.Sub(t0)
 		}
 		if b.Len() == 0 {
 			continue
@@ -164,9 +180,20 @@ func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats,
 			keep = append(keep, c)
 		}
 		live = keep
+		if obs != nil {
+			dispTime += time.Since(t1)
+			batches++
+			events += int64(b.Len())
+		}
 	}
 	for _, c := range live {
 		c.Close(cause)
+	}
+	if obs != nil {
+		obs.Scan.AddTime(scanTime)
+		obs.Dispatch.AddTime(dispTime)
+		obs.Batches = batches
+		obs.Events = events
 	}
 	sc := xr.ScanStats()
 	xsax.PutBatch(b)

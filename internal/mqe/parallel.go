@@ -102,16 +102,28 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 		workers = 1
 	}
 
+	obs := d.Obs
+	var scanTime, dispTime time.Duration
 	var cause error
-	var batches int64
+	var batches, events int64
 	for cause == nil {
+		var t0 time.Time
+		if obs != nil {
+			t0 = time.Now()
+		}
 		vb, err := pl.Next()
+		var t1 time.Time
+		if obs != nil {
+			t1 = time.Now()
+			scanTime += t1.Sub(t0)
+		}
 		if err != nil {
 			cause = err
 			break
 		}
 		if vb.Len() > 0 && len(live) > 0 {
 			batches++
+			events += int64(vb.Len())
 			if pool != nil && len(live) > 1 {
 				pool.feed(live, vb.Events)
 				keep := live[:0]
@@ -137,6 +149,9 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 				}
 				live = keep
 			}
+			if obs != nil {
+				dispTime += time.Since(t1)
+			}
 		}
 		pl.Recycle(vb)
 	}
@@ -160,6 +175,17 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 		DispatchStall: pps.DispStall,
 		TokenRingPeak: pps.TokRingPeak,
 		EventRingPeak: pps.ValRingPeak,
+	}
+	if obs != nil {
+		// In a pipelined pass the dispatcher's "scan" time is its wait on
+		// the validated-batch ring — the stage goroutines overlap it, so
+		// child spans here describe concurrent work, not a partition of
+		// the wall clock (the sequential pass's spans do partition it).
+		obs.Scan.AddTime(scanTime)
+		obs.Scan.AddStall(pps.DispStall)
+		obs.Dispatch.AddTime(dispTime)
+		obs.Batches = batches
+		obs.Events = events
 	}
 	if cause == io.EOF {
 		return sc, ps, nil

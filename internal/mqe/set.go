@@ -12,6 +12,7 @@ import (
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
+	"fluxquery/internal/telemetry"
 	"fluxquery/internal/xsax"
 )
 
@@ -70,6 +71,15 @@ type Set struct {
 	passes    int64
 	lastStall time.Duration
 	lastPass  PassStats
+	// mt is the resolved telemetry instrument bundle (nil = disabled);
+	// tracing/traceID configure span capture of subsequent runs, and
+	// lastTrace holds the most recent completed pass's span tree.
+	mt        *setMetrics
+	tracing   bool
+	traceID   string
+	lastTrace *telemetry.Trace
+	// nameSeq numbers unnamed registrations for telemetry labels.
+	nameSeq int
 }
 
 // NewSet returns a Set for streams governed by d.
@@ -81,6 +91,7 @@ func NewSet(d *dtd.DTD) *Set {
 type Sub struct {
 	set     *Set
 	plan    *runtime.Plan
+	name    string
 	out     io.Writer
 	removed atomic.Bool
 
@@ -96,12 +107,24 @@ type Sub struct {
 // carry names interned in one schema, and a plan scheduled under a
 // different schema would mis-dispatch on them.
 func (s *Set) Register(p *runtime.Plan, out io.Writer) (*Sub, error) {
+	return s.RegisterNamed(p, out, "")
+}
+
+// RegisterNamed is Register with a display name labelling the plan's
+// telemetry series and trace spans ("" derives q1, q2, ... in
+// registration order).
+func (s *Set) RegisterNamed(p *runtime.Plan, out io.Writer, name string) (*Sub, error) {
 	if pd := p.DTD(); pd != s.d && pd.String() != s.dstr {
 		return nil, fmt.Errorf("mqe: plan compiled against a different DTD (root <%s>, stream root <%s>)",
 			p.DTD().Root, s.d.Root)
 	}
 	b := &Sub{set: s, plan: p, out: out}
 	s.mu.Lock()
+	s.nameSeq++
+	if name == "" {
+		name = fmt.Sprintf("q%d", s.nameSeq)
+	}
+	b.name = name
 	s.subs = append(s.subs, b)
 	s.projDirty = true
 	s.mu.Unlock()
@@ -142,6 +165,34 @@ func (s *Set) LastStall() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastStall
+}
+
+// SetTelemetry publishes the set's pass metrics on reg (nil disables).
+// Instruments are resolved once here; passes then update them with plain
+// atomic operations. Takes effect at the next Run.
+func (s *Set) SetTelemetry(reg *telemetry.Registry) {
+	mt := newSetMetrics(reg)
+	s.mu.Lock()
+	s.mt = mt
+	s.mu.Unlock()
+}
+
+// SetTracing enables span capture of subsequent runs; id correlates the
+// traces with an external request ("" for none). Takes effect at the
+// next Run.
+func (s *Set) SetTracing(on bool, id string) {
+	s.mu.Lock()
+	s.tracing = on
+	s.traceID = id
+	s.mu.Unlock()
+}
+
+// LastTrace returns the span tree of the most recent successfully
+// completed Run, or nil when tracing is off (or no run completed).
+func (s *Set) LastTrace() *telemetry.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
 }
 
 // SetParallel selects how shared passes execute: n >= 2 runs the staged
@@ -278,6 +329,9 @@ func (s *Set) Run(r io.Reader) error {
 	disp.ProjMode = s.pmode
 	disp.Parallel = s.parallel
 	bufs := s.bufs
+	mt := s.mt
+	tracing := s.tracing
+	traceID := s.traceID
 	s.mu.Unlock()
 
 	// One gate per pass, one account per riding plan: the gate throttles
@@ -286,18 +340,40 @@ func (s *Set) Run(r io.Reader) error {
 	gate := bufs.NewGate()
 	disp.Gate = gate
 
+	// Every pass gets a process-unique id; a trace (span capture) only
+	// when enabled. The span tree is built up front on this goroutine —
+	// the pass's own synchronization then makes per-span writes safe (one
+	// owner per span per batch, barriers between batches).
+	var tr *telemetry.Trace
+	var passID uint64
+	var obs *PassObs
+	if tracing {
+		tr = telemetry.NewTrace(traceID)
+		passID = tr.PassID
+	} else {
+		passID = telemetry.NextPassID()
+	}
+	if tr != nil || mt != nil {
+		obs = &PassObs{Scan: tr.Span().Child("scan"), Dispatch: tr.Span().Child("dispatch")}
+		disp.Obs = obs
+	}
+
 	start := time.Now()
 	consumers := make([]Consumer, len(subs))
 	for i, b := range subs {
 		acct := gate.NewAccount()
 		consumers[i] = &subRun{
-			sub:   b,
-			se:    b.plan.NewStepExecBudgeted(b.out, acct),
-			acct:  acct,
-			start: start,
+			sub:    b,
+			se:     b.plan.NewStepExecBudgeted(b.out, acct),
+			acct:   acct,
+			start:  start,
+			passID: passID,
+			hist:   mt.evalSeconds(b.name),
+			span:   obs.evalSpan(b.name),
 		}
 	}
 	sc, ps, err := disp.RunScanPass(r, consumers)
+	wall := time.Since(start)
 	stall := gate.Stall()
 	// Every riding plan reports the same full-pass stall (a consumer
 	// that settled mid-pass snapshotted only what had accrued by then).
@@ -307,15 +383,72 @@ func (s *Set) Run(r io.Reader) error {
 		}
 	}
 	gate.Close()
+	if tr != nil {
+		s.stampTrace(tr, obs, sc, ps, stall)
+	}
 	if err == nil {
+		if mt != nil {
+			s.recordPass(mt, obs, sc, ps, stall, wall)
+		}
 		s.mu.Lock()
 		s.lastScan = sc
 		s.passes++
 		s.lastStall = stall
 		s.lastPass = ps
+		if tr != nil {
+			s.lastTrace = tr
+		}
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// evalSpan resolves the trace span of one riding plan (nil when tracing
+// is off). Eval spans hang off the dispatch span: that is the stage that
+// hands them their batches.
+func (o *PassObs) evalSpan(name string) *telemetry.Span {
+	if o == nil {
+		return nil
+	}
+	return o.Dispatch.Child("eval:" + name)
+}
+
+// stampTrace finishes a pass's span tree: stage stall attribution, data
+// flow and ring peaks from the pass statistics.
+func (s *Set) stampTrace(tr *telemetry.Trace, obs *PassObs, sc xsax.ScanStats, ps PassStats, stall time.Duration) {
+	root := tr.Span()
+	root.AddStall(stall)
+	obs.Scan.AddBytes(sc.BytesRead)
+	obs.Scan.AddEvents(obs.Events)
+	if ps.Parallel >= 2 {
+		tok := obs.Scan.Child("tokenize")
+		tok.AddStall(ps.TokenizeStall)
+		tok.SetRingPeak(ps.TokenRingPeak)
+		val := obs.Scan.Child("validate")
+		val.AddStall(ps.ValidateStall)
+		val.SetRingPeak(ps.EventRingPeak)
+	}
+	tr.End()
+}
+
+// recordPass publishes one completed pass's statistics to the metric
+// bundle.
+func (s *Set) recordPass(mt *setMetrics, obs *PassObs, sc xsax.ScanStats, ps PassStats, stall, wall time.Duration) {
+	mt.passes.Inc()
+	mt.bytes.Add(sc.BytesRead)
+	mt.events.Add(obs.Events)
+	mt.batches.Add(obs.Batches)
+	mt.passSeconds.Observe(wall.Nanoseconds())
+	mt.passBytes.Observe(sc.BytesRead)
+	mt.stallGate.Add(stall.Nanoseconds())
+	if ps.Parallel >= 2 {
+		mt.steals.Add(ps.Steals)
+		mt.stallTokenize.Add(ps.TokenizeStall.Nanoseconds())
+		mt.stallValidate.Add(ps.ValidateStall.Nanoseconds())
+		mt.stallDispatch.Add(ps.DispatchStall.Nanoseconds())
+		mt.ringToken.Observe(int64(ps.TokenRingPeak))
+		mt.ringEvent.Observe(int64(ps.EventRingPeak))
+	}
 }
 
 // subRun drives one subscription's StepExec through a single dispatcher
@@ -326,6 +459,16 @@ type subRun struct {
 	acct  *bufmgr.Account
 	start time.Time
 	done  bool
+	// passID stamps the pass's process-unique id on the result stats.
+	// hist and span (nil when telemetry/tracing are off) receive the
+	// plan's per-batch eval latency: BeginFeed stamps t0, EndFeed — which
+	// blocks until the plan's evaluator has consumed the batch —
+	// observes. One pool worker owns a plan's whole feed per batch, and
+	// the per-batch barrier orders batches, so t0 never races.
+	passID uint64
+	hist   *telemetry.Histogram
+	span   *telemetry.Span
+	t0     time.Time
 }
 
 func (rr *subRun) BeginFeed(evs []xsax.Event) {
@@ -335,6 +478,9 @@ func (rr *subRun) BeginFeed(evs []xsax.Event) {
 	if rr.sub.removed.Load() {
 		rr.finish(ErrUnregistered)
 		return
+	}
+	if rr.hist != nil || rr.span != nil {
+		rr.t0 = time.Now()
 	}
 	rr.se.BeginFeed(evs)
 }
@@ -347,7 +493,13 @@ func (rr *subRun) EndFeed() (done bool, err error) {
 	if rr.done {
 		return true, nil
 	}
-	return rr.se.EndFeed()
+	done, err = rr.se.EndFeed()
+	if rr.hist != nil || rr.span != nil {
+		d := time.Since(rr.t0)
+		rr.hist.Observe(d.Nanoseconds())
+		rr.span.AddTime(d)
+	}
+	return done, err
 }
 
 func (rr *subRun) Close(cause error) {
@@ -369,6 +521,9 @@ func (rr *subRun) finish(cause error) {
 			// BudgetStall is stamped by Set.Run once the pass ends, so
 			// every riding plan reports the same pass-wide stall.
 		}
+	}
+	if st != nil {
+		st.PassID = rr.passID
 	}
 	rr.sub.setResult(st, time.Since(rr.start), err)
 }

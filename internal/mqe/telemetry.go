@@ -1,0 +1,104 @@
+package mqe
+
+import (
+	"fluxquery/internal/telemetry"
+)
+
+// setMetrics is a Set's resolved instrument bundle: every series the
+// shared pass publishes, looked up in the registry once at SetTelemetry
+// time so pass execution performs only atomic updates. A nil *setMetrics
+// is the disabled state — the instruments inside are then never touched,
+// and the instruments themselves are nil-safe besides, so no call site
+// needs a second guard.
+type setMetrics struct {
+	reg *telemetry.Registry
+
+	passes  *telemetry.Counter
+	bytes   *telemetry.Counter
+	events  *telemetry.Counter
+	batches *telemetry.Counter
+	steals  *telemetry.Counter
+
+	passSeconds *telemetry.Histogram
+	passBytes   *telemetry.Histogram
+
+	stallTokenize *telemetry.Counter
+	stallValidate *telemetry.Counter
+	stallDispatch *telemetry.Counter
+	stallGate     *telemetry.Counter
+
+	ringToken *telemetry.Histogram
+	ringEvent *telemetry.Histogram
+}
+
+func newSetMetrics(reg *telemetry.Registry) *setMetrics {
+	if reg == nil {
+		return nil
+	}
+	const stallHelp = "Cumulative time a pass stage spent blocked, by stage."
+	const ringHelp = "Per-pass high-water ring occupancy, by ring (pipelined passes)."
+	return &setMetrics{
+		reg: reg,
+		passes: reg.Counter("flux_scan_passes_total",
+			"Completed shared scan passes."),
+		bytes: reg.Counter("flux_scan_bytes_total",
+			"Raw input bytes consumed by scan passes."),
+		events: reg.Counter("flux_scan_events_total",
+			"Validated events fanned out to riding plans."),
+		batches: reg.Counter("flux_dispatch_batches_total",
+			"Event batches dispatched to riding plans."),
+		steals: reg.Counter("flux_pool_steals_total",
+			"Plan feeds claimed by an evaluator worker outside its own stripe."),
+		passSeconds: reg.Histogram("flux_pass_seconds",
+			"Wall time of one shared scan pass.",
+			telemetry.LatencyBuckets, telemetry.ScaleNanos),
+		passBytes: reg.Histogram("flux_pass_input_bytes",
+			"Raw input size of one shared scan pass.",
+			telemetry.SizeBuckets, telemetry.ScaleNone),
+		stallTokenize: reg.CounterScaled("flux_stage_stall_seconds_total", stallHelp,
+			telemetry.ScaleNanos, telemetry.L("stage", "tokenize")),
+		stallValidate: reg.CounterScaled("flux_stage_stall_seconds_total", stallHelp,
+			telemetry.ScaleNanos, telemetry.L("stage", "validate")),
+		stallDispatch: reg.CounterScaled("flux_stage_stall_seconds_total", stallHelp,
+			telemetry.ScaleNanos, telemetry.L("stage", "dispatch")),
+		stallGate: reg.CounterScaled("flux_stage_stall_seconds_total", stallHelp,
+			telemetry.ScaleNanos, telemetry.L("stage", "gate")),
+		ringToken: reg.Histogram("flux_ring_peak_occupancy", ringHelp,
+			telemetry.OccupancyBuckets, telemetry.ScaleNone, telemetry.L("ring", "token")),
+		ringEvent: reg.Histogram("flux_ring_peak_occupancy", ringHelp,
+			telemetry.OccupancyBuckets, telemetry.ScaleNone, telemetry.L("ring", "event")),
+	}
+}
+
+// evalSeconds resolves the per-plan batch-eval latency series. Called
+// once per plan per Run (registration-time cost), never on the feed path.
+func (mt *setMetrics) evalSeconds(plan string) *telemetry.Histogram {
+	if mt == nil {
+		return nil
+	}
+	return mt.reg.Histogram("flux_eval_batch_seconds",
+		"Per-plan evaluation time of one dispatched batch.",
+		telemetry.LatencyBuckets, telemetry.ScaleNanos, telemetry.L("plan", plan))
+}
+
+// PassObs carries one pass's observability hooks through the dispatcher.
+// The dispatcher accumulates stage timings into the spans and reports its
+// delivery totals in the exported fields when the pass ends. A nil
+// *PassObs disables all of it; the spans are nil-safe on top, so a
+// partially populated PassObs (metrics without tracing) works unchanged.
+//
+// Span ownership: Scan and Dispatch are written by the goroutine driving
+// the pass loop. In a pipelined pass, stage attribution (tokenize and
+// validate stall, ring peaks) is stamped onto child spans only after the
+// stage goroutines have joined.
+type PassObs struct {
+	// Scan accrues time spent pulling events from the stream (sequential:
+	// the batch fill loop; pipelined: waiting on the validated-batch
+	// ring, i.e. the dispatch stall). Dispatch accrues fan-out plus
+	// slowest-consumer acknowledgement time.
+	Scan, Dispatch *telemetry.Span
+
+	// Batches and Events are the pass's delivery totals, filled by the
+	// dispatcher when the pass ends.
+	Batches, Events int64
+}

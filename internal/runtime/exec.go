@@ -13,6 +13,7 @@ import (
 	"fluxquery/internal/dom"
 	"fluxquery/internal/eval"
 	"fluxquery/internal/proj"
+	"fluxquery/internal/telemetry"
 	"fluxquery/internal/xmltok"
 	"fluxquery/internal/xquery"
 	"fluxquery/internal/xsax"
@@ -58,6 +59,11 @@ type Stats struct {
 	// gate (PolicyBackpressure only; for a shared pass the stall belongs
 	// to the pass and every riding plan reports the same value).
 	BudgetStall time.Duration
+	// ScanBytesRead is the raw input size the pass consumed.
+	ScanBytesRead int64
+	// PassID is the process-unique id of the pass that fed this
+	// execution, correlating the stats with logs, traces and metrics.
+	PassID uint64
 }
 
 // execPool recycles the per-execution machinery (the evaluator frame; the
@@ -89,6 +95,19 @@ func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 // per-plan account enforces the budget at every buffer-fill point (nil m
 // = unmanaged, the plain Run).
 func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	return p.runManaged(in, out, m, nil)
+}
+
+// RunManagedTrace is RunManaged with span capture: tr's root span gains
+// "scan" (batch fill) and "eval" (plan evaluation) children whose
+// accumulated durations partition the pass's wall time (modulo loop
+// overhead), and the trace is ended when the run returns. A nil trace
+// degrades to RunManaged.
+func (p *Plan) RunManagedTrace(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+	return p.runManaged(in, out, m, tr)
+}
+
+func (p *Plan) runManaged(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
 	gate := m.NewGate()
 	acct := gate.NewAccount()
 	se := p.NewStepExecBudgeted(out, acct)
@@ -96,6 +115,14 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 	if p.pmode != proj.ModeOff {
 		xr.SetProjection(p.pauto, p.pmode)
 	}
+	passID := telemetry.NextPassID()
+	traced := tr != nil
+	if traced {
+		passID = tr.PassID
+	}
+	scanSpan := tr.Span().Child("scan")
+	evalSpan := tr.Span().Child("eval")
+	var scanTime, evalTime time.Duration
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
@@ -104,6 +131,10 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 		// pass can still drain.
 		gate.Wait()
 		b.Reset()
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		for b.Len() < feedBatchEvents && b.ArenaBytes() < feedBatchBytes {
 			ev, err := xr.NextEvent()
 			if err != nil {
@@ -112,7 +143,16 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 			}
 			b.Append(ev)
 		}
-		if done, _ := se.Feed(b.Events); done {
+		var t1 time.Time
+		if traced {
+			t1 = time.Now()
+			scanTime += t1.Sub(t0)
+		}
+		done, _ := se.Feed(b.Events)
+		if traced {
+			evalTime += time.Since(t1)
+		}
+		if done {
 			break
 		}
 	}
@@ -123,6 +163,10 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 		st.ScanEventsSkipped = sc.EventsSkipped
 		st.ScanSubtreesSkipped = sc.SubtreesSkipped
 		st.ScanBytesSkipped = sc.BytesSkipped
+		st.ScanBytesRead = sc.BytesRead
+		st.PassID = passID
+		scanSpan.AddBytes(sc.BytesRead)
+		scanSpan.AddEvents(st.Events)
 	}
 	if acct != nil {
 		as := acct.Close()
@@ -132,6 +176,12 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 			st.RehydratedBytes = as.RehydratedBytes
 			st.BudgetStall = gate.Stall()
 		}
+	}
+	if traced {
+		scanSpan.AddTime(scanTime)
+		evalSpan.AddTime(evalTime)
+		tr.Span().AddStall(gate.Stall())
+		tr.End()
 	}
 	gate.Close()
 	xsax.PutBatch(b)
@@ -145,6 +195,20 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 // the plan's evaluator instead of alternating with it. Output and error
 // semantics are identical to RunManaged.
 func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	return p.runManagedParallel(in, out, m, nil)
+}
+
+// RunManagedParallelTrace is RunManagedParallel with span capture. The
+// "scan" child accumulates the feed loop's wait on the validated-batch
+// ring and carries "tokenize"/"validate" sub-spans with stage stall and
+// ring-peak attribution; "eval" is the plan's evaluation time. Stage
+// spans describe concurrent goroutines, so unlike the sequential form
+// their durations overlap the wall clock rather than partitioning it.
+func (p *Plan) RunManagedParallelTrace(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+	return p.runManagedParallel(in, out, m, tr)
+}
+
+func (p *Plan) runManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
 	gate := m.NewGate()
 	acct := gate.NewAccount()
 	se := p.NewStepExecBudgeted(out, acct)
@@ -162,15 +226,35 @@ func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager
 		// process is over budget and another pass can still drain.
 		Throttle: gate.Wait,
 	})
+	passID := telemetry.NextPassID()
+	traced := tr != nil
+	if traced {
+		passID = tr.PassID
+	}
+	scanSpan := tr.Span().Child("scan")
+	evalSpan := tr.Span().Child("eval")
+	var scanTime, evalTime time.Duration
 	var cause error
 	for cause == nil {
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		vb, err := pl.Next()
+		var t1 time.Time
+		if traced {
+			t1 = time.Now()
+			scanTime += t1.Sub(t0)
+		}
 		if err != nil {
 			cause = err
 			break
 		}
 		done, _ := se.Feed(vb.Events)
 		pl.Recycle(vb)
+		if traced {
+			evalTime += time.Since(t1)
+		}
 		if done {
 			break
 		}
@@ -186,13 +270,28 @@ func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager
 	}
 	// The account is closed first: a tokenizer stage parked in the gate
 	// can only drain once this pass's reservations release.
-	sc, _, _ := pl.Close()
+	sc, pps, _ := pl.Close()
 	if st != nil {
 		st.ScanEventsDelivered = sc.EventsDelivered
 		st.ScanEventsSkipped = sc.EventsSkipped
 		st.ScanSubtreesSkipped = sc.SubtreesSkipped
 		st.ScanBytesSkipped = sc.BytesSkipped
-		st.BudgetStall = gate.Stall()
+		st.ScanBytesRead = sc.BytesRead
+		st.PassID = passID
+		scanSpan.AddBytes(sc.BytesRead)
+		scanSpan.AddEvents(st.Events)
+	}
+	if traced {
+		scanSpan.AddTime(scanTime)
+		evalSpan.AddTime(evalTime)
+		tok := scanSpan.Child("tokenize")
+		tok.AddStall(pps.TokStall)
+		tok.SetRingPeak(pps.TokRingPeak)
+		val := scanSpan.Child("validate")
+		val.AddStall(pps.ValStall)
+		val.SetRingPeak(pps.ValRingPeak)
+		tr.Span().AddStall(gate.Stall())
+		tr.End()
 	}
 	gate.Close()
 	return st, err

@@ -1,0 +1,469 @@
+// Package telemetry is the engine's unified observability layer: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms with quantile snapshots), a hand-rolled
+// Prometheus text-exposition encoder (prom.go) and a lightweight span
+// tracer for per-pass stage attribution (trace.go).
+//
+// Two properties shape the design:
+//
+//   - Nil safety. Every instrument method — and every registration
+//     method on *Registry — is a no-op on a nil receiver, so call sites
+//     wire telemetry unconditionally and the disabled path costs a few
+//     predictable nil branches instead of an interface dispatch or an
+//     allocation. A component holds the instruments it needs as plain
+//     pointers; when the process runs without telemetry, those pointers
+//     are nil and the hot path never diverges.
+//
+//   - Allocation-free observation. Instruments are resolved by name
+//     once, at wiring time (registration takes a mutex and a map
+//     lookup); after that, Counter.Add, Gauge.Set and
+//     Histogram.Observe are pure atomic operations on pre-existing
+//     memory. Histograms use fixed int64 bucket bounds chosen at
+//     registration, so Observe is a linear scan over a small bound
+//     slice plus two atomic adds — no allocation, ever.
+//
+// Values are int64 in a native unit (nanoseconds, bytes, counts); the
+// exposition scale registered with each instrument converts to the
+// Prometheus base unit (seconds, bytes) only at scrape time.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the Prometheus metric type of a registered family.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Label is one fixed name="value" pair of a series. Labels are bound at
+// registration: there is no per-observation label lookup.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters are
+// monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// bounds in the instrument's native int64 unit; an implicit +Inf bucket
+// catches the overflow. Observation is allocation-free: a linear scan
+// over the bounds (histograms here have at most a few dozen) and two
+// atomic adds.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time view of a histogram with estimated
+// quantiles (linear interpolation within the containing bucket, in the
+// instrument's native unit).
+type HistSnapshot struct {
+	Count         int64
+	Sum           int64
+	P50, P95, P99 int64
+}
+
+// Snapshot returns the histogram's counters and estimated p50/p95/p99.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	n := len(h.bounds) + 1
+	counts := make([]int64, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Sum: h.sum.Load()}
+	if total == 0 {
+		return s
+	}
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P95 = h.quantile(counts, total, 0.95)
+	s.P99 = h.quantile(counts, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts by linear
+// interpolation inside the containing bucket. The +Inf bucket reports
+// its lower bound (the largest finite bound).
+func (h *Histogram) quantile(counts []int64, total int64, q float64) int64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		var lo, hi int64
+		if i == 0 {
+			lo, hi = 0, h.bounds[0]
+		} else if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		} else {
+			lo, hi = h.bounds[i-1], h.bounds[i]
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Common bucket ladders (native units: nanoseconds and bytes).
+var (
+	// LatencyBuckets spans 10µs to 10s, roughly logarithmic.
+	LatencyBuckets = []int64{
+		10_000, 50_000, 100_000, 500_000, // 10µs..500µs
+		1_000_000, 5_000_000, 10_000_000, 50_000_000, // 1ms..50ms
+		100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000, // 100ms..10s
+	}
+	// SizeBuckets spans 1 KiB to 1 GiB in powers of four.
+	SizeBuckets = []int64{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+	}
+	// OccupancyBuckets covers small integer occupancies (ring depths).
+	OccupancyBuckets = []int64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+)
+
+// Scale factors converting native units to Prometheus base units at
+// exposition time.
+const (
+	ScaleNone    = 1.0
+	ScaleNanos   = 1e-9 // nanoseconds → seconds
+	ScaleMicros  = 1e-6 // microseconds → seconds
+	ScaleNatural = ScaleNone
+)
+
+// series is one registered instrument.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	gFn    func() int64
+	cFn    func() int64
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	scale  float64
+	series []*series
+}
+
+// Registry holds metric families and hands out instruments. All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+	// order preserves registration order for deterministic exposition of
+	// equal-prefix names (exposition sorts by name anyway; order makes
+	// family iteration stable under the lock).
+	order []string
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// familyFor returns (creating if needed) the family for name, checking
+// kind consistency.
+func (r *Registry) familyFor(name, help string, kind Kind, scale float64) *family {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, scale: scale}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// labelsEqual reports whether two bound label sets are identical.
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the family's series with exactly these labels, or nil.
+func (f *family) find(labels []Label) *series {
+	for _, s := range f.series {
+		if labelsEqual(s.labels, labels) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter registers (or returns the existing) counter series name{labels}.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindCounter, ScaleNone)
+	if s := f.find(labels); s != nil {
+		return s.c
+	}
+	s := &series{labels: labels, c: &Counter{}}
+	f.series = append(f.series, s)
+	return s.c
+}
+
+// CounterScaled is Counter with an exposition scale (e.g. ScaleNanos for
+// a *_seconds_total series accumulated in nanoseconds).
+func (r *Registry) CounterScaled(name, help string, scale float64, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindCounter, scale)
+	if s := f.find(labels); s != nil {
+		return s.c
+	}
+	s := &series{labels: labels, c: &Counter{}}
+	f.series = append(f.series, s)
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindGauge, ScaleNone)
+	if s := f.find(labels); s != nil {
+		return s.g
+	}
+	s := &series{labels: labels, g: &Gauge{}}
+	f.series = append(f.series, s)
+	return s.g
+}
+
+// GaugeFunc registers a gauge series whose value is read by fn at scrape
+// time (for snapshotting an external source, e.g. a buffer-manager
+// ledger, without double accounting). Re-registering the same
+// name{labels} replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindGauge, ScaleNone)
+	if s := f.find(labels); s != nil {
+		s.gFn = fn
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, gFn: fn})
+}
+
+// CounterFunc registers a counter series read by fn at scrape time. The
+// function must be monotone; scale converts at exposition (e.g.
+// ScaleNanos for a nanosecond-accumulating stall clock).
+func (r *Registry) CounterFunc(name, help string, scale float64, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindCounter, scale)
+	if s := f.find(labels); s != nil {
+		s.cFn = fn
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, cFn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given inclusive upper bounds in the instrument's native unit and
+// the exposition scale converting that unit to the Prometheus base unit.
+func (r *Registry) Histogram(name, help string, bounds []int64, scale float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, KindHistogram, scale)
+	if s := f.find(labels); s != nil {
+		return s.h
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	f.series = append(f.series, &series{labels: labels, h: h})
+	return h
+}
+
+// snapshotFamilies returns a deterministic, alphabetically sorted copy
+// of the registry's families for exposition.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.fams[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// labelString renders {k="v",...} with Prometheus escaping ("" for an
+// unlabeled series; extra appends additional pairs, used for le).
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a scaled sample without trailing float noise for
+// integral values.
+func formatValue(v int64, scale float64) string {
+	if scale == ScaleNone {
+		return fmt.Sprintf("%d", v)
+	}
+	return trimFloat(float64(v) * scale)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

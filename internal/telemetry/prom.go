@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// a /metrics endpoint backed by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format v0.0.4: a # HELP and # TYPE line per family, then
+// one sample line per series — counters and gauges directly, histograms
+// as cumulative <name>_bucket{le="..."} series plus <name>_sum and
+// <name>_count. Families are emitted in name order, so successive
+// scrapes of an unchanged registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kindString(f.kind))
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				v := s.c.Value()
+				if s.cFn != nil {
+					v = s.cFn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(s.labels), formatValue(v, f.scale))
+			case KindGauge:
+				v := s.g.Value()
+				if s.gFn != nil {
+					v = s.gFn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(s.labels), formatValue(v, f.scale))
+			case KindHistogram:
+				writeHistogram(bw, f, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func kindString(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count of
+// one histogram. Bucket bounds are scaled to the base unit; the sample
+// values are cumulative counts as the format requires.
+func writeHistogram(w io.Writer, f *family, s *series) {
+	h := s.h
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		le := formatBound(float64(b) * f.scale)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s.labels, L("le", le)), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s.labels, L("le", "+Inf")), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels), formatValue(h.sum.Load(), f.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels), h.count.Load())
+}
+
+// formatBound renders a scaled bucket bound (avoiding exponent noise for
+// clean powers where possible).
+func formatBound(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return trimFloat(f)
+}

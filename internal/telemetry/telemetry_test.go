@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every method must no-op on nil receivers: the disabled path is
+	// nil pointers all the way down.
+	var r *Registry
+	c := r.Counter("x", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x", "h", LatencyBuckets, ScaleNanos)
+	r.GaugeFunc("y", "h", func() int64 { return 1 })
+	r.CounterFunc("z", "h", ScaleNone, func() int64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+
+	var tr *Trace
+	tr.End()
+	sp := tr.Span()
+	if sp != nil {
+		t.Fatalf("nil trace must hand out nil spans")
+	}
+	sp = sp.Child("scan")
+	sp.AddTime(time.Second)
+	sp.AddStall(time.Second)
+	sp.AddBytes(1)
+	sp.AddEvents(1)
+	tr.WriteTree(&strings.Builder{})
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("flux_evals_total", "evals")
+	c.Add(2)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same name+labels returns the same instrument.
+	if c2 := r.Counter("flux_evals_total", "evals"); c2 != c {
+		t.Fatalf("re-registration must return the same counter")
+	}
+	// Distinct labels are distinct series of one family.
+	a := r.Counter("flux_stage_stall_seconds_total", "stalls", L("stage", "tokenize"))
+	b := r.Counter("flux_stage_stall_seconds_total", "stalls", L("stage", "validate"))
+	if a == b {
+		t.Fatalf("distinct label sets must be distinct series")
+	}
+	g := r.Gauge("flux_pool_in_flight", "in flight")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "latency", []int64{100, 1000, 10000}, ScaleNanos)
+	for i := 0; i < 90; i++ {
+		h.Observe(50) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(500) // second
+	}
+	h.Observe(5000) // third
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 90*50+9*500+5000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.P50 <= 0 || s.P50 > 100 {
+		t.Fatalf("p50 = %d, want within first bucket (0,100]", s.P50)
+	}
+	if s.P95 <= 100 || s.P95 > 1000 {
+		t.Fatalf("p95 = %d, want within second bucket (100,1000]", s.P95)
+	}
+	// Rank 99 of 100 sits at the second bucket's cumulative edge, so the
+	// estimate may be the bucket bound itself or interpolate beyond it.
+	if s.P99 < 500 || s.P99 > 10000 {
+		t.Fatalf("p99 = %d, want within (500,10000]", s.P99)
+	}
+	// Overflow lands in +Inf and quantiles saturate at the top bound.
+	h.Observe(1 << 40)
+	if q := h.Snapshot().P99; q > 10000 {
+		t.Fatalf("p99 after overflow = %d, must saturate at top bound", q)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "b help").Add(7)
+	r.Gauge("a_gauge", "a help", L("kind", `qu"ote`)).Set(-2)
+	r.Histogram("h_seconds", "h help", []int64{1_000_000, 1_000_000_000}, ScaleNanos).Observe(2_000_000)
+	r.GaugeFunc("fn_gauge", "fn help", func() int64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_gauge a help",
+		"# TYPE a_gauge gauge",
+		`a_gauge{kind="qu\"ote"} -2`,
+		"# TYPE b_total counter",
+		"b_total 7",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.001"} 0`,
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="+Inf"} 1`,
+		"h_seconds_sum 0.002",
+		"h_seconds_count 1",
+		"fn_gauge 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in name order.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	// Scrapes are deterministic.
+	var sb2 strings.Builder
+	_ = r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Errorf("successive scrapes differ")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h", "h", OccupancyBuckets, ScaleNone)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 40))
+				var sb strings.Builder
+				if i%100 == 0 {
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Snapshot().Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Snapshot().Count)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("req-1")
+	if tr.PassID == 0 {
+		t.Fatalf("trace must carry a pass id")
+	}
+	root := tr.Span()
+	scan := root.Child("scan")
+	scan.AddTime(3 * time.Millisecond)
+	scan.AddBytes(1 << 20)
+	scan.AddEvents(500)
+	disp := root.Child("dispatch")
+	disp.AddTime(2 * time.Millisecond)
+	disp.AddStall(time.Millisecond)
+	ev := disp.Child("eval:q1")
+	ev.AddTime(time.Millisecond)
+	// Child returns the existing span on re-entry.
+	if root.Child("scan") != scan {
+		t.Fatalf("Child must return the existing span by name")
+	}
+	tr.End()
+	if tr.Root.Dur <= 0 {
+		t.Fatalf("root span must cover wall time")
+	}
+	var sb strings.Builder
+	tr.WriteTree(&sb)
+	out := sb.String()
+	for _, want := range []string{"pass #", "(req req-1)", "scan", "dispatch", "eval:q1", "stall=", "in=1.0MB", "out=500ev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNextPassID(t *testing.T) {
+	a, b := NextPassID(), NextPassID()
+	if b <= a {
+		t.Fatalf("pass ids must increase: %d then %d", a, b)
+	}
+}
+
+// TestInstrumentsAllocFree pins the observation hot path: once an
+// instrument is resolved from the registry, recording into it must not
+// allocate — per-event code paths rely on it.
+func TestInstrumentsAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", LatencyBuckets, ScaleNanos)
+	tr := NewTrace("alloc")
+	sp := tr.Span().Child("stage")
+	observe := func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		g.Add(1)
+		h.Observe(125_000)
+		sp.AddTime(time.Microsecond)
+		sp.AddStall(time.Microsecond)
+		sp.AddBytes(64)
+		sp.AddEvents(2)
+		sp.SetRingPeak(7)
+	}
+	observe() // warm: nothing to warm, but keep parity with the scan tests
+	if allocs := testing.AllocsPerRun(100, observe); allocs > 0 {
+		t.Fatalf("observation path allocates %.1f times per round, want 0", allocs)
+	}
+}

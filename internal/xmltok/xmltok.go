@@ -371,6 +371,11 @@ func (s *Scanner) Line() int {
 // returned token (0 at document level).
 func (s *Scanner) Depth() int { return s.depth }
 
+// Offset returns the absolute stream position: the number of raw input
+// bytes consumed so far. Telemetry reads it between events to attribute
+// bytes-in to a scan.
+func (s *Scanner) Offset() int64 { return s.base + int64(s.pos) }
+
 func (s *Scanner) errf(format string, args ...any) error {
 	return &SyntaxError{Line: s.Line(), Msg: fmt.Sprintf(format, args...)}
 }

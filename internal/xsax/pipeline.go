@@ -269,6 +269,7 @@ func (p *Pipeline) Close() (ScanStats, PipeStats, error) {
 		EventsSkipped:   p.tokStats.EventsSkipped + p.valStats.EventsSkipped,
 		SubtreesSkipped: p.tokStats.SubtreesSkipped,
 		BytesSkipped:    p.tokStats.BytesSkipped,
+		BytesRead:       p.sc.Offset(),
 	}
 	ps := PipeStats{
 		Batches:     p.batches,

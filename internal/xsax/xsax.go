@@ -108,6 +108,9 @@ type ScanStats struct {
 	// BytesSkipped counts raw input bytes consumed by bulk skips (fast
 	// mode only; validate mode tokenizes everything).
 	BytesSkipped int64
+	// BytesRead counts all raw input bytes the scan consumed, skipped or
+	// not — the pass's bytes-in for telemetry.
+	BytesRead int64
 }
 
 // Reader is a validating pull reader over an XML stream. With
@@ -189,8 +192,13 @@ func (r *Reader) SetProjection(a *proj.Automaton, mode proj.Mode) {
 }
 
 // ScanStats returns the projection counters accumulated since
-// SetProjection. All zeros when projection is off.
-func (r *Reader) ScanStats() ScanStats { return r.pstats }
+// SetProjection (zeros when projection is off) plus the raw bytes the
+// underlying scanner has consumed on the current stream.
+func (r *Reader) ScanStats() ScanStats {
+	st := r.pstats
+	st.BytesRead = r.sc.Offset()
+	return st
+}
 
 var readerPool sync.Pool
 

@@ -1,0 +1,271 @@
+package fluxquery
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxquery/internal/workload"
+	"fluxquery/internal/xmlgen"
+)
+
+func telemetryDoc(books int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < books; i++ {
+		fmt.Fprintf(&b, "<book year=\"2004\"><title>T%d</title><author>A%d</author><author>B%d</author></book>", i, i, i)
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+// TestPlanTelemetryCounters: a plan compiled with Options.Telemetry
+// publishes pass/byte/event series, and each execution carries a
+// distinct pass id and the input size in its Stats.
+func TestPlanTelemetryCounters(t *testing.T) {
+	tel := NewTelemetry()
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{Telemetry: tel})
+	doc := telemetryDoc(50)
+
+	st1, err := p.Execute(strings.NewReader(doc), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := p.Execute(strings.NewReader(doc), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.PassID == 0 || st2.PassID == 0 || st1.PassID == st2.PassID {
+		t.Errorf("pass ids must be distinct and nonzero: %d, %d", st1.PassID, st2.PassID)
+	}
+	if st1.InputBytes != int64(len(doc)) {
+		t.Errorf("InputBytes = %d, want %d", st1.InputBytes, len(doc))
+	}
+
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"flux_scan_passes_total 2",
+		"flux_scan_bytes_total",
+		"flux_scan_events_total",
+		"flux_pass_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStreamSetTelemetryAndTrace: a traced shared pass yields per-plan
+// eval series labeled by registration name and a span tree whose scan
+// and dispatch phases sum to (nearly) the pass wall time.
+func TestStreamSetTelemetryAndTrace(t *testing.T) {
+	tel := NewTelemetry()
+	d, err := ParseDTD(xmlgen.WeakBibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewStreamSet(d)
+	set.SetTelemetry(tel)
+	set.SetTracing(true, "req-42")
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	if _, err := set.RegisterNamed(p, io.Discard, "books"); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Run(strings.NewReader(telemetryDoc(200))); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := set.LastTrace()
+	if tr == nil || tr.ID != "req-42" || tr.PassID == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Root == nil || tr.Root.Dur <= 0 {
+		t.Fatalf("root span missing or unstamped: %+v", tr.Root)
+	}
+	var scan, dispatch *TraceSpan
+	for _, ch := range tr.Root.Children {
+		switch ch.Name {
+		case "scan":
+			scan = ch
+		case "dispatch":
+			dispatch = ch
+		}
+	}
+	if scan == nil || dispatch == nil {
+		t.Fatalf("trace lacks scan/dispatch spans: %+v", tr.Root.Children)
+	}
+	if scan.BytesIn == 0 || scan.EventsOut == 0 {
+		t.Errorf("scan span totals not stamped: %+v", scan)
+	}
+	found := false
+	for _, ch := range dispatch.Children {
+		if ch.Name == "eval:books" && ch.Dur > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dispatch lacks a stamped eval:books span: %+v", dispatch.Children)
+	}
+
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"flux_scan_passes_total 1",
+		`flux_eval_batch_seconds_count{plan="books"}`,
+		"flux_dispatch_batches_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceSpansSumToWall: on a sequential pass the scan and dispatch
+// spans partition the pass loop, so their durations must sum to within
+// 10% of the root span's wall time. A few attempts damp scheduler
+// noise; one conforming pass proves the accounting.
+func TestTraceSpansSumToWall(t *testing.T) {
+	d, err := ParseDTD(xmlgen.WeakBibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	doc := telemetryDoc(5000)
+
+	var lastRatio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		set := NewStreamSet(d)
+		set.SetTracing(true, "sum")
+		if _, err := set.Register(p, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Run(strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+		tr := set.LastTrace()
+		var sum time.Duration
+		for _, ch := range tr.Root.Children {
+			sum += ch.Dur
+		}
+		lastRatio = float64(sum) / float64(tr.Root.Dur)
+		if lastRatio >= 0.9 && lastRatio <= 1.05 {
+			return
+		}
+	}
+	t.Errorf("span sum / wall = %.3f after retries, want within [0.9, 1.05]", lastRatio)
+}
+
+// TestTelemetryZeroPerEventAllocs: enabling telemetry must add only a
+// per-pass constant to the pass's allocation count, never a per-event
+// term — instruments are resolved once per pass and observed per
+// batch, and recording into them is allocation-free.
+func TestTelemetryZeroPerEventAllocs(t *testing.T) {
+	d, err := ParseDTD(xmlgen.WeakBibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(paperQuery, xmlgen.WeakBibDTD, Options{})
+	doc := []byte(telemetryDoc(2500))
+	events := int64(0)
+
+	measure := func(tel *Telemetry) float64 {
+		set := NewStreamSet(d)
+		set.SetTelemetry(tel)
+		reg, err := set.Register(p, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() {
+			if err := set.Run(bytes.NewReader(doc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm pools, interning and output buffers
+		run()
+		allocs := testing.AllocsPerRun(5, run)
+		if st, err := reg.Stats(); err == nil {
+			events = st.Events
+		}
+		return allocs
+	}
+	off := measure(nil)
+	on := measure(NewTelemetry())
+	if events < 10_000 {
+		t.Fatalf("workload too small to resolve per-event costs: %d events", events)
+	}
+	// The query itself buffers per book, so absolute counts scale with
+	// the input on both sides; the telemetry DELTA is what must not.
+	delta := on - off
+	if perEvent := delta / float64(events); perEvent > 0.01 {
+		t.Errorf("telemetry adds %.4f allocations per event (off %.1f, on %.1f, %d events), want ~0",
+			perEvent, off, on, events)
+	}
+}
+
+// TestTelemetryOverhead compares the 8-query XMark shared pass with
+// telemetry enabled against disabled and bounds the slowdown. Timing
+// ratios are machine-load sensitive, so the check only runs when
+// FLUX_TELEMETRY_OVERHEAD=1 (the CI bench-smoke job sets it).
+func TestTelemetryOverhead(t *testing.T) {
+	if os.Getenv("FLUX_TELEMETRY_OVERHEAD") == "" {
+		t.Skip("set FLUX_TELEMETRY_OVERHEAD=1 to run the overhead check")
+	}
+	names := []string{
+		"xmark-q1", "xmark-q8-join", "xmark-q13", "xmark-q2-bidders",
+		"xmark-q17-nophone", "xmark-q20-cities", "xmark-q4-sellers", "xmark-q11-bids",
+	}
+	base := workload.ByName(names[0])
+	var buf bytes.Buffer
+	if err := base.Gen(&buf, 512<<10, 42); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	d, err := ParseDTD(base.DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make([]*Plan, len(names))
+	for i, name := range names {
+		c := workload.ByName(name)
+		plans[i] = MustCompile(c.Query, c.DTD, Options{})
+	}
+	measure := func(tel *Telemetry) time.Duration {
+		set := NewStreamSet(d)
+		set.SetTelemetry(tel)
+		for _, p := range plans {
+			if _, err := set.Register(p, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}
+		best := time.Duration(1 << 62)
+		for i := 0; i < 7; i++ {
+			start := time.Now()
+			if err := set.Run(bytes.NewReader(doc)); err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	measure(nil) // warm pools and interning before either measurement
+	off := measure(nil)
+	on := measure(NewTelemetry())
+	overhead := float64(on-off) / float64(off) * 100
+	t.Logf("telemetry overhead: off=%v on=%v (%.2f%%)", off, on, overhead)
+	if overhead > 3.0 {
+		t.Errorf("telemetry overhead %.2f%% exceeds 3%% (off=%v on=%v)", overhead, off, on)
+	}
+}
