@@ -788,6 +788,67 @@ func (s *StreamSet) SetBuffers(b *BufferManager) {
 // way. Takes effect at the next Run.
 func (s *StreamSet) SetParallel(n int) { s.set.SetParallel(n) }
 
+// Dispatch selects how a StreamSet's shared passes fan the validated
+// event stream out to the registered plans.
+type Dispatch int
+
+// Dispatch modes.
+const (
+	// DispatchFanout (the default) delivers every event batch to every
+	// riding plan; each plan's own projection logic discards what it
+	// cannot use. Per-event cost is linear in the registration count.
+	DispatchFanout Dispatch = iota
+	// DispatchTrie routes each event through a dispatch trie that interns
+	// the registered plans' projection automata into one id-indexed
+	// structure: the event resolves its trie node once and is delivered
+	// only to the plans whose paths actually reach it, with per-plan
+	// pending batches flushed as they fill. Per-event cost tracks the
+	// number of distinct registered paths, not the registration count, so
+	// the marginal cost of one more overlapping query stays near-flat.
+	// Outputs are byte-identical to DispatchFanout (and to independent
+	// Execute calls); delivered-event statistics differ, since plans that
+	// tolerate it no longer receive shells of irrelevant subtrees.
+	DispatchTrie
+)
+
+// String returns the mode's flag spelling ("fanout", "trie").
+func (d Dispatch) String() string { return d.mode().String() }
+
+// ParseDispatch converts a flag value ("fanout", "trie").
+func ParseDispatch(s string) (Dispatch, error) {
+	m, ok := mqe.ParseDispatchMode(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown dispatch mode %q (want fanout or trie)", s)
+	}
+	if m == mqe.DispatchTrie {
+		return DispatchTrie, nil
+	}
+	return DispatchFanout, nil
+}
+
+func (d Dispatch) mode() mqe.DispatchMode {
+	if d == DispatchTrie {
+		return mqe.DispatchTrie
+	}
+	return mqe.DispatchFanout
+}
+
+// SetDispatch selects the set's fan-out strategy (default
+// DispatchFanout). Takes effect at the next Run; the dispatch trie is
+// rebuilt lazily after registration changes, under the same
+// immutable-snapshot discipline as the projection union.
+func (s *StreamSet) SetDispatch(d Dispatch) { s.set.SetDispatch(d.mode()) }
+
+// DispatchStats reports the dispatch-layer statistics of the most
+// recent shared pass: the mode and plan count always, and — under
+// DispatchTrie — the trie snapshot's size, the pass's routing totals
+// and the trie build time.
+type DispatchStats = mqe.DispatchStats
+
+// LastDispatch returns the dispatch statistics of the most recent
+// successfully completed Run.
+func (s *StreamSet) LastDispatch() DispatchStats { return s.set.LastDispatch() }
+
 // SetTelemetry wires the set's shared passes into t's metrics registry:
 // pass/byte/event counters, pass-latency and input-size histograms,
 // per-stage stall and ring-occupancy series, and per-plan eval latency

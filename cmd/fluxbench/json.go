@@ -73,6 +73,12 @@ type record struct {
 	DispatchStallNs int64 `json:"dispatch_stall_ns,omitempty"`
 	TokenRingPeak   int   `json:"token_ring_peak,omitempty"`
 	EventRingPeak   int   `json:"event_ring_peak,omitempty"`
+	// Multiquery suite fields: the per-plan marginal cost of one shared
+	// pass (NsPerOp / Plans), the dispatch trie's interned node count and
+	// the events it delivered (plan-events, summed over fan-out lists).
+	MarginalNsPerPlan int64 `json:"marginal_ns_per_plan,omitempty"`
+	TrieNodes         int   `json:"trie_nodes,omitempty"`
+	TrieDeliveries    int64 `json:"trie_deliveries,omitempty"`
 	// P50Ns/P95Ns/P99Ns are latency quantiles over the measurement's
 	// repetitions (nearest-rank). NsPerOp remains the best repetition;
 	// the quantiles expose the spread — with few -reps the upper ones
@@ -240,6 +246,14 @@ func collectRecords(r *runner) ([]record, error) {
 		return nil, err
 	}
 	records = append(records, par...)
+
+	// Multiquery suite: marginal per-plan cost of trie dispatch at
+	// 100/1k/10k registrations.
+	mq, err := multiQueryRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, mq...)
 
 	gmp := goruntime.GOMAXPROCS(0)
 	for i := range records {

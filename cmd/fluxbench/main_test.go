@@ -76,11 +76,13 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	// engines. Shared-stream: the mqe pass with projection off and fast,
 	// plus the sequential comparison. Budgeted: the two spill workloads.
 	// Parallel: the sequential and pipelined shared-pass pair.
+	// Multiquery: trie dispatch at 100/1k/10k plus fanout at 100.
 	wantWorkload := len(workload.Cases) * 4
-	if len(records) != wantWorkload+3+2+2 {
-		t.Fatalf("got %d records, want %d workload + 3 shared-stream + 2 budgeted + 2 parallel", len(records), wantWorkload)
+	if len(records) != wantWorkload+3+2+2+4 {
+		t.Fatalf("got %d records, want %d workload + 3 shared-stream + 2 budgeted + 2 parallel + 4 multiquery", len(records), wantWorkload)
 	}
 	sharedSeen, fluxFast, budgeted, parSeen := 0, 0, 0, 0
+	mqMarginal := map[int]int64{}
 	for _, rec := range records {
 		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.DocBytes <= 0 {
 			t.Errorf("degenerate record: %+v", rec)
@@ -115,6 +117,17 @@ func TestJSONModeWritesRecords(t *testing.T) {
 		if rec.Suite == "workload" && rec.Engine == "flux" && rec.Proj == "fast" {
 			fluxFast++
 		}
+		if rec.Suite == "multiquery" {
+			if rec.MarginalNsPerPlan <= 0 {
+				t.Errorf("multiquery record without marginal cost: %+v", rec)
+			}
+			if rec.Engine == "flux-trie" {
+				if rec.TrieNodes == 0 || rec.TrieDeliveries == 0 {
+					t.Errorf("trie record reports no trie work: %+v", rec)
+				}
+				mqMarginal[rec.Plans] = rec.MarginalNsPerPlan
+			}
+		}
 		if rec.Suite == "budgeted" {
 			budgeted++
 			if rec.Budget <= 0 || rec.SpilledBytes == 0 || rec.RehydratedBytes == 0 {
@@ -136,5 +149,12 @@ func TestJSONModeWritesRecords(t *testing.T) {
 	}
 	if parSeen != 2 {
 		t.Errorf("parallel records = %d, want 2", parSeen)
+	}
+	// The acceptance shape: interning keeps per-plan marginal cost flat,
+	// so 10k registrations must stay within 2x of the 100-plan marginal.
+	if m100, m10k := mqMarginal[100], mqMarginal[10000]; m100 == 0 || m10k == 0 {
+		t.Errorf("multiquery trie records missing (marginals: %v)", mqMarginal)
+	} else if m10k > 2*m100 {
+		t.Errorf("multiquery marginal cost at 10k = %dns/plan, more than 2x the 100-plan marginal %dns/plan", m10k, m100)
 	}
 }

@@ -7,7 +7,8 @@
 //
 //	fluxserve -dtd bib.dtd [-addr :8080] [-proj fast|validate|off]
 //	          [-budget 64M -budget-policy fail|spill|backpressure [-spill-dir DIR]]
-//	          [-parallel N] [-pool N] [-debug-addr :6060] [-q name=query.xq ...]
+//	          [-parallel N] [-dispatch fanout|trie] [-pool N]
+//	          [-debug-addr :6060] [-q name=query.xq ...]
 //
 // Endpoints:
 //
@@ -62,6 +63,14 @@
 // concurrent passes may together hold up to N budgets. GET /stats
 // exposes the manager's counters and per-query cumulative aggregates.
 //
+// With -dispatch trie, each /eval's shared pass routes events through a
+// dispatch trie interning every selected query's projection automaton:
+// an event is delivered only to the queries whose paths reach it, so
+// per-event cost tracks the distinct registered paths instead of the
+// query count. Outputs are byte-identical to fanout; the /eval response
+// and GET /stats gain a "dispatch" object with the trie size and
+// routing totals.
+//
 // With -parallel N (N >= 2), each /eval's shared pass runs pipelined:
 // tokenizer, validator and dispatcher on separate goroutines connected
 // by bounded batch rings, the plan set sharded across N feed workers.
@@ -101,6 +110,7 @@ func main() {
 		budPolicy = flag.String("budget-policy", "spill", "buffer overflow policy: fail, spill or backpressure")
 		spillDir  = flag.String("spill-dir", "", "directory for the spill segment file (default: system temp)")
 		parallel  = flag.Int("parallel", 1, "pipelined shared passes: >= 2 runs tokenize/validate/dispatch on separate goroutines with that many feed workers; 0 or 1 is sequential")
+		dispMode  = flag.String("dispatch", "fanout", "shared-pass fan-out strategy: fanout (every batch to every query) or trie (trie-routed per-query delivery)")
 		pool      = flag.Int("pool", 2*runtime.GOMAXPROCS(0), "maximum concurrently streaming /eval passes; excess requests get a structured 503 (0 = unbounded)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for pprof profiling endpoints (empty = disabled)")
 	)
@@ -141,7 +151,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)
 	}
+	dispatch, err := fluxquery.ParseDispatch(*dispMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxserve:", err)
+		os.Exit(2)
+	}
 	srv.setParallel(*parallel)
+	srv.setDispatch(dispatch)
 	srv.setPool(*pool)
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")

@@ -33,6 +33,10 @@ type server struct {
 	// parallel, when >= 2, runs each /eval's shared pass pipelined with
 	// that many feed workers (StreamSet.SetParallel).
 	parallel int
+	// dispatch selects each pass's fan-out strategy: fanout (every batch
+	// to every query) or trie (events routed through the shared dispatch
+	// trie, per-query delivery).
+	dispatch fluxquery.Dispatch
 	// pool bounds the number of concurrently streaming /eval passes: a
 	// request that cannot claim a slot without blocking is rejected with
 	// a structured 503 rather than queued, so saturation is visible to
@@ -64,8 +68,21 @@ type server struct {
 	// 503 pool rejections.
 	evals    int64
 	rejected int64
-	// pipeline accumulates pipelined-pass metrics across /eval calls.
-	pipeline pipelineAgg
+	// pipeline accumulates pipelined-pass metrics across /eval calls;
+	// dispatchStats accumulates trie-routed-pass metrics likewise.
+	pipeline      pipelineAgg
+	dispatchStats dispatchAgg
+}
+
+// dispatchAgg is the cumulative record of trie-routed shared passes for
+// GET /stats.
+type dispatchAgg struct {
+	Passes     int64 `json:"passes"`
+	Events     int64 `json:"events"`
+	Deliveries int64 `json:"deliveries"`
+	Flushes    int64 `json:"flushes"`
+	TrieNodes  int   `json:"trie_nodes"`
+	MaxFanout  int   `json:"max_fanout"`
 }
 
 // pipelineAgg is the cumulative record of pipelined shared passes for
@@ -133,6 +150,9 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 // setParallel selects pipelined shared passes for /eval (>= 2; 0/1 is
 // sequential).
 func (s *server) setParallel(n int) { s.parallel = n }
+
+// setDispatch selects the fan-out strategy of /eval's shared passes.
+func (s *server) setDispatch(d fluxquery.Dispatch) { s.dispatch = d }
 
 // setPool bounds the in-flight /eval passes to n (0 = unbounded). Must
 // be called before the server starts handling requests.
@@ -383,8 +403,11 @@ type evalResponse struct {
 	Scan           scanStats `json:"scan"`
 	// Pipeline reports the pass's pipeline metrics when the server runs
 	// with -parallel >= 2 (absent for sequential passes).
-	Pipeline *passInfo    `json:"pipeline,omitempty"`
-	Results  []evalResult `json:"results"`
+	Pipeline *passInfo `json:"pipeline,omitempty"`
+	// Dispatch reports the pass's trie-routing metrics when the server
+	// runs with -dispatch trie (absent under plain fanout).
+	Dispatch *dispatchInfo `json:"dispatch,omitempty"`
+	Results  []evalResult  `json:"results"`
 	// Trace is the pass's span tree, present only with ?trace=1: the
 	// shared pass broken into scan and dispatch phases with one eval
 	// span per query, plus tokenize/validate stage spans (with stall
@@ -405,6 +428,21 @@ type passInfo struct {
 	DispatchStallMicros int64 `json:"dispatch_stall_us"`
 	TokenRingPeak       int   `json:"token_ring_peak"`
 	EventRingPeak       int   `json:"event_ring_peak"`
+}
+
+// dispatchInfo is one trie-routed pass: trie snapshot size, routed
+// events, per-query deliveries (the work a plain fanout would have
+// multiplied by the query count) and per-query batch flushes.
+type dispatchInfo struct {
+	Mode        string `json:"mode"`
+	Plans       int    `json:"plans"`
+	TrieNodes   int    `json:"trie_nodes"`
+	TrieLists   int    `json:"trie_lists"`
+	MaxFanout   int    `json:"max_fanout"`
+	Events      int64  `json:"events"`
+	Deliveries  int64  `json:"deliveries"`
+	Flushes     int64  `json:"flushes"`
+	BuildMicros int64  `json:"build_us"`
 }
 
 // handleEval evaluates the selected queries over the posted document in a
@@ -461,6 +499,7 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	set.SetProjection(s.proj)
 	set.SetBuffers(s.bufs)
 	set.SetParallel(s.parallel)
+	set.SetDispatch(s.dispatch)
 	set.SetTelemetry(s.tel)
 	traced := false
 	switch r.URL.Query().Get("trace") {
@@ -510,6 +549,19 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			DispatchStallMicros: ps.DispatchStall.Microseconds(),
 			TokenRingPeak:       ps.TokenRingPeak,
 			EventRingPeak:       ps.EventRingPeak,
+		}
+	}
+	if ds := set.LastDispatch(); ds.Mode == "trie" {
+		resp.Dispatch = &dispatchInfo{
+			Mode:        ds.Mode,
+			Plans:       ds.Plans,
+			TrieNodes:   ds.TrieNodes,
+			TrieLists:   ds.TrieLists,
+			MaxFanout:   ds.MaxFanout,
+			Events:      ds.Events,
+			Deliveries:  ds.Deliveries,
+			Flushes:     ds.Flushes,
+			BuildMicros: ds.BuildNanos / 1000,
 		}
 	}
 	sc := set.LastScan()
@@ -568,6 +620,14 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			s.pipeline.EventRingPeak = ps.EventRingPeak
 		}
 	}
+	if ds := set.LastDispatch(); ds.Mode == "trie" {
+		s.dispatchStats.Passes++
+		s.dispatchStats.Events += ds.Events
+		s.dispatchStats.Deliveries += ds.Deliveries
+		s.dispatchStats.Flushes += ds.Flushes
+		s.dispatchStats.TrieNodes = ds.TrieNodes
+		s.dispatchStats.MaxFanout = ds.MaxFanout
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -613,6 +673,9 @@ type statsResponse struct {
 	// pipelined pass has run).
 	Pool     *poolStats   `json:"pool,omitempty"`
 	Pipeline *pipelineAgg `json:"pipeline,omitempty"`
+	// Dispatch reports cumulative trie-routing metrics (absent while no
+	// trie-dispatched pass has run).
+	Dispatch *dispatchAgg `json:"dispatch,omitempty"`
 }
 
 // poolStats reports the ingest pool: capacity, passes currently
@@ -644,6 +707,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.pipeline.Passes > 0 {
 		cp := s.pipeline
 		resp.Pipeline = &cp
+	}
+	if s.dispatchStats.Passes > 0 {
+		cp := s.dispatchStats
+		resp.Dispatch = &cp
 	}
 	s.mu.RUnlock()
 	if s.bufs != nil {

@@ -415,14 +415,20 @@ func (a *Automaton) compileIDTable(d *DTD) {
 }
 
 // StepID is Step keyed by the child's dense name id: one slice load on
-// the streaming hot path. The caller guarantees q is a valid state (>= 0)
-// and id < the DTD's NumIDs; both hold for states produced by Start/StepID
-// under a validated stream.
+// the streaming hot path. Like Step, a dead state (q < 0) is absorbing:
+// a plan riding a shell-elided trie stream legitimately steps its scope
+// automata off the content model (the elided siblings are what kept the
+// ordering valid), and the state must pin to dead rather than index the
+// table with a negative offset. The caller guarantees id < the DTD's
+// NumIDs.
 func (a *Automaton) StepID(q int, id int32) int {
 	if a.stepID == nil {
 		if a.isAny {
 			return 0
 		}
+		return -1
+	}
+	if q < 0 {
 		return -1
 	}
 	return int(a.stepID[q*a.vocabN+int(id)])

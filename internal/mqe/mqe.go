@@ -46,6 +46,7 @@ import (
 	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/proj"
+	"fluxquery/internal/shared"
 	"fluxquery/internal/xsax"
 )
 
@@ -95,6 +96,21 @@ type Dispatcher struct {
 	// batch rings, with up to Parallel feed workers sharding the
 	// consumer set (see parallel.go). 0 or 1 is the sequential pass.
 	Parallel int
+	// Trie, when non-nil, replaces whole-batch fanout with trie-routed
+	// dispatch (see trie.go): each event resolves one trie node and is
+	// delivered only to the plans whose fan-out list names them. The trie
+	// must be built for exactly the consumers passed to the pass, in
+	// order (consumers[i] is plan index i).
+	Trie *shared.Trie
+	// Members, when non-nil alongside Trie, maps each trie plan index (a
+	// delivery class) to the consumer indices riding it: the trie was
+	// built over deduplicated delivery classes and each routed event is
+	// buffered once per class, fed to every member at flush. nil means
+	// the trie's plan indices are consumer indices (one class each).
+	Members [][]int32
+	// Disp, when non-nil alongside Trie, receives the pass's routing
+	// totals (events routed, per-plan deliveries, batch flushes).
+	Disp *DispatchStats
 	// Obs, when non-nil, receives the pass's stage timings and delivery
 	// totals (see PassObs). The disabled path is one nil check per batch.
 	Obs *PassObs

@@ -55,6 +55,9 @@ type Costed interface{ FeedCost() int }
 // Parallel >= 2 the pass runs in pipelined form; otherwise it is the
 // sequential single-goroutine pass and the PassStats are zero.
 func (d *Dispatcher) RunScanPass(r io.Reader, consumers []Consumer) (xsax.ScanStats, PassStats, error) {
+	if d.Trie != nil {
+		return d.runTrie(r, consumers)
+	}
 	if d.Parallel >= 2 {
 		return d.runPipelined(r, consumers)
 	}
@@ -216,12 +219,16 @@ type evalPool struct {
 	donec chan struct{}
 	wg    sync.WaitGroup
 
-	tasks  []Consumer
-	evs    []xsax.Event
-	claims []int32
-	res    []feedResult
-	mine   [][]int
-	steals atomic.Int64
+	tasks []Consumer
+	evs   []xsax.Event
+	// evsEach, when non-nil, gives every task its own event slice
+	// (trie-routed passes feed per-plan batches); otherwise all tasks
+	// share evs.
+	evsEach [][]xsax.Event
+	claims  []int32
+	res     []feedResult
+	mine    [][]int
+	steals  atomic.Int64
 }
 
 func newEvalPool(n int) *evalPool {
@@ -247,7 +254,20 @@ func (p *evalPool) worker(id int, ready chan struct{}) {
 // collect every acknowledgement; afterwards res holds one entry per
 // task.
 func (p *evalPool) feed(tasks []Consumer, evs []xsax.Event) {
-	p.tasks, p.evs = tasks, evs
+	p.tasks, p.evs, p.evsEach = tasks, evs, nil
+	p.run()
+}
+
+// feedEach is feed with a distinct event slice per task: evsEach[i]
+// goes to tasks[i]. Trie-routed passes use it to flush several plans'
+// pending batches through the worker pool at once.
+func (p *evalPool) feedEach(tasks []Consumer, evsEach [][]xsax.Event) {
+	p.tasks, p.evs, p.evsEach = tasks, nil, evsEach
+	p.run()
+}
+
+func (p *evalPool) run() {
+	tasks := p.tasks
 	if cap(p.claims) < len(tasks) {
 		p.claims = make([]int32, len(tasks))
 		p.res = make([]feedResult, len(tasks))
@@ -269,10 +289,16 @@ func (p *evalPool) feed(tasks []Consumer, evs []xsax.Event) {
 func (p *evalPool) feedWorker(id int) {
 	n := len(p.tasks)
 	mine := p.mine[id][:0]
+	evsFor := func(i int) []xsax.Event {
+		if p.evsEach != nil {
+			return p.evsEach[i]
+		}
+		return p.evs
+	}
 	// Own stripe first (tasks are cost-ordered and dealt round-robin)…
 	for i := id; i < n; i += p.n {
 		if atomic.CompareAndSwapInt32(&p.claims[i], 0, 1) {
-			p.tasks[i].BeginFeed(p.evs)
+			p.tasks[i].BeginFeed(evsFor(i))
 			mine = append(mine, i)
 		}
 	}
@@ -280,7 +306,7 @@ func (p *evalPool) feedWorker(id int) {
 	for i := 0; i < n; i++ {
 		if atomic.CompareAndSwapInt32(&p.claims[i], 0, 1) {
 			p.steals.Add(1)
-			p.tasks[i].BeginFeed(p.evs)
+			p.tasks[i].BeginFeed(evsFor(i))
 			mine = append(mine, i)
 		}
 	}

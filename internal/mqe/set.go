@@ -12,6 +12,7 @@ import (
 	"fluxquery/internal/dtd"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
+	"fluxquery/internal/shared"
 	"fluxquery/internal/telemetry"
 	"fluxquery/internal/xsax"
 )
@@ -55,6 +56,29 @@ type Set struct {
 	pauto     *proj.Automaton
 	projDirty bool
 	pmode     proj.Mode
+	// dispatch selects how a pass fans events out. Under DispatchTrie,
+	// trie holds the compiled dispatch trie for the current
+	// subscriptions, rebuilt lazily (trieDirty) under the same
+	// immutable-snapshot discipline as pauto: an in-flight Run keeps the
+	// trie it snapshotted, whose plan indices match the subscription
+	// slice it snapshotted alongside.
+	dispatch  DispatchMode
+	trie      *shared.Trie
+	trieDirty bool
+	trieBuild time.Duration
+	// trieMembers maps each trie plan index (a delivery class — plans
+	// whose projection automaton and shell requirement coincide, so their
+	// event streams are identical) to the subscription indices riding it.
+	// trieMaxFan is the widest per-subscription fan-out any interned list
+	// reaches once class membership is multiplied back in.
+	trieMembers [][]int32
+	trieMaxFan  int
+	// sstats is the DTD's schema-statistics bundle, computed on first
+	// registration and reused for every plan's dispatch-cost estimate.
+	sstats *shared.SchemaStats
+	// lastDispatch reports the most recent pass's dispatch-layer
+	// statistics.
+	lastDispatch DispatchStats
 	// bufs, when non-nil, governs the buffer memory of shared passes:
 	// each Run opens one gate (the pass's backpressure point) and one
 	// account per riding plan, so a budget violation is attributed — and,
@@ -94,6 +118,10 @@ type Sub struct {
 	name    string
 	out     io.Writer
 	removed atomic.Bool
+	// cost is the plan's expected delivered-event count under the set's
+	// schema statistics (shared.PlanCostInt), stamped at registration;
+	// the evaluator pool orders its worker stripes by it.
+	cost int
 
 	mu  sync.Mutex
 	ran bool
@@ -125,10 +153,37 @@ func (s *Set) RegisterNamed(p *runtime.Plan, out io.Writer, name string) (*Sub, 
 		name = fmt.Sprintf("q%d", s.nameSeq)
 	}
 	b.name = name
+	if s.sstats == nil {
+		s.sstats = shared.ComputeStats(s.d)
+	}
+	b.cost = shared.PlanCostInt(p.Paths(), p.NeedShells(), s.sstats)
 	s.subs = append(s.subs, b)
 	s.projDirty = true
+	s.trieDirty = true
 	s.mu.Unlock()
 	return b, nil
+}
+
+// SetDispatch selects how shared passes fan events out to the riding
+// plans: DispatchFanout (the default) delivers every batch to every
+// plan, DispatchTrie routes events through the shared dispatch trie so
+// per-event cost tracks the distinct registered paths rather than the
+// registration count. Takes effect at the next Run.
+func (s *Set) SetDispatch(m DispatchMode) {
+	s.mu.Lock()
+	if m != s.dispatch && m == DispatchTrie {
+		s.trieDirty = true
+	}
+	s.dispatch = m
+	s.mu.Unlock()
+}
+
+// LastDispatch returns the dispatch-layer statistics of the most recent
+// successfully completed Run.
+func (s *Set) LastDispatch() DispatchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastDispatch
 }
 
 // SetProjection selects how shared passes treat stream regions no
@@ -240,6 +295,69 @@ func (s *Set) recomputeProjLocked() {
 	s.pauto = proj.CompileVocab(proj.Union(sets...), s.d.IDNames())
 }
 
+// recomputeTrieLocked rebuilds the dispatch trie from the current
+// subscriptions when trie dispatch is selected and a registration change
+// has invalidated it. Called with s.mu held at the start of each Run —
+// the same lock hold that snapshots s.subs, so the trie's plan indices
+// always match the subscription slice the pass rides with. The previous
+// trie is never mutated (in-flight Runs keep their snapshot). The build
+// cost is recorded so a pass can report it; it is paid once per
+// registration change, not per pass.
+func (s *Set) recomputeTrieLocked() {
+	if s.dispatch != DispatchTrie {
+		return
+	}
+	if !s.trieDirty && s.trie != nil {
+		return
+	}
+	s.trieDirty = false
+	names := s.d.IDNames()
+	// Class the subscriptions by delivery behavior before building: two
+	// registrations of the same compiled plan (pointer-identical
+	// projection automaton, same shell requirement) receive identical
+	// event streams, so the trie is built over the distinct classes and
+	// the dispatcher copies each event once per class, fanning to the
+	// class members only at flush. Per-event dispatch cost then tracks
+	// the distinct registered path families even when thousands of
+	// subscriptions share them. Distinct compilations of an identical
+	// query form separate (correct, merely undeduplicated) classes.
+	type classKey struct {
+		auto   *proj.Automaton
+		shells bool
+	}
+	idx := make(map[classKey]int32, len(s.subs))
+	reqs := make([]shared.PlanReq, 0, len(s.subs))
+	members := make([][]int32, 0, len(s.subs))
+	for i, b := range s.subs {
+		k := classKey{b.plan.ProjAutomaton(), b.plan.NeedShells()}
+		c, ok := idx[k]
+		if !ok {
+			c = int32(len(reqs))
+			idx[k] = c
+			reqs = append(reqs, shared.PlanReq{Auto: k.auto, NeedShells: k.shells})
+			members = append(members, nil)
+		}
+		members[c] = append(members[c], int32(i))
+	}
+	t0 := time.Now()
+	s.trie = shared.Build(reqs, len(names))
+	s.trieBuild = time.Since(t0)
+	s.trieMembers = members
+	s.trieMaxFan = 0
+	for li := 0; li < s.trie.NumLists(); li++ {
+		n := 0
+		for _, c := range s.trie.List(int32(li)) {
+			n += len(members[c])
+		}
+		if n > s.trieMaxFan {
+			s.trieMaxFan = n
+		}
+	}
+	if s.mt != nil {
+		s.mt.recordTrieBuild(s.trie, s.trieMaxFan)
+	}
+}
+
 // Unregister removes the subscription. An in-flight Run detaches it at
 // the next batch boundary, recording ErrUnregistered as its result.
 // Unregister is idempotent.
@@ -256,6 +374,7 @@ func (b *Sub) Unregister() {
 		}
 	}
 	s.projDirty = true
+	s.trieDirty = true
 	s.mu.Unlock()
 }
 
@@ -322,12 +441,25 @@ func (s *Set) Run(r io.Reader) error {
 	defer s.runMu.Unlock()
 	s.mu.Lock()
 	s.recomputeProjLocked()
+	s.recomputeTrieLocked()
 	subs := make([]*Sub, len(s.subs))
 	copy(subs, s.subs)
 	disp := s.disp
 	disp.Proj = s.pauto
 	disp.ProjMode = s.pmode
 	disp.Parallel = s.parallel
+	var ds DispatchStats
+	ds.Mode = s.dispatch.String()
+	ds.Plans = len(subs)
+	if s.dispatch == DispatchTrie {
+		disp.Trie = s.trie
+		disp.Members = s.trieMembers
+		disp.Disp = &ds
+		ds.TrieNodes = s.trie.NumNodes()
+		ds.TrieLists = s.trie.NumLists()
+		ds.MaxFanout = s.trieMaxFan
+		ds.BuildNanos = s.trieBuild.Nanoseconds()
+	}
 	bufs := s.bufs
 	mt := s.mt
 	tracing := s.tracing
@@ -389,12 +521,14 @@ func (s *Set) Run(r io.Reader) error {
 	if err == nil {
 		if mt != nil {
 			s.recordPass(mt, obs, sc, ps, stall, wall)
+			mt.recordDispatch(ds)
 		}
 		s.mu.Lock()
 		s.lastScan = sc
 		s.passes++
 		s.lastStall = stall
 		s.lastPass = ps
+		s.lastDispatch = ds
 		if tr != nil {
 			s.lastTrace = tr
 		}
@@ -485,9 +619,16 @@ func (rr *subRun) BeginFeed(evs []xsax.Event) {
 	rr.se.BeginFeed(evs)
 }
 
-// FeedCost reports the subscription plan's structural cost estimate so
-// the pipelined pass can balance its evaluator worker stripes.
-func (rr *subRun) FeedCost() int { return rr.sub.plan.CostEstimate() }
+// FeedCost reports the subscription plan's cost estimate so the
+// pipelined pass can balance its evaluator worker stripes: the
+// schema-statistics expected delivered-event count stamped at
+// registration, falling back to the structural estimate.
+func (rr *subRun) FeedCost() int {
+	if c := rr.sub.cost; c > 0 {
+		return c
+	}
+	return rr.sub.plan.CostEstimate()
+}
 
 func (rr *subRun) EndFeed() (done bool, err error) {
 	if rr.done {
@@ -504,6 +645,14 @@ func (rr *subRun) EndFeed() (done bool, err error) {
 
 func (rr *subRun) Close(cause error) {
 	if rr.done {
+		return
+	}
+	// A subscription unregistered mid-stream must report ErrUnregistered
+	// even if no batch reached it after the unregistration — under trie
+	// dispatch a plan whose paths see nothing of the stream tail is never
+	// fed again, so the BeginFeed check alone would miss it.
+	if rr.sub.removed.Load() {
+		rr.finish(ErrUnregistered)
 		return
 	}
 	rr.finish(cause)

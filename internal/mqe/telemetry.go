@@ -1,6 +1,7 @@
 package mqe
 
 import (
+	"fluxquery/internal/shared"
 	"fluxquery/internal/telemetry"
 )
 
@@ -29,6 +30,14 @@ type setMetrics struct {
 
 	ringToken *telemetry.Histogram
 	ringEvent *telemetry.Histogram
+
+	trieNodes      *telemetry.Gauge
+	trieLists      *telemetry.Gauge
+	trieMaxFanout  *telemetry.Gauge
+	trieRebuilds   *telemetry.Counter
+	trieEvents     *telemetry.Counter
+	trieDeliveries *telemetry.Counter
+	trieFlushes    *telemetry.Counter
 }
 
 func newSetMetrics(reg *telemetry.Registry) *setMetrics {
@@ -67,7 +76,42 @@ func newSetMetrics(reg *telemetry.Registry) *setMetrics {
 			telemetry.OccupancyBuckets, telemetry.ScaleNone, telemetry.L("ring", "token")),
 		ringEvent: reg.Histogram("flux_ring_peak_occupancy", ringHelp,
 			telemetry.OccupancyBuckets, telemetry.ScaleNone, telemetry.L("ring", "event")),
+		trieNodes: reg.Gauge("flux_trie_nodes",
+			"Interned product nodes in the current dispatch trie."),
+		trieLists: reg.Gauge("flux_trie_fanout_lists",
+			"Interned fan-out lists in the current dispatch trie."),
+		trieMaxFanout: reg.Gauge("flux_trie_max_fanout",
+			"Length of the longest fan-out list in the current dispatch trie."),
+		trieRebuilds: reg.Counter("flux_trie_rebuilds_total",
+			"Dispatch trie rebuilds triggered by registration changes."),
+		trieEvents: reg.Counter("flux_trie_events_total",
+			"Events routed through the dispatch trie."),
+		trieDeliveries: reg.Counter("flux_trie_deliveries_total",
+			"Per-plan event deliveries made by trie-routed passes."),
+		trieFlushes: reg.Counter("flux_trie_flushes_total",
+			"Per-plan pending-batch flushes made by trie-routed passes."),
 	}
+}
+
+// recordTrieBuild publishes a fresh trie snapshot's structural gauges.
+// maxFanout is the effective per-subscription fan-out (class membership
+// multiplied back into the widest interned list).
+func (mt *setMetrics) recordTrieBuild(t *shared.Trie, maxFanout int) {
+	mt.trieRebuilds.Inc()
+	mt.trieNodes.Set(int64(t.NumNodes()))
+	mt.trieLists.Set(int64(t.NumLists()))
+	mt.trieMaxFanout.Set(int64(maxFanout))
+}
+
+// recordDispatch publishes one completed pass's routing totals (no-op
+// for fanout-mode passes, whose DispatchStats carry no trie counters).
+func (mt *setMetrics) recordDispatch(ds DispatchStats) {
+	if ds.Events == 0 && ds.Deliveries == 0 && ds.Flushes == 0 {
+		return
+	}
+	mt.trieEvents.Add(ds.Events)
+	mt.trieDeliveries.Add(ds.Deliveries)
+	mt.trieFlushes.Add(ds.Flushes)
 }
 
 // evalSeconds resolves the per-plan batch-eval latency series. Called

@@ -109,6 +109,20 @@ func (n *PathNode) Child(label string) *PathNode {
 	return c
 }
 
+// SortedLabels returns the node's child labels in sorted order. The
+// multi-query dispatch trie and its cost model iterate path nodes with
+// it so that builds and estimates are deterministic for a given plan set
+// (map iteration order must not leak into interned structure or float
+// summation order).
+func (n *PathNode) SortedLabels() []string {
+	labels := make([]string, 0, len(n.Children))
+	for l := range n.Children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
 // MergeBDF folds a buffer-description projection (bdf.Node) into this
 // node: CopyAll becomes All, Text stays Text, children merge recursively.
 func (n *PathNode) MergeBDF(b *bdf.Node) {

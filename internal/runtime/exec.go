@@ -803,7 +803,11 @@ func (ex *exec) fireEligible(f *psFrame) error {
 		if h.kind == core.OnEnd {
 			return nil // only at the end tag
 		}
-		if !h.pastOK[f.state] {
+		// A dead content-model state (shell-elided dispatch stream) never
+		// satisfies a past condition mid-stream; the handler still fires at
+		// the end tag via finishPS. Unreachable for plans with non-trivial
+		// past vectors — those report NeedShells and keep their shells.
+		if f.state < 0 || !h.pastOK[f.state] {
 			return nil
 		}
 		if err := ex.fireOnce(f, idx); err != nil {

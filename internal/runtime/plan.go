@@ -27,6 +27,13 @@ type Plan struct {
 	paths *proj.PathSet
 	pauto *proj.Automaton
 	pmode proj.Mode
+	// needShells reports whether any process-stream scope carries an
+	// on-first handler with a non-trivial past(S) condition. Only such
+	// handlers read a scope's content-model state, which advances on the
+	// start/end shells of children the plan does not descend into — so a
+	// plan without them can have those shells elided entirely by the
+	// multi-query dispatch trie.
+	needShells bool
 }
 
 // Paths returns the plan's projection path-set: every document path the
@@ -41,13 +48,28 @@ func (p *Plan) DTD() *dtd.DTD { return p.d }
 
 // CostEstimate is a cheap structural proxy for the plan's per-event
 // feeding cost (the weight of its projection path-set). The shared-pass
-// evaluator pool partitions plans across workers by it.
+// evaluator pool partitions plans across workers by it when no schema
+// statistics are available (see shared.PlanCost for the informed model).
 func (p *Plan) CostEstimate() int {
 	if p.paths == nil {
 		return 1
 	}
 	return p.paths.Size()
 }
+
+// ProjAutomaton returns the plan's compiled projection automaton
+// (vocabulary form, dense name-id jump tables). The multi-query dispatch
+// trie is the product of these automata across all registered plans.
+func (p *Plan) ProjAutomaton() *proj.Automaton { return p.pauto }
+
+// NeedShells reports whether the plan must receive start/end shells for
+// elements it does not descend into. It is false exactly when no
+// process-stream scope carries an on-first handler with a non-trivial
+// past(S) condition: shells only feed the content-model automata that
+// decide when such handlers fire, and firing order against streamed
+// output is observable. A dispatcher may elide shells for plans that
+// report false (the trie's projection-tightness rewrite).
+func (p *Plan) NeedShells() bool { return p.needShells }
 
 // pnode is a physical operator.
 type pnode interface{ pnode() }
@@ -166,13 +188,48 @@ func CompileOptions(q *core.Query, o Options) (*Plan, error) {
 	}
 	paths := derivePaths(root)
 	return &Plan{
-		root:  root,
-		d:     q.DTD,
-		BDF:   forest,
-		paths: paths,
-		pauto: proj.CompileVocab(paths, q.DTD.IDNames()),
-		pmode: o.Projection,
+		root:       root,
+		d:          q.DTD,
+		BDF:        forest,
+		paths:      paths,
+		pauto:      proj.CompileVocab(paths, q.DTD.IDNames()),
+		pmode:      o.Projection,
+		needShells: computeNeedShells(root),
 	}, nil
+}
+
+// computeNeedShells walks the physical operator tree for any on-first
+// handler whose precompiled past-condition vector is non-trivial (false
+// in at least one content-model state): only those read the scope state
+// that shells advance. An all-true vector fires at scope entry no matter
+// what children arrive, so it does not pin shells.
+func computeNeedShells(n pnode) bool {
+	switch t := n.(type) {
+	case *pPS:
+		for _, h := range t.hs {
+			for _, ok := range h.pastOK {
+				if !ok {
+					return true
+				}
+			}
+			if h.body != nil && computeNeedShells(h.body) {
+				return true
+			}
+		}
+	case pSeq:
+		for _, it := range t.items {
+			if computeNeedShells(it) {
+				return true
+			}
+		}
+	case pElement:
+		for _, ch := range t.children {
+			if computeNeedShells(ch) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 type compiler struct {

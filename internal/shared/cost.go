@@ -1,0 +1,192 @@
+package shared
+
+import (
+	"math"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
+)
+
+// This file is the cost side of the multi-query rewrite pass, in the
+// Volcano/Cascades shape: schema statistics derived once per DTD, a cost
+// function over a plan's physical dispatch alternatives, and the
+// decisions the engine makes with it — which plans elide shells
+// (projection tightness, gated by runtime.Plan.NeedShells), how fan-out
+// structure is laid out (interned lists, memoized flood nodes), and how
+// plans are ordered across the evaluator pool's worker stripes
+// (replacing the structural paths.Size proxy with an expected
+// delivered-event count).
+
+const (
+	// manyFan is the expected occurrence count assumed for a CardMany
+	// child: the schema bounds multiplicity only from below, so the model
+	// uses a fixed fan-out the way classic optimizers assume default
+	// selectivities.
+	manyFan = 4.0
+	// optionalP is the expected count of a CardOptional child.
+	optionalP = 0.5
+	// costCap bounds the fixpoint on recursive content models, whose
+	// expected subtree size diverges.
+	costCap = 1e12
+	// costDepthCap bounds the path-set walk (mirrors the trie DepthCap).
+	costDepthCap = DepthCap
+)
+
+// SchemaStats is the per-DTD statistics bundle: expected child
+// occurrence counts per parent element and expected subtree event counts,
+// both derived from the declared content models alone (no data sampled).
+type SchemaStats struct {
+	d *dtd.DTD
+	// ExpChild[parent][child] is the expected number of `child` elements
+	// directly inside one `parent` element, by dense name id.
+	ExpChild [][]float64
+	// ExpEvents[id] is the expected total event count (starts, ends,
+	// text) of one element's subtree, capped for recursive models.
+	ExpEvents []float64
+}
+
+// ComputeStats derives the statistics for a DTD. Cost is O(n²) in the
+// element count plus a short fixpoint, paid once per stream schema.
+func ComputeStats(d *dtd.DTD) *SchemaStats {
+	n := d.NumIDs()
+	st := &SchemaStats{
+		d:         d,
+		ExpChild:  make([][]float64, n),
+		ExpEvents: make([]float64, n),
+	}
+	for pid := 0; pid < n; pid++ {
+		row := make([]float64, n)
+		parent := d.ByID(int32(pid)).Name
+		for cid := 0; cid < n; cid++ {
+			switch d.Cardinality(parent, d.ByID(int32(cid)).Name) {
+			case dtd.CardOptional:
+				row[cid] = optionalP
+			case dtd.CardOne:
+				row[cid] = 1
+			case dtd.CardMany:
+				row[cid] = manyFan
+			}
+		}
+		st.ExpChild[pid] = row
+	}
+	// Fixpoint for expected subtree event counts. n rounds reach the
+	// deepest acyclic chain; the extra rounds let recursive models grow
+	// up to the cap instead of settling on an arbitrary partial sum.
+	for id := 0; id < n; id++ {
+		st.ExpEvents[id] = st.selfEvents(int32(id))
+	}
+	rounds := n
+	if rounds < 64 {
+		rounds = 64
+	}
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for id := 0; id < n; id++ {
+			e := st.selfEvents(int32(id))
+			for cid, c := range st.ExpChild[id] {
+				e += c * st.ExpEvents[cid]
+			}
+			if e > costCap {
+				e = costCap
+			}
+			if math.Abs(e-st.ExpEvents[id]) > 1e-9 {
+				st.ExpEvents[id] = e
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// selfEvents is the event count of an element with no children: its
+// start and end, plus one expected text event when PCDATA is permitted.
+func (st *SchemaStats) selfEvents(id int32) float64 {
+	e := 2.0
+	if st.d.ByID(id).HasPCData() {
+		e++
+	}
+	return e
+}
+
+// PlanCost estimates the expected number of events delivered to one plan
+// per document under trie dispatch: subtree regions it keeps weigh their
+// full expected event count, paths it steps through weigh their start/end
+// pairs, and — only when the plan needs shells — the expected shells of
+// irrelevant siblings along those paths. The evaluator pool orders its
+// worker stripes by this value.
+func PlanCost(ps *proj.PathSet, needShells bool, st *SchemaStats) float64 {
+	if ps == nil || ps.Root == nil {
+		return 1
+	}
+	if ps.Root.All {
+		var max float64
+		for id := range st.ExpEvents {
+			if st.ExpEvents[id] > max {
+				max = st.ExpEvents[id]
+			}
+		}
+		return max + 2
+	}
+	cost := 2.0 // document element start/end
+	for _, label := range ps.Root.SortedLabels() {
+		if label == "*" {
+			continue
+		}
+		e := st.d.Element(label)
+		if e == nil {
+			continue
+		}
+		cost += st.nodeCost(ps.Root.Children[label], e, 1, needShells, 1)
+	}
+	return cost
+}
+
+// PlanCostInt is PlanCost clamped into int range for Costed consumers.
+func PlanCostInt(ps *proj.PathSet, needShells bool, st *SchemaStats) int {
+	c := PlanCost(ps, needShells, st)
+	if c < 1 {
+		return 1
+	}
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(c)
+}
+
+func (st *SchemaStats) nodeCost(n *proj.PathNode, e *dtd.Element, w float64, needShells bool, depth int) float64 {
+	if w <= 0 || depth > costDepthCap {
+		return 0
+	}
+	id := e.ID()
+	if n.All {
+		return w * st.ExpEvents[id]
+	}
+	c := w * 2
+	if n.Text && e.HasPCData() {
+		c += w
+	}
+	star := n.Children["*"]
+	named := n.Children
+	row := st.ExpChild[id]
+	for cid := 0; cid < len(row); cid++ {
+		ec := row[cid]
+		if ec == 0 {
+			continue
+		}
+		ce := st.d.ByID(int32(cid))
+		if child, ok := named[ce.Name]; ok {
+			c += st.nodeCost(child, ce, w*ec, needShells, depth+1)
+		} else if star != nil {
+			c += st.nodeCost(star, ce, w*ec, needShells, depth+1)
+		} else if needShells {
+			c += 2 * w * ec
+		}
+		if c > costCap {
+			return costCap
+		}
+	}
+	return c
+}

@@ -1,0 +1,95 @@
+package shared
+
+import (
+	"testing"
+
+	"fluxquery/internal/dtd"
+	"fluxquery/internal/proj"
+)
+
+const costDTD = `
+<!ELEMENT root (one, opt?, many*)>
+<!ELEMENT one (#PCDATA)>
+<!ELEMENT opt (#PCDATA)>
+<!ELEMENT many (leaf)*>
+<!ELEMENT leaf (#PCDATA)>
+`
+
+func TestComputeStatsCardinalities(t *testing.T) {
+	d := dtd.MustParse(costDTD)
+	st := ComputeStats(d)
+	root := d.Element("root").ID()
+	get := func(child string) float64 {
+		return st.ExpChild[root][d.Element(child).ID()]
+	}
+	if got := get("one"); got != 1 {
+		t.Errorf("ExpChild[root][one] = %v, want 1", got)
+	}
+	if got := get("opt"); got != optionalP {
+		t.Errorf("ExpChild[root][opt] = %v, want %v", got, optionalP)
+	}
+	if got := get("many"); got != manyFan {
+		t.Errorf("ExpChild[root][many] = %v, want %v", got, manyFan)
+	}
+	if got := get("leaf"); got != 0 {
+		t.Errorf("ExpChild[root][leaf] = %v, want 0 (not a direct child)", got)
+	}
+	// Subtree sizes compose: root's expected events include the expected
+	// events of its children, so root > many > leaf.
+	ev := func(name string) float64 { return st.ExpEvents[d.Element(name).ID()] }
+	if !(ev("root") > ev("many") && ev("many") > ev("leaf")) {
+		t.Errorf("expected event counts not monotone: root=%v many=%v leaf=%v",
+			ev("root"), ev("many"), ev("leaf"))
+	}
+	if got := ev("leaf"); got != 3 {
+		t.Errorf("ExpEvents[leaf] = %v, want 3 (start+end+text)", got)
+	}
+}
+
+func TestComputeStatsRecursiveCapped(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT a (a)*>
+`)
+	st := ComputeStats(d)
+	got := st.ExpEvents[d.Element("a").ID()]
+	if got != costCap {
+		t.Errorf("recursive model ExpEvents = %v, want cap %v", got, costCap)
+	}
+}
+
+func TestPlanCostOrdering(t *testing.T) {
+	d := dtd.MustParse(costDTD)
+	st := ComputeStats(d)
+	path := func(labels ...string) *proj.PathSet {
+		ps := proj.NewPathSet()
+		cur := ps.Root
+		for _, l := range labels {
+			cur = cur.Child(l)
+		}
+		return ps
+	}
+	shallow := PlanCost(path("root"), false, st)
+	deep := PlanCost(path("root", "many", "leaf"), false, st)
+	if !(deep > shallow) {
+		t.Errorf("deeper path not costlier: deep=%v shallow=%v", deep, shallow)
+	}
+	// All-subtree capture must dominate a single path through it.
+	all := path("root", "many")
+	all.Root.Children["root"].Children["many"].All = true
+	if a, p := PlanCost(all, false, st), PlanCost(path("root", "many", "leaf"), false, st); !(a > p) {
+		t.Errorf("keep-all not costlier than one path: all=%v path=%v", a, p)
+	}
+	// Needing shells adds the expected irrelevant-sibling deliveries.
+	withShells := PlanCost(path("root", "one"), true, st)
+	without := PlanCost(path("root", "one"), false, st)
+	if !(withShells > without) {
+		t.Errorf("shells did not add cost: with=%v without=%v", withShells, without)
+	}
+	// Deterministic: same inputs, same float.
+	if a, b := PlanCost(path("root", "many", "leaf"), true, st), PlanCost(path("root", "many", "leaf"), true, st); a != b {
+		t.Errorf("cost not deterministic: %v vs %v", a, b)
+	}
+	if PlanCostInt(path("root"), false, st) < 1 {
+		t.Error("PlanCostInt must be >= 1")
+	}
+}

@@ -1,0 +1,126 @@
+package shared
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"fluxquery/internal/proj"
+)
+
+// FuzzTrieBuild decodes arbitrary bytes into a registered plan set
+// (path-sets with All/Text markers and per-plan shell requirements over
+// a small vocabulary), builds the dispatch trie, and asserts its
+// structural invariants: no panics, every fan-out list duplicate-free
+// and in range, the document element covering every plan exactly once —
+// and, against the independent per-plan reference walker, that routing
+// never under-delivers (and is exact for inputs within the depth cap).
+//
+// Run with: go test -fuzz FuzzTrieBuild ./internal/shared
+func FuzzTrieBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1, 2})
+	f.Add([]byte{3, 0, 0, 1, 2, 0xFF, 1, 0, 1, 6, 0xFF, 0, 5, 5, 5, 7})
+	f.Add([]byte{2, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0xFF, 0, 6})
+	// A plan set that exercises the depth-cap flood: one label repeated
+	// far beyond DepthCap.
+	deep := []byte{1, 0}
+	for i := 0; i < 3*DepthCap; i++ {
+		deep = append(deep, 0)
+	}
+	f.Add(deep)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, deepest := decodeReqs(data)
+		trie := Build(reqs, fuzzVocabSize)
+		if err := trie.Check(len(reqs)); err != nil {
+			t.Fatalf("invariants violated: %v", err)
+		}
+		// Differential walks, seeded from the input so every corpus entry
+		// replays the same streams.
+		h := fnv.New64a()
+		h.Write(data)
+		r := rand.New(rand.NewSource(int64(h.Sum64())))
+		exact := deepest < DepthCap
+		for i := 0; i < 8; i++ {
+			compareWalk(t, trie, reqs, randomWalk(r, fuzzVocabSize, 200, DepthCap/2), exact)
+		}
+	})
+}
+
+// fuzzVocabSize keeps the decoded vocabulary small so fuzzed plans
+// collide on labels (shared prefixes are the interesting case).
+const fuzzVocabSize = 5
+
+// decodeReqs interprets the fuzz input as a plan set. Byte stream:
+// first byte = plan count (mod 8); then per plan, one shell-flag byte
+// followed by path ops until 0xFF: op%8 in 0..4 descends into child
+// (op%fuzzVocabSize), 5 pops one level, 6 marks Text, 7 marks All.
+// Returns the decoded requests and the deepest path node touched.
+func decodeReqs(data []byte) ([]PlanReq, int) {
+	names := vocab(fuzzVocabSize)
+	if len(data) == 0 {
+		return nil, 0
+	}
+	numPlans := int(data[0]%8) + 1
+	data = data[1:]
+	deepest := 0
+	reqs := make([]PlanReq, 0, numPlans)
+	for p := 0; p < numPlans; p++ {
+		needShells := false
+		if len(data) > 0 {
+			needShells = data[0]&1 == 1
+			data = data[1:]
+		}
+		ps := proj.NewPathSet()
+		stack := []*proj.PathNode{ps.Root}
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			if op == 0xFF {
+				break
+			}
+			cur := stack[len(stack)-1]
+			switch op % 8 {
+			case 5:
+				if len(stack) > 1 {
+					stack = stack[:len(stack)-1]
+				}
+			case 6:
+				cur.Text = true
+			case 7:
+				cur.All = true
+			default:
+				stack = append(stack, cur.Child(names[int(op)%fuzzVocabSize]))
+				if d := len(stack) - 1; d > deepest {
+					deepest = d
+				}
+			}
+		}
+		reqs = append(reqs, ReqFromPaths(ps, needShells, names))
+	}
+	return reqs, deepest
+}
+
+// TestFuzzSeedsPass replays the committed seed corpus through the fuzz
+// body in a plain test run, so `go test` exercises it without -fuzz.
+func TestFuzzSeedsPass(t *testing.T) {
+	seeds := [][]byte{
+		{},
+		{1, 0, 1, 2},
+		{3, 0, 0, 1, 2, 0xFF, 1, 0, 1, 6, 0xFF, 0, 5, 5, 5, 7},
+		{2, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0xFF, 0, 6},
+	}
+	for _, s := range seeds {
+		reqs, deepest := decodeReqs(s)
+		trie := Build(reqs, fuzzVocabSize)
+		if err := trie.Check(len(reqs)); err != nil {
+			t.Fatalf("seed %v: %v", s, err)
+		}
+		h := fnv.New64a()
+		h.Write(s)
+		r := rand.New(rand.NewSource(int64(h.Sum64())))
+		for i := 0; i < 8; i++ {
+			compareWalk(t, trie, reqs, randomWalk(r, fuzzVocabSize, 200, DepthCap/2), deepest < DepthCap)
+		}
+	}
+}

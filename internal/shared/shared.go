@@ -1,0 +1,44 @@
+// Package shared implements multi-query plan sharing for the shared
+// event stream: the dispatch trie that interns the schema-qualified path
+// prefixes and projection sub-automata of every registered plan into one
+// id-indexed structure, and the schema-statistics cost model that drives
+// the multi-query rewrite pass (shell elision, fan-out layout, evaluator
+// worker placement).
+//
+// # Why a trie
+//
+// The shared pass of package mqe fans every validated batch out to every
+// registered plan, so per-event cost grows linearly with the number of
+// registrations even when the registrations overlap heavily — 10k copies
+// of "read /site/regions" pay 10k evaluator passes over the whole
+// stream. The paper's own claim is that FluX evaluation cost is driven
+// by schema-qualified paths, not query text: two plans that agree on a
+// path prefix need exactly one dispatch decision along it. The trie is
+// that factored decision structure. One node per reachable *product* of
+// the registered plans' projection-automaton states, one dense jump
+// table per node over the DTD's element ids (the PR 4 symbol pipeline:
+// equal DTDs assign identical dense ids, so every plan's automaton and
+// the trie index the same vocabulary), and one interned fan-out list per
+// (node, child id): the plans that must receive that child's start and
+// end events. Resolving an event is one slice load on the trie walk;
+// delivering it costs work proportional to the plans that actually want
+// it, not to the registration count.
+//
+// # Correctness envelope
+//
+// Trie routing applies each plan's own projection at the dispatch layer.
+// The projection contract (package proj) already guarantees that a plan
+// evaluated over its own projected stream is byte-identical to the
+// unprojected run, so per-plan routing inherits that proof. The trie
+// adds exactly one sharpening on top — shell elision — and gates it on a
+// compile-time analysis (runtime.Plan.NeedShells): a plan whose handlers
+// never consult a past(S) condition never reads its scopes'
+// content-model state, so the start/end shells of children it does not
+// descend into can be dropped entirely for it. Plans that do carry
+// past(S) on-first handlers keep their shells, because shells are what
+// step the content-model automaton that decides when those handlers
+// fire. Over-delivery is always safe (evaluators tolerate unprojected
+// streams), which is why the builder may conservatively flood a subtree
+// (depth cap, pure keep-all regions) but never under-delivers beyond the
+// gated shell elision.
+package shared

@@ -1,0 +1,401 @@
+package shared
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxquery/internal/proj"
+)
+
+// Drop is the interior sentinel: no registered plan wants anything inside
+// the region, so the dispatcher discards events until the matching end
+// tag.
+const Drop int32 = -1
+
+// DepthCap bounds the trie's depth. Path sets are finite trees, so the
+// build always terminates; the cap guards the product construction
+// against adversarially deep path sets (fuzzed inputs, machine-generated
+// queries) by switching to a conservative flood node — every plan still
+// active at the cap receives everything below it, which is safe
+// over-delivery — instead of growing an arbitrarily deep structure.
+const DepthCap = 64
+
+// PlanReq is one registered plan's dispatch requirement: its compiled
+// projection automaton (vocabulary form, so verdicts are slice loads on
+// the shared dense name ids) and whether the plan needs shells for
+// children it does not descend into (runtime.Plan.NeedShells).
+type PlanReq struct {
+	Auto       *proj.Automaton
+	NeedShells bool
+}
+
+// ReqFromPaths builds a PlanReq directly from a path-set, compiling its
+// automaton over the given name-id vocabulary. Tests and fuzzers use it;
+// the engine hands the trie the automata its plans already carry.
+func ReqFromPaths(ps *proj.PathSet, needShells bool, names []string) PlanReq {
+	return PlanReq{Auto: proj.CompileVocab(ps, names), NeedShells: needShells}
+}
+
+// Trie is the compiled, immutable dispatch structure over a fixed
+// ordered set of plans. It is safe for concurrent readers; a
+// registration change builds a fresh Trie (mqe.Set snapshots it per
+// pass, the same idiom as the projection union).
+type Trie struct {
+	numIDs   int
+	numPlans int
+	nodes    []tnode
+	// lists holds the interned fan-out lists; every fan/text/flood field
+	// below is an index into it. lists[0] is the empty list.
+	lists [][]int32
+	// maxFanout is the length of the longest interned list.
+	maxFanout int
+}
+
+// tnode is one trie node: the product of the registered plans' projection
+// states at one schema-qualified path prefix.
+type tnode struct {
+	// flood, when >= 0, marks a keep-all node: every event at or below it
+	// is delivered to lists[flood] with no further lookups, and the node
+	// is its own successor for every child id.
+	flood int32
+	// next[id] is the interior node for a child with dense name id `id`,
+	// or Drop.
+	next []int32
+	// fan[id] is the fan-out list id for that child's start and end
+	// events.
+	fan []int32
+	// text is the fan-out list id for direct text children.
+	text int32
+}
+
+// pstate is one plan's position during the product construction.
+type pstate struct {
+	plan int32
+	st   int32
+}
+
+type builder struct {
+	t    *Trie
+	reqs []PlanReq
+	// listIdx interns fan-out lists; memo interns product nodes by their
+	// (active states, keep-all list) key, so common sub-automata shared by
+	// several prefixes — or several plans — become one node.
+	listIdx map[string]int32
+	memo    map[string]int32
+}
+
+// Build compiles the dispatch trie for an ordered plan set over a DTD
+// vocabulary of numIDs dense element ids. The i-th request corresponds to
+// plan index i in every fan-out list. All automata must be
+// vocabulary-compiled over the same id assignment (equal DTDs guarantee
+// this, see dtd.IDNames).
+func Build(reqs []PlanReq, numIDs int) *Trie {
+	t := &Trie{numIDs: numIDs, numPlans: len(reqs)}
+	b := &builder{t: t, reqs: reqs, listIdx: map[string]int32{}, memo: map[string]int32{}}
+	b.internList(nil) // list 0 = empty
+
+	var active []pstate
+	var all []int32
+	for i := range reqs {
+		st := reqs[i].Auto.Start()
+		if st == proj.StateAll {
+			all = append(all, int32(i))
+		} else {
+			active = append(active, pstate{int32(i), st})
+		}
+	}
+	root := b.node(active, b.internList(all), 0)
+	if root == Drop {
+		// Zero plans (or none wanting anything): a single node that drops
+		// everything keeps the walker branch-free.
+		b.flood(0)
+	}
+	for _, l := range t.lists {
+		if len(l) > t.maxFanout {
+			t.maxFanout = len(l)
+		}
+	}
+	return t
+}
+
+// node interns the product node for the given active plan states plus
+// keep-all list and returns its index (allocating it and its subtree on
+// first use).
+func (b *builder) node(active []pstate, allList int32, depth int) int32 {
+	if len(active) == 0 {
+		if allList == 0 {
+			return Drop
+		}
+		return b.flood(allList)
+	}
+	if depth >= DepthCap {
+		// Conservative flood: over-deliver the whole subtree to every plan
+		// still active here. Safe (evaluators tolerate unprojected
+		// streams), and it bounds the structure against adversarial depth.
+		plans := append([]int32(nil), b.t.lists[allList]...)
+		for _, a := range active {
+			plans = append(plans, a.plan)
+		}
+		sort.Slice(plans, func(i, j int) bool { return plans[i] < plans[j] })
+		return b.flood(b.internList(plans))
+	}
+	key := nodeKey(active, allList)
+	if idx, ok := b.memo[key]; ok {
+		return idx
+	}
+	idx := int32(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, tnode{flood: -1})
+	// Memoize before recursing: product states over tree-shaped path
+	// automata form a DAG, but an interned index must exist the moment a
+	// converging prefix asks for it.
+	b.memo[key] = idx
+
+	n := b.t.numIDs
+	next := make([]int32, n)
+	fan := make([]int32, n)
+	allPlans := b.t.lists[allList]
+	var fanPlans, childAll []int32
+	var childActive []pstate
+	for id := 0; id < n; id++ {
+		fanPlans = fanPlans[:0]
+		childAll = childAll[:0]
+		childActive = childActive[:0]
+		for _, a := range active {
+			v := b.reqs[a.plan].Auto.ChildID(a.st, int32(id))
+			switch {
+			case v == proj.StateAll:
+				childAll = append(childAll, a.plan)
+				fanPlans = append(fanPlans, a.plan)
+			case v == proj.StateSkip:
+				// Shell or full elision. The document element (depth 0) is
+				// always delivered at least as a shell: every evaluator
+				// expects to enter its root scope.
+				if b.reqs[a.plan].NeedShells || depth == 0 {
+					fanPlans = append(fanPlans, a.plan)
+				}
+			default:
+				childActive = append(childActive, pstate{a.plan, v})
+				fanPlans = append(fanPlans, a.plan)
+			}
+		}
+		fan[id] = b.internList(mergeSorted(allPlans, fanPlans))
+		nextAll := allList
+		if len(childAll) > 0 {
+			nextAll = b.internList(mergeSorted(allPlans, childAll))
+		}
+		next[id] = b.node(append([]pstate(nil), childActive...), nextAll, depth+1)
+	}
+	textPlans := allPlans[:len(allPlans):len(allPlans)]
+	var tp []int32
+	for _, a := range active {
+		if b.reqs[a.plan].Auto.Text(a.st) {
+			tp = append(tp, a.plan)
+		}
+	}
+	text := b.internList(mergeSorted(textPlans, tp))
+
+	nd := &b.t.nodes[idx]
+	nd.next, nd.fan, nd.text = next, fan, text
+	return idx
+}
+
+// flood interns the keep-all node delivering everything to lists[list].
+func (b *builder) flood(list int32) int32 {
+	key := "F" + listKey(b.t.lists[list])
+	if idx, ok := b.memo[key]; ok {
+		return idx
+	}
+	idx := int32(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, tnode{flood: list, text: list})
+	b.memo[key] = idx
+	return idx
+}
+
+// internList interns a sorted, duplicate-free plan list and returns its
+// id. nil and empty intern to list 0.
+func (b *builder) internList(plans []int32) int32 {
+	key := listKey(plans)
+	if idx, ok := b.listIdx[key]; ok {
+		return idx
+	}
+	idx := int32(len(b.t.lists))
+	b.t.lists = append(b.t.lists, append([]int32(nil), plans...))
+	b.listIdx[key] = idx
+	return idx
+}
+
+// mergeSorted merges two ascending duplicate-free lists (reusing neither).
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func listKey(plans []int32) string {
+	buf := make([]byte, 4*len(plans))
+	for i, p := range plans {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(p))
+	}
+	return string(buf)
+}
+
+func nodeKey(active []pstate, allList int32) string {
+	buf := make([]byte, 8*len(active)+4)
+	for i, a := range active {
+		binary.LittleEndian.PutUint32(buf[8*i:], uint32(a.plan))
+		binary.LittleEndian.PutUint32(buf[8*i+4:], uint32(a.st))
+	}
+	binary.LittleEndian.PutUint32(buf[8*len(active):], uint32(allList))
+	return string(buf)
+}
+
+// Root returns the trie's start node (the virtual document node).
+func (t *Trie) Root() int32 {
+	if len(t.nodes) == 0 {
+		return Drop
+	}
+	return 0
+}
+
+// StartChild resolves a start tag with dense name id `id` at `node`: the
+// fan-out list id for the child's start and end events, and the interior
+// node to descend into (Drop when nothing below matters to any plan).
+func (t *Trie) StartChild(node int32, id int32) (fanList int32, next int32) {
+	nd := &t.nodes[node]
+	if nd.flood >= 0 {
+		return nd.flood, node
+	}
+	if int(id) >= len(nd.fan) {
+		return 0, Drop
+	}
+	return nd.fan[id], nd.next[id]
+}
+
+// TextList returns the plans receiving direct text at `node`.
+func (t *Trie) TextList(node int32) []int32 {
+	return t.lists[t.nodes[node].text]
+}
+
+// List resolves a fan-out list id (nil for ids < 0).
+func (t *Trie) List(id int32) []int32 {
+	if id < 0 {
+		return nil
+	}
+	return t.lists[id]
+}
+
+// NumNodes returns the interned node count (diagnostics/telemetry).
+func (t *Trie) NumNodes() int { return len(t.nodes) }
+
+// NumLists returns the interned fan-out list count.
+func (t *Trie) NumLists() int { return len(t.lists) }
+
+// NumPlans returns the plan count the trie was built for.
+func (t *Trie) NumPlans() int { return t.numPlans }
+
+// MaxFanout returns the length of the longest fan-out list.
+func (t *Trie) MaxFanout() int { return t.maxFanout }
+
+// Check verifies the trie's structural invariants: every interned list
+// is strictly increasing with plan indices in [0, numPlans) — so no
+// event is ever delivered to the same plan twice — every next pointer is
+// Drop or a valid node, flood nodes are self-consistent, and the root's
+// fan-out for every child id covers every registered plan exactly once
+// (the document element reaches each plan at least as a shell).
+func (t *Trie) Check(numPlans int) error {
+	if t.numPlans != numPlans {
+		return fmt.Errorf("shared: trie built for %d plans, checked against %d", t.numPlans, numPlans)
+	}
+	for li, l := range t.lists {
+		for i, p := range l {
+			if p < 0 || int(p) >= numPlans {
+				return fmt.Errorf("shared: list %d holds out-of-range plan %d", li, p)
+			}
+			if i > 0 && l[i-1] >= p {
+				return fmt.Errorf("shared: list %d not strictly increasing at %d", li, i)
+			}
+		}
+	}
+	for ni := range t.nodes {
+		nd := &t.nodes[ni]
+		if nd.flood >= 0 {
+			if int(nd.flood) >= len(t.lists) {
+				return fmt.Errorf("shared: node %d floods unknown list %d", ni, nd.flood)
+			}
+			continue
+		}
+		if len(nd.next) != t.numIDs || len(nd.fan) != t.numIDs {
+			return fmt.Errorf("shared: node %d tables sized %d/%d, want %d", ni, len(nd.next), len(nd.fan), t.numIDs)
+		}
+		if nd.text < 0 || int(nd.text) >= len(t.lists) {
+			return fmt.Errorf("shared: node %d has invalid text list %d", ni, nd.text)
+		}
+		for id := 0; id < t.numIDs; id++ {
+			if f := nd.fan[id]; f < 0 || int(f) >= len(t.lists) {
+				return fmt.Errorf("shared: node %d id %d has invalid fan list %d", ni, id, f)
+			}
+			if nx := nd.next[id]; nx != Drop && (nx < 0 || int(nx) >= len(t.nodes)) {
+				return fmt.Errorf("shared: node %d id %d has invalid next %d", ni, id, nx)
+			}
+		}
+	}
+	if numPlans > 0 && len(t.nodes) > 0 && t.nodes[0].flood < 0 {
+		for id := 0; id < t.numIDs; id++ {
+			l := t.lists[t.nodes[0].fan[id]]
+			if len(l) != numPlans {
+				return fmt.Errorf("shared: root fan for id %d covers %d of %d plans", id, len(l), numPlans)
+			}
+		}
+	}
+	return nil
+}
+
+// DebugString renders the trie in canonical form. Build is deterministic
+// for a given (ordered) request set, so two equal tries render equal
+// strings — the churn property test relies on this.
+func (t *Trie) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trie plans=%d nodes=%d lists=%d\n", t.numPlans, len(t.nodes), len(t.lists))
+	for li, l := range t.lists {
+		fmt.Fprintf(&sb, "list %d: %v\n", li, l)
+	}
+	for ni := range t.nodes {
+		nd := &t.nodes[ni]
+		if nd.flood >= 0 {
+			fmt.Fprintf(&sb, "node %d: flood list=%d\n", ni, nd.flood)
+			continue
+		}
+		fmt.Fprintf(&sb, "node %d: text=%d\n", ni, nd.text)
+		for id := 0; id < t.numIDs; id++ {
+			if nd.fan[id] == 0 && nd.next[id] == Drop {
+				continue
+			}
+			fmt.Fprintf(&sb, "  id %d: fan=%d next=%d\n", id, nd.fan[id], nd.next[id])
+		}
+	}
+	return sb.String()
+}

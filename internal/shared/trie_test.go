@@ -1,0 +1,401 @@
+package shared
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fluxquery/internal/proj"
+)
+
+// names builds a fake dense vocabulary e0..e{n-1}.
+func vocab(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("e%d", i)
+	}
+	return out
+}
+
+// pathReq builds a PlanReq from slash paths ("e0/e1/e2"), with optional
+// markers: a trailing "!" on a path sets All on its last node, "~" sets
+// Text.
+func pathReq(names []string, needShells bool, paths ...string) PlanReq {
+	ps := proj.NewPathSet()
+	for _, p := range paths {
+		cur := ps.Root
+		all, text := false, false
+		if n := len(p); n > 0 && p[n-1] == '!' {
+			all, p = true, p[:n-1]
+		} else if n > 0 && p[n-1] == '~' {
+			text, p = true, p[:n-1]
+		}
+		start := 0
+		for i := 0; i <= len(p); i++ {
+			if i == len(p) || p[i] == '/' {
+				if i > start {
+					cur = cur.Child(p[start:i])
+				}
+				start = i + 1
+			}
+		}
+		if all {
+			cur.All = true
+		}
+		if text {
+			cur.Text = true
+		}
+	}
+	return ReqFromPaths(ps, needShells, names)
+}
+
+// refWalker is the independent oracle: per-plan projection semantics
+// applied one automaton at a time, exactly as N separate projected runs
+// would deliver events. frame verdicts: state id, StateAll, StateSkip.
+type refWalker struct {
+	reqs   []PlanReq
+	stacks [][]refFrame
+}
+
+type refFrame struct {
+	v         int32
+	delivered bool
+}
+
+func newRefWalker(reqs []PlanReq) *refWalker {
+	w := &refWalker{reqs: reqs, stacks: make([][]refFrame, len(reqs))}
+	for i, r := range reqs {
+		w.stacks[i] = []refFrame{{v: r.Auto.Start(), delivered: true}}
+	}
+	return w
+}
+
+// start returns the plans that receive a child start tag with name id.
+func (w *refWalker) start(id int32) []int32 {
+	var out []int32
+	for p := range w.reqs {
+		st := w.stacks[p]
+		top := st[len(st)-1]
+		depth := len(st) - 1
+		var fr refFrame
+		switch {
+		case top.v == proj.StateAll:
+			fr = refFrame{v: proj.StateAll, delivered: true}
+		case top.v == proj.StateSkip:
+			fr = refFrame{v: proj.StateSkip, delivered: false}
+		default:
+			v := w.reqs[p].Auto.ChildID(top.v, id)
+			if v == proj.StateSkip {
+				fr = refFrame{v: proj.StateSkip,
+					delivered: w.reqs[p].NeedShells || depth == 0}
+			} else {
+				fr = refFrame{v: v, delivered: true}
+			}
+		}
+		w.stacks[p] = append(st, fr)
+		if fr.delivered {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+// end returns the plans that receive the matching end tag.
+func (w *refWalker) end() []int32 {
+	var out []int32
+	for p := range w.reqs {
+		st := w.stacks[p]
+		fr := st[len(st)-1]
+		w.stacks[p] = st[:len(st)-1]
+		if fr.delivered {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+// text returns the plans that receive direct text here.
+func (w *refWalker) text() []int32 {
+	var out []int32
+	for p := range w.reqs {
+		st := w.stacks[p]
+		top := st[len(st)-1]
+		switch {
+		case top.v == proj.StateAll:
+			out = append(out, int32(p))
+		case top.v >= 0 && w.reqs[p].Auto.Text(top.v):
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+// trieWalker mirrors the dispatcher's trie walk.
+type trieWalker struct {
+	t     *Trie
+	stack []tframeT
+}
+
+type tframeT struct {
+	node int32
+	fan  int32
+}
+
+func newTrieWalker(t *Trie) *trieWalker {
+	return &trieWalker{t: t, stack: []tframeT{{node: t.Root(), fan: -1}}}
+}
+
+func (w *trieWalker) start(id int32) []int32 {
+	top := w.stack[len(w.stack)-1]
+	if top.node == Drop {
+		w.stack = append(w.stack, tframeT{node: Drop, fan: -1})
+		return nil
+	}
+	fan, next := w.t.StartChild(top.node, id)
+	w.stack = append(w.stack, tframeT{node: next, fan: fan})
+	return w.t.List(fan)
+}
+
+func (w *trieWalker) end() []int32 {
+	top := w.stack[len(w.stack)-1]
+	w.stack = w.stack[:len(w.stack)-1]
+	if top.fan < 0 {
+		return nil
+	}
+	return w.t.List(top.fan)
+}
+
+func (w *trieWalker) text() []int32 {
+	top := w.stack[len(w.stack)-1]
+	if top.node == Drop {
+		return nil
+	}
+	return w.t.TextList(top.node)
+}
+
+func eqList(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func superset(a, b []int32) bool {
+	m := map[int32]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// walkEvent is one synthetic stream event.
+type walkEvent struct {
+	kind byte // 's' start, 'e' end, 't' text
+	id   int32
+}
+
+// randomWalk generates a balanced synthetic element stream over numIDs
+// labels with bounded depth.
+func randomWalk(r *rand.Rand, numIDs, length, maxDepth int) []walkEvent {
+	var out []walkEvent
+	depth := 0
+	for len(out) < length {
+		switch {
+		case depth == 0:
+			out = append(out, walkEvent{'s', int32(r.Intn(numIDs))})
+			depth++
+		case depth >= maxDepth || r.Intn(3) == 0:
+			out = append(out, walkEvent{'e', 0})
+			depth--
+			if depth == 0 && r.Intn(2) == 0 {
+				// End of document element: stop (one root per stream).
+				return out
+			}
+		case r.Intn(4) == 0:
+			out = append(out, walkEvent{'t', 0})
+		default:
+			out = append(out, walkEvent{'s', int32(r.Intn(numIDs))})
+			depth++
+		}
+	}
+	for depth > 0 {
+		out = append(out, walkEvent{'e', 0})
+		depth--
+	}
+	return out
+}
+
+// compareWalk drives both walkers over a stream. When exact is true the
+// delivery sets must be identical per event; otherwise (depth-capped
+// tries) the trie may over-deliver but never under-deliver.
+func compareWalk(t *testing.T, trie *Trie, reqs []PlanReq, evs []walkEvent, exact bool) {
+	t.Helper()
+	tw, rw := newTrieWalker(trie), newRefWalker(reqs)
+	for i, ev := range evs {
+		var got, want []int32
+		switch ev.kind {
+		case 's':
+			got, want = tw.start(ev.id), rw.start(ev.id)
+		case 'e':
+			got, want = tw.end(), rw.end()
+		case 't':
+			got, want = tw.text(), rw.text()
+		}
+		if exact && !eqList(got, want) {
+			t.Fatalf("event %d (%c id=%d): trie delivered %v, reference %v", i, ev.kind, ev.id, got, want)
+		}
+		if !exact && !superset(got, want) {
+			t.Fatalf("event %d (%c id=%d): trie under-delivered %v, reference %v", i, ev.kind, ev.id, got, want)
+		}
+	}
+}
+
+func TestTrieMatchesPerPlanProjection(t *testing.T) {
+	const numIDs = 6
+	names := vocab(numIDs)
+	reqs := []PlanReq{
+		pathReq(names, true, "e0/e1/e2"),
+		pathReq(names, false, "e0/e1/e3~"),
+		pathReq(names, true, "e0/e4!"),
+		pathReq(names, false, "e0/e1", "e0/e5/e2!"),
+		pathReq(names, false), // empty plan: document shell only
+	}
+	trie := Build(reqs, numIDs)
+	if err := trie.Check(len(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		compareWalk(t, trie, reqs, randomWalk(r, numIDs, 120, 8), true)
+	}
+}
+
+func TestTrieShellElision(t *testing.T) {
+	names := vocab(3)
+	// Plan 0 needs shells, plan 1 does not; both read e0/e1 only.
+	reqs := []PlanReq{
+		pathReq(names, true, "e0/e1"),
+		pathReq(names, false, "e0/e1"),
+	}
+	trie := Build(reqs, 3)
+	tw := newTrieWalker(trie)
+	if got := tw.start(0); !eqList(got, []int32{0, 1}) {
+		t.Fatalf("document element fan-out %v, want both plans", got)
+	}
+	// Irrelevant sibling e2 inside e0: only the shell-needing plan sees it.
+	if got := tw.start(2); !eqList(got, []int32{0}) {
+		t.Fatalf("irrelevant-sibling fan-out %v, want just plan 0", got)
+	}
+	if got := tw.end(); !eqList(got, []int32{0}) {
+		t.Fatalf("irrelevant-sibling end fan-out %v, want just plan 0", got)
+	}
+	// The relevant child goes to both.
+	if got := tw.start(1); !eqList(got, []int32{0, 1}) {
+		t.Fatalf("relevant-child fan-out %v, want both plans", got)
+	}
+}
+
+func TestTrieInternsIdenticalPlans(t *testing.T) {
+	const numIDs = 5
+	names := vocab(numIDs)
+	single := Build([]PlanReq{pathReq(names, true, "e0/e1/e2", "e0/e3~")}, numIDs)
+	many := make([]PlanReq, 100)
+	for i := range many {
+		many[i] = pathReq(names, true, "e0/e1/e2", "e0/e3~")
+	}
+	trie := Build(many, numIDs)
+	if err := trie.Check(100); err != nil {
+		t.Fatal(err)
+	}
+	// 100 identical plans move through the product in lockstep: the node
+	// count must equal the single-plan trie's, only the fan-out lists
+	// widen. This is the interning claim in one assertion.
+	if trie.NumNodes() != single.NumNodes() {
+		t.Fatalf("100 identical plans interned to %d nodes, single plan has %d",
+			trie.NumNodes(), single.NumNodes())
+	}
+	if trie.MaxFanout() != 100 {
+		t.Fatalf("max fan-out %d, want 100", trie.MaxFanout())
+	}
+}
+
+func TestTrieDeterministicBuild(t *testing.T) {
+	const numIDs = 4
+	names := vocab(numIDs)
+	mk := func() *Trie {
+		return Build([]PlanReq{
+			pathReq(names, true, "e0/e1", "e0/e2!"),
+			pathReq(names, false, "e0/e1/e3~"),
+			pathReq(names, true, "e3!"),
+		}, numIDs)
+	}
+	if a, b := mk().DebugString(), mk().DebugString(); a != b {
+		t.Fatalf("two builds of the same request set differ:\n%s\n--- vs ---\n%s", a, b)
+	}
+}
+
+func TestTrieDepthCap(t *testing.T) {
+	const numIDs = 2
+	names := vocab(numIDs)
+	// A path twice as deep as the cap: e0/e0/e0/...
+	deep := ""
+	for i := 0; i < 2*DepthCap; i++ {
+		if i > 0 {
+			deep += "/"
+		}
+		deep += "e0"
+	}
+	reqs := []PlanReq{pathReq(names, false, deep), pathReq(names, true, "e0/e1")}
+	trie := Build(reqs, numIDs)
+	if err := trie.Check(len(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	// Below the cap the trie floods conservatively: over-delivery is
+	// allowed, under-delivery is not.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		compareWalk(t, trie, reqs, randomWalk(r, numIDs, 400, 2*DepthCap+4), false)
+	}
+}
+
+func TestTrieZeroPlans(t *testing.T) {
+	trie := Build(nil, 3)
+	if err := trie.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	tw := newTrieWalker(trie)
+	if got := tw.start(1); len(got) != 0 {
+		t.Fatalf("zero-plan trie delivered to %v", got)
+	}
+	if got := tw.end(); len(got) != 0 {
+		t.Fatalf("zero-plan trie delivered end to %v", got)
+	}
+}
+
+func TestTrieAllRootPlan(t *testing.T) {
+	names := vocab(3)
+	ps := proj.NewPathSet()
+	ps.Root.All = true
+	reqs := []PlanReq{
+		{Auto: proj.CompileVocab(ps, names), NeedShells: false},
+		pathReq(names, false, "e0/e1"),
+	}
+	trie := Build(reqs, 3)
+	if err := trie.Check(2); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		compareWalk(t, trie, reqs, randomWalk(r, 3, 80, 6), true)
+	}
+}

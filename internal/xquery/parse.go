@@ -46,8 +46,26 @@ func MustParse(src string) Expr {
 }
 
 type qparser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
+}
+
+// maxNest bounds expression nesting. Every recursion cycle in the parser
+// passes through exprSingle or constructor, so counting those two turns a
+// pathological input (thousands of nested parentheses or constructors)
+// into a ParseError instead of a fatal goroutine stack overflow. Paths
+// are parsed iteratively and can be arbitrarily long — a chain of steps
+// far past the dispatch trie's depth cap is fine (the trie floods there,
+// see shared.DepthCap).
+const maxNest = 256
+
+func (p *qparser) enter() error {
+	p.depth++
+	if p.depth > maxNest {
+		return p.errf("expression nesting exceeds %d levels", maxNest)
+	}
+	return nil
 }
 
 func (p *qparser) eof() bool { return p.pos >= len(p.src) }
@@ -168,6 +186,10 @@ func (p *qparser) expr() (Expr, error) {
 }
 
 func (p *qparser) exprSingle() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	p.ws()
 	switch {
 	case p.peekWord("for"):
@@ -587,6 +609,10 @@ func (p *qparser) numberLit() (Expr, error) {
 }
 
 func (p *qparser) constructor() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	if !p.consume("<") {
 		return nil, p.errf("expected '<'")
 	}

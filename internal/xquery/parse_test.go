@@ -293,3 +293,49 @@ func TestParseTruncatedInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestParseDeepPaths: path steps are parsed iteratively, so a chain far
+// past the dispatch trie's depth cap (shared.DepthCap = 64) must parse —
+// the trie handles such plans with its flood fallback, not the parser.
+func TestParseDeepPaths(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 200} {
+		src := "for $x in $ROOT" + strings.Repeat("/n", n) + " return <r>{ $x/t }</r>"
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("depth %d: %v", n, err)
+		}
+		f, ok := e.(For)
+		if !ok {
+			t.Fatalf("depth %d: top = %#v", n, e)
+		}
+		if got := len(f.Bindings[0].In.Steps); got != n {
+			t.Fatalf("depth %d: parsed %d steps", n, got)
+		}
+	}
+}
+
+// TestParseNestingBounded: pathological nesting must come back as a
+// ParseError, never a goroutine stack overflow (which is fatal and
+// unrecoverable — a server parsing untrusted queries must survive it).
+func TestParseNestingBounded(t *testing.T) {
+	for name, src := range map[string]string{
+		"parens":       strings.Repeat("(", 100_000) + "1" + strings.Repeat(")", 100_000),
+		"constructors": strings.Repeat("<a>", 100_000) + strings.Repeat("</a>", 100_000),
+		"flwor":        strings.Repeat("for $x in $ROOT/a return ", 100_000) + "1",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: pathological nesting accepted", name)
+		} else if pe := err.(*ParseError); !strings.Contains(pe.Msg, "nesting") {
+			t.Errorf("%s: error is %v, want a nesting-limit ParseError", name, err)
+		}
+	}
+}
+
+// TestParseNestingCapAllowsReasonableDepth: realistic queries sit far
+// below the cap.
+func TestParseNestingCapAllowsReasonableDepth(t *testing.T) {
+	src := strings.Repeat("<a>", 100) + "{ $x/t }" + strings.Repeat("</a>", 100)
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("100-deep constructor rejected: %v", err)
+	}
+}
