@@ -27,6 +27,7 @@
 package fluxquery
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -621,7 +622,17 @@ func MustCompile(query, dtdSrc string, o Options) *Plan {
 // result stream to w. It is safe for concurrent use: the plan is
 // read-only and all mutable state is per-call.
 func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
-	return p.execute(r, w, nil)
+	return p.execute(nil, r, w, nil)
+}
+
+// ExecuteContext is Execute under a cancellation context: the feed loop
+// checks ctx at every batch boundary, parked gate waits and pipeline
+// stages unpark on cancellation, and a cancelled execution returns ctx's
+// error as the plan's terminal status — never a silently truncated
+// result stream. The baseline engines (EngineProjection, EngineNaive)
+// exist for the paper's measurements only and do not observe ctx.
+func (p *Plan) ExecuteContext(ctx context.Context, r io.Reader, w io.Writer) (Stats, error) {
+	return p.execute(ctx, r, w, nil)
 }
 
 // ExecuteTrace is Execute with per-pass span tracing: it returns the
@@ -633,23 +644,23 @@ func (p *Plan) Execute(r io.Reader, w io.Writer) (Stats, error) {
 // high-water marks); the baseline engines report a root span only.
 func (p *Plan) ExecuteTrace(r io.Reader, w io.Writer, id string) (Stats, *Trace, error) {
 	tr := telemetry.NewTrace(id)
-	st, err := p.execute(r, w, tr)
+	st, err := p.execute(nil, r, w, tr)
 	if tr.Root != nil && tr.Root.Dur == 0 {
 		tr.End() // baseline engines: root span only
 	}
 	return st, tr, err
 }
 
-func (p *Plan) execute(r io.Reader, w io.Writer, tr *telemetry.Trace) (Stats, error) {
+func (p *Plan) execute(ctx context.Context, r io.Reader, w io.Writer, tr *telemetry.Trace) (Stats, error) {
 	start := time.Now()
 	var rst *runtime.Stats
 	var err error
 	switch p.opts.Engine {
 	case EngineFlux:
 		if p.opts.Parallel >= 2 {
-			rst, err = p.phys.RunManagedParallelTrace(r, w, p.bufs, tr)
+			rst, err = p.phys.RunManagedParallelTraceContext(ctx, r, w, p.bufs, tr)
 		} else {
-			rst, err = p.phys.RunManagedTrace(r, w, p.bufs, tr)
+			rst, err = p.phys.RunManagedTraceContext(ctx, r, w, p.bufs, tr)
 		}
 	case EngineProjection:
 		rst, err = baseline.RunProjection(p.optimized, p.d, r, w)
@@ -953,6 +964,16 @@ func (s *StreamSet) LastScan() ScanStats {
 // on a well-formed, valid document. Concurrent Run calls are serialized,
 // since every plan streams to the fixed writer it was registered with.
 func (s *StreamSet) Run(r io.Reader) error { return s.set.Run(r) }
+
+// RunContext is Run under a cancellation context: the shared pass checks
+// ctx at every batch boundary, parked stages (backpressure gate waits,
+// pipeline ring hand-offs) unpark on cancellation, and ctx's error
+// becomes both RunContext's return and every riding query's Err() — a
+// cancelled pass always reports the cancellation on each query, never a
+// silently truncated result.
+func (s *StreamSet) RunContext(ctx context.Context, r io.Reader) error {
+	return s.set.RunContext(ctx, r)
+}
 
 // RunString is a convenience wrapper over Run for string input.
 func (s *StreamSet) RunString(doc string) error { return s.Run(strings.NewReader(doc)) }

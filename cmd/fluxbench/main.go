@@ -12,6 +12,8 @@
 //	fluxbench -json out.json        # machine-readable suite results ("-" = stdout)
 //	fluxbench -baseline BENCH.json  # diff current MB/s against a committed baseline
 //	fluxbench -cpuprofile cpu.prof  # pprof evidence for perf PRs
+//	fluxbench -fault sweep          # fault-injection matrix: every site x mode
+//	fluxbench -fault spill.write:error:1   # arm one fault spec and run its workloads
 //
 // With -json, fluxbench skips the tables and instead runs the workload
 // catalogue (every case on every engine, plus the shared-stream
@@ -27,6 +29,14 @@
 //
 // -cpuprofile and -memprofile write pprof profiles covering the measured
 // work, so perf PRs can attach evidence of where the time went.
+//
+// With -fault, fluxbench instead exercises the engine's fault-injection
+// sites (internal/faultinj): "-fault sweep" runs every site × mode and
+// verifies the failure model (error and short-write faults fail the
+// pass cleanly, latency faults do not, the process stays reusable),
+// exiting non-zero on any violation; any other value is an ArmSpec
+// string ("site:mode[:param]", comma-separated) armed for one run of
+// the workloads covering those sites.
 package main
 
 import (
@@ -69,6 +79,7 @@ func run() int {
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the measured work to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (taken after the measured work) to this file")
 		parallel   = flag.Int("parallel", 4, "feed-worker count of the parallel suite's pipelined shared pass")
+		fault      = flag.String("fault", "", "fault-injection mode: \"sweep\" runs every site x mode; any other value is a faultinj ArmSpec (site:mode[:param], comma-separated) armed for one run")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -104,6 +115,9 @@ func run() int {
 		return 1
 	}
 	r := &runner{scale: *scale, reps: *reps, budget: budgetBytes, parallel: *parallel, w: os.Stdout}
+	if *fault != "" {
+		return runFault(r, *fault)
+	}
 	if *baseline != "" {
 		if err := runBaseline(r, *baseline, *regressPct, *normalize); err != nil {
 			fmt.Fprintf(os.Stderr, "fluxbench: -baseline: %v\n", err)

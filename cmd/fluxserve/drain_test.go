@@ -1,0 +1,199 @@
+package main
+
+// Lifecycle tests: the -eval-timeout / client-disconnect / drain error
+// taxonomy and the SIGTERM drain sequence, exercised through the
+// public handler.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxquery"
+)
+
+// TestEvalTimeoutCode: with -eval-timeout set, a pass stalled on a
+// client that stops sending mid-document is terminated at the deadline
+// and classified 504 TIMEOUT — the read deadline pinned to the eval
+// budget unblocks the body read that context cancellation alone could
+// not interrupt.
+func TestEvalTimeoutCode(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.setEvalTimeout(60 * time.Millisecond)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	go func() {
+		// An open document, then silence: the server stays blocked in a
+		// body read until its deadline fires.
+		pw.Write([]byte("<bib><book><title>T</title>"))
+	}()
+	resp, err := http.Post(ts.URL+"/eval", "application/xml", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled eval: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), codeTimeout) {
+		t.Fatalf("504 body lacks the %s code: %s", codeTimeout, body)
+	}
+
+	// The server is intact: a normal document still evaluates.
+	if code, body := do(t, "POST", ts.URL+"/eval", testDoc(2)); code != 200 {
+		t.Fatalf("eval after timeout: %d %s", code, body)
+	}
+}
+
+// TestClientGoneCode: a pass whose request context is already dead is
+// classified 499 CLIENT_GONE — the caller vanished; nothing was wrong
+// with the document or the server.
+func TestClientGoneCode(t *testing.T) {
+	srv, err := newServer(testDTD, 1<<20, fluxquery.ProjectionFast, 0, fluxquery.BufferSpill, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/eval", strings.NewReader(testDoc(50))).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	srv.handler().ServeHTTP(rr, req)
+	if rr.Code != statusClientGone {
+		t.Fatalf("dead-client eval: %d %s", rr.Code, rr.Body)
+	}
+	if !strings.Contains(rr.Body.String(), codeClientGone) {
+		t.Fatalf("499 body lacks the %s code: %s", codeClientGone, rr.Body)
+	}
+}
+
+// TestDrainLifecycle: beginDrain closes intake (retryable 503 DRAINING)
+// and flips the /stats state; with nothing in flight, drain completes
+// cleanly within its deadline.
+func TestDrainLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+	if got := statsState(t, ts.URL); got != "serving" {
+		t.Fatalf("steady-state /stats state = %q", got)
+	}
+
+	srv.beginDrain()
+	req, _ := http.NewRequest("POST", ts.URL+"/eval", strings.NewReader(testDoc(1)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), codeDraining) {
+		t.Fatalf("draining eval: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 DRAINING without a Retry-After header")
+	}
+	if got := statsState(t, ts.URL); got != "draining" {
+		t.Fatalf("draining /stats state = %q", got)
+	}
+	if !srv.drain(time.Second) {
+		t.Fatal("drain with no in-flight passes reported a timeout")
+	}
+}
+
+func statsState(t *testing.T, url string) string {
+	t.Helper()
+	_, body := do(t, "GET", url+"/stats", "")
+	var st statsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats: %v: %s", err, body)
+	}
+	return st.State
+}
+
+// TestDrainCancelsInflightPass: a pass still streaming when the drain
+// deadline expires is cancelled — the handler answers 503 DRAINING and
+// drain reports the forced (non-clean) exit.
+func TestDrainCancelsInflightPass(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// A single eval slot doubles as the admission probe: once the pass
+	// holds it, the server is provably mid-stream.
+	srv.setPool(1)
+	if err := srv.register("q3", testQ3); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopFeed := func() { stopOnce.Do(func() { close(stop); pw.Close() }) }
+	defer stopFeed()
+	go func() {
+		// Feed an endless document slowly so the pass outlives the drain
+		// deadline and hits its cancellation checks between reads.
+		pw.Write([]byte("<bib>"))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pw.Write([]byte("<book><title>x</title></book>")); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	type result struct {
+		code int
+		body string
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/eval", "application/xml", pr)
+		if err != nil {
+			resc <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- result{resp.StatusCode, string(b)}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.pool) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pass never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if clean := srv.drain(50 * time.Millisecond); clean {
+		t.Error("drain reported clean with a pass still streaming")
+	}
+	// drain returning proves the cancelled handler finished; stop the
+	// body stream so the client transport delivers its buffered 503 (an
+	// HTTP/1 client that keeps streaming its body holds the response).
+	stopFeed()
+	select {
+	case res := <-resc:
+		if res.code != http.StatusServiceUnavailable || !strings.Contains(res.body, codeDraining) {
+			t.Fatalf("cancelled in-flight eval: %d %s", res.code, res.body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight pass not cancelled by the drain deadline")
+	}
+}

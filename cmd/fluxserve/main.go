@@ -81,19 +81,41 @@
 // against the one buffer budget stay bounded. Every non-200 response
 // carries such a "code" (BODY_TOO_LARGE, POOL_SATURATED,
 // QUERY_NOT_FOUND, INVALID_QUERY, INVALID_DOCUMENT, BAD_REQUEST,
-// INTERNAL); GET /stats reports pool occupancy/rejections and, under
-// -parallel, cumulative per-stage stall and work-steal metrics.
+// INTERNAL, TIMEOUT, CLIENT_GONE, DRAINING); GET /stats reports pool
+// occupancy/rejections and, under -parallel, cumulative per-stage
+// stall and work-steal metrics.
+//
+// Timeouts and cancellation: -eval-timeout bounds each /eval pass's
+// wall time — the deadline rides the request context into the engine
+// (every layer down to the buffer-manager gate observes it) and is
+// also pinned onto the connection's read deadline so a pass stuck
+// reading the body is unblocked too; expiry returns a 504 TIMEOUT. A
+// client that disconnects mid-pass cancels its pass the same way (499
+// CLIENT_GONE in the access log). -read-timeout, when set, deadlines
+// the whole request read at the HTTP layer (http.Server.ReadTimeout;
+// 0 keeps only the 10s header deadline).
+//
+// Shutdown: on SIGTERM or SIGINT the server stops intake — new /eval
+// requests get a structured 503 DRAINING, /stats reports "state":
+// "draining" — and waits up to -drain-timeout for in-flight passes to
+// finish; stragglers are then cancelled through the same context path.
+// The process exits 0 after a drain in which every admitted pass
+// terminated (finished or cancelled cleanly).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"fluxquery"
@@ -113,6 +135,9 @@ func main() {
 		dispMode  = flag.String("dispatch", "fanout", "shared-pass fan-out strategy: fanout (every batch to every query) or trie (trie-routed per-query delivery)")
 		pool      = flag.Int("pool", 2*runtime.GOMAXPROCS(0), "maximum concurrently streaming /eval passes; excess requests get a structured 503 (0 = unbounded)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for pprof profiling endpoints (empty = disabled)")
+		evalTO    = flag.Duration("eval-timeout", 0, "wall-time budget per /eval pass; expiry cancels the pass and returns a 504 TIMEOUT (0 = unbounded)")
+		readTO    = flag.Duration("read-timeout", 0, "whole-request read deadline at the HTTP layer (0 = header deadline only)")
+		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "on SIGTERM/SIGINT, how long in-flight /eval passes may finish before being cancelled")
 	)
 	var preload multiFlag
 	flag.Var(&preload, "q", "preload a query as name=path.xq (repeatable)")
@@ -159,6 +184,7 @@ func main() {
 	srv.setParallel(*parallel)
 	srv.setDispatch(dispatch)
 	srv.setPool(*pool)
+	srv.setEvalTimeout(*evalTO)
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -200,14 +226,43 @@ func main() {
 		Handler: srv.handler(),
 		// A long-running server must not let half-open connections pin
 		// goroutines forever (slow-loris); document bodies can be large,
-		// so only the header read is deadlined here.
+		// so only the header read is deadlined here unless -read-timeout
+		// opts into a whole-request read deadline.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: the first SIGTERM/SIGINT starts the drain; a
+	// second signal (stop() restores default handling) kills the process
+	// the ordinary way if the drain itself wedges.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "fluxserve:", err)
 		os.Exit(1)
+	case <-sigCtx.Done():
 	}
+	stop()
+	fmt.Fprintf(os.Stderr, "fluxserve: draining (timeout %s)\n", *drainTO)
+	// Order matters: close /eval intake before http.Server.Shutdown, so
+	// no request slips in between the two; Shutdown then waits for the
+	// connections of the already-admitted (or already-drained) passes.
+	clean := srv.drain(*drainTO)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "fluxserve: shutdown:", err)
+	}
+	if clean {
+		fmt.Fprintln(os.Stderr, "fluxserve: drained, exiting")
+	} else {
+		fmt.Fprintln(os.Stderr, "fluxserve: drain deadline hit, in-flight passes cancelled")
+	}
+	os.Exit(0)
 }
 
 // multiFlag collects repeated flag values.

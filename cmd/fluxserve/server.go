@@ -9,13 +9,25 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fluxquery"
+	"fluxquery/internal/faultinj"
 	"fluxquery/internal/telemetry"
+)
+
+// Lifecycle states of the server, reported by GET /stats and the
+// flux_server_draining gauge. Serving is the steady state; draining
+// means a shutdown signal arrived — intake is closed (new /eval gets a
+// structured 503 DRAINING) while in-flight passes finish under the
+// drain deadline.
+const (
+	stateServing int32 = iota
+	stateDraining
 )
 
 // server holds the compiled-query registry. Plans are compiled once at
@@ -43,6 +55,25 @@ type server struct {
 	// the client instead of turning into unbounded goroutines all
 	// contending for the one buffer budget. nil = unbounded.
 	pool chan struct{}
+
+	// evalTimeout, when > 0, bounds each /eval pass's wall time
+	// (-eval-timeout): the per-request context gets the deadline and the
+	// connection's read deadline is pinned to it, so a pass stuck in a
+	// body read is unblocked too. Expiry maps to 504 TIMEOUT.
+	evalTimeout time.Duration
+	// state is the lifecycle state (stateServing/stateDraining).
+	state atomic.Int32
+	// passCtx is the ancestor of every /eval's request context; drain
+	// cancels it (via passCancel) after the drain deadline so stuck
+	// passes terminate instead of holding shutdown hostage.
+	passCtx    context.Context
+	passCancel context.CancelFunc
+	// inflight tracks running /eval handlers so drain can wait for them.
+	// lifeMu makes the state check and the inflight registration one
+	// atomic step against beginDrain: once the state flips, no handler
+	// can slip a new Add past drain's Wait.
+	lifeMu   sync.Mutex
+	inflight sync.WaitGroup
 
 	// tel is the process-wide metrics registry behind GET /metrics; the
 	// shared passes, the buffer manager and the ingest pool all publish
@@ -128,6 +159,7 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 		budget: budget, policy: policy,
 		queries: map[string]*entry{}, agg: map[string]*queryAgg{},
 	}
+	s.passCtx, s.passCancel = context.WithCancel(context.Background())
 	if budget > 0 {
 		s.bufs = fluxquery.NewBufferManager(budget, policy, spillDir)
 	}
@@ -144,7 +176,55 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 	if s.bufs != nil {
 		s.bufs.RegisterMetrics(s.tel)
 	}
+	reg.GaugeFunc("flux_server_draining",
+		"1 while the server is draining (intake closed, in-flight passes finishing), else 0.",
+		func() int64 { return int64(s.state.Load()) })
+	faultinj.RegisterMetrics(reg)
 	return s, nil
+}
+
+// setEvalTimeout bounds each /eval pass's wall time (0 = unbounded).
+func (s *server) setEvalTimeout(d time.Duration) { s.evalTimeout = d }
+
+// lifecycle names the current state for /stats and logs.
+func (s *server) lifecycle() string {
+	if s.state.Load() == stateDraining {
+		return "draining"
+	}
+	return "serving"
+}
+
+// beginDrain closes /eval intake: new passes are rejected with a
+// structured 503 DRAINING while in-flight passes keep running.
+// Idempotent.
+func (s *server) beginDrain() {
+	s.lifeMu.Lock()
+	s.state.Store(stateDraining)
+	s.lifeMu.Unlock()
+}
+
+// drain waits up to timeout for in-flight /eval passes to finish, then
+// cancels the pass context so stragglers terminate through the engine's
+// cancellation path. Returns true when every pass finished within the
+// deadline (false means stragglers were cancelled and then joined).
+func (s *server) drain(timeout time.Duration) bool {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var clean bool
+	select {
+	case <-done:
+		clean = true
+	case <-time.After(timeout):
+	}
+	// Cancel unconditionally: pending passes (timeout path) terminate,
+	// and the watcher goroutines of any future Bind calls never leak.
+	s.passCancel()
+	<-done
+	return clean
 }
 
 // setParallel selects pipelined shared passes for /eval (>= 2; 0/1 is
@@ -231,6 +311,11 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach the connection's deadline controls through the wrapper — the
+// -eval-timeout read deadline is a silent no-op without it.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
 // withObservability assigns every request an id (returned as
 // X-Request-Id and propagated to ?trace=1 span trees), writes a
 // structured access log line, and feeds the request-rate and latency
@@ -275,13 +360,48 @@ const (
 	codeInvalidDoc    = "INVALID_DOCUMENT" // 422: document malformed or DTD-invalid
 	codeBadRequest    = "BAD_REQUEST"      // 400: unreadable request
 	codeInternal      = "INTERNAL"         // 500: server-side registration failure
+	codeTimeout       = "TIMEOUT"          // 504: pass exceeded -eval-timeout
+	codeClientGone    = "CLIENT_GONE"      // 499: client disconnected mid-pass
+	codeDraining      = "DRAINING"         // 503: server is shutting down, intake closed
 )
+
+// statusClientGone is nginx's non-standard 499 "client closed request";
+// the client is gone so the status is for the access log, not the wire.
+const statusClientGone = 499
 
 func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
 	writeJSON(w, status, map[string]string{
 		"error": fmt.Sprintf(format, args...),
 		"code":  code,
 	})
+}
+
+// classifyStreamErr maps a failed pass's error to a status and code by
+// asking which termination source fired: the -eval-timeout deadline
+// (via the context or the connection read deadline) is a 504 TIMEOUT,
+// a client disconnect is 499 CLIENT_GONE, a drain cancellation is 503
+// DRAINING, and anything else is a genuine document rejection.
+//
+// deadline is the eval deadline (zero when -eval-timeout is unset) and
+// is checked by clock as well: when the connection read deadline fires,
+// net/http treats the failed body read as a dead connection and cancels
+// the request context, so by classification time ctx can report
+// Canceled rather than DeadlineExceeded and the read error may have
+// been flattened into a parse message. A pass that ran past its own
+// deadline is a timeout regardless of which of those races won.
+func classifyStreamErr(ctx context.Context, r *http.Request, err error, passCtx context.Context, deadline time.Time) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(ctx.Err(), context.DeadlineExceeded) ||
+		(!deadline.IsZero() && !time.Now().Before(deadline)):
+		return http.StatusGatewayTimeout, codeTimeout
+	case r.Context().Err() != nil:
+		return statusClientGone, codeClientGone
+	case passCtx.Err() != nil && errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, codeDraining
+	default:
+		return http.StatusUnprocessableEntity, codeInvalidDoc
+	}
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -448,6 +568,20 @@ type dispatchInfo struct {
 // handleEval evaluates the selected queries over the posted document in a
 // single shared tokenize+validate pass.
 func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	// A draining server accepts no new passes: the client gets a
+	// retryable 503 naming the state, and the drain loop only has the
+	// already-admitted passes to wait for.
+	s.lifeMu.Lock()
+	if s.state.Load() == stateDraining {
+		s.lifeMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, codeDraining,
+			"server is draining; retry against another instance")
+		return
+	}
+	s.inflight.Add(1)
+	s.lifeMu.Unlock()
+	defer s.inflight.Done()
 	// Claim an ingest slot without blocking: when every slot is already
 	// streaming a document, shed load with a structured 503 the client
 	// can back off on, instead of stacking passes against the shared
@@ -522,8 +656,34 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 		regs[i] = reg
 	}
 
+	// The pass context merges three termination sources: the client's
+	// own context (disconnect), the server's pass context (drain
+	// cancellation), and the optional -eval-timeout deadline. The
+	// connection read deadline is pinned to the same deadline so a pass
+	// stuck inside a body read is unblocked when the budget expires —
+	// context cancellation alone cannot interrupt a blocked TCP read.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.passCtx, cancel)
+	defer stop()
+	var evalDeadline time.Time
+	if s.evalTimeout > 0 {
+		evalDeadline = time.Now().Add(s.evalTimeout)
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithDeadline(ctx, evalDeadline)
+		defer tcancel()
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(evalDeadline)
+	}
+	// The faultinj reader is a no-op unless a test or fluxbench -fault
+	// armed the body.read site.
+	body := io.Reader(&faultinj.Reader{
+		Site: faultinj.SiteBodyRead,
+		R:    http.MaxBytesReader(w, r.Body, s.maxBody),
+	})
+
 	start := time.Now()
-	if err := set.Run(http.MaxBytesReader(w, r.Body, s.maxBody)); err != nil {
+	if err := set.RunContext(ctx, body); err != nil {
 		// MaxBytesReader makes an oversized body a read error at the
 		// limit, so a too-large document cannot be silently truncated
 		// into a (possibly valid) prefix.
@@ -532,7 +692,8 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "document exceeds -max-body (%d bytes)", s.maxBody)
 			return
 		}
-		writeErr(w, http.StatusUnprocessableEntity, codeInvalidDoc, "document rejected: %v", err)
+		status, code := classifyStreamErr(ctx, r, err, s.passCtx, evalDeadline)
+		writeErr(w, status, code, "document rejected: %v", err)
 		return
 	}
 	resp := evalResponse{DurationMicros: time.Since(start).Microseconds()}
@@ -665,6 +826,9 @@ func (s *server) record(name string, st fluxquery.Stats, err error) {
 // scan/buffer/spill aggregates plus the process-wide buffer-manager
 // snapshot.
 type statsResponse struct {
+	// State is the lifecycle state: "serving", or "draining" once a
+	// shutdown signal closed intake.
+	State   string               `json:"state"`
 	Evals   int64                `json:"evals"`
 	Queries map[string]*queryAgg `json:"queries"`
 	Buffers *bufferStats         `json:"buffers,omitempty"`
@@ -696,7 +860,7 @@ type bufferStats struct {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	resp := statsResponse{Evals: s.evals, Queries: make(map[string]*queryAgg, len(s.agg))}
+	resp := statsResponse{State: s.lifecycle(), Evals: s.evals, Queries: make(map[string]*queryAgg, len(s.agg))}
 	for name, a := range s.agg {
 		cp := *a
 		resp.Queries[name] = &cp

@@ -34,6 +34,7 @@
 package bufmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -158,10 +159,14 @@ type Manager struct {
 	overshootPeak   int64
 }
 
-// New returns a Manager for the given configuration.
+// New returns a Manager for the given configuration. Start-up also
+// sweeps the configured spill directory for segment dirs orphaned by
+// dead processes (see sweepStaleSpillDirs) — the one leak the unlinked
+// segment file cannot prevent is its parent per-process directory.
 func New(cfg Config) *Manager {
 	m := &Manager{cfg: cfg, gates: map[*Gate]struct{}{}}
 	m.cond = sync.NewCond(&m.mu)
+	sweepStaleSpillDirs(cfg.SpillDir)
 	return m
 }
 
@@ -213,6 +218,9 @@ type Metrics struct {
 	// SpillFileBytes/SpillSegsLive describe the segment file.
 	SpillFileBytes int64 `json:"spill_file_bytes"`
 	SpillSegsLive  int64 `json:"spill_segs_live"`
+	// SpillRetries counts transparently retried spill I/O operations
+	// (transient write/read failures absorbed by the backoff loop).
+	SpillRetries int64 `json:"spill_retries"`
 	// Stall/Stalls accumulate backpressure gate waits. Stall marshals as
 	// integer nanoseconds, keeping the JSON wire format of the old
 	// StallNanos field.
@@ -243,6 +251,7 @@ func (m *Manager) Metrics() Metrics {
 	if m.store != nil {
 		mt.SpillFileBytes = m.store.fileBytes()
 		mt.SpillSegsLive = m.store.liveSegs()
+		mt.SpillRetries = m.store.retryCount()
 	}
 	return mt
 }
@@ -288,6 +297,12 @@ func (m *Manager) segstore() (*segStore, error) {
 // holds reservations it can drain.
 type Gate struct {
 	m *Manager
+	// ctx, when non-nil, cancels the pass: Wait returns its error
+	// instead of (or while) blocking. Set once by Bind before the pass
+	// starts; the watcher goroutine broadcasts the manager condition on
+	// cancellation so parked waiters re-check and unpark.
+	ctx       context.Context
+	stopWatch chan struct{}
 	// held aggregates the reservations of all attached accounts
 	// (guarded by m.mu).
 	held int64
@@ -313,16 +328,57 @@ func (m *Manager) NewGate() *Gate {
 	return g
 }
 
-// Wait blocks per the backpressure rule. It is a no-op on a nil gate or
-// under any other policy.
-func (g *Gate) Wait() {
-	if g == nil || !g.m.enforced() || g.m.cfg.Policy != PolicyBackpressure {
+// Bind attaches a cancellation context to the gate. It must be called
+// before the pass's first Wait; the gate holds one watcher goroutine
+// until Close (or cancellation, whichever is first) so that a Wait
+// parked on the backpressure condition unparks when ctx is cancelled.
+func (g *Gate) Bind(ctx context.Context) {
+	if g == nil || ctx == nil || ctx.Done() == nil {
 		return
+	}
+	g.ctx = ctx
+	if !g.m.enforced() || g.m.cfg.Policy != PolicyBackpressure {
+		// No condition waits to unpark: Wait polls ctx.Err directly.
+		return
+	}
+	m := g.m
+	stop := make(chan struct{})
+	g.stopWatch = stop
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		case <-stop:
+		}
+	}()
+}
+
+// Wait blocks per the backpressure rule and returns nil when the pass
+// may proceed. With a bound context it returns the context's error as
+// soon as the pass is cancelled — also from inside a parked wait, which
+// the Bind watcher unblocks. It is a no-op on a nil gate and a pure
+// cancellation check under any policy other than backpressure.
+func (g *Gate) Wait() error {
+	if g == nil {
+		return nil
+	}
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !g.m.enforced() || g.m.cfg.Policy != PolicyBackpressure {
+		return nil
 	}
 	m := g.m
 	m.mu.Lock()
 	var start time.Time
 	for m.total > m.cfg.Budget && m.otherHolderLocked(g) {
+		if g.ctx != nil && g.ctx.Err() != nil {
+			break
+		}
 		if start.IsZero() {
 			start = time.Now()
 			m.stalls++
@@ -340,6 +396,10 @@ func (g *Gate) Wait() {
 		m.stallNanos += d
 	}
 	m.mu.Unlock()
+	if g.ctx != nil {
+		return g.ctx.Err()
+	}
+	return nil
 }
 
 // otherHolderLocked reports whether some other pass holds reservations
@@ -367,6 +427,10 @@ func (g *Gate) Stall() time.Duration {
 func (g *Gate) Close() {
 	if g == nil {
 		return
+	}
+	if g.stopWatch != nil {
+		close(g.stopWatch)
+		g.stopWatch = nil
 	}
 	m := g.m
 	m.mu.Lock()
@@ -917,7 +981,7 @@ func (a *Account) hydrateHook(rec *spillRec) func(*dom.Node) {
 		rec.pins++
 		if err := a.makeRoom(rec.payload); err != nil {
 			rec.pins--
-			panic(fmt.Sprintf("bufmgr: rehydrate: %v", err))
+			panic(fmt.Errorf("bufmgr: rehydrate: %w", err))
 		}
 		st, err := a.m.segstore()
 		if err == nil {
@@ -927,7 +991,7 @@ func (a *Account) hydrateHook(rec *spillRec) func(*dom.Node) {
 		}
 		rec.pins--
 		if err != nil {
-			panic(fmt.Sprintf("bufmgr: rehydrate: %v", err))
+			panic(fmt.Errorf("bufmgr: rehydrate: %w", err))
 		}
 		rec.resident = true
 		a.ticks++

@@ -1,10 +1,19 @@
 package bufmgr
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fluxquery/internal/faultinj"
 )
 
 // seg is one allocated extent of the spill file.
@@ -21,32 +30,111 @@ type seg struct {
 type segStore struct {
 	mu   sync.Mutex
 	f    *os.File
+	dir  string // per-process spill dir, removed (if empty) on close
 	size int64
 	live int64
+	// retries counts transparently retried I/O operations.
+	retries atomic.Int64
 	// free holds reusable extents sorted by offset (adjacent extents
 	// are merged on free).
 	freeList []seg
 }
 
-// openSegStore creates the store's backing file in dir and unlinks it
-// immediately: the extents live only as long as the process (or until
-// close), and a crash leaks nothing.
+// spillDirPrefix names per-process spill directories: the suffix is the
+// owning pid, which the start-up sweep uses to find orphans.
+const spillDirPrefix = "fluxspill-"
+
+// Spill I/O retry shape: a failed write/read is retried up to
+// spillRetryMax-1 times with exponential backoff, absorbing transient
+// disk errors (the fault-injection tests arm exactly-once faults to pin
+// this recovery).
+const (
+	spillRetryMax     = 3
+	spillRetryBackoff = 200 * time.Microsecond
+)
+
+// openSegStore creates the store's backing file under a per-process
+// directory in dir and unlinks it immediately: the extents live only as
+// long as the process (or until close), and a crash leaks nothing but
+// the empty directory — which the next Manager start sweeps (New →
+// sweepStaleSpillDirs).
 func openSegStore(dir string) (*segStore, error) {
 	if dir == "" {
 		dir = os.TempDir()
 	}
-	f, err := os.CreateTemp(dir, "fluxquery-spill-*")
+	procDir := filepath.Join(dir, spillDirPrefix+strconv.Itoa(os.Getpid()))
+	if err := os.MkdirAll(procDir, 0o700); err != nil {
+		return nil, fmt.Errorf("bufmgr: spill store: %w", err)
+	}
+	f, err := os.CreateTemp(procDir, "seg-*")
 	if err != nil {
 		return nil, fmt.Errorf("bufmgr: spill store: %w", err)
 	}
 	// Unlink while keeping the descriptor: the file vanishes from the
 	// namespace now and its blocks are reclaimed when the fd closes.
-	if err := os.Remove(f.Name()); err != nil {
+	// ENOENT is tolerated — a concurrent sweep by a sibling manager can
+	// have removed the freshly created file already.
+	if err := os.Remove(f.Name()); err != nil && !errors.Is(err, os.ErrNotExist) {
 		f.Close()
 		return nil, fmt.Errorf("bufmgr: spill store: %w", err)
 	}
-	return &segStore{f: f}, nil
+	return &segStore{f: f, dir: procDir}, nil
 }
+
+// sweepStaleSpillDirs removes per-process spill directories left behind
+// by dead processes. Directories belonging to live pids (including this
+// one) are never touched.
+func sweepStaleSpillDirs(dir string) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), spillDirPrefix) {
+			continue
+		}
+		pid, err := strconv.Atoi(strings.TrimPrefix(e.Name(), spillDirPrefix))
+		if err != nil || pid == os.Getpid() || pidAlive(pid) {
+			continue
+		}
+		os.RemoveAll(filepath.Join(dir, e.Name()))
+	}
+}
+
+// pidAlive reports whether a process with the given pid exists (signal
+// 0 probe; EPERM means it exists but belongs to someone else).
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// retryIO runs op, retrying transient failures with exponential backoff
+// up to spillRetryMax attempts, and returns the last error.
+func (s *segStore) retryIO(op func() error) error {
+	backoff := spillRetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || attempt == spillRetryMax-1 {
+			return err
+		}
+		s.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 4
+	}
+}
+
+// retryCount returns the cumulative number of retried I/O operations.
+func (s *segStore) retryCount() int64 { return s.retries.Load() }
 
 // put writes data into a reused or fresh extent.
 func (s *segStore) put(data []byte) (seg, error) {
@@ -55,7 +143,18 @@ func (s *segStore) put(data []byte) (seg, error) {
 	sg := s.alloc(need)
 	s.live++
 	s.mu.Unlock()
-	if _, err := s.f.WriteAt(data, sg.off); err != nil {
+	err := s.retryIO(func() error {
+		if k, ferr := faultinj.Cut(faultinj.SiteSpillWrite, len(data)); ferr != nil {
+			if k > 0 {
+				// A torn write: the prefix lands, then the device fails.
+				s.f.WriteAt(data[:k], sg.off)
+			}
+			return ferr
+		}
+		_, werr := s.f.WriteAt(data, sg.off)
+		return werr
+	})
+	if err != nil {
 		s.free(sg)
 		return seg{}, fmt.Errorf("bufmgr: spill write: %w", err)
 	}
@@ -85,7 +184,14 @@ func (s *segStore) alloc(need int64) seg {
 // the duration of the call.
 func (s *segStore) get(sg seg, fn func(data []byte) error) error {
 	buf := make([]byte, sg.len)
-	if _, err := s.f.ReadAt(buf, sg.off); err != nil {
+	err := s.retryIO(func() error {
+		if ferr := faultinj.Hit(faultinj.SiteSpillRead); ferr != nil {
+			return ferr
+		}
+		_, rerr := s.f.ReadAt(buf, sg.off)
+		return rerr
+	})
+	if err != nil {
 		return fmt.Errorf("bufmgr: spill read: %w", err)
 	}
 	return fn(buf)
@@ -130,7 +236,8 @@ func (s *segStore) liveSegs() int64 {
 	return s.live
 }
 
-// close releases the backing file.
+// close releases the backing file and removes the per-process dir if it
+// is empty (another live Manager in this process may still use it).
 func (s *segStore) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -139,5 +246,9 @@ func (s *segStore) close() error {
 	}
 	err := s.f.Close()
 	s.f = nil
+	if s.dir != "" {
+		os.Remove(s.dir)
+		s.dir = ""
+	}
 	return err
 }

@@ -1,0 +1,202 @@
+package bufmgr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"fluxquery/internal/faultinj"
+)
+
+// TestSpillRetryTransient: an exactly-once injected write or read
+// failure is absorbed by the retry loop — the operation succeeds, the
+// data round-trips intact, and the retry is counted.
+func TestSpillRetryTransient(t *testing.T) {
+	defer faultinj.Reset()
+	s, err := openSegStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	data := bytes.Repeat([]byte("spillme!"), 64)
+
+	if err := faultinj.Arm(faultinj.SiteSpillWrite, faultinj.Fault{Mode: faultinj.ModeError, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := s.put(data)
+	if err != nil {
+		t.Fatalf("transient write fault not retried: %v", err)
+	}
+	if got := s.retryCount(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+
+	if err := faultinj.Arm(faultinj.SiteSpillRead, faultinj.Fault{Mode: faultinj.ModeError, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.get(sg, func(got []byte) error {
+		if !bytes.Equal(got, data) {
+			t.Errorf("rehydrated bytes differ")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("transient read fault not retried: %v", err)
+	}
+	if got := s.retryCount(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+// TestSpillShortWriteRetried: a torn write (prefix lands, then the
+// device fails) is retried as a full rewrite, so the extent holds the
+// complete payload afterwards.
+func TestSpillShortWriteRetried(t *testing.T) {
+	defer faultinj.Reset()
+	s, err := openSegStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	data := bytes.Repeat([]byte("torn-write-payload"), 32)
+	if err := faultinj.Arm(faultinj.SiteSpillWrite, faultinj.Fault{Mode: faultinj.ModeShortWrite, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := s.put(data)
+	if err != nil {
+		t.Fatalf("torn write not recovered: %v", err)
+	}
+	if err := s.get(sg, func(got []byte) error {
+		if !bytes.Equal(got, data) {
+			t.Errorf("extent holds torn data after retry")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillPersistentFailureSurfaces: a fault on every attempt exhausts
+// the retry budget and surfaces as a classifiable error; the failed
+// extent is returned to the free list (no leak).
+func TestSpillPersistentFailureSurfaces(t *testing.T) {
+	defer faultinj.Reset()
+	s, err := openSegStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	if err := faultinj.Arm(faultinj.SiteSpillWrite, faultinj.Fault{Mode: faultinj.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.put([]byte("doomed"))
+	if !errors.Is(err, faultinj.ErrInjected) {
+		t.Fatalf("persistent fault: got %v, want ErrInjected in chain", err)
+	}
+	if got := s.liveSegs(); got != 0 {
+		t.Errorf("failed put leaked %d live segment(s)", got)
+	}
+	if got := s.retryCount(); got != spillRetryMax-1 {
+		t.Errorf("retries = %d, want %d", got, spillRetryMax-1)
+	}
+}
+
+// TestSweepStaleSpillDirs: Manager start removes per-process spill dirs
+// of dead pids and leaves live-pid dirs and unrelated entries alone.
+func TestSweepStaleSpillDirs(t *testing.T) {
+	dir := t.TempDir()
+	// A pid one past the kernel's default maximum can never be alive.
+	stale := filepath.Join(dir, spillDirPrefix+"4194305")
+	mine := filepath.Join(dir, spillDirPrefix+strconv.Itoa(os.Getpid()))
+	other := filepath.Join(dir, "unrelated")
+	junk := filepath.Join(dir, spillDirPrefix+"notapid")
+	for _, d := range []string{stale, mine, other, junk} {
+		if err := os.MkdirAll(d, 0o700); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweepStaleSpillDirs(dir)
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale dead-pid dir not swept")
+	}
+	for _, d := range []string{mine, other, junk} {
+		if _, err := os.Stat(d); err != nil {
+			t.Errorf("sweep removed %s: %v", d, err)
+		}
+	}
+}
+
+// TestSegStoreDirLifecycle: the per-process dir exists while the store
+// is open (the backing file itself is unlinked) and is removed on close.
+func TestSegStoreDirLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openSegStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procDir := filepath.Join(dir, spillDirPrefix+strconv.Itoa(os.Getpid()))
+	if fi, err := os.Stat(procDir); err != nil || !fi.IsDir() {
+		t.Fatalf("per-process dir missing while open: %v", err)
+	}
+	entries, err := os.ReadDir(procDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("backing file not unlinked: %d entries", len(entries))
+	}
+	if err := s.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(procDir); !errors.Is(err, os.ErrNotExist) {
+		t.Error("per-process dir not removed on close")
+	}
+}
+
+// TestGateBindCancelUnparksWait: a gate parked in a backpressure wait
+// unparks when its bound context is cancelled, returning the context's
+// error instead of stalling until the budget drains.
+func TestGateBindCancelUnparksWait(t *testing.T) {
+	m := New(Config{Budget: 100, Policy: PolicyBackpressure})
+	defer m.Close()
+
+	// holder keeps the budget exceeded so waiter's Wait must park.
+	holder := m.NewGate()
+	defer holder.Close()
+	ha := holder.NewAccount()
+	defer ha.Close()
+	if err := ha.Filled(nil, 150, false); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := m.NewGate()
+	defer waiter.Close()
+	waiter.Bind(ctx)
+
+	done := make(chan error, 1)
+	go func() { done <- waiter.Wait() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Wait returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait error = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not unpark the gate wait")
+	}
+
+	// A cancelled gate stays cancelled: further waits fail fast.
+	if err := waiter.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("post-cancel Wait = %v, want context.Canceled", err)
+	}
+}

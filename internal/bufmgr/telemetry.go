@@ -61,6 +61,18 @@ func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("flux_bufmgr_rejections_total",
 		"Reservations rejected under the fail policy.", telemetry.ScaleNone,
 		m.lockedRead(func() int64 { return m.rejections }))
+	reg.CounterFunc("flux_spill_retries_total",
+		"Transient spill I/O failures absorbed by the retry loop.",
+		telemetry.ScaleNone,
+		func() int64 {
+			m.mu.Lock()
+			st := m.store
+			m.mu.Unlock()
+			if st == nil {
+				return 0
+			}
+			return st.retryCount()
+		})
 }
 
 // lockedRead wraps a counter read in the manager mutex for scrape-time

@@ -40,6 +40,7 @@
 package mqe
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -114,6 +115,21 @@ type Dispatcher struct {
 	// Obs, when non-nil, receives the pass's stage timings and delivery
 	// totals (see PassObs). The disabled path is one nil check per batch.
 	Obs *PassObs
+	// Ctx, when non-nil, cancels the pass: the driver checks it at every
+	// batch boundary, the gate wait unparks on cancellation (bind the
+	// gate to the same context), and a pipelined pass stops waiting on
+	// its rings. Cancellation is the pass's terminal error — every
+	// riding consumer receives it through Close, so partial output is
+	// always flagged as errored, never silently truncated.
+	Ctx context.Context
+}
+
+// ctxErr returns the dispatcher context's error, nil without a context.
+func (d *Dispatcher) ctxErr() error {
+	if d.Ctx == nil {
+		return nil
+	}
+	return d.Ctx.Err()
 }
 
 // Default batch bounds; see runtime's feed batch sizing for rationale.
@@ -159,7 +175,14 @@ func (d *Dispatcher) RunScan(r io.Reader, consumers []Consumer) (xsax.ScanStats,
 	var batches, events int64
 	var cause error
 	for cause == nil {
-		d.Gate.Wait()
+		if err := d.ctxErr(); err != nil {
+			cause = err
+			break
+		}
+		if err := d.Gate.Wait(); err != nil {
+			cause = err
+			break
+		}
 		b.Reset()
 		var t0 time.Time
 		if obs != nil {

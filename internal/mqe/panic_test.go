@@ -1,0 +1,128 @@
+package mqe
+
+import (
+	"strings"
+	"testing"
+
+	"fluxquery/internal/xsax"
+)
+
+// fakeConsumer counts feeds; panicOn makes BeginFeed panic on the n-th
+// call (1-based), modelling a consumer whose feed hooks blow up inside
+// an evaluator worker.
+type fakeConsumer struct {
+	feeds   int
+	panicOn int
+	closed  bool
+	cause   error
+}
+
+func (f *fakeConsumer) BeginFeed(evs []xsax.Event) {
+	f.feeds++
+	if f.panicOn > 0 && f.feeds == f.panicOn {
+		panic("synthetic feed panic")
+	}
+}
+func (f *fakeConsumer) EndFeed() (bool, error) { return false, nil }
+func (f *fakeConsumer) Close(cause error)      { f.closed = true; f.cause = cause }
+
+// TestEvalPoolPanicIsolation: a panic escaping one consumer's feed
+// hooks fails that task (and at most the other tasks the panicking
+// worker had already claimed this batch — never the whole pool), the
+// barrier still joins (no wedged pool), and the pool remains fully
+// usable for the next batch.
+func TestEvalPoolPanicIsolation(t *testing.T) {
+	pool := newEvalPool(2)
+	defer pool.close()
+	evs := make([]xsax.Event, 1)
+
+	bad := &fakeConsumer{panicOn: 1}
+	goods := []*fakeConsumer{{}, {}, {}}
+	tasks := []Consumer{bad, goods[0], goods[1], goods[2]}
+	pool.feed(tasks, evs)
+
+	var badRes feedResult
+	poisoned := 0
+	for i, c := range tasks {
+		if c == Consumer(bad) {
+			badRes = pool.res[i]
+			continue
+		}
+		if pool.res[i].err != nil {
+			// Collateral: the panicking worker had claimed this task too.
+			// Allowed, but it must carry the panic error, not be silent.
+			poisoned++
+			if !strings.Contains(pool.res[i].err.Error(), "panic") {
+				t.Errorf("task %d failed with non-panic error: %v", i, pool.res[i].err)
+			}
+		}
+	}
+	if !badRes.done || badRes.err == nil || !strings.Contains(badRes.err.Error(), "panic") {
+		t.Fatalf("panicking task result = %+v, want done with panic error", badRes)
+	}
+	// The sibling worker's tasks survive: the panic never poisons the
+	// whole batch.
+	if poisoned >= len(goods) {
+		t.Fatalf("panic poisoned all %d sibling tasks", poisoned)
+	}
+
+	// The pool survives: a follow-up batch over the healthy consumers
+	// completes normally and every one of them is fed.
+	before := []int{goods[0].feeds, goods[1].feeds, goods[2].feeds}
+	pool.feed([]Consumer{goods[0], goods[1], goods[2]}, evs)
+	for i := range 3 {
+		if pool.res[i].done || pool.res[i].err != nil {
+			t.Errorf("follow-up batch task %d: %+v", i, pool.res[i])
+		}
+		if goods[i].feeds != before[i]+1 {
+			t.Errorf("consumer %d feeds = %d, want %d", i, goods[i].feeds, before[i]+1)
+		}
+	}
+}
+
+// TestEvalPoolPanicMidStripe: a worker that panics after claiming some
+// tasks but before collecting acknowledgements fails exactly its
+// claimed-but-uncollected tasks; tasks another worker claimed (or
+// stole) are unaffected.
+func TestEvalPoolPanicMidStripe(t *testing.T) {
+	pool := newEvalPool(2)
+	defer pool.close()
+	evs := make([]xsax.Event, 1)
+
+	// Eight tasks across two workers; one panics on its second claim, so
+	// the worker dies owning at least one claimed task while its sibling
+	// keeps running and steals the rest.
+	consumers := make([]Consumer, 8)
+	var bad *fakeConsumer
+	for i := range consumers {
+		f := &fakeConsumer{}
+		if i == 4 {
+			f.panicOn = 1
+			bad = f
+		}
+		consumers[i] = f
+	}
+	pool.feed(consumers, evs)
+
+	failed := 0
+	for i, c := range consumers {
+		res := pool.res[i]
+		if c == Consumer(bad) {
+			if !res.done || res.err == nil {
+				t.Errorf("panicking task %d not failed: %+v", i, res)
+			}
+			continue
+		}
+		if res.err != nil {
+			failed++
+			if !strings.Contains(res.err.Error(), "panic") {
+				t.Errorf("task %d failed with non-panic error: %v", i, res.err)
+			}
+		}
+	}
+	// Collateral damage is bounded to the panicking worker's claims of
+	// this batch — strictly fewer than all the sibling's tasks.
+	if failed >= len(consumers)-1 {
+		t.Errorf("panic poisoned %d sibling tasks (whole batch)", failed)
+	}
+}

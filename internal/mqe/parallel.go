@@ -1,6 +1,7 @@
 package mqe
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -92,6 +93,7 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 		Proj:        pa,
 		ProjMode:    d.ProjMode,
 		Throttle:    d.Gate.Wait,
+		Ctx:         d.Ctx,
 	})
 
 	workers := d.Parallel
@@ -110,6 +112,10 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 	var cause error
 	var batches, events int64
 	for cause == nil {
+		if err := d.ctxErr(); err != nil {
+			cause = err
+			break
+		}
 		var t0 time.Time
 		if obs != nil {
 			t0 = time.Now()
@@ -132,7 +138,10 @@ func (d *Dispatcher) runPipelined(r io.Reader, consumers []Consumer) (xsax.ScanS
 				keep := live[:0]
 				for i, c := range live {
 					if pool.res[i].done {
-						c.Close(nil)
+						// A worker-side failure (panic isolation) reaches the
+						// consumer here; an evaluator-side termination already
+						// recorded its own error and ignores the cause.
+						c.Close(pool.res[i].err)
 						continue
 					}
 					keep = append(keep, c)
@@ -227,8 +236,12 @@ type evalPool struct {
 	evsEach [][]xsax.Event
 	claims  []int32
 	res     []feedResult
-	mine    [][]int
-	steals  atomic.Int64
+	// coll marks tasks whose acknowledgement was collected this batch;
+	// panic recovery uses it to fail only the claimed-but-uncollected
+	// tasks of the panicking worker.
+	coll   []bool
+	mine   [][]int
+	steals atomic.Int64
 }
 
 func newEvalPool(n int) *evalPool {
@@ -245,9 +258,30 @@ func newEvalPool(n int) *evalPool {
 func (p *evalPool) worker(id int, ready chan struct{}) {
 	defer p.wg.Done()
 	for range ready {
-		p.feedWorker(id)
+		p.safeFeed(id)
 		p.donec <- struct{}{}
 	}
+}
+
+// safeFeed runs one batch's fan-out with panic isolation: a panic
+// escaping a consumer's feed hooks terminates only the tasks this
+// worker had claimed — each is marked done with the panic as its
+// per-plan error, delivered through Close by the driver — while
+// sibling workers, their tasks and the shared pass itself continue.
+// (Plan evaluator panics never reach here: the StepExec goroutine
+// converts them to per-plan errors itself.)
+func (p *evalPool) safeFeed(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("mqe: feed worker panic: %v", r)
+			for _, i := range p.mine[id] {
+				if !p.coll[i] {
+					p.res[i] = feedResult{done: true, err: err}
+				}
+			}
+		}
+	}()
+	p.feedWorker(id)
 }
 
 // feed fans one batch out to every task and waits for all workers to
@@ -271,12 +305,15 @@ func (p *evalPool) run() {
 	if cap(p.claims) < len(tasks) {
 		p.claims = make([]int32, len(tasks))
 		p.res = make([]feedResult, len(tasks))
+		p.coll = make([]bool, len(tasks))
 	}
 	p.claims = p.claims[:len(tasks)]
 	p.res = p.res[:len(tasks)]
+	p.coll = p.coll[:len(tasks)]
 	for i := range p.claims {
 		p.claims[i] = 0
 		p.res[i] = feedResult{}
+		p.coll[i] = false
 	}
 	for _, ch := range p.ready {
 		ch <- struct{}{}
@@ -296,24 +333,29 @@ func (p *evalPool) feedWorker(id int) {
 		return p.evs
 	}
 	// Own stripe first (tasks are cost-ordered and dealt round-robin)…
+	// p.mine[id] is kept current claim-by-claim so panic recovery knows
+	// exactly which tasks this worker owns.
 	for i := id; i < n; i += p.n {
 		if atomic.CompareAndSwapInt32(&p.claims[i], 0, 1) {
-			p.tasks[i].BeginFeed(evsFor(i))
 			mine = append(mine, i)
+			p.mine[id] = mine
+			p.tasks[i].BeginFeed(evsFor(i))
 		}
 	}
 	// …then steal whatever a loaded sibling has not started yet.
 	for i := 0; i < n; i++ {
 		if atomic.CompareAndSwapInt32(&p.claims[i], 0, 1) {
 			p.steals.Add(1)
-			p.tasks[i].BeginFeed(evsFor(i))
 			mine = append(mine, i)
+			p.mine[id] = mine
+			p.tasks[i].BeginFeed(evsFor(i))
 		}
 	}
 	p.mine[id] = mine
 	for _, i := range mine {
 		done, err := p.tasks[i].EndFeed()
 		p.res[i] = feedResult{done: done, err: err}
+		p.coll[i] = true
 	}
 }
 

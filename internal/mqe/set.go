@@ -1,6 +1,7 @@
 package mqe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -437,6 +438,16 @@ func (b *Sub) setResult(st *runtime.Stats, dur time.Duration, err error) {
 // every subscription streams to its fixed writer, so passes must not
 // overlap on it.
 func (s *Set) Run(r io.Reader) error {
+	return s.RunContext(nil, r)
+}
+
+// RunContext is Run under a cancellation context: the pass checks ctx at
+// every batch boundary, parked stages (gate waits, ring hand-offs)
+// unpark on cancellation, and ctx's error becomes both the pass's return
+// and every riding plan's terminal error — a cancelled plan always
+// reports the cancellation, never a silently truncated result. A nil or
+// non-cancellable ctx degrades to Run.
+func (s *Set) RunContext(ctx context.Context, r io.Reader) error {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	s.mu.Lock()
@@ -471,6 +482,10 @@ func (s *Set) Run(r io.Reader) error {
 	// enforcement per plan (an over-budget query fails or spills alone).
 	gate := bufs.NewGate()
 	disp.Gate = gate
+	if ctx != nil && ctx.Done() != nil {
+		disp.Ctx = ctx
+		gate.Bind(ctx)
+	}
 
 	// Every pass gets a process-unique id; a trace (span capture) only
 	// when enabled. The span tree is built up front on this goroutine —
@@ -533,6 +548,8 @@ func (s *Set) Run(r io.Reader) error {
 			s.lastTrace = tr
 		}
 		s.mu.Unlock()
+	} else {
+		mt.cancelled(err)
 	}
 	return err
 }

@@ -1,6 +1,9 @@
 package mqe
 
 import (
+	"context"
+	"errors"
+
 	"fluxquery/internal/shared"
 	"fluxquery/internal/telemetry"
 )
@@ -112,6 +115,28 @@ func (mt *setMetrics) recordDispatch(ds DispatchStats) {
 	mt.trieEvents.Add(ds.Events)
 	mt.trieDeliveries.Add(ds.Deliveries)
 	mt.trieFlushes.Add(ds.Flushes)
+}
+
+// cancelled records a pass terminated by cancellation or deadline
+// expiry under flux_pass_cancelled_total{reason}; other stream errors
+// are not cancellations and stay uncounted here. Cold path: the series
+// resolves through the registry per event.
+func (mt *setMetrics) cancelled(err error) {
+	if mt == nil {
+		return
+	}
+	var reason string
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		reason = "deadline"
+	case errors.Is(err, context.Canceled):
+		reason = "canceled"
+	default:
+		return
+	}
+	mt.reg.Counter("flux_pass_cancelled_total",
+		"Shared passes terminated by cancellation, by reason.",
+		telemetry.L("reason", reason)).Inc()
 }
 
 // evalSeconds resolves the per-plan batch-eval latency series. Called

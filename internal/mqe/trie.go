@@ -115,7 +115,14 @@ func (d *Dispatcher) runTrieSeq(r io.Reader, s *trieSink) (xsax.ScanStats, PassS
 	var scanTime, dispTime time.Duration
 	var cause error
 	for cause == nil {
-		d.Gate.Wait()
+		if err := d.ctxErr(); err != nil {
+			cause = err
+			break
+		}
+		if err := d.Gate.Wait(); err != nil {
+			cause = err
+			break
+		}
 		var t0 time.Time
 		if obs != nil {
 			t0 = time.Now()
@@ -175,6 +182,7 @@ func (d *Dispatcher) runTriePipelined(r io.Reader, s *trieSink) (xsax.ScanStats,
 		Proj:        pa,
 		ProjMode:    d.ProjMode,
 		Throttle:    d.Gate.Wait,
+		Ctx:         d.Ctx,
 	})
 	// The feed workers shard the trie's flush sets: per source batch,
 	// only the plans whose pending batches filled are woken, and the
@@ -195,6 +203,10 @@ func (d *Dispatcher) runTriePipelined(r io.Reader, s *trieSink) (xsax.ScanStats,
 	var cause error
 	var batches int64
 	for cause == nil {
+		if err := d.ctxErr(); err != nil {
+			cause = err
+			break
+		}
 		var t0 time.Time
 		if obs != nil {
 			t0 = time.Now()
@@ -432,7 +444,10 @@ func (s *trieSink) flushPooled(pool *evalPool) {
 		for k := range s.parTasks {
 			s.flushes++
 			if pool.res[k].done {
-				s.closeMember(s.parIdx[k], s.parCls[k], nil)
+				// A worker-side failure (panic isolation) reaches the
+				// consumer as its cause; evaluator-side terminations
+				// recorded their own error and ignore it.
+				s.closeMember(s.parIdx[k], s.parCls[k], pool.res[k].err)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -95,7 +96,16 @@ func (p *Plan) Run(in io.Reader, out io.Writer) (*Stats, error) {
 // per-plan account enforces the budget at every buffer-fill point (nil m
 // = unmanaged, the plain Run).
 func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
-	return p.runManaged(in, out, m, nil)
+	return p.runManaged(nil, in, out, m, nil)
+}
+
+// RunManagedContext is RunManaged under a cancellation context: the feed
+// loop checks ctx at every batch boundary and the backpressure gate
+// unparks on cancellation, so a cancelled run terminates promptly with
+// ctx's error as the plan's terminal status (never a silently truncated
+// result). A nil ctx degrades to RunManaged.
+func (p *Plan) RunManagedContext(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	return p.runManaged(ctx, in, out, m, nil)
 }
 
 // RunManagedTrace is RunManaged with span capture: tr's root span gains
@@ -104,11 +114,17 @@ func (p *Plan) RunManaged(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stat
 // overhead), and the trace is ended when the run returns. A nil trace
 // degrades to RunManaged.
 func (p *Plan) RunManagedTrace(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
-	return p.runManaged(in, out, m, tr)
+	return p.runManaged(nil, in, out, m, tr)
 }
 
-func (p *Plan) runManaged(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+// RunManagedTraceContext is RunManagedTrace under a cancellation context.
+func (p *Plan) RunManagedTraceContext(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+	return p.runManaged(ctx, in, out, m, tr)
+}
+
+func (p *Plan) runManaged(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
 	gate := m.NewGate()
+	gate.Bind(ctx)
 	acct := gate.NewAccount()
 	se := p.NewStepExecBudgeted(out, acct)
 	xr := xsax.GetReader(in, p.d)
@@ -126,10 +142,18 @@ func (p *Plan) runManaged(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *te
 	b := xsax.GetBatch()
 	var cause error
 	for cause == nil {
+		if ctx != nil && ctx.Err() != nil {
+			cause = ctx.Err()
+			break
+		}
 		// The backpressure point: under PolicyBackpressure the gate
 		// blocks the feed while the process is over budget and another
-		// pass can still drain.
-		gate.Wait()
+		// pass can still drain. With a bound context it doubles as the
+		// cancellation checkpoint, unparking on ctx.Done.
+		if err := gate.Wait(); err != nil {
+			cause = err
+			break
+		}
 		b.Reset()
 		var t0 time.Time
 		if traced {
@@ -195,7 +219,16 @@ func (p *Plan) runManaged(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *te
 // the plan's evaluator instead of alternating with it. Output and error
 // semantics are identical to RunManaged.
 func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
-	return p.runManagedParallel(in, out, m, nil)
+	return p.runManagedParallel(nil, in, out, m, nil)
+}
+
+// RunManagedParallelContext is RunManagedParallel under a cancellation
+// context: the driver stops waiting on the validated-batch ring as soon
+// as ctx is done, stage goroutines parked at the backpressure gate or on
+// ring hand-offs unpark, and the pipeline is joined before returning
+// ctx's error as the plan's terminal status.
+func (p *Plan) RunManagedParallelContext(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager) (*Stats, error) {
+	return p.runManagedParallel(ctx, in, out, m, nil)
 }
 
 // RunManagedParallelTrace is RunManagedParallel with span capture. The
@@ -205,11 +238,18 @@ func (p *Plan) RunManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager
 // spans describe concurrent goroutines, so unlike the sequential form
 // their durations overlap the wall clock rather than partitioning it.
 func (p *Plan) RunManagedParallelTrace(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
-	return p.runManagedParallel(in, out, m, tr)
+	return p.runManagedParallel(nil, in, out, m, tr)
 }
 
-func (p *Plan) runManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+// RunManagedParallelTraceContext is RunManagedParallelTrace under a
+// cancellation context.
+func (p *Plan) RunManagedParallelTraceContext(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
+	return p.runManagedParallel(ctx, in, out, m, tr)
+}
+
+func (p *Plan) runManagedParallel(ctx context.Context, in io.Reader, out io.Writer, m *bufmgr.Manager, tr *telemetry.Trace) (*Stats, error) {
 	gate := m.NewGate()
+	gate.Bind(ctx)
 	acct := gate.NewAccount()
 	se := p.NewStepExecBudgeted(out, acct)
 	var pa *proj.Automaton
@@ -225,6 +265,7 @@ func (p *Plan) runManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager
 		// PolicyBackpressure it parks before each batch while the
 		// process is over budget and another pass can still drain.
 		Throttle: gate.Wait,
+		Ctx:      ctx,
 	})
 	passID := telemetry.NextPassID()
 	traced := tr != nil
@@ -236,6 +277,10 @@ func (p *Plan) runManagedParallel(in io.Reader, out io.Writer, m *bufmgr.Manager
 	var scanTime, evalTime time.Duration
 	var cause error
 	for cause == nil {
+		if ctx != nil && ctx.Err() != nil {
+			cause = ctx.Err()
+			break
+		}
 		var t0 time.Time
 		if traced {
 			t0 = time.Now()

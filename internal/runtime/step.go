@@ -146,11 +146,18 @@ func (p *Plan) NewStepExecBudgeted(out io.Writer, acct *bufmgr.Account) *StepExe
 }
 
 // runProtected converts an evaluator panic into an error so a wedged plan
-// cannot deadlock its driver (or take down a serving process).
+// cannot deadlock its driver (or take down a serving process). An error
+// payload (the buffer manager panics its I/O failures through here) is
+// wrapped, not flattened, so callers can still classify it with
+// errors.Is.
 func runProtected(ex *exec, p *Plan) (st *Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			st, err = ex.st, fmt.Errorf("runtime: internal error: %v", r)
+			if e, ok := r.(error); ok {
+				st, err = ex.st, fmt.Errorf("runtime: internal error: %w", e)
+			} else {
+				st, err = ex.st, fmt.Errorf("runtime: internal error: %v", r)
+			}
 		}
 	}()
 	return ex.run(p)

@@ -519,7 +519,12 @@ func (s *Scanner) NextEvent() (*Event, error) {
 	}
 	if !s.started {
 		s.started = true
-		s.ensure(3)
+		// EOF here just means the document is shorter than a BOM; the main
+		// loop below reports it properly. A real read error must surface
+		// now — swallowing it would retry the reader past a failed read.
+		if err := s.ensure(3); err != nil && err != io.EOF {
+			return nil, err
+		}
 		if len(s.buf)-s.pos >= 3 && s.buf[s.pos] == 0xEF && s.buf[s.pos+1] == 0xBB && s.buf[s.pos+2] == 0xBF {
 			s.pos += 3
 		}

@@ -1,12 +1,14 @@
 package xsax
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/faultinj"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/xmltok"
 )
@@ -59,8 +61,15 @@ type PipelineConfig struct {
 	Proj     *proj.Automaton
 	ProjMode proj.Mode
 	// Throttle, when non-nil, is called by the tokenizer stage before
-	// each batch: the pass's backpressure point (a bufmgr gate wait).
-	Throttle func()
+	// each batch: the pass's backpressure point (a bufmgr gate wait). A
+	// non-nil return is the pass's terminal error — the tokenizer stops
+	// and the error drains downstream like a stream error.
+	Throttle func() error
+	// Ctx, when non-nil, cancels the pass: Next returns ctx.Err() as
+	// soon as the context is done, even while the stages are still
+	// filling rings (the caller must still Close the pipeline, which
+	// unparks and joins them).
+	Ctx context.Context
 }
 
 const defaultRingDepth = 4
@@ -72,6 +81,10 @@ type Pipeline struct {
 	sc  *xmltok.Scanner
 	d   *dtd.DTD
 	cfg PipelineConfig
+
+	// ctxDone is cfg.Ctx's done channel (nil blocks forever when no
+	// context is configured).
+	ctxDone <-chan struct{}
 
 	quit   chan struct{}
 	tvFull chan *TokBatch
@@ -141,6 +154,10 @@ func NewPipeline(rd io.Reader, d *dtd.DTD, cfg PipelineConfig) *Pipeline {
 	}
 	p.d = d
 	p.cfg = cfg
+	p.ctxDone = nil
+	if cfg.Ctx != nil {
+		p.ctxDone = cfg.Ctx.Done()
+	}
 	p.pauto = cfg.Proj
 	p.pfast = cfg.ProjMode == proj.ModeFast
 	p.pvocab = cfg.Proj != nil && cfg.Proj.HasVocab()
@@ -194,7 +211,12 @@ func (p *Pipeline) Next() (*Batch, error) {
 	case vb, ok = <-p.vdFull:
 	default:
 		start := time.Now()
-		vb, ok = <-p.vdFull
+		select {
+		case vb, ok = <-p.vdFull:
+		case <-p.ctxDone:
+			p.dispStall += time.Since(start).Nanoseconds()
+			return nil, p.cfg.Ctx.Err()
+		}
 		p.dispStall += time.Since(start).Nanoseconds()
 	}
 	if !ok {
@@ -302,7 +324,18 @@ func (p *Pipeline) tokRun() {
 			return
 		}
 		if p.cfg.Throttle != nil {
-			p.cfg.Throttle()
+			if err := p.cfg.Throttle(); err != nil {
+				// Cancelled at the backpressure point: the error is the
+				// pass's terminal condition, published like a stream error.
+				p.terr = err
+				p.terrLine = p.sc.Line()
+				select {
+				case p.tvFree <- tb:
+				default:
+					putTokBatch(tb)
+				}
+				return
+			}
 		}
 		var terminal bool
 		for tb.Len() < p.cfg.BatchEvents && tb.ArenaBytes() < p.cfg.BatchBytes {
@@ -335,8 +368,16 @@ func (p *Pipeline) tokRun() {
 }
 
 // tokSend hands a full batch downstream, accounting blocked time as the
-// tokenizer stage's stall. It reports false when the pass was abandoned.
+// tokenizer stage's stall. It reports false when the pass was abandoned
+// or an injected ring fault dropped the hand-off (the fault becomes the
+// pass's terminal error).
 func (p *Pipeline) tokSend(tb *TokBatch) bool {
+	if err := faultinj.Hit(faultinj.SiteRingToken); err != nil {
+		p.terr = err
+		p.terrLine = p.sc.Line()
+		putTokBatch(tb)
+		return false
+	}
 	select {
 	case p.tvFull <- tb:
 	default:
@@ -528,6 +569,15 @@ func (p *Pipeline) valRun() {
 }
 
 func (p *Pipeline) valSend(vb *Batch) bool {
+	if err := faultinj.Hit(faultinj.SiteRingEvent); err != nil {
+		p.verr = err
+		if vb.src != nil {
+			putTokBatch(vb.src)
+			vb.src = nil
+		}
+		PutBatch(vb)
+		return false
+	}
 	select {
 	case p.vdFull <- vb:
 	default:
