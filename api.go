@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/core"
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/flightrec"
 	"fluxquery/internal/mqe"
 	"fluxquery/internal/nf"
 	"fluxquery/internal/opt"
@@ -532,7 +534,7 @@ func newPlanMetrics(t *Telemetry) *planMetrics {
 			"Validated events fanned out to riding plans."),
 		passSeconds: reg.Histogram("flux_pass_seconds",
 			"Wall time of one shared scan pass.",
-			telemetry.LatencyBuckets, telemetry.ScaleNanos),
+			telemetry.PassLatencyBuckets, telemetry.ScaleNanos),
 	}
 }
 
@@ -735,6 +737,10 @@ func (p *Plan) ExecuteString(doc string) (string, Stats, error) {
 type StreamSet struct {
 	d   *DTD
 	set *mqe.Set
+	// rec and led retain the installed wrapper handles so Recorder()
+	// and Ledger() hand back what SetRecorder/SetLedger received.
+	rec *FlightRecorder
+	led *QueryLedger
 }
 
 // NewStreamSet returns an empty StreamSet for streams governed by d.
@@ -883,6 +889,208 @@ func (s *StreamSet) SetTracing(on bool, id string) { s.set.SetTracing(on, id) }
 // LastTrace returns the span tree of the most recent completed Run, or
 // nil if tracing was off for that run.
 func (s *StreamSet) LastTrace() *Trace { return s.set.LastTrace() }
+
+// PassRecord is one completed shared pass as retained by the
+// FlightRecorder: engine configuration, data-flow totals, per-stage
+// stall breakdown, ring peaks, buffer and spill accounting, fault hits,
+// cancellation reason and terminal error. It marshals to JSON (duration
+// fields in nanoseconds).
+type PassRecord = flightrec.Record
+
+// PassRollup is a windowed aggregate over retained PassRecords: counts,
+// data flow, nearest-rank latency percentiles and stall attribution.
+type PassRollup = flightrec.Rollup
+
+// FlightRecorderConfig configures a FlightRecorder.
+type FlightRecorderConfig struct {
+	// Size is the ring capacity in pass records (default 256); the ring
+	// is preallocated, so recording never allocates ring storage.
+	Size int
+	// SlowLatency and SlowStall arm the slow-pass capture policy: a
+	// pass whose wall time exceeds SlowLatency, or whose summed stage
+	// stall exceeds SlowStall, retains its full span tree in the record
+	// and is dumped through Logger with its request id. Zero disables
+	// the respective trigger.
+	SlowLatency time.Duration
+	SlowStall   time.Duration
+	// Logger receives slow-pass dumps (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// FlightRecorder is the engine's pass flight recorder: a fixed-size ring
+// of completed pass records with time-windowed rollups and a slow-pass
+// capture policy. Create one per process, install it on StreamSets with
+// SetRecorder, and query it after the fact — the recorder answers "what
+// did pass #N do" where Telemetry answers "how is the process doing".
+// All methods are safe for concurrent use and nil-safe.
+type FlightRecorder struct {
+	rec *flightrec.Recorder
+}
+
+// NewFlightRecorder returns a recorder with a preallocated ring.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return &FlightRecorder{rec: flightrec.New(flightrec.Config{
+		Size:        cfg.Size,
+		SlowLatency: cfg.SlowLatency,
+		SlowStall:   cfg.SlowStall,
+		Logger:      cfg.Logger,
+	})}
+}
+
+// Len returns the number of retained records; Cap the ring capacity;
+// Total the number of records ever deposited.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	return f.rec.Len()
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return f.rec.Cap()
+}
+
+// Total returns the number of records ever deposited (Total - Len have
+// been overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.rec.Total()
+}
+
+// Snapshot returns up to n retained pass records, most recent first
+// (n <= 0 returns all retained).
+func (f *FlightRecorder) Snapshot(n int) []PassRecord {
+	if f == nil {
+		return nil
+	}
+	return f.rec.Snapshot(n)
+}
+
+// Get returns the retained record with the given pass id.
+func (f *FlightRecorder) Get(passID uint64) (PassRecord, bool) {
+	if f == nil {
+		return PassRecord{}, false
+	}
+	return f.rec.Get(passID)
+}
+
+// Rollup aggregates the retained records whose pass ended within window
+// of now (window <= 0 covers every retained record). Percentiles are
+// computed from the ring at call time, not maintained as histograms.
+func (f *FlightRecorder) Rollup(window time.Duration) PassRollup {
+	if f == nil {
+		return PassRollup{Window: window}
+	}
+	return f.rec.Rollup(window)
+}
+
+// SetRecorder installs the flight recorder receiving one PassRecord per
+// completed Run, success or failure (nil detaches). When the recorder's
+// slow-pass thresholds are armed, passes build a span tree even with
+// tracing off, so slow passes dump with full stage attribution. Takes
+// effect at the next Run.
+func (s *StreamSet) SetRecorder(f *FlightRecorder) {
+	s.rec = f
+	if f == nil {
+		s.set.SetRecorder(nil)
+		return
+	}
+	s.set.SetRecorder(f.rec)
+}
+
+// Recorder returns the installed flight recorder (nil when none).
+func (s *StreamSet) Recorder() *FlightRecorder { return s.rec }
+
+// SetRequestID labels subsequent Runs' flight-recorder records (and
+// slow-pass log dumps) with the driving request's id ("" clears it), so
+// a slow pass joins back to its access-log line. Takes effect at the
+// next Run.
+func (s *StreamSet) SetRequestID(id string) { s.set.SetRequestID(id) }
+
+// QueryStats is the cumulative cost ledger of one registered query name:
+// passes ridden, evaluator CPU attributed, events and bytes delivered,
+// buffer high-water marks, spill traffic, error count and last error.
+type QueryStats = mqe.QueryStats
+
+// QueryLedger attributes cost to registered query names across shared
+// passes. Create one per process, install it on StreamSets with
+// SetLedger; entries accrue across Runs and across StreamSets sharing
+// the ledger, keyed by registration name. All methods are safe for
+// concurrent use and nil-safe.
+type QueryLedger struct {
+	l *mqe.Ledger
+}
+
+// NewQueryLedger returns an empty ledger.
+func NewQueryLedger() *QueryLedger { return &QueryLedger{l: mqe.NewLedger()} }
+
+// Len returns the number of distinct query names in the ledger.
+func (q *QueryLedger) Len() int {
+	if q == nil {
+		return 0
+	}
+	return q.l.Len()
+}
+
+// Get returns the entry for one query name.
+func (q *QueryLedger) Get(name string) (QueryStats, bool) {
+	if q == nil {
+		return QueryStats{}, false
+	}
+	return q.l.Get(name)
+}
+
+// Stats returns every entry, sorted by name.
+func (q *QueryLedger) Stats() []QueryStats {
+	if q == nil {
+		return nil
+	}
+	return q.l.Stats()
+}
+
+// TopK returns the k entries with the largest value on the given axis —
+// one of LedgerAxes: "cpu" (evaluator CPU), "events", "bytes" (output),
+// "buffer" (peak heap buffer), "errors", "passes" — descending, ties
+// broken by name. k <= 0 returns every entry.
+func (q *QueryLedger) TopK(axis string, k int) ([]QueryStats, error) {
+	if q == nil {
+		return nil, nil
+	}
+	return q.l.TopK(axis, k)
+}
+
+// Reset clears every entry.
+func (q *QueryLedger) Reset() {
+	if q == nil {
+		return
+	}
+	q.l.Reset()
+}
+
+// LedgerAxes returns the axis names QueryLedger.TopK accepts.
+func LedgerAxes() []string { return mqe.Axes() }
+
+// SetLedger installs the cost ledger (nil detaches): every Run folds
+// each riding plan's cost — evaluator CPU, delivered events, output
+// bytes, buffer peaks, errors — into the ledger entry of its
+// registration name. Takes effect at the next Run.
+func (s *StreamSet) SetLedger(q *QueryLedger) {
+	s.led = q
+	if q == nil {
+		s.set.SetLedger(nil)
+		return
+	}
+	s.set.SetLedger(q.l)
+}
+
+// Ledger returns the installed cost ledger (nil when none).
+func (s *StreamSet) Ledger() *QueryLedger { return s.led }
 
 // PassStats reports the pipeline metrics of a parallel shared pass (all
 // zeros after sequential passes).

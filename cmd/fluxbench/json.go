@@ -97,6 +97,32 @@ func withQuantiles(rec record, durs []time.Duration) record {
 	return rec
 }
 
+// withRollupQuantiles fills rec's latency quantiles from the flight
+// recorder's since-start rollup: the engine's own per-pass wall times,
+// reduced by the same nearest-rank method as pctile. StreamSet suites
+// use this so the benchmark exercises the observability path it
+// reports through; when the recorder saw no passes the repetition
+// timings are the fallback.
+func withRollupQuantiles(rec record, frec *fluxquery.FlightRecorder, durs []time.Duration) record {
+	ru := frec.Rollup(0)
+	if ru.Passes == 0 {
+		return withQuantiles(rec, durs)
+	}
+	rec.P50Ns = ru.P50.Nanoseconds()
+	rec.P95Ns = ru.P95.Nanoseconds()
+	rec.P99Ns = ru.P99.Nanoseconds()
+	return rec
+}
+
+// benchRecorder returns a flight recorder sized to retain every
+// measured repetition of one suite configuration.
+func benchRecorder(reps int) *fluxquery.FlightRecorder {
+	if reps < 1 {
+		reps = 1
+	}
+	return fluxquery.NewFlightRecorder(fluxquery.FlightRecorderConfig{Size: reps})
+}
+
 // pctile returns the q-quantile (0 < q <= 1) of the ascending-sorted
 // durations by the nearest-rank method.
 func pctile(durs []time.Duration, q float64) int64 {
@@ -298,6 +324,8 @@ func parallelRecords(r *runner) ([]record, error) {
 	for _, par := range []int{0, workers} {
 		set := fluxquery.NewStreamSet(d)
 		set.SetParallel(par)
+		frec := benchRecorder(r.reps)
+		set.SetRecorder(frec)
 		regs := make([]*fluxquery.StreamQuery, len(plans))
 		for i, p := range plans {
 			reg, err := set.Register(p, io.Discard)
@@ -345,7 +373,7 @@ func parallelRecords(r *runner) ([]record, error) {
 			rec.TokenRingPeak = ps.TokenRingPeak
 			rec.EventRingPeak = ps.EventRingPeak
 		}
-		records = append(records, withQuantiles(rec, durs))
+		records = append(records, withRollupQuantiles(rec, frec, durs))
 	}
 	return records, nil
 }
@@ -445,6 +473,8 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 	for _, pm := range []fluxquery.Projection{fluxquery.ProjectionOff, fluxquery.ProjectionFast} {
 		set := fluxquery.NewStreamSet(d)
 		set.SetProjection(pm)
+		frec := benchRecorder(r.reps)
+		set.SetRecorder(frec)
 		regs := make([]*fluxquery.StreamQuery, len(plans))
 		for i, p := range plans {
 			reg, err := set.Register(p, io.Discard)
@@ -473,7 +503,7 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 			sharedOut += st.OutputBytes
 		}
 		sc := set.LastScan()
-		sharedRecords = append(sharedRecords, withQuantiles(record{
+		sharedRecords = append(sharedRecords, withRollupQuantiles(record{
 			Suite: "shared-stream", Query: "xmark-mix", Engine: "flux-mqe",
 			Plans: nPlans, DocBytes: len(doc),
 			NsPerOp: bestShared.Nanoseconds(), MBPerS: mbPerS(aggregate, bestShared),
@@ -482,7 +512,7 @@ func sharedStreamRecords(r *runner) ([]record, error) {
 			EventsDelivered: sc.EventsDelivered,
 			EventsSkipped:   sc.EventsSkipped,
 			BytesSkipped:    sc.BytesSkipped,
-		}, sharedDurs))
+		}, frec, sharedDurs))
 	}
 	var seqPeak, seqOut int64
 	bestSeq, seqAllocs, seqDurs, err := measureAllocs(r.reps, func() error {

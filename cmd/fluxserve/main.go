@@ -22,6 +22,10 @@
 //	POST   /eval?trace=1         additionally return the pass's span tree
 //	GET    /stats                per-query and aggregate buffer/spill metrics
 //	GET    /metrics              Prometheus text exposition of all series
+//	GET    /queries/{name}/stats one query's cumulative cost ledger
+//	GET    /top?axis=cpu&k=10    most expensive queries by one cost axis
+//	GET    /debug/passes         flight recorder: recent passes + rollups
+//	GET    /debug/passes/{id}    one retained pass record by pass id
 //
 // Observability: every request is assigned an id (echoed as
 // X-Request-Id and written to the structured stderr access log); with
@@ -30,9 +34,25 @@
 // under -parallel the tokenize/validate stage spans with stall
 // attribution and ring high-water marks — tagged with that request id.
 // GET /metrics exposes scan, pipeline, buffer-manager, ingest-pool and
-// HTTP series for scraping; -debug-addr starts a second listener with
-// Go's pprof profiling endpoints (/debug/pprof/), kept off the public
-// address so profiling is opt-in.
+// HTTP series for scraping (plus flux_build_info and
+// flux_server_uptime_seconds); -debug-addr starts a second listener
+// with Go's pprof profiling endpoints (/debug/pprof/), kept off the
+// public address so profiling is opt-in.
+//
+// Flight recorder: every /eval pass deposits one record — engine
+// configuration, input bytes, MB/s, per-stage stall breakdown, ring
+// peaks, buffer/spill accounting, fault hits, cancellation reason and
+// terminal error — into a fixed ring of -flightrec records (default
+// 256; 0 disables). GET /debug/passes returns the retained records with
+// 1m/5m/since-start rollups (latency percentiles computed from the
+// ring), GET /debug/passes/{id} one record by pass id. A pass slower
+// than -slow-pass, or with cumulative stage stall over -slow-stall,
+// additionally retains its full span tree and is dumped through the
+// structured log with its request id. GET /queries/{name}/stats serves
+// one query's cumulative cost ledger (eval CPU, events, output bytes,
+// buffer peaks, errors) and GET /top ranks queries by any cost axis.
+// The companion command fluxtop renders these endpoints as a live
+// terminal dashboard (fluxtop -addr http://host:8080).
 //
 // /eval responds with JSON:
 //
@@ -135,6 +155,9 @@ func main() {
 		dispMode  = flag.String("dispatch", "fanout", "shared-pass fan-out strategy: fanout (every batch to every query) or trie (trie-routed per-query delivery)")
 		pool      = flag.Int("pool", 2*runtime.GOMAXPROCS(0), "maximum concurrently streaming /eval passes; excess requests get a structured 503 (0 = unbounded)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for pprof profiling endpoints (empty = disabled)")
+		flightrec = flag.Int("flightrec", 256, "pass flight-recorder ring size behind GET /debug/passes (0 = disabled)")
+		slowPass  = flag.Duration("slow-pass", 0, "latency threshold of the slow-pass capture policy: slower passes keep their span tree and dump to the log (0 = off)")
+		slowStall = flag.Duration("slow-stall", 0, "stall threshold of the slow-pass capture policy: passes with more cumulative stage stall keep their span tree and dump to the log (0 = off)")
 		evalTO    = flag.Duration("eval-timeout", 0, "wall-time budget per /eval pass; expiry cancels the pass and returns a 504 TIMEOUT (0 = unbounded)")
 		readTO    = flag.Duration("read-timeout", 0, "whole-request read deadline at the HTTP layer (0 = header deadline only)")
 		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "on SIGTERM/SIGINT, how long in-flight /eval passes may finish before being cancelled")
@@ -185,6 +208,7 @@ func main() {
 	srv.setDispatch(dispatch)
 	srv.setPool(*pool)
 	srv.setEvalTimeout(*evalTO)
+	srv.setFlightRecorder(*flightrec, *slowPass, *slowStall)
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

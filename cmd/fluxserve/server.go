@@ -10,7 +10,9 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +81,20 @@ type server struct {
 	// shared passes, the buffer manager and the ingest pool all publish
 	// into it.
 	tel *fluxquery.Telemetry
+	// rec is the process-wide pass flight recorder behind the
+	// GET /debug/passes endpoints (nil when -flightrec 0): every /eval
+	// pass deposits one record, and passes over the -slow-pass /
+	// -slow-stall thresholds dump a span-tree post-mortem through the
+	// structured log, keyed by request id.
+	rec *fluxquery.FlightRecorder
+	// ledger attributes cumulative cost (eval CPU, events, bytes, buffer
+	// peaks, errors) to registered query names across every /eval pass —
+	// behind GET /queries/{name}/stats and GET /top.
+	ledger *fluxquery.QueryLedger
+	// started stamps process start for flux_server_uptime_seconds and
+	// /stats; build describes the binary for flux_build_info.
+	started time.Time
+	build   buildMeta
 	// log writes structured access logs; every request gets an id
 	// (X-Request-Id) that also tags its ?trace=1 span tree.
 	log    *slog.Logger
@@ -158,6 +174,9 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 		d: d, maxBody: maxBody, proj: proj,
 		budget: budget, policy: policy,
 		queries: map[string]*entry{}, agg: map[string]*queryAgg{},
+		ledger:  fluxquery.NewQueryLedger(),
+		started: time.Now(),
+		build:   readBuildMeta(),
 	}
 	s.passCtx, s.passCancel = context.WithCancel(context.Background())
 	if budget > 0 {
@@ -179,8 +198,63 @@ func newServer(dtdSrc string, maxBody int64, proj fluxquery.Projection, budget i
 	reg.GaugeFunc("flux_server_draining",
 		"1 while the server is draining (intake closed, in-flight passes finishing), else 0.",
 		func() int64 { return int64(s.state.Load()) })
+	reg.GaugeFunc("flux_build_info",
+		"Build metadata; the value is constant 1, the labels carry the versions.",
+		func() int64 { return 1 },
+		telemetry.L("version", s.build.Version),
+		telemetry.L("goversion", s.build.GoVersion),
+		telemetry.L("revision", s.build.Revision))
+	reg.GaugeFunc("flux_server_uptime_seconds",
+		"Seconds since process start.",
+		func() int64 { return int64(time.Since(s.started).Seconds()) })
 	faultinj.RegisterMetrics(reg)
 	return s, nil
+}
+
+// buildMeta describes the running binary for flux_build_info and /stats.
+type buildMeta struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+}
+
+// readBuildMeta extracts the module version, Go toolchain version and
+// VCS revision stamped into the binary by the Go linker. A binary built
+// outside a module or VCS checkout (go test binaries, bare go run)
+// reports "devel"/"unknown" rather than failing.
+func readBuildMeta() buildMeta {
+	m := buildMeta{Version: "devel", Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return m
+	}
+	m.GoVersion = bi.GoVersion
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		m.Version = v
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			m.Revision = kv.Value
+		}
+	}
+	return m
+}
+
+// setFlightRecorder installs the pass flight recorder (size <= 0
+// disables it and the /debug/passes endpoints). slowPass and slowStall
+// arm the slow-pass capture policy. Must be called before the server
+// handles requests.
+func (s *server) setFlightRecorder(size int, slowPass, slowStall time.Duration) {
+	if size <= 0 {
+		s.rec = nil
+		return
+	}
+	s.rec = fluxquery.NewFlightRecorder(fluxquery.FlightRecorderConfig{
+		Size:        size,
+		SlowLatency: slowPass,
+		SlowStall:   slowStall,
+		Logger:      s.log,
+	})
 }
 
 // setEvalTimeout bounds each /eval pass's wall time (0 = unbounded).
@@ -285,6 +359,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /queries/{name}/stats", s.handleQueryStats)
+	mux.HandleFunc("GET /top", s.handleTop)
+	mux.HandleFunc("GET /debug/passes", s.handlePasses)
+	mux.HandleFunc("GET /debug/passes/{id}", s.handlePass)
 	return s.withObservability(mux)
 }
 
@@ -363,6 +441,8 @@ const (
 	codeTimeout       = "TIMEOUT"          // 504: pass exceeded -eval-timeout
 	codeClientGone    = "CLIENT_GONE"      // 499: client disconnected mid-pass
 	codeDraining      = "DRAINING"         // 503: server is shutting down, intake closed
+	codePassNotFound  = "PASS_NOT_FOUND"   // 404: pass id not retained by the flight recorder
+	codeRecorderOff   = "RECORDER_OFF"     // 404: server runs with -flightrec 0
 )
 
 // statusClientGone is nginx's non-standard 499 "client closed request";
@@ -635,11 +715,17 @@ func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
 	set.SetParallel(s.parallel)
 	set.SetDispatch(s.dispatch)
 	set.SetTelemetry(s.tel)
+	// The recorder and ledger are process-wide; the per-request set is
+	// just this pass's route into them. The request id rides along so a
+	// slow-pass dump joins back to the access-log line.
+	set.SetRecorder(s.rec)
+	set.SetLedger(s.ledger)
+	reqID, _ := r.Context().Value(ctxReqID).(string)
+	set.SetRequestID(reqID)
 	traced := false
 	switch r.URL.Query().Get("trace") {
 	case "1", "true":
 		traced = true
-		reqID, _ := r.Context().Value(ctxReqID).(string)
 		set.SetTracing(true, reqID)
 	}
 	outs := make([]*bytes.Buffer, len(selected))
@@ -828,10 +914,14 @@ func (s *server) record(name string, st fluxquery.Stats, err error) {
 type statsResponse struct {
 	// State is the lifecycle state: "serving", or "draining" once a
 	// shutdown signal closed intake.
-	State   string               `json:"state"`
-	Evals   int64                `json:"evals"`
-	Queries map[string]*queryAgg `json:"queries"`
-	Buffers *bufferStats         `json:"buffers,omitempty"`
+	State string `json:"state"`
+	// Build describes the running binary (mirrors flux_build_info);
+	// UptimeSeconds mirrors flux_server_uptime_seconds.
+	Build         buildMeta            `json:"build"`
+	UptimeSeconds int64                `json:"uptime_seconds"`
+	Evals         int64                `json:"evals"`
+	Queries       map[string]*queryAgg `json:"queries"`
+	Buffers       *bufferStats         `json:"buffers,omitempty"`
 	// Pool reports the bounded ingest pool (absent when unbounded);
 	// Pipeline the cumulative pipelined-pass metrics (absent while no
 	// pipelined pass has run).
@@ -860,7 +950,13 @@ type bufferStats struct {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	resp := statsResponse{State: s.lifecycle(), Evals: s.evals, Queries: make(map[string]*queryAgg, len(s.agg))}
+	resp := statsResponse{
+		State:         s.lifecycle(),
+		Build:         s.build,
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Evals:         s.evals,
+		Queries:       make(map[string]*queryAgg, len(s.agg)),
+	}
 	for name, a := range s.agg {
 		cp := *a
 		resp.Queries[name] = &cp
@@ -882,4 +978,122 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Buffers = &bufferStats{BufferMetrics: mt, StallMicros: mt.Stall.Microseconds()}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// passesResponse is the GET /debug/passes document: recorder state,
+// time-windowed rollups computed from the ring at request time, and the
+// retained pass records, most recent first.
+type passesResponse struct {
+	// Total counts passes ever recorded; Retained of those still in the
+	// ring (Capacity bounds it).
+	Total    uint64 `json:"total"`
+	Retained int    `json:"retained"`
+	Capacity int    `json:"capacity"`
+	// Rollups aggregates the last minute, the last five minutes and
+	// everything retained ("1m", "5m", "all").
+	Rollups map[string]fluxquery.PassRollup `json:"rollups"`
+	Passes  []fluxquery.PassRecord          `json:"passes"`
+}
+
+// handlePasses serves the flight recorder: GET /debug/passes[?n=K]
+// returns the rollups and the K most recent records (all retained when
+// n is absent or 0).
+func (s *server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeErr(w, http.StatusNotFound, codeRecorderOff, "flight recorder disabled (-flightrec 0)")
+		return
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "bad n=%q (want a non-negative integer)", v)
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, passesResponse{
+		Total:    s.rec.Total(),
+		Retained: s.rec.Len(),
+		Capacity: s.rec.Cap(),
+		Rollups: map[string]fluxquery.PassRollup{
+			"1m":  s.rec.Rollup(time.Minute),
+			"5m":  s.rec.Rollup(5 * time.Minute),
+			"all": s.rec.Rollup(0),
+		},
+		Passes: s.rec.Snapshot(n),
+	})
+}
+
+// handlePass serves one retained pass record by id:
+// GET /debug/passes/{id}.
+func (s *server) handlePass(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeErr(w, http.StatusNotFound, codeRecorderOff, "flight recorder disabled (-flightrec 0)")
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "bad pass id %q", r.PathValue("id"))
+		return
+	}
+	rec, ok := s.rec.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, codePassNotFound,
+			"pass %d not retained (ring keeps the most recent %d)", id, s.rec.Cap())
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleQueryStats serves one registered query's cumulative cost ledger:
+// GET /queries/{name}/stats. A registered query that no /eval has
+// touched yet reports a zero entry rather than a 404.
+func (s *server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	_, registered := s.queries[name]
+	s.mu.RUnlock()
+	qs, ok := s.ledger.Get(name)
+	if !ok {
+		if !registered {
+			writeErr(w, http.StatusNotFound, codeQueryNotFound, "no query %q", name)
+			return
+		}
+		qs = fluxquery.QueryStats{Name: name}
+	}
+	writeJSON(w, http.StatusOK, qs)
+}
+
+// topResponse is the GET /top document: the K most expensive registered
+// queries on one cost axis.
+type topResponse struct {
+	Axis    string                 `json:"axis"`
+	Axes    []string               `json:"axes"`
+	Queries []fluxquery.QueryStats `json:"queries"`
+}
+
+// handleTop ranks registered queries by cumulative cost:
+// GET /top[?axis=cpu|events|bytes|buffer|errors|passes][&k=N]
+// (default: top 10 by eval CPU).
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	axis := r.URL.Query().Get("axis")
+	if axis == "" {
+		axis = "cpu"
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "bad k=%q (want an integer)", v)
+			return
+		}
+		k = parsed
+	}
+	top, err := s.ledger.TopK(axis, k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topResponse{Axis: axis, Axes: fluxquery.LedgerAxes(), Queries: top})
 }

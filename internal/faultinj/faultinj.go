@@ -203,6 +203,17 @@ func Injected(name string) int64 {
 	return 0
 }
 
+// TotalInjected returns the process-wide injected-fault count summed
+// across every site (a handful of atomic loads — cheap enough for
+// per-pass attribution deltas).
+func TotalInjected() int64 {
+	var n int64
+	for _, s := range sites {
+		n += s.injected.Load()
+	}
+	return n
+}
+
 // take decides whether the site's armed fault fires for this hit and
 // returns the fault and prewrapped error when it does.
 func (s *site) take() (Fault, error, bool) {

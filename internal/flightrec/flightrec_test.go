@@ -1,0 +1,250 @@
+package flightrec
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxquery/internal/telemetry"
+)
+
+// TestRingWrapAround is the wrap-around property test: for randomized
+// ring capacities and record counts, the recorder retains exactly the
+// most recent min(cap, n) records in most-recent-first order, Total
+// counts every deposit, and Get resolves exactly the retained ids.
+func TestRingWrapAround(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.Intn(32)
+		n := rng.Intn(4 * capacity)
+		rec := New(Config{Size: capacity})
+		for i := 1; i <= n; i++ {
+			rec.Record(Record{PassID: uint64(i), InputBytes: int64(i)})
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if rec.Len() != want || rec.Cap() != capacity || rec.Total() != uint64(n) {
+			t.Fatalf("cap=%d n=%d: Len=%d Cap=%d Total=%d, want %d/%d/%d",
+				capacity, n, rec.Len(), rec.Cap(), rec.Total(), want, capacity, n)
+		}
+		snap := rec.Snapshot(0)
+		if len(snap) != want {
+			t.Fatalf("cap=%d n=%d: snapshot has %d records, want %d", capacity, n, len(snap), want)
+		}
+		for i, r := range snap {
+			if wantID := uint64(n - i); r.PassID != wantID {
+				t.Fatalf("cap=%d n=%d: snapshot[%d].PassID = %d, want %d", capacity, n, i, r.PassID, wantID)
+			}
+		}
+		// Every retained id resolves; every overwritten id does not.
+		for id := 1; id <= n; id++ {
+			r, ok := rec.Get(uint64(id))
+			retained := id > n-want
+			if ok != retained {
+				t.Fatalf("cap=%d n=%d: Get(%d) ok=%v, want %v", capacity, n, id, ok, retained)
+			}
+			if ok && r.InputBytes != int64(id) {
+				t.Fatalf("Get(%d) returned record with InputBytes %d", id, r.InputBytes)
+			}
+		}
+		// A bounded Snapshot takes the most recent prefix.
+		if want >= 2 {
+			top := rec.Snapshot(2)
+			if len(top) != 2 || top[0].PassID != uint64(n) || top[1].PassID != uint64(n-1) {
+				t.Fatalf("Snapshot(2) = %v", top)
+			}
+		}
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var rec *Recorder
+	rec.Record(Record{PassID: 1})
+	if rec.Len() != 0 || rec.Cap() != 0 || rec.Total() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if s := rec.Snapshot(5); s != nil {
+		t.Fatalf("nil Snapshot = %v", s)
+	}
+	if _, ok := rec.Get(1); ok {
+		t.Fatal("nil Get found a record")
+	}
+	if ru := rec.Rollup(time.Minute); ru.Passes != 0 {
+		t.Fatalf("nil Rollup = %+v", ru)
+	}
+	if rec.CapturesSlow() {
+		t.Fatal("nil recorder captures slow passes")
+	}
+}
+
+// TestRollupWindows: records outside the lookback window are excluded,
+// and the percentiles are nearest-rank over the matching durations.
+func TestRollupWindows(t *testing.T) {
+	rec := New(Config{Size: 64})
+	now := time.Now()
+	// 10 old passes (ended 10 minutes ago) and 4 recent ones.
+	for i := 0; i < 10; i++ {
+		rec.Record(Record{
+			PassID:   uint64(i + 1),
+			Start:    now.Add(-10 * time.Minute),
+			Duration: time.Second,
+		})
+	}
+	recent := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond}
+	for i, d := range recent {
+		rec.Record(Record{
+			PassID:     uint64(100 + i),
+			Start:      now.Add(-time.Second),
+			Duration:   d,
+			InputBytes: 1 << 20,
+			Err:        map[bool]string{true: "boom", false: ""}[i == 0],
+		})
+	}
+	ru := rec.RollupAt(time.Minute, now)
+	if ru.Passes != 4 || ru.Errors != 1 {
+		t.Fatalf("windowed rollup = %+v, want 4 passes 1 error", ru)
+	}
+	if ru.InputBytes != 4<<20 {
+		t.Fatalf("InputBytes = %d", ru.InputBytes)
+	}
+	// Nearest-rank over [10,20,30,40]ms: p50=20ms, p95=p99=max=40ms.
+	if ru.P50 != 20*time.Millisecond || ru.P95 != 40*time.Millisecond || ru.P99 != 40*time.Millisecond || ru.Max != 40*time.Millisecond {
+		t.Fatalf("quantiles = p50=%v p95=%v p99=%v max=%v", ru.P50, ru.P95, ru.P99, ru.Max)
+	}
+	// 4 MiB over 100ms of pass time = 40 MiB/s.
+	if ru.MBps < 39 || ru.MBps > 41 {
+		t.Fatalf("MBps = %f, want ~40", ru.MBps)
+	}
+	all := rec.RollupAt(0, now)
+	if all.Passes != 14 {
+		t.Fatalf("since-start rollup covers %d passes, want 14", all.Passes)
+	}
+	if all.P99 != time.Second || all.P50 != time.Second {
+		t.Fatalf("since-start quantiles = %+v", all)
+	}
+}
+
+// TestSlowPassCapture: a pass over the latency threshold keeps its span
+// tree and is dumped through the logger with its request id; a fast pass
+// has the trace dropped and stays silent.
+func TestSlowPassCapture(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	rec := New(Config{Size: 8, SlowLatency: 100 * time.Millisecond, Logger: logger})
+	if !rec.CapturesSlow() {
+		t.Fatal("CapturesSlow = false with a latency threshold set")
+	}
+
+	mkTrace := func(id string) *telemetry.Trace {
+		tr := telemetry.NewTrace(id)
+		tr.Span().Child("scan").AddTime(time.Millisecond)
+		tr.End()
+		return tr
+	}
+
+	rec.Record(Record{PassID: 1, RequestID: "fast-1", Duration: time.Millisecond, Trace: mkTrace("fast-1")})
+	if buf.Len() != 0 {
+		t.Fatalf("fast pass logged: %s", buf.String())
+	}
+	r, ok := rec.Get(1)
+	if !ok || r.Slow || r.Trace != nil {
+		t.Fatalf("fast record = slow=%v trace=%v", r.Slow, r.Trace)
+	}
+
+	rec.Record(Record{PassID: 2, RequestID: "req-slow", Duration: time.Second, Trace: mkTrace("req-slow")})
+	r, ok = rec.Get(2)
+	if !ok || !r.Slow || r.Trace == nil {
+		t.Fatalf("slow record = ok=%v slow=%v trace=%v", ok, r.Slow, r.Trace)
+	}
+	out := buf.String()
+	for _, want := range []string{"slow pass", "req-slow", "pass_id=2", "scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSlowStallThreshold: the stall trigger fires independently of the
+// latency trigger.
+func TestSlowStallThreshold(t *testing.T) {
+	rec := New(Config{Size: 8, SlowStall: 50 * time.Millisecond, Logger: slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))})
+	rec.Record(Record{PassID: 1, Duration: time.Millisecond, GateStall: 40 * time.Millisecond})
+	rec.Record(Record{PassID: 2, Duration: time.Millisecond, GateStall: 30 * time.Millisecond, DispatchStall: 30 * time.Millisecond})
+	if r, _ := rec.Get(1); r.Slow {
+		t.Fatal("under-threshold stall marked slow")
+	}
+	if r, _ := rec.Get(2); !r.Slow {
+		t.Fatal("cumulative stall over threshold not marked slow")
+	}
+}
+
+// TestConcurrentRecordAndRead drives writers against readers under the
+// race detector: snapshots must always be internally consistent
+// (strictly descending pass ids).
+func TestConcurrentRecordAndRead(t *testing.T) {
+	rec := New(Config{Size: 32})
+	var writers sync.WaitGroup
+	start := uint64(telemetry.NextPassID())
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				rec.Record(Record{PassID: telemetry.NextPassID(), Duration: time.Duration(i) * time.Microsecond})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := rec.Snapshot(0)
+			for i := 1; i < len(snap); i++ {
+				// Pass ids are drawn from a global monotone counter and the
+				// ring orders by deposit, but deposits of concurrent writers
+				// may interleave out of id order — only self-consistency
+				// (no duplicates) can be asserted here.
+				if snap[i-1].PassID == snap[i].PassID {
+					t.Errorf("duplicate pass id %d in snapshot", snap[i].PassID)
+					return
+				}
+			}
+			rec.Rollup(time.Minute)
+			rec.Get(start + 1)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if rec.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", rec.Total())
+	}
+}
+
+func ExampleRecorder() {
+	rec := New(Config{Size: 4})
+	for i := 1; i <= 6; i++ {
+		rec.Record(Record{PassID: uint64(i), Duration: time.Duration(i) * time.Millisecond})
+	}
+	fmt.Println("retained:", rec.Len(), "of", rec.Total())
+	for _, r := range rec.Snapshot(2) {
+		fmt.Println("pass", r.PassID, r.Duration)
+	}
+	// Output:
+	// retained: 4 of 6
+	// pass 6 6ms
+	// pass 5 5ms
+}

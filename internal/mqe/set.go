@@ -11,6 +11,8 @@ import (
 
 	"fluxquery/internal/bufmgr"
 	"fluxquery/internal/dtd"
+	"fluxquery/internal/faultinj"
+	"fluxquery/internal/flightrec"
 	"fluxquery/internal/proj"
 	"fluxquery/internal/runtime"
 	"fluxquery/internal/shared"
@@ -103,6 +105,18 @@ type Set struct {
 	tracing   bool
 	traceID   string
 	lastTrace *telemetry.Trace
+	// rec, when non-nil, receives one flight-recorder record per
+	// completed pass (success or failure); when its slow-pass capture
+	// policy is armed, every pass builds a span tree that the recorder
+	// retains only for slow passes. reqID labels subsequent passes'
+	// records with the driving request's id.
+	rec   *flightrec.Recorder
+	reqID string
+	// ledger, when non-nil, accrues per-query cost attribution (eval
+	// CPU, delivered data, buffer peaks, errors) across passes, keyed
+	// by registration name. A ledger typically outlives the Set: a
+	// server installs one process-wide ledger on every per-request Set.
+	ledger *Ledger
 	// nameSeq numbers unnamed registrations for telemetry labels.
 	nameSeq int
 }
@@ -249,6 +263,50 @@ func (s *Set) LastTrace() *telemetry.Trace {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastTrace
+}
+
+// SetRecorder installs the flight recorder receiving one record per
+// completed pass, success or failure (nil disables). When the recorder's
+// slow-pass capture policy is armed, subsequent passes build a span tree
+// even with tracing off, so a slow pass dumps with full stage
+// attribution. Takes effect at the next Run.
+func (s *Set) SetRecorder(rec *flightrec.Recorder) {
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+// Recorder returns the installed flight recorder (nil when none).
+func (s *Set) Recorder() *flightrec.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// SetRequestID labels subsequent passes' flight-recorder records (and
+// slow-pass dumps) with the driving request's id ("" clears it). Takes
+// effect at the next Run.
+func (s *Set) SetRequestID(id string) {
+	s.mu.Lock()
+	s.reqID = id
+	s.mu.Unlock()
+}
+
+// SetLedger installs the per-query cost ledger (nil disables): every
+// pass folds each riding plan's cost — evaluator CPU, delivered events,
+// output bytes, buffer peaks, errors — into the ledger entry of its
+// registration name. Takes effect at the next Run.
+func (s *Set) SetLedger(l *Ledger) {
+	s.mu.Lock()
+	s.ledger = l
+	s.mu.Unlock()
+}
+
+// Ledger returns the installed cost ledger (nil when none).
+func (s *Set) Ledger() *Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger
 }
 
 // SetParallel selects how shared passes execute: n >= 2 runs the staged
@@ -475,6 +533,11 @@ func (s *Set) RunContext(ctx context.Context, r io.Reader) error {
 	mt := s.mt
 	tracing := s.tracing
 	traceID := s.traceID
+	pmode := s.pmode
+	parallel := s.parallel
+	rec := s.rec
+	reqID := s.reqID
+	ledger := s.ledger
 	s.mu.Unlock()
 
 	// One gate per pass, one account per riding plan: the gate throttles
@@ -487,22 +550,29 @@ func (s *Set) RunContext(ctx context.Context, r io.Reader) error {
 		gate.Bind(ctx)
 	}
 
-	// Every pass gets a process-unique id; a trace (span capture) only
-	// when enabled. The span tree is built up front on this goroutine —
-	// the pass's own synchronization then makes per-span writes safe (one
-	// owner per span per batch, barriers between batches).
+	// Every pass gets a process-unique id; a trace (span capture) when
+	// tracing is on — or when the flight recorder's slow-pass policy is
+	// armed, so a pass that turns out slow dumps with its span tree even
+	// though tracing was never enabled. The span tree is built up front
+	// on this goroutine — the pass's own synchronization then makes
+	// per-span writes safe (one owner per span per batch, barriers
+	// between batches).
 	var tr *telemetry.Trace
 	var passID uint64
 	var obs *PassObs
-	if tracing {
+	if tracing || rec.CapturesSlow() {
 		tr = telemetry.NewTrace(traceID)
 		passID = tr.PassID
 	} else {
 		passID = telemetry.NextPassID()
 	}
-	if tr != nil || mt != nil {
+	if tr != nil || mt != nil || rec != nil {
 		obs = &PassObs{Scan: tr.Span().Child("scan"), Dispatch: tr.Span().Child("dispatch")}
 		disp.Obs = obs
+	}
+	var faults0 int64
+	if rec != nil {
+		faults0 = faultinj.TotalInjected()
 	}
 
 	start := time.Now()
@@ -517,6 +587,7 @@ func (s *Set) RunContext(ctx context.Context, r io.Reader) error {
 			passID: passID,
 			hist:   mt.evalSeconds(b.name),
 			span:   obs.evalSpan(b.name),
+			ledger: ledger,
 		}
 	}
 	sc, ps, err := disp.RunScanPass(r, consumers)
@@ -544,12 +615,64 @@ func (s *Set) RunContext(ctx context.Context, r io.Reader) error {
 		s.lastStall = stall
 		s.lastPass = ps
 		s.lastDispatch = ds
-		if tr != nil {
+		// lastTrace is the user-facing tracing feature; a trace built
+		// only for slow-pass capture stays out of it.
+		if tr != nil && tracing {
 			s.lastTrace = tr
 		}
 		s.mu.Unlock()
 	} else {
 		mt.cancelled(err)
+	}
+	if rec != nil {
+		fr := flightrec.Record{
+			PassID:         passID,
+			RequestID:      reqID,
+			Start:          start,
+			Duration:       wall,
+			Projection:     pmode.String(),
+			Dispatch:       ds.Mode,
+			Parallel:       parallel,
+			Plans:          len(subs),
+			InputBytes:     sc.BytesRead,
+			Events:         obs.Events,
+			Batches:        obs.Batches,
+			TokenizeStall:  ps.TokenizeStall,
+			ValidateStall:  ps.ValidateStall,
+			DispatchStall:  ps.DispatchStall,
+			GateStall:      stall,
+			TokenRingPeak:  ps.TokenRingPeak,
+			EventRingPeak:  ps.EventRingPeak,
+			Steals:         ps.Steals,
+			TrieEvents:     ds.Events,
+			TrieDeliveries: ds.Deliveries,
+			FaultHits:      faultinj.TotalInjected() - faults0,
+			Trace:          tr,
+		}
+		if wall > 0 {
+			fr.MBps = float64(sc.BytesRead) / (1 << 20) / wall.Seconds()
+		}
+		for _, b := range subs {
+			st, serr := b.Result()
+			if serr != nil && !errors.Is(serr, ErrNotRun) {
+				fr.PlanErrors++
+			}
+			if st.PeakHeapBufferBytes > fr.BufferPeak {
+				fr.BufferPeak = st.PeakHeapBufferBytes
+			}
+			fr.SpilledBytes += st.SpilledBytes
+			fr.RehydratedBytes += st.RehydratedBytes
+		}
+		if err != nil {
+			fr.Err = err.Error()
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				fr.CancelReason = "deadline"
+			case errors.Is(err, context.Canceled):
+				fr.CancelReason = "canceled"
+			}
+		}
+		rec.Record(fr)
 	}
 	return err
 }
@@ -620,6 +743,17 @@ type subRun struct {
 	hist   *telemetry.Histogram
 	span   *telemetry.Span
 	t0     time.Time
+	// ledger (nil when cost attribution is off) receives the plan's
+	// settled pass outcome; evalCPU accumulates the plan's per-batch
+	// eval wall time for it, measured on the same t0 clock as hist/span.
+	ledger  *Ledger
+	evalCPU time.Duration
+}
+
+// measures reports whether the run needs per-batch eval timing (any of
+// the latency histogram, the trace span or the cost ledger is wired).
+func (rr *subRun) measures() bool {
+	return rr.hist != nil || rr.span != nil || rr.ledger != nil
 }
 
 func (rr *subRun) BeginFeed(evs []xsax.Event) {
@@ -630,7 +764,7 @@ func (rr *subRun) BeginFeed(evs []xsax.Event) {
 		rr.finish(ErrUnregistered)
 		return
 	}
-	if rr.hist != nil || rr.span != nil {
+	if rr.measures() {
 		rr.t0 = time.Now()
 	}
 	rr.se.BeginFeed(evs)
@@ -652,10 +786,11 @@ func (rr *subRun) EndFeed() (done bool, err error) {
 		return true, nil
 	}
 	done, err = rr.se.EndFeed()
-	if rr.hist != nil || rr.span != nil {
+	if rr.measures() {
 		d := time.Since(rr.t0)
 		rr.hist.Observe(d.Nanoseconds())
 		rr.span.AddTime(d)
+		rr.evalCPU += d
 	}
 	return done, err
 }
@@ -691,5 +826,6 @@ func (rr *subRun) finish(cause error) {
 	if st != nil {
 		st.PassID = rr.passID
 	}
+	rr.ledger.record(rr.sub.name, st, rr.evalCPU, err)
 	rr.sub.setResult(st, time.Since(rr.start), err)
 }

@@ -63,7 +63,7 @@ func newSetMetrics(reg *telemetry.Registry) *setMetrics {
 			"Plan feeds claimed by an evaluator worker outside its own stripe."),
 		passSeconds: reg.Histogram("flux_pass_seconds",
 			"Wall time of one shared scan pass.",
-			telemetry.LatencyBuckets, telemetry.ScaleNanos),
+			telemetry.PassLatencyBuckets, telemetry.ScaleNanos),
 		passBytes: reg.Histogram("flux_pass_input_bytes",
 			"Raw input size of one shared scan pass.",
 			telemetry.SizeBuckets, telemetry.ScaleNone),

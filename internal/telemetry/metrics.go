@@ -207,6 +207,17 @@ var (
 		1_000_000, 5_000_000, 10_000_000, 50_000_000, // 1ms..50ms
 		100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000, // 100ms..10s
 	}
+	// PassLatencyBuckets resolves shared-pass wall times. Small
+	// documents finish a pass in well under a millisecond, so the
+	// sub-ms range is covered at ~2× steps (25µs..800µs) instead of
+	// LatencyBuckets' single 100µs..500µs..1ms span; above 1.6ms the
+	// ladder coarsens toward the same 10s ceiling.
+	PassLatencyBuckets = []int64{
+		25_000, 50_000, 100_000, 200_000, 400_000, 800_000, // 25µs..800µs
+		1_600_000, 3_200_000, 6_400_000, 12_800_000, // 1.6ms..12.8ms
+		25_000_000, 50_000_000, 100_000_000, 250_000_000, 500_000_000, // 25ms..500ms
+		1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000, // 1s..10s
+	}
 	// SizeBuckets spans 1 KiB to 1 GiB in powers of four.
 	SizeBuckets = []int64{
 		1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,

@@ -107,6 +107,70 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaries pins the bound semantics: bounds are
+// inclusive upper bounds (Prometheus "le"), a value one past a bound
+// falls into the next bucket, and overflow lands in the implicit +Inf
+// bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	bounds := []int64{100, 1000, 10000}
+	h := r.Histogram("b", "boundaries", bounds, ScaleNanos)
+	for _, v := range []int64{100, 101, 1000, 1001, 10000, 10001} {
+		h.Observe(v)
+	}
+	want := []int64{1, 2, 2, 1} // [<=100, <=1000, <=10000, +Inf]
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d holds %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestPassLatencyBucketsResolveSubMillisecond: the flux_pass_seconds
+// ladder must keep distinguishing passes below one millisecond — the
+// common case for small documents — rather than collapsing them into
+// one or two buckets.
+func TestPassLatencyBucketsResolveSubMillisecond(t *testing.T) {
+	subMS := 0
+	for i, b := range PassLatencyBuckets {
+		if i > 0 && b <= PassLatencyBuckets[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, PassLatencyBuckets)
+		}
+		if b < int64(time.Millisecond) {
+			subMS++
+		}
+	}
+	if subMS < 5 {
+		t.Fatalf("only %d sub-millisecond bounds in %v, want >= 5", subMS, PassLatencyBuckets)
+	}
+	if top := PassLatencyBuckets[len(PassLatencyBuckets)-1]; top != int64(10*time.Second) {
+		t.Errorf("ceiling = %d, want 10s in nanoseconds", top)
+	}
+
+	// Two passes an octave apart under 1ms must land in distinct
+	// buckets so quantile interpolation can tell them apart.
+	r := New()
+	h := r.Histogram("p", "pass", PassLatencyBuckets, ScaleNanos)
+	h.Observe(int64(150 * time.Microsecond))
+	h.Observe(int64(700 * time.Microsecond))
+	occupied := 0
+	for i := range h.buckets {
+		if h.buckets[i].Load() > 0 {
+			occupied++
+		}
+	}
+	if occupied != 2 {
+		t.Errorf("150µs and 700µs share a bucket (occupied=%d)", occupied)
+	}
+	// Quantile estimates for a uniform sub-ms population stay sub-ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(300 * time.Microsecond))
+	}
+	if p50 := h.Snapshot().P50; p50 <= 0 || p50 > int64(time.Millisecond) {
+		t.Errorf("p50 = %dns for a 300µs population, want sub-millisecond", p50)
+	}
+}
+
 func TestWritePrometheus(t *testing.T) {
 	r := New()
 	r.Counter("b_total", "b help").Add(7)

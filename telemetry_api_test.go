@@ -179,9 +179,11 @@ func TestTelemetryZeroPerEventAllocs(t *testing.T) {
 	doc := []byte(telemetryDoc(2500))
 	events := int64(0)
 
-	measure := func(tel *Telemetry) float64 {
+	measure := func(configure func(*StreamSet)) float64 {
 		set := NewStreamSet(d)
-		set.SetTelemetry(tel)
+		if configure != nil {
+			configure(set)
+		}
 		reg, err := set.Register(p, io.Discard)
 		if err != nil {
 			t.Fatal(err)
@@ -200,16 +202,27 @@ func TestTelemetryZeroPerEventAllocs(t *testing.T) {
 		return allocs
 	}
 	off := measure(nil)
-	on := measure(NewTelemetry())
+	on := measure(func(s *StreamSet) { s.SetTelemetry(NewTelemetry()) })
+	rec := measure(func(s *StreamSet) {
+		s.SetRecorder(NewFlightRecorder(FlightRecorderConfig{}))
+		s.SetLedger(NewQueryLedger())
+	})
 	if events < 10_000 {
 		t.Fatalf("workload too small to resolve per-event costs: %d events", events)
 	}
 	// The query itself buffers per book, so absolute counts scale with
-	// the input on both sides; the telemetry DELTA is what must not.
-	delta := on - off
-	if perEvent := delta / float64(events); perEvent > 0.01 {
-		t.Errorf("telemetry adds %.4f allocations per event (off %.1f, on %.1f, %d events), want ~0",
-			perEvent, off, on, events)
+	// the input on both sides; the instrumentation DELTA is what must
+	// not. The same bound holds for the flight recorder and cost
+	// ledger: one record deposit and one ledger update per pass, zero
+	// per-event terms.
+	for _, tc := range []struct {
+		name string
+		on   float64
+	}{{"telemetry", on}, {"recorder+ledger", rec}} {
+		if perEvent := (tc.on - off) / float64(events); perEvent > 0.01 {
+			t.Errorf("%s adds %.4f allocations per event (off %.1f, on %.1f, %d events), want ~0",
+				tc.name, perEvent, off, tc.on, events)
+		}
 	}
 }
 
@@ -240,9 +253,11 @@ func TestTelemetryOverhead(t *testing.T) {
 		c := workload.ByName(name)
 		plans[i] = MustCompile(c.Query, c.DTD, Options{})
 	}
-	measure := func(tel *Telemetry) time.Duration {
+	measure := func(configure func(*StreamSet)) time.Duration {
 		set := NewStreamSet(d)
-		set.SetTelemetry(tel)
+		if configure != nil {
+			configure(set)
+		}
 		for _, p := range plans {
 			if _, err := set.Register(p, io.Discard); err != nil {
 				t.Fatal(err)
@@ -260,12 +275,24 @@ func TestTelemetryOverhead(t *testing.T) {
 		}
 		return best
 	}
-	measure(nil) // warm pools and interning before either measurement
+	measure(nil) // warm pools and interning before any measurement
 	off := measure(nil)
-	on := measure(NewTelemetry())
-	overhead := float64(on-off) / float64(off) * 100
-	t.Logf("telemetry overhead: off=%v on=%v (%.2f%%)", off, on, overhead)
-	if overhead > 3.0 {
-		t.Errorf("telemetry overhead %.2f%% exceeds 3%% (off=%v on=%v)", overhead, off, on)
+	for _, tc := range []struct {
+		name      string
+		configure func(*StreamSet)
+	}{
+		{"telemetry", func(s *StreamSet) { s.SetTelemetry(NewTelemetry()) }},
+		{"recorder+ledger", func(s *StreamSet) {
+			s.SetRecorder(NewFlightRecorder(FlightRecorderConfig{}))
+			s.SetLedger(NewQueryLedger())
+			s.SetRequestID("overhead")
+		}},
+	} {
+		on := measure(tc.configure)
+		overhead := float64(on-off) / float64(off) * 100
+		t.Logf("%s overhead: off=%v on=%v (%.2f%%)", tc.name, off, on, overhead)
+		if overhead > 3.0 {
+			t.Errorf("%s overhead %.2f%% exceeds 3%% (off=%v on=%v)", tc.name, overhead, off, on)
+		}
 	}
 }
